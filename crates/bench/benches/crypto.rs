@@ -1,0 +1,59 @@
+//! Microbenchmarks for the cryptographic substrate: hashing, signing,
+//! combining, and verifying in both QC formats.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use marlin_crypto::{sha256, KeyStore, QcFormat};
+
+fn bench_sha256(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sha256");
+    for len in [64usize, 1024, 65536] {
+        let data = vec![0xABu8; len];
+        g.throughput(Throughput::Bytes(len as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(len), &data, |b, data| {
+            b.iter(|| sha256(data));
+        });
+    }
+    g.finish();
+}
+
+fn bench_sign_verify(c: &mut Criterion) {
+    let keys = KeyStore::generate(4, 1, 1);
+    let signer = keys.signer(0);
+    let msg = b"view=42 phase=PREPARE block=...";
+    c.bench_function("sign_partial", |b| b.iter(|| signer.sign_partial(msg)));
+    let partial = signer.sign_partial(msg);
+    c.bench_function("verify_partial", |b| b.iter(|| keys.verify_partial(msg, &partial)));
+    let sig = signer.sign(msg);
+    c.bench_function("verify_conventional", |b| b.iter(|| keys.verify(0, msg, &sig)));
+}
+
+fn bench_combine_verify_qc(c: &mut Criterion) {
+    let mut g = c.benchmark_group("qc");
+    for f in [1usize, 5, 10] {
+        let n = 3 * f + 1;
+        let keys = KeyStore::generate(n, f, 7);
+        let msg = b"qc seed";
+        let partials: Vec<_> = (0..n - f).map(|i| keys.signer(i).sign_partial(msg)).collect();
+        for format in [QcFormat::SigGroup, QcFormat::Threshold] {
+            g.bench_with_input(
+                BenchmarkId::new(format!("combine/{format:?}"), n),
+                &partials,
+                |b, partials| {
+                    b.iter(|| keys.combine(msg, partials, format).unwrap());
+                },
+            );
+            let combined = keys.combine(msg, &partials, format).unwrap();
+            g.bench_with_input(
+                BenchmarkId::new(format!("verify/{format:?}"), n),
+                &combined,
+                |b, combined| {
+                    b.iter(|| keys.verify_combined(msg, combined));
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_sha256, bench_sign_verify, bench_combine_verify_qc);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Fig. 10i as a bench target: view-change latency for Marlin (happy
+//! and forced-unhappy paths) vs HotStuff, with the measured simulated
+//! latencies printed and shape-checked.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use marlin_bench::vc::measure_view_change;
+use marlin_core::ProtocolKind;
+use marlin_crypto::QcFormat;
+use marlin_simnet::SimConfig;
+
+fn bench_fig10i(c: &mut Criterion) {
+    // Measured simulated latencies (the paper's Fig. 10i shape: happy
+    // Marlin well below HotStuff; unhappy Marlin comparable).
+    let happy = measure_view_change(
+        ProtocolKind::Marlin, 1, false, QcFormat::SigGroup, SimConfig::paper_testbed(),
+    );
+    let unhappy = measure_view_change(
+        ProtocolKind::Marlin, 1, true, QcFormat::SigGroup, SimConfig::paper_testbed(),
+    );
+    let hotstuff = measure_view_change(
+        ProtocolKind::HotStuff, 1, false, QcFormat::SigGroup, SimConfig::paper_testbed(),
+    );
+    println!(
+        "\nFig10i (f=1): Marlin happy {:.1} ms | Marlin unhappy {:.1} ms | HotStuff {:.1} ms",
+        happy.latency_ns as f64 / 1e6,
+        unhappy.latency_ns as f64 / 1e6,
+        hotstuff.latency_ns as f64 / 1e6
+    );
+    assert!(happy.latency_ns < hotstuff.latency_ns, "happy path must beat HotStuff");
+
+    let mut g = c.benchmark_group("fig10i_view_change");
+    g.sample_size(10);
+    let cases: [(&str, ProtocolKind, bool); 3] = [
+        ("marlin-happy", ProtocolKind::Marlin, false),
+        ("marlin-unhappy", ProtocolKind::Marlin, true),
+        ("hotstuff", ProtocolKind::HotStuff, false),
+    ];
+    for (name, protocol, force) in cases {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &(protocol, force), |b, &(p, f)| {
+            b.iter(|| {
+                measure_view_change(p, 1, f, QcFormat::SigGroup, SimConfig::paper_testbed())
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig10i);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Fig. 10j as a bench target: rotating-leader throughput under crash
+//! failures at f = 3.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use marlin_bench::{figures, Effort};
+use marlin_core::ProtocolKind;
+
+fn bench_fig10j(c: &mut Criterion) {
+    // Print the measured degradation once.
+    let free = figures::rotating_under_failures(ProtocolKind::Marlin, 0, 30_000, Effort::Quick);
+    let one = figures::rotating_under_failures(ProtocolKind::Marlin, 1, 30_000, Effort::Quick);
+    println!(
+        "\nFig10j (quick, Marlin): failure-free {:.2} ktx/s, 1 crash {:.2} ktx/s",
+        free.ktps(),
+        one.ktps()
+    );
+    assert!(one.throughput_tps <= free.throughput_tps, "failures must not speed things up");
+
+    let mut g = c.benchmark_group("fig10j_rotation");
+    g.sample_size(10);
+    // One timed configuration per protocol; the printed comparison above
+    // covers the crash grid.
+    for protocol in [ProtocolKind::Marlin, ProtocolKind::HotStuff] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(protocol.name()),
+            &protocol,
+            |b, &p| {
+                b.iter(|| figures::rotating_under_failures(p, 1, 30_000, Effort::Quick));
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig10j);
+criterion_main!(benches);

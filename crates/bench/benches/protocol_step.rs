@@ -1,0 +1,61 @@
+//! Protocol state-machine throughput on the instant-delivery harness:
+//! the pure-CPU cost of consensus, with network and crypto delays
+//! stripped away. Compares all protocols on identical workloads.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use marlin_core::{harness::Cluster, Config, ProtocolKind};
+use marlin_types::ReplicaId;
+
+fn bench_commit_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("commit_100_txs");
+    g.throughput(Throughput::Elements(100));
+    for kind in [
+        ProtocolKind::Marlin,
+        ProtocolKind::HotStuff,
+        ProtocolKind::Jolteon,
+        ProtocolKind::ChainedMarlin,
+        ProtocolKind::ChainedHotStuff,
+    ] {
+        g.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, &kind| {
+            b.iter_batched(
+                || Cluster::new(kind, Config::for_test(4, 1), 1),
+                |mut cl| {
+                    cl.submit_to(ReplicaId(1), 100, 150);
+                    cl.run_until_idle();
+                    cl
+                },
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+    g.finish();
+}
+
+fn bench_view_change(c: &mut Criterion) {
+    let mut g = c.benchmark_group("view_change");
+    for kind in [ProtocolKind::Marlin, ProtocolKind::HotStuff, ProtocolKind::Jolteon] {
+        g.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, &kind| {
+            b.iter_batched(
+                || {
+                    let mut cl = Cluster::new(kind, Config::for_test(4, 1), 2);
+                    cl.submit_to(ReplicaId(1), 10, 0);
+                    cl.run_until_idle();
+                    cl.crash(ReplicaId(1));
+                    cl
+                },
+                |mut cl| {
+                    while cl.min_view() < 2u64.into() {
+                        assert!(cl.fire_next_timer());
+                    }
+                    cl.run_until_idle();
+                    cl
+                },
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_commit_throughput, bench_view_change);
+criterion_main!(benches);

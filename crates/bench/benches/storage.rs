@@ -1,0 +1,76 @@
+//! Microbenchmarks for the LevelDB stand-in.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use marlin_storage::{IoCostModel, KvStore, MemDisk, StoreConfig};
+
+fn store() -> KvStore<MemDisk> {
+    let cfg = StoreConfig {
+        memtable_flush_bytes: 1 << 20,
+        max_segments: 8,
+        cost: IoCostModel::zero(),
+    };
+    KvStore::open(MemDisk::new(), cfg).expect("open")
+}
+
+fn bench_put_get(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kvstore");
+    for value_len in [128usize, 4096] {
+        g.throughput(Throughput::Bytes(value_len as u64));
+        g.bench_with_input(BenchmarkId::new("put", value_len), &value_len, |b, &len| {
+            let mut db = store();
+            let mut i = 0u64;
+            b.iter(|| {
+                i += 1;
+                db.put(i.to_le_bytes().to_vec(), vec![0u8; len]).unwrap();
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("get_hit", value_len), &value_len, |b, &len| {
+            let mut db = store();
+            for i in 0..1000u64 {
+                db.put(i.to_le_bytes().to_vec(), vec![0u8; len]).unwrap();
+            }
+            db.flush().unwrap();
+            let mut i = 0u64;
+            b.iter(|| {
+                i = (i + 1) % 1000;
+                db.get(&i.to_le_bytes()).unwrap()
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_flush_compact(c: &mut Criterion) {
+    c.bench_function("kvstore/flush_1000", |b| {
+        b.iter_batched(
+            || {
+                let mut db = store();
+                for i in 0..1000u64 {
+                    db.put(i.to_le_bytes().to_vec(), vec![7u8; 128]).unwrap();
+                }
+                db
+            },
+            |mut db| db.flush().unwrap(),
+            criterion::BatchSize::SmallInput,
+        );
+    });
+    c.bench_function("kvstore/checkpoint_4_segments", |b| {
+        b.iter_batched(
+            || {
+                let mut db = store();
+                for seg in 0..4u64 {
+                    for i in 0..250u64 {
+                        db.put((seg * 1000 + i).to_le_bytes().to_vec(), vec![7u8; 128]).unwrap();
+                    }
+                    db.flush().unwrap();
+                }
+                db
+            },
+            |mut db| db.checkpoint().unwrap(),
+            criterion::BatchSize::SmallInput,
+        );
+    });
+}
+
+criterion_group!(benches, bench_put_get, bench_flush_compact);
+criterion_main!(benches);

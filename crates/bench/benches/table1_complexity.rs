@@ -1,0 +1,62 @@
+//! Table I as a bench target: measures one instrumented view change per
+//! protocol per size and reports its wall-clock cost; the measured
+//! byte/authenticator counts are printed once at the start.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use marlin_bench::vc::measure_view_change;
+use marlin_core::ProtocolKind;
+use marlin_crypto::QcFormat;
+use marlin_simnet::SimConfig;
+
+fn bench_table1(c: &mut Criterion) {
+    // Print the measured Table I numbers once (the benchmark itself
+    // times the simulation).
+    println!("\nTable I (measured, QC format = SigGroup):");
+    println!("{:<12} {:>4} {:>12} {:>8} {:>6}", "protocol", "n", "vc bytes", "auths", "msgs");
+    for f in [1usize, 5] {
+        for protocol in [ProtocolKind::Marlin, ProtocolKind::HotStuff, ProtocolKind::Jolteon] {
+            let m = measure_view_change(
+                protocol,
+                f,
+                protocol == ProtocolKind::Marlin,
+                QcFormat::SigGroup,
+                SimConfig::paper_testbed(),
+            );
+            let w = m.window.total();
+            println!(
+                "{:<12} {:>4} {:>12} {:>8} {:>6}",
+                protocol.name(),
+                m.n,
+                w.bytes,
+                w.authenticators,
+                w.messages
+            );
+        }
+    }
+
+    let mut g = c.benchmark_group("table1_view_change");
+    g.sample_size(10);
+    for f in [1usize, 5] {
+        for protocol in [ProtocolKind::Marlin, ProtocolKind::HotStuff, ProtocolKind::Jolteon] {
+            g.bench_with_input(
+                BenchmarkId::new(protocol.name(), 3 * f + 1),
+                &(protocol, f),
+                |b, &(protocol, f)| {
+                    b.iter(|| {
+                        measure_view_change(
+                            protocol,
+                            f,
+                            protocol == ProtocolKind::Marlin,
+                            QcFormat::SigGroup,
+                            SimConfig::paper_testbed(),
+                        )
+                    });
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Microbenchmarks for rank comparison and the block tree.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use marlin_types::rank::{block_rank_gt, qc_rank_cmp};
+use marlin_types::{Batch, Block, BlockStore, Justify, Qc, View};
+
+fn chain(len: usize) -> (BlockStore, Vec<Block>) {
+    let mut store = BlockStore::new();
+    let mut blocks = vec![store.genesis().clone()];
+    for i in 0..len {
+        let parent = blocks.last().expect("nonempty");
+        let b = Block::new_normal(
+            parent.id(),
+            parent.view(),
+            View(1),
+            parent.height().next(),
+            Batch::empty(),
+            Justify::One(Qc::genesis(parent.id())),
+        );
+        store.insert(b.clone());
+        blocks.push(b);
+        let _ = i;
+    }
+    (store, blocks)
+}
+
+fn bench_rank(c: &mut Criterion) {
+    let (_, blocks) = chain(2);
+    let qc1 = Qc::genesis(blocks[1].id());
+    let qc2 = Qc::genesis(blocks[2].id());
+    c.bench_function("qc_rank_cmp", |b| b.iter(|| qc_rank_cmp(&qc1, &qc2)));
+    let m1 = blocks[1].meta();
+    let m2 = blocks[2].meta();
+    c.bench_function("block_rank_gt", |b| b.iter(|| block_rank_gt(&m2, &m1)));
+}
+
+fn bench_tree(c: &mut Criterion) {
+    let mut g = c.benchmark_group("block_store");
+    for len in [64usize, 1024] {
+        let (store, blocks) = chain(len);
+        let tip = blocks.last().expect("nonempty").id();
+        g.bench_with_input(BenchmarkId::new("is_extension", len), &store, |b, store| {
+            b.iter(|| store.is_extension(&tip, &blocks[0].id()));
+        });
+        g.bench_with_input(BenchmarkId::new("commit_chain", len), &blocks, |b, blocks| {
+            b.iter_batched(
+                || {
+                    let mut s = BlockStore::new();
+                    for blk in &blocks[1..] {
+                        s.insert(blk.clone());
+                    }
+                    s
+                },
+                |mut s| s.commit(&tip).unwrap(),
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_rank, bench_tree);
+criterion_main!(benches);

@@ -1,0 +1,146 @@
+//! Replica configuration.
+
+use marlin_crypto::{CostModel, KeyStore, QcFormat};
+use marlin_types::ReplicaId;
+use std::sync::Arc;
+
+/// Which protocol a replica runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ProtocolKind {
+    /// Marlin (two-phase, linear view change) — the paper's protocol.
+    Marlin,
+    /// Basic three-phase HotStuff.
+    HotStuff,
+    /// Chained (pipelined) Marlin.
+    ChainedMarlin,
+    /// Chained (pipelined) HotStuff.
+    ChainedHotStuff,
+    /// Jolteon-style two-phase protocol with a quadratic view change.
+    Jolteon,
+    /// The insecure two-phase HotStuff strawman of Section IV-B.
+    TwoPhaseInsecure,
+    /// The four-phase "half-baked attempt" of Section IV-D (linear view
+    /// change without virtual blocks) — an ablation.
+    MarlinFourPhase,
+}
+
+impl ProtocolKind {
+    /// Human-readable protocol name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ProtocolKind::Marlin => "marlin",
+            ProtocolKind::HotStuff => "hotstuff",
+            ProtocolKind::ChainedMarlin => "chained-marlin",
+            ProtocolKind::ChainedHotStuff => "chained-hotstuff",
+            ProtocolKind::Jolteon => "jolteon",
+            ProtocolKind::TwoPhaseInsecure => "two-phase-insecure",
+            ProtocolKind::MarlinFourPhase => "marlin-four-phase",
+        }
+    }
+}
+
+/// Static configuration shared by all protocol implementations.
+///
+/// # Example
+///
+/// ```
+/// use marlin_core::Config;
+///
+/// let mut cfg = Config::for_test(4, 1);
+/// cfg.batch_size = 200;
+/// assert_eq!(cfg.quorum(), 3);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// This replica's id.
+    pub id: ReplicaId,
+    /// Total number of replicas `n ≥ 3f + 1`.
+    pub n: usize,
+    /// Fault tolerance `f`.
+    pub f: usize,
+    /// The system key material (trusted setup output).
+    pub keys: Arc<KeyStore>,
+    /// CPU cost model for cryptographic operations.
+    pub cost: CostModel,
+    /// Wire format for quorum certificates.
+    pub qc_format: QcFormat,
+    /// Maximum transactions per proposed block.
+    pub batch_size: usize,
+    /// Base view timeout in simulated nanoseconds.
+    pub base_timeout_ns: u64,
+    /// Exponential backoff cap: timeout doubles per consecutive failed
+    /// view up to `base << max_backoff_exp`.
+    pub max_backoff_exp: u32,
+    /// Rotating-leader mode (the paper's Section VI "performance under
+    /// failures" experiment): when set, a leader voluntarily hands over
+    /// after this many simulated nanoseconds even without failures.
+    pub rotation_interval_ns: Option<u64>,
+}
+
+impl Config {
+    /// A configuration suitable for unit tests: zero crypto cost,
+    /// threshold QCs, small batches, 100 ms base timeout.
+    pub fn for_test(n: usize, f: usize) -> Self {
+        Config {
+            id: ReplicaId(0),
+            n,
+            f,
+            keys: Arc::new(KeyStore::generate(n, f, 0xBEEF)),
+            cost: CostModel::zero(),
+            qc_format: QcFormat::Threshold,
+            batch_size: 100,
+            base_timeout_ns: 100_000_000,
+            max_backoff_exp: 6,
+            rotation_interval_ns: None,
+        }
+    }
+
+    /// The same configuration bound to replica `id`.
+    pub fn with_id(&self, id: ReplicaId) -> Self {
+        Config { id, ..self.clone() }
+    }
+
+    /// Quorum size `n − f`.
+    pub fn quorum(&self) -> usize {
+        self.n - self.f
+    }
+
+    /// The leader of `view` (round-robin).
+    pub fn leader_of(&self, view: marlin_types::View) -> ReplicaId {
+        ReplicaId::leader_of(view, self.n)
+    }
+
+    /// Whether this replica leads `view`.
+    pub fn is_leader(&self, view: marlin_types::View) -> bool {
+        self.leader_of(view) == self.id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use marlin_types::View;
+
+    #[test]
+    fn quorum_math() {
+        let c = Config::for_test(4, 1);
+        assert_eq!(c.quorum(), 3);
+        let c = Config::for_test(31, 10);
+        assert_eq!(c.quorum(), 21);
+    }
+
+    #[test]
+    fn leadership_rotates() {
+        let c = Config::for_test(4, 1).with_id(ReplicaId(2));
+        assert!(c.is_leader(View(2)));
+        assert!(c.is_leader(View(6)));
+        assert!(!c.is_leader(View(3)));
+        assert_eq!(c.leader_of(View(5)), ReplicaId(1));
+    }
+
+    #[test]
+    fn protocol_names() {
+        assert_eq!(ProtocolKind::Marlin.name(), "marlin");
+        assert_eq!(ProtocolKind::ChainedHotStuff.name(), "chained-hotstuff");
+    }
+}

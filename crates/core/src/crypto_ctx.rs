@@ -1,0 +1,202 @@
+//! Cost-accounted cryptography for the protocol state machines.
+
+use crate::config::Config;
+use marlin_crypto::{CostModel, CryptoOp, KeyStore, PartialSig, QcFormat, Signature, Signer};
+use marlin_types::{Justify, Qc, QcSeed, VcCert};
+use std::collections::HashSet;
+use std::sync::Arc;
+
+/// Performs signing/verification through the [`KeyStore`] while charging
+/// simulated CPU time per the replica's [`CostModel`].
+///
+/// Verified QCs are cached (by seed signing bytes) so that a certificate
+/// carried by many messages is only charged once, mirroring the
+/// verification caches of production BFT implementations.
+#[derive(Clone, Debug)]
+pub struct CryptoCtx {
+    keys: Arc<KeyStore>,
+    signer: Signer,
+    cost: CostModel,
+    format: QcFormat,
+    charged_ns: u64,
+    verified_qcs: HashSet<[u8; 32]>,
+}
+
+impl CryptoCtx {
+    /// Creates a context for the replica described by `config`.
+    pub fn new(config: &Config) -> Self {
+        CryptoCtx {
+            keys: Arc::clone(&config.keys),
+            signer: config.keys.signer(config.id.index()),
+            cost: config.cost,
+            format: config.qc_format,
+            charged_ns: 0,
+            verified_qcs: HashSet::new(),
+        }
+    }
+
+    /// The QC wire format in use.
+    pub fn format(&self) -> QcFormat {
+        self.format
+    }
+
+    /// Takes and resets the accumulated CPU charge.
+    pub fn take_charge(&mut self) -> u64 {
+        std::mem::take(&mut self.charged_ns)
+    }
+
+    /// Signs a vote seed, producing a partial signature.
+    pub fn sign_seed(&mut self, seed: &QcSeed) -> PartialSig {
+        self.charged_ns += self.cost.cost(CryptoOp::Sign);
+        self.signer.sign_partial(&seed.signing_bytes())
+    }
+
+    /// Signs arbitrary bytes with a conventional signature (used by the
+    /// Jolteon baseline's view-change certificates).
+    pub fn sign_bytes(&mut self, bytes: &[u8]) -> Signature {
+        self.charged_ns += self.cost.cost(CryptoOp::Sign);
+        self.signer.sign(bytes)
+    }
+
+    /// Verifies a partial signature over a seed.
+    pub fn verify_partial(&mut self, seed: &QcSeed, parsig: &PartialSig) -> bool {
+        self.charged_ns += self.cost.cost(CryptoOp::Verify);
+        self.keys.verify_partial(&seed.signing_bytes(), parsig)
+    }
+
+    /// Verifies a quorum certificate, charging per its format; cached.
+    pub fn verify_qc(&mut self, qc: &Qc) -> bool {
+        if qc.is_genesis() {
+            return true;
+        }
+        let key = qc.seed().signing_bytes();
+        if self.verified_qcs.contains(&key) {
+            return true;
+        }
+        self.charged_ns += self.cost.cost(CryptoOp::VerifyCombined {
+            format: qc.sig().format(),
+            signers: qc.sig().signers().count(),
+        });
+        let ok = qc.verify(&self.keys);
+        if ok {
+            self.verified_qcs.insert(key);
+        }
+        ok
+    }
+
+    /// Verifies every certificate in a [`Justify`].
+    pub fn verify_justify(&mut self, justify: &Justify) -> bool {
+        justify.iter().all(|qc| {
+            // Iterate eagerly so each QC is charged/cached individually.
+            self.verify_qc(qc)
+        })
+    }
+
+    /// Verifies one Jolteon view-change certificate.
+    pub fn verify_vc_cert(&mut self, view: marlin_types::View, cert: &VcCert) -> bool {
+        self.charged_ns += self.cost.cost(CryptoOp::Verify);
+        let bytes = VcCert::signing_bytes(cert.from, view, &cert.high_qc);
+        self.keys.verify(cert.from.index(), &bytes, &cert.sig) && self.verify_qc(&cert.high_qc)
+    }
+
+    /// Combines partial signatures into a certificate, charging combine
+    /// cost. Returns `None` below threshold (should not happen if the
+    /// caller gates on quorum size).
+    pub fn combine(&mut self, seed: QcSeed, partials: &[PartialSig]) -> Option<Qc> {
+        self.charged_ns += self.cost.cost(CryptoOp::Combine { shares: partials.len() });
+        let qc = Qc::combine(seed, partials, &self.keys, self.format).ok()?;
+        self.verified_qcs.insert(seed.signing_bytes());
+        Some(qc)
+    }
+
+    /// Charges hashing cost for `len` bytes (e.g. block identity checks).
+    pub fn charge_hash(&mut self, len: usize) {
+        self.charged_ns += self.cost.cost(CryptoOp::Hash { len });
+    }
+
+    /// Drops the verification cache below the given capacity; called by
+    /// long-running drivers to bound memory.
+    pub fn trim_cache(&mut self, max: usize) {
+        if self.verified_qcs.len() > max {
+            self.verified_qcs.clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Config;
+    use marlin_types::{BlockId, BlockKind, Height, Phase, View};
+
+    fn seed(view: u64) -> QcSeed {
+        QcSeed {
+            phase: Phase::Prepare,
+            view: View(view),
+            block: BlockId::GENESIS,
+            height: Height(view),
+            block_view: View(view),
+            pview: View(0),
+            block_kind: BlockKind::Normal,
+        }
+    }
+
+    fn ctx_with_cost() -> (CryptoCtx, Config) {
+        let mut cfg = Config::for_test(4, 1);
+        cfg.cost = CostModel::ecdsa_like();
+        (CryptoCtx::new(&cfg), cfg)
+    }
+
+    #[test]
+    fn signing_charges_cpu() {
+        let (mut ctx, _cfg) = ctx_with_cost();
+        assert_eq!(ctx.take_charge(), 0);
+        ctx.sign_seed(&seed(1));
+        assert_eq!(ctx.take_charge(), CostModel::ecdsa_like().sign_ns);
+        assert_eq!(ctx.take_charge(), 0);
+    }
+
+    #[test]
+    fn qc_verification_is_cached() {
+        let (mut ctx, cfg) = ctx_with_cost();
+        let s = seed(2);
+        let partials: Vec<_> = (0..3)
+            .map(|i| cfg.keys.signer(i).sign_partial(&s.signing_bytes()))
+            .collect();
+        let qc = Qc::combine(s, &partials, &cfg.keys, QcFormat::Threshold).unwrap();
+        assert!(ctx.verify_qc(&qc));
+        let first = ctx.take_charge();
+        assert!(first > 0);
+        assert!(ctx.verify_qc(&qc));
+        assert_eq!(ctx.take_charge(), 0, "second verification must be cached");
+    }
+
+    #[test]
+    fn combine_round_trip_and_self_cache() {
+        let (mut ctx, cfg) = ctx_with_cost();
+        let s = seed(3);
+        let partials: Vec<_> = (0..3)
+            .map(|i| cfg.keys.signer(i).sign_partial(&s.signing_bytes()))
+            .collect();
+        let qc = ctx.combine(s, &partials).unwrap();
+        ctx.take_charge();
+        // A QC we combined ourselves verifies for free.
+        assert!(ctx.verify_qc(&qc));
+        assert_eq!(ctx.take_charge(), 0);
+    }
+
+    #[test]
+    fn bad_partial_rejected() {
+        let (mut ctx, cfg) = ctx_with_cost();
+        let s = seed(4);
+        let wrong = cfg.keys.signer(1).sign_partial(b"something else");
+        assert!(!ctx.verify_partial(&s, &wrong));
+    }
+
+    #[test]
+    fn genesis_qc_is_free() {
+        let (mut ctx, _cfg) = ctx_with_cost();
+        assert!(ctx.verify_qc(&Qc::genesis(BlockId::GENESIS)));
+        assert_eq!(ctx.take_charge(), 0);
+    }
+}

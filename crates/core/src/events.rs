@@ -1,0 +1,190 @@
+//! Events consumed and actions produced by the protocol state machines.
+
+use marlin_types::{Block, Height, Message, Phase, ReplicaId, Transaction, View};
+
+/// An input to a replica's state machine.
+#[derive(Clone, Debug)]
+pub enum Event {
+    /// Bootstraps the replica: enter view 1 and, if leader, propose.
+    Start,
+    /// A message arrived from the network.
+    Message(Message),
+    /// The timer armed for `view` fired. Stale timeouts (for views the
+    /// replica has already left) are ignored.
+    Timeout {
+        /// The view the timer was armed for.
+        view: View,
+    },
+    /// New client transactions for the replica's mempool.
+    NewTransactions(Vec<Transaction>),
+    /// A heartbeat armed via [`Action::SetHeartbeat`] fired; idle
+    /// leaders use it to pace empty proposals.
+    Heartbeat,
+}
+
+/// An output of a replica's state machine.
+#[derive(Clone, Debug)]
+pub enum Action {
+    /// Send `message` to replica `to`.
+    Send {
+        /// Destination replica.
+        to: ReplicaId,
+        /// The message.
+        message: Message,
+    },
+    /// Send `message` to every other replica (the sender processes its
+    /// own copy internally; drivers must not loop it back).
+    Broadcast {
+        /// The message.
+        message: Message,
+    },
+    /// Deliver newly committed blocks to the application, oldest first.
+    Commit {
+        /// The committed blocks.
+        blocks: Vec<Block>,
+    },
+    /// Arm (or re-arm) the view timer: fire [`Event::Timeout`] for
+    /// `view` after `delay_ns` of simulated time.
+    SetTimer {
+        /// View the timer belongs to.
+        view: View,
+        /// Delay until firing, in simulated nanoseconds.
+        delay_ns: u64,
+    },
+    /// Fire [`Event::Heartbeat`] after `delay_ns` of simulated time.
+    SetHeartbeat {
+        /// Delay until firing, in simulated nanoseconds.
+        delay_ns: u64,
+    },
+    /// A trace note for tests, examples, and benchmarks.
+    Note(Note),
+}
+
+/// Which leader case of the Marlin view-change pre-prepare phase ran
+/// (Section V-C).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum VcCase {
+    /// Case V1: a `prepareQC` plus a higher-ranked reported block — the
+    /// leader proposes a normal and a virtual shadow block.
+    V1,
+    /// Case V2: the leader is certain its snapshot is safe — one block.
+    V2,
+    /// Case V3: two `pre-prepareQC`s of equal rank — two shadow blocks.
+    V3,
+}
+
+/// Structured trace events for observability; they carry no protocol
+/// meaning.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Note {
+    /// The replica entered a view.
+    EnteredView {
+        /// The new view.
+        view: View,
+        /// Whether this replica leads it.
+        leader: bool,
+    },
+    /// The replica timed out and started a view change.
+    ViewChangeStarted {
+        /// The view being abandoned.
+        from_view: View,
+    },
+    /// The new leader took the happy path: view change in two phases.
+    HappyPathVc {
+        /// The new view.
+        view: View,
+    },
+    /// The new leader ran the pre-prepare phase (three-phase view
+    /// change) under the given case.
+    UnhappyPathVc {
+        /// The new view.
+        view: View,
+        /// Which leader case applied.
+        case: VcCase,
+    },
+    /// A quorum certificate was formed by the leader.
+    QcFormed {
+        /// Certified phase.
+        phase: Phase,
+        /// View of formation.
+        view: View,
+        /// Height of the certified block.
+        height: Height,
+    },
+    /// Blocks were committed.
+    Committed {
+        /// Height of the newest committed block.
+        height: Height,
+        /// Number of transactions across the newly committed blocks.
+        txs: usize,
+    },
+}
+
+/// The result of one state-machine step.
+#[derive(Clone, Debug, Default)]
+pub struct StepOutput {
+    /// Actions for the driver, in order.
+    pub actions: Vec<Action>,
+    /// Simulated CPU nanoseconds consumed (crypto and hashing, per the
+    /// replica's cost model).
+    pub cpu_ns: u64,
+}
+
+impl StepOutput {
+    /// An empty step.
+    pub fn empty() -> Self {
+        StepOutput::default()
+    }
+
+    /// Appends another step's actions and cost.
+    pub fn merge(&mut self, other: StepOutput) {
+        self.actions.extend(other.actions);
+        self.cpu_ns += other.cpu_ns;
+    }
+
+    /// Iterates over the blocks committed in this step, oldest first.
+    pub fn committed_blocks(&self) -> impl Iterator<Item = &Block> {
+        self.actions.iter().flat_map(|a| match a {
+            Action::Commit { blocks } => blocks.iter(),
+            _ => [].iter(),
+        })
+    }
+
+    /// Iterates over trace notes emitted in this step.
+    pub fn notes(&self) -> impl Iterator<Item = &Note> {
+        self.actions.iter().filter_map(|a| match a {
+            Action::Note(n) => Some(n),
+            _ => None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_concatenates() {
+        let mut a = StepOutput { actions: vec![Action::Note(Note::HappyPathVc { view: View(1) })], cpu_ns: 5 };
+        let b = StepOutput {
+            actions: vec![Action::SetTimer { view: View(2), delay_ns: 7 }],
+            cpu_ns: 3,
+        };
+        a.merge(b);
+        assert_eq!(a.actions.len(), 2);
+        assert_eq!(a.cpu_ns, 8);
+    }
+
+    #[test]
+    fn accessors_filter_by_kind() {
+        let out = StepOutput {
+            actions: vec![
+                Action::Note(Note::HappyPathVc { view: View(3) }),
+                Action::Commit { blocks: vec![Block::genesis()] },
+            ],
+            cpu_ns: 0,
+        };
+        assert_eq!(out.committed_blocks().count(), 1);
+        assert_eq!(out.notes().count(), 1);
+    }
+}

@@ -1,0 +1,56 @@
+//! Consensus protocols for the `marlin-bft` reproduction of *Marlin:
+//! Two-Phase BFT with Linearity* (DSN 2022).
+//!
+//! Every protocol in this crate is a **deterministic, sans-io state
+//! machine**: it consumes [`Event`]s (messages, timeouts, new
+//! transactions) and emits [`Action`]s (sends, broadcasts, commits,
+//! timer resets) plus a simulated CPU cost. The same state machines run
+//! under the discrete-event network simulator (`marlin-simnet` via
+//! `marlin-node`), under the in-process [`harness`] used by tests, and
+//! under the benchmark drivers.
+//!
+//! Protocols provided:
+//!
+//! | module | protocol | normal case | view change |
+//! |--------|----------|-------------|-------------|
+//! | [`marlin`] | **Marlin** (the paper's contribution) | 2 phases | 2 (happy) or 3 phases, linear |
+//! | [`hotstuff`] | basic HotStuff | 3 phases | 3 phases, linear |
+//! | [`chained`] | chained (pipelined) Marlin & HotStuff | 1 proposal/round | as base protocol |
+//! | [`jolteon`] | Jolteon-style two-phase baseline | 2 phases | 2 phases, **quadratic** |
+//! | [`two_phase_insecure`] | the strawman of Section IV-B | 2 phases | loses liveness (kept for the Fig. 2 demonstrations) |
+//!
+//! # Example
+//!
+//! ```
+//! use marlin_core::{harness::Cluster, Config, ProtocolKind};
+//!
+//! // Four replicas running Marlin over an instantly-delivering network.
+//! let mut cluster = Cluster::new(ProtocolKind::Marlin, Config::for_test(4, 1), 42);
+//! cluster.submit_transactions(100);
+//! cluster.run_until_idle();
+//! assert!(cluster.committed_height(0u32.into()) > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chained;
+mod config;
+mod crypto_ctx;
+mod events;
+pub mod harness;
+pub mod hotstuff;
+pub mod jolteon;
+pub mod marlin;
+pub mod marlin_four_phase;
+mod pacemaker;
+pub mod two_phase_insecure;
+mod util;
+mod votes;
+
+pub use config::{Config, ProtocolKind};
+pub use crypto_ctx::CryptoCtx;
+pub use events::{Action, Event, Note, StepOutput, VcCase};
+pub use pacemaker::Pacemaker;
+pub use util::Protocol;
+pub use votes::VoteCollector;

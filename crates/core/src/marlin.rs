@@ -1,0 +1,912 @@
+//! The Marlin protocol (Section V of the paper): two-phase normal case,
+//! two- or three-phase linear view change.
+//!
+//! ## Normal case (Figure 6/7)
+//!
+//! * **Prepare** — the leader proposes a block extending the block of its
+//!   `highQC` (Case N1) or re-broadcasts the block certified by a fresh
+//!   `pre-prepareQC` after a view change (Case N2). Replicas validate
+//!   against their `lockedQC` via the rank rules, vote, and — when the
+//!   justify is a `prepareQC` — lock on it.
+//! * **Commit** — the leader combines `n − f` prepare votes into a
+//!   `prepareQC`, broadcasts it, collects commit votes into a
+//!   `commitQC`, and disseminates it; replicas lock on the `prepareQC`
+//!   and deliver on the `commitQC`.
+//!
+//! ## View change (Figure 9)
+//!
+//! Replicas that time out send `VIEW-CHANGE` messages carrying their
+//! last voted block `lb`, their `highQC`, and a partial signature that
+//! enables the **happy path**: if all `n − f` view-change messages agree
+//! on `lb`, the leader combines the partials directly into a
+//! `prepareQC` and skips straight to the prepare phase (two-phase view
+//! change). Otherwise the leader runs the **pre-prepare** phase with the
+//! leader cases V1/V2/V3 (virtual and shadow blocks) and replicas answer
+//! under cases R1/R2/R3; the resulting `pre-prepareQC` unlocks any
+//! locked replica with linear communication.
+
+use crate::config::Config;
+use crate::events::{Action, Event, Note, StepOutput, VcCase};
+use crate::util::{Base, Protocol};
+use crate::votes::VoteCollector;
+use marlin_types::rank::{block_rank_gt, highest_block, qc_rank_cmp, qc_rank_ge};
+use marlin_types::{
+    Block, BlockId, BlockKind, BlockMeta, BlockStore, Decide, Justify, Message, MsgBody, Phase,
+    Proposal, Qc, ReplicaId, View, ViewChange, Vote,
+};
+use std::cmp::Ordering;
+use std::collections::HashMap;
+
+/// Per-view leader state for the view-change pre-prepare phase.
+#[derive(Clone, Debug, Default)]
+struct VcRound {
+    /// Received `VIEW-CHANGE` messages, one per sender.
+    msgs: HashMap<ReplicaId, ViewChange>,
+    /// Set once the leader has acted on a quorum.
+    decided: bool,
+    /// Blocks proposed in the pre-prepare phase (normal first).
+    candidates: Vec<BlockId>,
+    /// A `prepareQC` attached by a Case R2 voter, validating the
+    /// virtual candidate's parent.
+    virtual_vc: Option<Qc>,
+    /// A pre-prepareQC for the virtual candidate formed before its
+    /// validating `vc` arrived.
+    stashed_virtual_qc: Option<Qc>,
+    /// Set once the leader moved on to the prepare phase.
+    advanced: bool,
+}
+
+/// A replica running Marlin.
+///
+/// # Example
+///
+/// ```
+/// use marlin_core::{marlin::Marlin, Config, Event, Protocol};
+///
+/// let cfg = Config::for_test(4, 1);
+/// let mut replica = Marlin::new(cfg.with_id(0u32.into()));
+/// let out = replica.step(Event::Start);
+/// // Replica 1 leads view 1; replica 0 just arms its timer.
+/// assert!(!out.actions.is_empty());
+/// ```
+#[derive(Clone, Debug)]
+pub struct Marlin {
+    base: Base,
+    /// Metadata of the last block voted in a prepare phase (`lb`).
+    lb: BlockMeta,
+    /// The lock (`lockedQC`); `None` until the first lock.
+    locked_qc: Option<Qc>,
+    /// `highQC` — what this replica reports in `VIEW-CHANGE` messages.
+    high_qc: Justify,
+    /// Leader: vote shares per seed.
+    votes: VoteCollector,
+    /// Leader: the block currently going through prepare/commit.
+    in_flight: Option<BlockId>,
+    /// Leader: view-change rounds by view.
+    vc_rounds: HashMap<View, VcRound>,
+}
+
+impl Marlin {
+    /// Creates a replica in the pre-start state; feed [`Event::Start`].
+    pub fn new(config: Config) -> Self {
+        let base = Base::new(config);
+        let genesis_qc = Qc::genesis(BlockId::GENESIS);
+        Marlin {
+            base,
+            lb: BlockMeta::genesis(),
+            locked_qc: None,
+            high_qc: Justify::One(genesis_qc),
+            votes: VoteCollector::new(),
+            in_flight: None,
+            vc_rounds: HashMap::new(),
+        }
+    }
+
+    /// The current lock, if any.
+    pub fn locked_qc(&self) -> Option<&Qc> {
+        self.locked_qc.as_ref()
+    }
+
+    /// The replica's `highQC`.
+    pub fn high_qc(&self) -> &Justify {
+        &self.high_qc
+    }
+
+    /// Metadata of the last voted block.
+    pub fn last_voted(&self) -> &BlockMeta {
+        &self.lb
+    }
+
+    // ------------------------------------------------------- helpers --
+
+    fn cfg(&self) -> &Config {
+        &self.base.cfg
+    }
+
+    fn quorum(&self) -> usize {
+        self.base.cfg.quorum()
+    }
+
+    /// Block metadata reconstructed from a QC (rank_boost is only needed
+    /// on the left of `block_rank_gt`, so `false` is conservative here).
+    fn meta_of_qc(qc: &Qc) -> BlockMeta {
+        BlockMeta {
+            id: qc.block(),
+            view: qc.block_view(),
+            height: qc.height(),
+            pview: qc.pview(),
+            kind: qc.block_kind(),
+            rank_boost: false,
+        }
+    }
+
+    /// Raises the lock to `qc` if it outranks the current lock.
+    fn raise_lock(&mut self, qc: &Qc) {
+        let higher = match &self.locked_qc {
+            None => true,
+            Some(cur) => qc_rank_cmp(qc, cur) == Ordering::Greater,
+        };
+        if higher {
+            self.locked_qc = Some(*qc);
+        }
+    }
+
+    /// Enters `view` and reprocesses any buffered messages.
+    fn enter_view(&mut self, view: View, out: &mut StepOutput) {
+        self.votes.clear();
+        self.in_flight = None;
+        let drained = self.base.enter_view(view, out);
+        self.vc_rounds.retain(|v, _| *v >= view);
+        for msg in drained {
+            let sub = self.on_event(Event::Message(msg));
+            out.merge(sub);
+        }
+    }
+
+    /// Times out of the current view and joins the view change for
+    /// `target` (normally `cview + 1`).
+    fn start_view_change(&mut self, target: View, out: &mut StepOutput) {
+        out.actions.push(Action::Note(Note::ViewChangeStarted { from_view: self.base.cview }));
+        self.enter_view(target, out);
+        let parsig = self
+            .base
+            .crypto
+            .sign_seed(&ViewChange::happy_seed(&self.lb, target));
+        let msg = Message::new(
+            self.cfg().id,
+            target,
+            MsgBody::ViewChange(ViewChange {
+                last_voted: self.lb,
+                high_qc: self.high_qc,
+                parsig,
+                cert: None,
+            }),
+        );
+        out.actions.push(Action::Send { to: self.cfg().leader_of(target), message: msg });
+    }
+
+    /// Leader: proposes per the normal-case rules (N1/N2).
+    ///
+    /// A leader may only propose once it holds a justify that is valid
+    /// for the current view (the genesis QC, a prepareQC formed in this
+    /// view — including the happy-path view-change QC — or a fresh
+    /// pre-prepareQC). Proposing earlier (e.g. when client transactions
+    /// arrive before the view change completes) would be rejected by
+    /// every replica and stall the view.
+    fn propose(&mut self, out: &mut StepOutput) {
+        let view = self.base.cview;
+        debug_assert!(self.cfg().is_leader(view));
+        if self.in_flight.is_some() {
+            return;
+        }
+        if let Some(qc) = self.high_qc.qc() {
+            if !qc.is_genesis() && qc.view() != view {
+                return; // the view change has not completed yet
+            }
+        }
+        let (block, justify) = match self.high_qc {
+            Justify::One(qc) if qc.phase() == Phase::Prepare => {
+                // Case N1: extend the block of highQC.
+                let batch = self.base.take_batch();
+                let block = Block::new_normal(
+                    qc.block(),
+                    qc.block_view(),
+                    view,
+                    qc.height().next(),
+                    batch,
+                    Justify::One(qc),
+                );
+                self.base.store_block(&block);
+                (block, self.high_qc)
+            }
+            Justify::One(pre) | Justify::Two(pre, _) => {
+                // Case N2: re-broadcast the pre-prepared block.
+                let Some(block) = self.base.store.get(&pre.block()).cloned() else {
+                    debug_assert!(false, "leader lost its own pre-prepared block");
+                    return;
+                };
+                (block, self.high_qc)
+            }
+            Justify::None => return,
+        };
+        self.in_flight = Some(block.id());
+        out.actions.push(Action::Broadcast {
+            message: Message::new(
+                self.cfg().id,
+                view,
+                MsgBody::Proposal(Proposal {
+                    phase: Phase::Prepare,
+                    blocks: vec![block],
+                    justify,
+                    vc_proof: Vec::new(),
+                }),
+            ),
+        });
+    }
+
+    // ------------------------------------------------- message paths --
+
+    fn on_message(&mut self, msg: Message, out: &mut StepOutput) {
+        if self.base.handle_fetch(&msg, out) {
+            return;
+        }
+        // Decides are valid whenever the commitQC verifies.
+        if let MsgBody::Decide(d) = &msg.body {
+            self.on_decide(*d, msg.from, out);
+            return;
+        }
+        if msg.view > self.base.cview {
+            self.base.buffer_future(msg);
+            // f+1 join rule: if a quorum minority is already view
+            // changing above us, join them without waiting for our timer.
+            if let Some(target) = self.base.future_view_change_senders(self.cfg().f + 1) {
+                if target > self.base.cview {
+                    self.start_view_change(target, out);
+                }
+            }
+            return;
+        }
+        if msg.view < self.base.cview {
+            return; // stale
+        }
+        match msg.body {
+            MsgBody::Proposal(p) => match p.phase {
+                Phase::Prepare => self.on_prepare_proposal(msg.from, msg.view, p, out),
+                Phase::Commit => self.on_commit_proposal(msg.from, msg.view, p, out),
+                Phase::PrePrepare => self.on_pre_prepare_proposal(msg.from, msg.view, p, out),
+                Phase::PreCommit => {} // not part of Marlin
+            },
+            MsgBody::Vote(v) => match v.seed.phase {
+                Phase::Prepare => self.on_prepare_vote(v, out),
+                Phase::Commit => self.on_commit_vote(v, out),
+                Phase::PrePrepare => self.on_pre_prepare_vote(v, out),
+                Phase::PreCommit => {}
+            },
+            MsgBody::ViewChange(vc) => self.on_view_change(msg.from, msg.view, vc, out),
+            MsgBody::Decide(_) | MsgBody::FetchRequest { .. } | MsgBody::FetchResponse { .. } => {
+                unreachable!("handled above")
+            }
+        }
+    }
+
+    /// Replica handling of a normal-case `PREPARE` proposal (Cases N1/N2).
+    fn on_prepare_proposal(
+        &mut self,
+        from: ReplicaId,
+        view: View,
+        p: Proposal,
+        out: &mut StepOutput,
+    ) {
+        if from != self.cfg().leader_of(view) || p.blocks.len() != 1 {
+            return;
+        }
+        let block = &p.blocks[0];
+        if block.view() != view {
+            return;
+        }
+        // The proposal must outrank the last voted block.
+        if !block_rank_gt(&block.meta(), &self.lb) {
+            return;
+        }
+        let Some(qc) = p.justify.qc().copied() else { return };
+        if !self.base.crypto.verify_justify(&p.justify) {
+            return;
+        }
+
+        let mut locked_attachment = None;
+        let valid = match (&p.justify, qc.phase()) {
+            // Case N1: justify is the prepareQC of the parent.
+            (Justify::One(_), Phase::Prepare) => {
+                block.parent_id() == Some(qc.block())
+                    && block.height() == qc.height().next()
+                    && block.pview() == qc.block_view()
+                    && (qc.is_genesis() || qc.view() == view)
+                    && qc_rank_ge(&qc, self.locked_qc.as_ref())
+            }
+            // Case N2: justify is a pre-prepareQC for this very block.
+            (justify, Phase::PrePrepare) => {
+                let base_ok = block.id() == qc.block()
+                    && qc.view() == view
+                    && qc_rank_ge(&qc, self.locked_qc.as_ref());
+                match justify {
+                    Justify::One(_) => base_ok && qc.block_kind() == BlockKind::Normal,
+                    Justify::Two(_, vc) => {
+                        let ok = base_ok
+                            && qc.block_kind() == BlockKind::Virtual
+                            && vc.phase() == Phase::Prepare
+                            && vc.view() == qc.pview()
+                            && vc.height() == qc.height().prev();
+                        if ok {
+                            locked_attachment = Some(*vc);
+                        }
+                        ok
+                    }
+                    Justify::None => false,
+                }
+            }
+            _ => false,
+        };
+        if !valid {
+            return;
+        }
+
+        self.base.store_block(block);
+        if let Some(vc) = locked_attachment {
+            self.base.store.resolve_virtual_parent(block.id(), vc.block());
+        }
+        let seed = block.vote_seed(Phase::Prepare, view);
+        let parsig = self.base.crypto.sign_seed(&seed);
+        out.actions.push(Action::Send {
+            to: from,
+            message: Message::new(
+                self.cfg().id,
+                view,
+                MsgBody::Vote(Vote { seed, parsig, locked_qc: None }),
+            ),
+        });
+        self.lb = block.meta();
+        self.high_qc = p.justify;
+        if let (Justify::One(jqc), Phase::Prepare) = (&p.justify, qc.phase()) {
+            self.raise_lock(jqc);
+        }
+        // A valid proposal is progress: keep the view timer fresh.
+        self.base.progress_timer(out);
+    }
+
+    /// Leader handling of prepare votes → forms the `prepareQC`.
+    fn on_prepare_vote(&mut self, v: Vote, out: &mut StepOutput) {
+        if v.seed.view != self.base.cview || Some(v.seed.block) != self.in_flight {
+            return;
+        }
+        if let Some(qc) = self.votes.add(v.seed, v.parsig, self.quorum(), &mut self.base.crypto) {
+            out.actions.push(Action::Note(Note::QcFormed {
+                phase: Phase::Prepare,
+                view: qc.view(),
+                height: qc.height(),
+            }));
+            self.high_qc = Justify::One(qc);
+            out.actions.push(Action::Broadcast {
+                message: Message::new(
+                    self.cfg().id,
+                    self.base.cview,
+                    MsgBody::Proposal(Proposal {
+                        phase: Phase::Commit,
+                        blocks: Vec::new(),
+                        justify: Justify::One(qc),
+                        vc_proof: Vec::new(),
+                    }),
+                ),
+            });
+        }
+    }
+
+    /// Replica handling of a `COMMIT` broadcast (carrying a `prepareQC`).
+    fn on_commit_proposal(
+        &mut self,
+        from: ReplicaId,
+        view: View,
+        p: Proposal,
+        out: &mut StepOutput,
+    ) {
+        if from != self.cfg().leader_of(view) {
+            return;
+        }
+        let Justify::One(qc) = p.justify else { return };
+        if qc.phase() != Phase::Prepare || qc.view() != view {
+            return;
+        }
+        if !self.base.crypto.verify_qc(&qc) {
+            return;
+        }
+        let seed = marlin_types::QcSeed { phase: Phase::Commit, ..*qc.seed() };
+        let parsig = self.base.crypto.sign_seed(&seed);
+        out.actions.push(Action::Send {
+            to: from,
+            message: Message::new(
+                self.cfg().id,
+                view,
+                MsgBody::Vote(Vote { seed, parsig, locked_qc: None }),
+            ),
+        });
+        self.high_qc = Justify::One(qc);
+        self.raise_lock(&qc);
+        self.base.progress_timer(out);
+    }
+
+    /// Leader handling of commit votes → forms the `commitQC`, decides,
+    /// and proposes the next block.
+    fn on_commit_vote(&mut self, v: Vote, out: &mut StepOutput) {
+        if v.seed.view != self.base.cview || Some(v.seed.block) != self.in_flight {
+            return;
+        }
+        if let Some(qc) = self.votes.add(v.seed, v.parsig, self.quorum(), &mut self.base.crypto) {
+            out.actions.push(Action::Note(Note::QcFormed {
+                phase: Phase::Commit,
+                view: qc.view(),
+                height: qc.height(),
+            }));
+            self.in_flight = None;
+            out.actions.push(Action::Broadcast {
+                message: Message::new(
+                    self.cfg().id,
+                    self.base.cview,
+                    MsgBody::Decide(Decide { commit_qc: qc }),
+                ),
+            });
+            // Next proposal: highQC is the prepareQC for the decided
+            // block, so Case N1 extends it. Pace empty proposals.
+            if self.base.mempool.is_empty() {
+                out.actions.push(Action::SetHeartbeat {
+                    delay_ns: self.base.cfg.base_timeout_ns / 4,
+                });
+            } else {
+                self.propose(out);
+            }
+        }
+    }
+
+    /// Anyone handling a `commitQC` dissemination.
+    fn on_decide(&mut self, d: Decide, from: ReplicaId, out: &mut StepOutput) {
+        let qc = d.commit_qc;
+        if qc.phase() != Phase::Commit || !self.base.crypto.verify_qc(&qc) {
+            return;
+        }
+        // A commitQC from a future view is also a view-synchronisation
+        // signal: join that view (without a VIEW-CHANGE — we missed it).
+        if qc.view() > self.base.cview {
+            self.enter_view(qc.view(), out);
+        }
+        self.base.try_commit(qc, from, out);
+    }
+
+    // --------------------------------------------------- view change --
+
+    fn on_timeout(&mut self, view: View, out: &mut StepOutput) {
+        if view != self.base.cview {
+            return; // stale timer
+        }
+        self.start_view_change(view.next(), out);
+    }
+
+    /// New leader: collect `VIEW-CHANGE` messages for `view`.
+    fn on_view_change(
+        &mut self,
+        from: ReplicaId,
+        view: View,
+        vc: ViewChange,
+        out: &mut StepOutput,
+    ) {
+        if !self.cfg().is_leader(view) {
+            return;
+        }
+        let quorum = self.quorum();
+        let round = self.vc_rounds.entry(view).or_default();
+        if round.decided {
+            return;
+        }
+        round.msgs.insert(from, vc);
+        if round.msgs.len() < quorum {
+            return;
+        }
+        round.decided = true;
+        let msgs: Vec<(ReplicaId, ViewChange)> =
+            round.msgs.iter().map(|(k, v)| (*k, v.clone())).collect();
+        self.run_pre_prepare(view, msgs, out);
+    }
+
+    /// The leader's pre-prepare decision (happy path or Cases V1/V2/V3).
+    fn run_pre_prepare(
+        &mut self,
+        view: View,
+        msgs: Vec<(ReplicaId, ViewChange)>,
+        out: &mut StepOutput,
+    ) {
+        // Happy path: unanimous last-voted block.
+        let first_lb = msgs[0].1.last_voted;
+        if msgs.iter().all(|(_, m)| m.last_voted.id == first_lb.id) {
+            let seed = ViewChange::happy_seed(&first_lb, view);
+            let valid: Vec<_> = msgs
+                .iter()
+                .filter(|(_, m)| self.base.crypto.verify_partial(&seed, &m.parsig))
+                .map(|(_, m)| m.parsig)
+                .collect();
+            if valid.len() >= self.quorum() {
+                if let Some(qc) = self.base.crypto.combine(seed, &valid) {
+                    out.actions.push(Action::Note(Note::HappyPathVc { view }));
+                    // If the unanimous lb is a virtual block, its parent
+                    // must stay resolvable; carry the vc alongside.
+                    self.high_qc = match Self::find_virtual_vc(&first_lb, &msgs) {
+                        Some(vc) if first_lb.kind == BlockKind::Virtual => {
+                            self.base.store.resolve_virtual_parent(first_lb.id, vc.block());
+                            Justify::One(qc)
+                        }
+                        _ => Justify::One(qc),
+                    };
+                    self.propose(out);
+                    return;
+                }
+            }
+        }
+
+        // Unhappy path: find the highest-ranked QC(s) across all justify
+        // fields (verifying each — this is the leader's O(n) pairing /
+        // O(n²) conventional-verification cost from Table I).
+        let mut qcs: Vec<(Qc, Option<Qc>)> = Vec::new();
+        for (_, m) in &msgs {
+            if !self.base.crypto.verify_justify(&m.high_qc) {
+                continue;
+            }
+            match m.high_qc {
+                Justify::One(qc) => qcs.push((qc, None)),
+                Justify::Two(pre, vc) => {
+                    qcs.push((pre, Some(vc)));
+                    qcs.push((vc, None));
+                }
+                Justify::None => {}
+            }
+        }
+        if qcs.is_empty() {
+            return; // nothing valid; the next timeout retries
+        }
+        let top_rank = qcs
+            .iter()
+            .map(|(qc, _)| qc)
+            .max_by(|a, b| qc_rank_cmp(a, b))
+            .copied()
+            .expect("nonempty");
+        let top: Vec<(Qc, Option<Qc>)> = qcs
+            .iter()
+            .filter(|(qc, _)| qc_rank_cmp(qc, &top_rank) == Ordering::Equal)
+            .cloned()
+            .collect();
+        let metas: Vec<BlockMeta> = msgs.iter().map(|(_, m)| m.last_voted).collect();
+        let bv = *highest_block(metas.iter()).expect("quorum is nonempty");
+
+        let batch = self.base.take_batch();
+        let round = self.vc_rounds.entry(view).or_default();
+        round.candidates.clear();
+        let mut blocks: Vec<Block> = Vec::new();
+
+        let (first, first_vc) = top[0];
+        if first.phase() == Phase::Prepare {
+            let qc = first;
+            let parent_meta = Self::meta_of_qc(&qc);
+            if block_rank_gt(&bv, &parent_meta) {
+                // Case V1: normal + virtual shadow blocks.
+                out.actions.push(Action::Note(Note::UnhappyPathVc { view, case: VcCase::V1 }));
+                let b1 = Block::new_normal(
+                    qc.block(),
+                    qc.block_view(),
+                    view,
+                    qc.height().next(),
+                    batch.clone(),
+                    Justify::One(qc),
+                );
+                let b2 = Block::new_virtual(
+                    qc.block_view(),
+                    view,
+                    qc.height().plus(2),
+                    batch,
+                    Justify::One(qc),
+                );
+                blocks.push(b1);
+                blocks.push(b2);
+            } else {
+                // Case V2 with a prepareQC: certain-safe snapshot.
+                out.actions.push(Action::Note(Note::UnhappyPathVc { view, case: VcCase::V2 }));
+                let b = Block::new_normal(
+                    qc.block(),
+                    qc.block_view(),
+                    view,
+                    qc.height().next(),
+                    batch,
+                    Justify::One(qc),
+                );
+                blocks.push(b);
+            }
+        } else if top.iter().map(|(qc, _)| qc.block()).collect::<std::collections::HashSet<_>>().len() == 1 {
+            // Case V2 with a single pre-prepareQC.
+            out.actions.push(Action::Note(Note::UnhappyPathVc { view, case: VcCase::V2 }));
+            let justify = match (first.block_kind(), first_vc) {
+                (BlockKind::Virtual, Some(vc)) => Justify::Two(first, vc),
+                _ => Justify::One(first),
+            };
+            let b = Block::new_normal(
+                first.block(),
+                first.block_view(),
+                view,
+                first.height().next(),
+                batch,
+                justify,
+            );
+            blocks.push(b);
+        } else {
+            // Case V3: two pre-prepareQCs of equal rank (normal+virtual).
+            out.actions.push(Action::Note(Note::UnhappyPathVc { view, case: VcCase::V3 }));
+            let normal = top.iter().find(|(qc, _)| qc.block_kind() == BlockKind::Normal);
+            let virt = top.iter().find(|(qc, _)| qc.block_kind() == BlockKind::Virtual);
+            if let Some((qc1, _)) = normal {
+                blocks.push(Block::new_normal(
+                    qc1.block(),
+                    qc1.block_view(),
+                    view,
+                    qc1.height().next(),
+                    batch.clone(),
+                    Justify::One(*qc1),
+                ));
+            }
+            if let Some((qc2, Some(vc))) = virt {
+                blocks.push(Block::new_normal(
+                    qc2.block(),
+                    qc2.block_view(),
+                    view,
+                    qc2.height().next(),
+                    batch,
+                    Justify::Two(*qc2, *vc),
+                ));
+            }
+            if blocks.is_empty() {
+                return;
+            }
+        }
+
+        for b in &blocks {
+            self.base.store_block(b);
+            if let Justify::Two(pre, vc) = b.justify() {
+                // Make the virtual grandparent resolvable.
+                self.base.store.resolve_virtual_parent(pre.block(), vc.block());
+            }
+            let round = self.vc_rounds.entry(view).or_default();
+            round.candidates.push(b.id());
+        }
+        out.actions.push(Action::Broadcast {
+            message: Message::new(
+                self.cfg().id,
+                view,
+                MsgBody::Proposal(Proposal {
+                    phase: Phase::PrePrepare,
+                    blocks,
+                    justify: Justify::None,
+                    vc_proof: Vec::new(),
+                }),
+            ),
+        });
+    }
+
+    /// Finds the `vc` accompanying a virtual `lb` in any view-change
+    /// message's `(qc, vc)` pair, for parent resolution.
+    fn find_virtual_vc(lb: &BlockMeta, msgs: &[(ReplicaId, ViewChange)]) -> Option<Qc> {
+        msgs.iter().find_map(|(_, m)| match m.high_qc {
+            Justify::Two(pre, vc) if pre.block() == lb.id => Some(vc),
+            Justify::One(qc) if qc.block() == lb.id && qc.phase() == Phase::Prepare => None,
+            _ => None,
+        })
+    }
+
+    /// Replica handling of a `PRE-PREPARE` proposal (Cases R1/R2/R3).
+    fn on_pre_prepare_proposal(
+        &mut self,
+        from: ReplicaId,
+        view: View,
+        p: Proposal,
+        out: &mut StepOutput,
+    ) {
+        if from != self.cfg().leader_of(view) || p.blocks.is_empty() || p.blocks.len() > 2 {
+            return;
+        }
+        let mut progressed = false;
+        for block in &p.blocks {
+            if block.view() != view {
+                continue;
+            }
+            let justify = *block.justify();
+            let Some(qc) = justify.qc().copied() else { continue };
+            // The justify must have been formed before this view.
+            if qc.view() >= view {
+                continue;
+            }
+            if !self.base.crypto.verify_justify(&justify) {
+                continue;
+            }
+            // Structural validity.
+            let structural = match block.kind() {
+                BlockKind::Normal => {
+                    block.parent_id() == Some(qc.block())
+                        && block.height() == qc.height().next()
+                        && block.pview() == qc.block_view()
+                }
+                BlockKind::Virtual => {
+                    qc.phase() == Phase::Prepare
+                        && block.height() == qc.height().plus(2)
+                        && block.pview() == qc.block_view()
+                        && matches!(justify, Justify::One(_))
+                }
+            };
+            if !structural {
+                continue;
+            }
+            // (qc, vc) pairs must be internally consistent.
+            if let Justify::Two(pre, vc) = &justify {
+                let pair_ok = pre.block_kind() == BlockKind::Virtual
+                    && vc.phase() == Phase::Prepare
+                    && vc.view() == pre.pview()
+                    && vc.height() == pre.height().prev();
+                if !pair_ok {
+                    continue;
+                }
+                self.base.store.resolve_virtual_parent(pre.block(), vc.block());
+            }
+
+            // Voting cases.
+            let mut attach = None;
+            let r1 = qc_rank_ge(&qc, self.locked_qc.as_ref());
+            let r2 = !r1
+                && block.kind() == BlockKind::Virtual
+                && qc.phase() == Phase::Prepare
+                && self.locked_qc.as_ref().is_some_and(|l| {
+                    l.view() == qc.view() && l.height() == qc.height().next()
+                });
+            let r3 = !r1
+                && !r2
+                && qc.phase() == Phase::PrePrepare
+                && self.locked_qc.as_ref().is_some_and(|l| l.block() == qc.block());
+            if r2 {
+                attach = self.locked_qc;
+            }
+            if !(r1 || r2 || r3) {
+                continue;
+            }
+
+            self.base.store_block(block);
+            let seed = block.vote_seed(Phase::PrePrepare, view);
+            let parsig = self.base.crypto.sign_seed(&seed);
+            out.actions.push(Action::Send {
+                to: from,
+                message: Message::new(
+                    self.cfg().id,
+                    view,
+                    MsgBody::Vote(Vote { seed, parsig, locked_qc: attach }),
+                ),
+            });
+            progressed = true;
+        }
+        if progressed {
+            self.base.progress_timer(out);
+        }
+    }
+
+    /// Leader handling of pre-prepare votes → forms the `pre-prepareQC`
+    /// and advances to the prepare phase.
+    fn on_pre_prepare_vote(&mut self, v: Vote, out: &mut StepOutput) {
+        let view = self.base.cview;
+        if v.seed.view != view || !self.cfg().is_leader(view) {
+            return;
+        }
+        let quorum = self.quorum();
+        let Some(round) = self.vc_rounds.get_mut(&view) else { return };
+        if round.advanced || !round.candidates.contains(&v.seed.block) {
+            return;
+        }
+        // Record a validating prepareQC from a Case R2 voter.
+        if let Some(vc) = v.locked_qc {
+            let fits = vc.phase() == Phase::Prepare
+                && round.virtual_vc.is_none()
+                && self.base.crypto.verify_qc(&vc);
+            if fits {
+                let round = self.vc_rounds.get_mut(&view).expect("exists");
+                round.virtual_vc = Some(vc);
+            }
+        }
+        if let Some(qc) = self.votes.add(v.seed, v.parsig, quorum, &mut self.base.crypto) {
+            out.actions.push(Action::Note(Note::QcFormed {
+                phase: Phase::PrePrepare,
+                view: qc.view(),
+                height: qc.height(),
+            }));
+            let round = self.vc_rounds.get_mut(&view).expect("exists");
+            match qc.block_kind() {
+                BlockKind::Normal => {
+                    round.advanced = true;
+                    self.high_qc = Justify::One(qc);
+                    self.propose(out);
+                }
+                BlockKind::Virtual => match round.virtual_vc {
+                    Some(vc) => {
+                        round.advanced = true;
+                        self.base.store.resolve_virtual_parent(qc.block(), vc.block());
+                        self.high_qc = Justify::Two(qc, vc);
+                        self.propose(out);
+                    }
+                    None => {
+                        // Wait for a vc or for the normal candidate's QC.
+                        round.stashed_virtual_qc = Some(qc);
+                    }
+                },
+            }
+        } else if let Some(round) = self.vc_rounds.get_mut(&view) {
+            // A stashed virtual QC becomes usable once a vc arrives.
+            if !round.advanced {
+                if let (Some(pre), Some(vc)) = (round.stashed_virtual_qc, round.virtual_vc) {
+                    round.advanced = true;
+                    self.base.store.resolve_virtual_parent(pre.block(), vc.block());
+                    self.high_qc = Justify::Two(pre, vc);
+                    self.propose(out);
+                }
+            }
+        }
+    }
+}
+
+impl Protocol for Marlin {
+    fn config(&self) -> &Config {
+        &self.base.cfg
+    }
+
+    fn current_view(&self) -> View {
+        self.base.cview
+    }
+
+    fn store(&self) -> &BlockStore {
+        &self.base.store
+    }
+
+    fn name(&self) -> &'static str {
+        "marlin"
+    }
+
+    fn on_event(&mut self, event: Event) -> StepOutput {
+        let mut out = StepOutput::empty();
+        match event {
+            Event::Start => {
+                // Idempotent: a replica that already joined a view
+                // (e.g. via a commit certificate that arrived before
+                // its start event) must not regress.
+                if self.base.cview == View::GENESIS {
+                    self.enter_view(View(1), &mut out);
+                    if self.cfg().is_leader(View(1)) {
+                        self.propose(&mut out);
+                    }
+                }
+            }
+            Event::Message(msg) => self.on_message(msg, &mut out),
+            Event::Timeout { view } => self.on_timeout(view, &mut out),
+            Event::NewTransactions(txs) => {
+                self.base.add_transactions(txs);
+                if self.cfg().is_leader(self.base.cview) && self.in_flight.is_none() {
+                    self.propose(&mut out);
+                }
+            }
+            Event::Heartbeat => {
+                if self.cfg().is_leader(self.base.cview) && self.in_flight.is_none() {
+                    if self.base.mempool.is_empty() {
+                        out.actions.push(Action::SetHeartbeat {
+                            delay_ns: self.base.cfg.base_timeout_ns / 4,
+                        });
+                    }
+                    self.propose(&mut out);
+                }
+            }
+        }
+        self.base.finish(out)
+    }
+}

@@ -1,0 +1,433 @@
+//! The [`Protocol`] trait and replica plumbing shared by every protocol
+//! implementation (message buffering, mempool, commits, block fetch).
+
+use crate::config::Config;
+use crate::crypto_ctx::CryptoCtx;
+use crate::events::{Action, Event, Note, StepOutput};
+use crate::pacemaker::Pacemaker;
+use marlin_types::{
+    Batch, Block, BlockId, BlockStore, CommitError, Message, MsgBody, Qc, ReplicaId, Transaction,
+    View,
+};
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+
+/// A consensus protocol as a deterministic state machine.
+///
+/// Implementations only define [`Protocol::on_event`]; drivers call
+/// [`Protocol::step`], which additionally routes self-addressed sends
+/// and the replica's own copy of broadcasts back into the machine (a
+/// leader is also a voter).
+pub trait Protocol {
+    /// The replica's configuration.
+    fn config(&self) -> &Config;
+
+    /// The replica's current view.
+    fn current_view(&self) -> View;
+
+    /// The replica's block tree.
+    fn store(&self) -> &BlockStore;
+
+    /// Handles one event. Drivers should call [`Protocol::step`] instead.
+    fn on_event(&mut self, event: Event) -> StepOutput;
+
+    /// Protocol name, e.g. `"marlin"`.
+    fn name(&self) -> &'static str;
+
+    /// This replica's id.
+    fn id(&self) -> ReplicaId {
+        self.config().id
+    }
+
+    /// Handles `event` and drains all resulting self-deliveries.
+    ///
+    /// Returned actions contain no `Send` addressed to this replica;
+    /// `Broadcast`s remain (for the other replicas) but have already
+    /// been applied locally, so drivers must not loop them back.
+    fn step(&mut self, event: Event) -> StepOutput {
+        let mut result = StepOutput::empty();
+        let mut queue = VecDeque::new();
+        queue.push_back(event);
+        let mut guard = 0usize;
+        while let Some(ev) = queue.pop_front() {
+            guard += 1;
+            assert!(guard < 100_000, "self-delivery loop runaway in {}", self.name());
+            let out = self.on_event(ev);
+            result.cpu_ns += out.cpu_ns;
+            for action in out.actions {
+                match action {
+                    Action::Send { to, message } if to == self.id() => {
+                        queue.push_back(Event::Message(message));
+                    }
+                    Action::Broadcast { ref message } => {
+                        queue.push_back(Event::Message(message.clone()));
+                        result.actions.push(action);
+                    }
+                    other => result.actions.push(other),
+                }
+            }
+        }
+        result
+    }
+}
+
+/// How many committed blocks back the in-memory tree keeps before
+/// pruning (the paper checkpoints every 5000 blocks; the durable record
+/// lives in `marlin-storage`).
+const PRUNE_INTERVAL: u64 = 5_000;
+
+/// State common to every replica implementation.
+#[derive(Clone, Debug)]
+pub(crate) struct Base {
+    pub cfg: Config,
+    pub crypto: CryptoCtx,
+    pub store: BlockStore,
+    pub pacemaker: Pacemaker,
+    pub cview: View,
+    pub mempool: VecDeque<Transaction>,
+    /// Messages for views we have not entered yet.
+    pending_msgs: BTreeMap<View, Vec<Message>>,
+    /// Commit certificates whose chains have missing blocks.
+    pending_commits: Vec<(Qc, ReplicaId)>,
+    /// Outstanding block fetches with an attempt counter: the request is
+    /// re-sent periodically so a dropped fetch cannot wedge commits.
+    fetching: HashMap<BlockId, u32>,
+    commits_since_prune: u64,
+}
+
+impl Base {
+    pub fn new(cfg: Config) -> Self {
+        let crypto = CryptoCtx::new(&cfg);
+        let pacemaker = Pacemaker::new(&cfg);
+        Base {
+            cfg,
+            crypto,
+            store: BlockStore::new(),
+            pacemaker,
+            cview: View::GENESIS,
+            mempool: VecDeque::new(),
+            pending_msgs: BTreeMap::new(),
+            pending_commits: Vec::new(),
+            fetching: HashMap::new(),
+            commits_since_prune: 0,
+        }
+    }
+
+    /// Re-arms the current view's failure timer after protocol progress.
+    ///
+    /// In rotating-leader mode this is a no-op: the rotation timer is
+    /// armed once at view entry and must fire on schedule regardless of
+    /// progress (progress re-arming would postpone rotation forever).
+    pub fn progress_timer(&self, out: &mut StepOutput) {
+        if self.pacemaker.rotating() {
+            return;
+        }
+        out.actions.push(Action::SetTimer {
+            view: self.cview,
+            delay_ns: self.pacemaker.delay_for(self.cview),
+        });
+    }
+
+    /// Finishes a step: moves the crypto charge into `out`.
+    pub fn finish(&mut self, mut out: StepOutput) -> StepOutput {
+        out.cpu_ns += self.crypto.take_charge();
+        out
+    }
+
+    /// Enters `view`: arms its timer, emits a note, and returns any
+    /// buffered messages that are now processable (callers re-feed them
+    /// through their handler).
+    pub fn enter_view(&mut self, view: View, out: &mut StepOutput) -> Vec<Message> {
+        debug_assert!(view > self.cview || self.cview == View::GENESIS);
+        self.cview = view;
+        out.actions.push(Action::SetTimer { view, delay_ns: self.pacemaker.delay_for(view) });
+        out.actions.push(Action::Note(Note::EnteredView {
+            view,
+            leader: self.cfg.is_leader(view),
+        }));
+        let mut drained = Vec::new();
+        let keep = self.pending_msgs.split_off(&view.next());
+        for (_, msgs) in std::mem::replace(&mut self.pending_msgs, keep) {
+            drained.extend(msgs);
+        }
+        drained
+    }
+
+    /// Buffers a message for a future view.
+    pub fn buffer_future(&mut self, msg: Message) {
+        self.pending_msgs.entry(msg.view).or_default().push(msg);
+    }
+
+    /// Whether at least `threshold` distinct replicas have buffered
+    /// view-change messages for a view above ours — the f+1 join rule.
+    pub fn future_view_change_senders(&self, threshold: usize) -> Option<View> {
+        let mut senders: HashSet<ReplicaId> = HashSet::new();
+        let mut lowest: Option<View> = None;
+        for (view, msgs) in self.pending_msgs.iter() {
+            for m in msgs {
+                if matches!(m.body, MsgBody::ViewChange(_)) {
+                    senders.insert(m.from);
+                    lowest = Some(lowest.map_or(*view, |l: View| l.min(*view)));
+                }
+            }
+        }
+        (senders.len() >= threshold).then_some(lowest.unwrap_or(self.cview.next()))
+    }
+
+    /// Drains up to `batch_size` transactions for a new proposal.
+    pub fn take_batch(&mut self) -> Batch {
+        let take = self.mempool.len().min(self.cfg.batch_size);
+        self.mempool.drain(..take).collect()
+    }
+
+    /// Adds transactions to the mempool.
+    pub fn add_transactions(&mut self, txs: Vec<Transaction>) {
+        self.mempool.extend(txs);
+    }
+
+    /// Attempts to commit the chain certified by `qc`, fetching missing
+    /// blocks from `from` when necessary.
+    pub fn try_commit(&mut self, qc: Qc, from: ReplicaId, out: &mut StepOutput) {
+        let block = qc.block();
+        match self.store.commit(&block) {
+            Ok(newly) if newly.is_empty() => {}
+            Ok(newly) => {
+                self.commits_since_prune += newly.len() as u64;
+                let txs = newly.iter().map(|b| b.payload().len()).sum();
+                let height = newly.last().expect("nonempty").height();
+                out.actions.push(Action::Note(Note::Committed { height, txs }));
+                out.actions.push(Action::Commit { blocks: newly });
+                self.pacemaker.record_progress(self.cview);
+                // Progress: keep the failure timer fresh (no-op when
+                // rotating — see `progress_timer`).
+                self.progress_timer(out);
+                if self.commits_since_prune >= PRUNE_INTERVAL {
+                    self.commits_since_prune = 0;
+                    let keep_from = self.store.get(&self.store.last_committed())
+                        .map(|b| marlin_types::Height(b.height().0.saturating_sub(PRUNE_INTERVAL)))
+                        .unwrap_or_default();
+                    self.store.prune(keep_from, 64);
+                }
+            }
+            Err(CommitError::MissingAncestor { of, parent }) => {
+                let wanted = parent.unwrap_or(of);
+                self.pending_commits.push((qc, from));
+                self.request_block(wanted, from, out);
+            }
+            Err(CommitError::UnknownBlock(id)) => {
+                self.pending_commits.push((qc, from));
+                self.request_block(id, from, out);
+            }
+            Err(CommitError::ConflictsWithCommitted { block }) => {
+                // Never expected for a correct protocol; surfaced loudly
+                // in debug builds, ignored (not committed) in release.
+                debug_assert!(false, "commit conflict at {block:?} — safety bug");
+            }
+        }
+    }
+
+    /// Requests a missing block: from `source` when that is a peer, or
+    /// from everyone when the requester would otherwise ask itself
+    /// (a leader completing its own chain). Requests are re-sent every
+    /// few attempts (and broadcast after repeated failures) so a dropped
+    /// fetch cannot permanently wedge the commit pipeline.
+    fn request_block(&mut self, wanted: BlockId, source: ReplicaId, out: &mut StepOutput) {
+        let attempts = self.fetching.entry(wanted).or_insert(0);
+        let n = *attempts;
+        *attempts += 1;
+        if n % 4 != 0 {
+            return;
+        }
+        let message =
+            Message::new(self.cfg.id, self.cview, MsgBody::FetchRequest { block: wanted });
+        if source == self.cfg.id || n >= 8 {
+            out.actions.push(Action::Broadcast { message });
+        } else {
+            out.actions.push(Action::Send { to: source, message });
+        }
+    }
+
+    /// Handles the block-synchronisation messages shared by all
+    /// protocols. Returns `true` if the message was consumed.
+    pub fn handle_fetch(&mut self, msg: &Message, out: &mut StepOutput) -> bool {
+        match &msg.body {
+            MsgBody::FetchRequest { block } => {
+                if let Some(b) = self.store.get(block) {
+                    let virtual_parent =
+                        b.is_virtual().then(|| self.store.parent_id_of(block)).flatten();
+                    out.actions.push(Action::Send {
+                        to: msg.from,
+                        message: Message::new(
+                            self.cfg.id,
+                            self.cview,
+                            MsgBody::FetchResponse { block: b.clone(), virtual_parent },
+                        ),
+                    });
+                }
+                true
+            }
+            MsgBody::FetchResponse { block, virtual_parent } => {
+                self.fetching.remove(&block.id());
+                if self.store.contains(&block.id())
+                    && !(block.is_virtual() && virtual_parent.is_some())
+                {
+                    // Duplicate response: avoid re-running the pending
+                    // retries for every copy of a broadcast fetch.
+                    return true;
+                }
+                self.crypto.charge_hash(block.wire_len());
+                self.store.insert(block.clone());
+                if let (true, Some(pid)) = (block.is_virtual(), virtual_parent) {
+                    self.store.resolve_virtual_parent(block.id(), *pid);
+                }
+                let pending = std::mem::take(&mut self.pending_commits);
+                for (qc, from) in pending {
+                    self.try_commit(qc, from, out);
+                }
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Stores a proposed block (charging hashing cost for its bytes).
+    pub fn store_block(&mut self, block: &Block) {
+        self.crypto.charge_hash(block.wire_len());
+        self.store.insert(block.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use marlin_types::{Justify, Phase};
+
+    fn base() -> Base {
+        Base::new(Config::for_test(4, 1))
+    }
+
+    fn tx(id: u64) -> Transaction {
+        Transaction::new(id, 0, Bytes::new(), 0)
+    }
+
+    #[test]
+    fn enter_view_arms_timer_and_drains_buffered() {
+        let mut b = base();
+        let m1 = Message::new(ReplicaId(1), View(2), MsgBody::FetchRequest { block: BlockId::GENESIS });
+        let m2 = Message::new(ReplicaId(2), View(5), MsgBody::FetchRequest { block: BlockId::GENESIS });
+        b.buffer_future(m1.clone());
+        b.buffer_future(m2);
+        let mut out = StepOutput::empty();
+        let drained = b.enter_view(View(3), &mut out);
+        assert_eq!(drained, vec![m1]);
+        assert!(matches!(out.actions[0], Action::SetTimer { view: View(3), .. }));
+        // The view-5 message stays buffered.
+        let drained = b.enter_view(View(5), &mut StepOutput::empty());
+        assert_eq!(drained.len(), 1);
+    }
+
+    #[test]
+    fn take_batch_respects_batch_size() {
+        let mut b = base();
+        b.cfg.batch_size = 3;
+        b.add_transactions((0..10).map(tx).collect());
+        let batch = b.take_batch();
+        assert_eq!(batch.len(), 3);
+        assert_eq!(b.mempool.len(), 7);
+    }
+
+    #[test]
+    fn commit_of_known_chain_emits_actions() {
+        let mut b = base();
+        let g = b.store.genesis().clone();
+        let block = Block::new_normal(
+            g.id(),
+            g.view(),
+            View(1),
+            g.height().next(),
+            Batch::empty(),
+            Justify::One(Qc::genesis(g.id())),
+        );
+        b.store_block(&block);
+        let qc = Qc::new(block.vote_seed(Phase::Commit, View(1)), *Qc::genesis(g.id()).sig());
+        let mut out = StepOutput::empty();
+        b.try_commit(qc, ReplicaId(1), &mut out);
+        assert_eq!(out.committed_blocks().count(), 1);
+        assert!(b.store.is_committed(&block.id()));
+    }
+
+    #[test]
+    fn commit_with_missing_block_fetches_then_retries() {
+        let mut b = base();
+        let g = b.store.genesis().clone();
+        let b1 = Block::new_normal(
+            g.id(), g.view(), View(1), g.height().next(),
+            Batch::empty(), Justify::One(Qc::genesis(g.id())),
+        );
+        let b2 = Block::new_normal(
+            b1.id(), b1.view(), View(1), b1.height().next(),
+            Batch::empty(), Justify::One(Qc::genesis(g.id())),
+        );
+        // Replica has b2 but not b1.
+        b.store_block(&b2);
+        let qc = Qc::new(b2.vote_seed(Phase::Commit, View(1)), *Qc::genesis(g.id()).sig());
+        let mut out = StepOutput::empty();
+        b.try_commit(qc, ReplicaId(3), &mut out);
+        assert_eq!(out.committed_blocks().count(), 0);
+        let fetch = out.actions.iter().find_map(|a| match a {
+            Action::Send { to, message } => match &message.body {
+                MsgBody::FetchRequest { block } => Some((*to, *block)),
+                _ => None,
+            },
+            _ => None,
+        });
+        assert_eq!(fetch, Some((ReplicaId(3), b1.id())));
+
+        // The response completes the pending commit.
+        let resp = Message::new(
+            ReplicaId(3),
+            View(1),
+            MsgBody::FetchResponse { block: b1.clone(), virtual_parent: None },
+        );
+        let mut out2 = StepOutput::empty();
+        assert!(b.handle_fetch(&resp, &mut out2));
+        assert_eq!(out2.committed_blocks().count(), 2);
+    }
+
+    #[test]
+    fn fetch_request_served_from_store() {
+        let mut b = base();
+        let req = Message::new(ReplicaId(2), View(1), MsgBody::FetchRequest { block: BlockId::GENESIS });
+        let mut out = StepOutput::empty();
+        assert!(b.handle_fetch(&req, &mut out));
+        assert!(matches!(
+            &out.actions[0],
+            Action::Send { to: ReplicaId(2), message } if matches!(message.body, MsgBody::FetchResponse { .. })
+        ));
+    }
+
+    #[test]
+    fn future_vc_join_rule_counts_distinct_senders() {
+        let mut b = base();
+        b.cview = View(1);
+        let keys = std::sync::Arc::clone(&b.cfg.keys);
+        let vc = move |from: u32, view: u64| {
+            Message::new(
+                ReplicaId(from),
+                View(view),
+                MsgBody::ViewChange(marlin_types::ViewChange {
+                    last_voted: marlin_types::BlockMeta::genesis(),
+                    high_qc: Justify::None,
+                    parsig: keys.signer(from as usize).sign_partial(b"x"),
+                    cert: None,
+                }),
+            )
+        };
+        b.buffer_future(vc(1, 2));
+        assert!(b.future_view_change_senders(2).is_none());
+        b.buffer_future(vc(1, 2)); // duplicate sender does not count twice
+        assert!(b.future_view_change_senders(2).is_none());
+        b.buffer_future(vc(2, 3));
+        assert_eq!(b.future_view_change_senders(2), Some(View(2)));
+    }
+}

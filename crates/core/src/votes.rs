@@ -1,0 +1,186 @@
+//! Leader-side vote aggregation.
+
+use crate::crypto_ctx::CryptoCtx;
+use marlin_crypto::{PartialSig, SignerBitmap};
+use marlin_types::{Qc, QcSeed};
+use std::collections::HashMap;
+
+/// Collects partial signatures per vote seed and forms a quorum
+/// certificate when `n − f` distinct valid shares arrive.
+///
+/// Duplicate shares from one replica, shares failing verification, and
+/// shares for already-certified seeds are dropped.
+#[derive(Clone, Debug, Default)]
+pub struct VoteCollector {
+    pending: HashMap<[u8; 32], Slot>,
+}
+
+#[derive(Clone, Debug)]
+struct Slot {
+    seed: QcSeed,
+    partials: Vec<PartialSig>,
+    seen: SignerBitmap,
+    done: bool,
+}
+
+impl VoteCollector {
+    /// Creates an empty collector.
+    pub fn new() -> Self {
+        VoteCollector::default()
+    }
+
+    /// Adds a vote share; returns the freshly formed certificate when
+    /// this share completes a quorum (exactly once per seed).
+    pub fn add(
+        &mut self,
+        seed: QcSeed,
+        parsig: PartialSig,
+        quorum: usize,
+        crypto: &mut CryptoCtx,
+    ) -> Option<Qc> {
+        let key = seed.signing_bytes();
+        let slot = self.pending.entry(key).or_insert_with(|| Slot {
+            seed,
+            partials: Vec::new(),
+            seen: SignerBitmap::empty(),
+            done: false,
+        });
+        if slot.done || slot.seen.contains(parsig.signer()) {
+            return None;
+        }
+        if !crypto.verify_partial(&seed, &parsig) {
+            return None;
+        }
+        slot.seen.insert(parsig.signer());
+        slot.partials.push(parsig);
+        if slot.partials.len() >= quorum {
+            slot.done = true;
+            let qc = crypto.combine(slot.seed, &slot.partials);
+            slot.partials.clear();
+            return qc;
+        }
+        None
+    }
+
+    /// Number of valid shares collected so far for `seed`.
+    pub fn count(&self, seed: &QcSeed) -> usize {
+        self.pending
+            .get(&seed.signing_bytes())
+            .map_or(0, |s| s.seen.count())
+    }
+
+    /// Whether a certificate has already been formed for `seed`.
+    pub fn is_done(&self, seed: &QcSeed) -> bool {
+        self.pending
+            .get(&seed.signing_bytes())
+            .is_some_and(|s| s.done)
+    }
+
+    /// Drops all collection state (e.g. on view change).
+    pub fn clear(&mut self) {
+        self.pending.clear();
+    }
+
+    /// Number of distinct seeds being collected.
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Whether no collection is in progress.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Config;
+    use marlin_types::{BlockId, BlockKind, Height, Phase, View};
+
+    fn seed(view: u64) -> QcSeed {
+        QcSeed {
+            phase: Phase::Prepare,
+            view: View(view),
+            block: BlockId::GENESIS,
+            height: Height(1),
+            block_view: View(view),
+            pview: View(0),
+            block_kind: BlockKind::Normal,
+        }
+    }
+
+    fn setup() -> (Config, CryptoCtx, VoteCollector) {
+        let cfg = Config::for_test(4, 1);
+        let ctx = CryptoCtx::new(&cfg);
+        (cfg, ctx, VoteCollector::new())
+    }
+
+    #[test]
+    fn quorum_forms_exactly_once() {
+        let (cfg, mut ctx, mut col) = setup();
+        let s = seed(1);
+        let mut formed = 0;
+        for i in 0..4 {
+            let p = cfg.keys.signer(i).sign_partial(&s.signing_bytes());
+            if col.add(s, p, cfg.quorum(), &mut ctx).is_some() {
+                formed += 1;
+            }
+        }
+        assert_eq!(formed, 1);
+        assert!(col.is_done(&s));
+    }
+
+    #[test]
+    fn duplicates_do_not_count() {
+        let (cfg, mut ctx, mut col) = setup();
+        let s = seed(2);
+        let p0 = cfg.keys.signer(0).sign_partial(&s.signing_bytes());
+        for _ in 0..5 {
+            assert!(col.add(s, p0, cfg.quorum(), &mut ctx).is_none());
+        }
+        assert_eq!(col.count(&s), 1);
+    }
+
+    #[test]
+    fn invalid_shares_rejected() {
+        let (cfg, mut ctx, mut col) = setup();
+        let s = seed(3);
+        let bad = cfg.keys.signer(0).sign_partial(b"wrong message");
+        assert!(col.add(s, bad, cfg.quorum(), &mut ctx).is_none());
+        assert_eq!(col.count(&s), 0);
+    }
+
+    #[test]
+    fn independent_seeds_tracked_separately() {
+        let (cfg, mut ctx, mut col) = setup();
+        let (s1, s2) = (seed(4), seed(5));
+        for i in 0..2 {
+            let p = cfg.keys.signer(i).sign_partial(&s1.signing_bytes());
+            col.add(s1, p, cfg.quorum(), &mut ctx);
+        }
+        let p = cfg.keys.signer(0).sign_partial(&s2.signing_bytes());
+        col.add(s2, p, cfg.quorum(), &mut ctx);
+        assert_eq!(col.count(&s1), 2);
+        assert_eq!(col.count(&s2), 1);
+        assert_eq!(col.len(), 2);
+        col.clear();
+        assert!(col.is_empty());
+    }
+
+    #[test]
+    fn formed_qc_verifies() {
+        let (cfg, mut ctx, mut col) = setup();
+        let s = seed(6);
+        let mut qc = None;
+        for i in 0..3 {
+            let p = cfg.keys.signer(i).sign_partial(&s.signing_bytes());
+            if let Some(formed) = col.add(s, p, cfg.quorum(), &mut ctx) {
+                qc = Some(formed);
+            }
+        }
+        let qc = qc.expect("quorum reached");
+        assert!(qc.verify(&cfg.keys));
+        assert_eq!(qc.view(), View(6));
+    }
+}

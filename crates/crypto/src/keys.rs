@@ -1,0 +1,293 @@
+//! Key generation and the trusted key store used by the simulation.
+
+use crate::hmac::hmac_sha256;
+use crate::sig::{SigError, Signature};
+use crate::threshold::{CombinedSig, PartialSig, QcFormat, SignerBitmap};
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+/// Index of a replica within the system, `0..n`.
+pub type ReplicaIndex = usize;
+
+/// A replica's 32-byte signing key.
+///
+/// In the real protocol this would be an ECDSA private key or a threshold
+/// signature key share produced by `tgen`; here it keys HMAC-SHA-256.
+#[derive(Clone, PartialEq, Eq)]
+pub struct SecretKey([u8; 32]);
+
+impl SecretKey {
+    /// Wraps raw key bytes.
+    pub fn from_bytes(bytes: [u8; 32]) -> Self {
+        SecretKey(bytes)
+    }
+
+    pub(crate) fn tag(&self, message: &[u8]) -> crate::Digest {
+        hmac_sha256(&self.0, message)
+    }
+}
+
+impl std::fmt::Debug for SecretKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Never print key material.
+        write!(f, "SecretKey(<redacted>)")
+    }
+}
+
+/// The signing handle a single replica holds.
+///
+/// A [`Signer`] owns only its own key — the simulation hands each replica
+/// (including Byzantine ones) exactly one `Signer`, which is what makes
+/// votes unforgeable against the modeled adversary.
+///
+/// # Example
+///
+/// ```
+/// use marlin_crypto::KeyStore;
+///
+/// let store = KeyStore::generate(4, 1, 7);
+/// let signer = store.signer(2);
+/// let sig = signer.sign(b"msg");
+/// assert!(store.verify(2, b"msg", &sig));
+/// assert!(!store.verify(1, b"msg", &sig));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Signer {
+    index: ReplicaIndex,
+    key: SecretKey,
+}
+
+impl Signer {
+    /// The replica index this signer belongs to.
+    pub fn index(&self) -> ReplicaIndex {
+        self.index
+    }
+
+    /// Produces a conventional (ECDSA-sized) signature over `message`.
+    pub fn sign(&self, message: &[u8]) -> Signature {
+        Signature::create(&self.key, message)
+    }
+
+    /// Produces a partial threshold signature (`tsign` in the paper).
+    pub fn sign_partial(&self, message: &[u8]) -> PartialSig {
+        PartialSig::create(self.index, &self.key, message)
+    }
+}
+
+/// Holds every replica's key: the output of the trusted setup `tgen`.
+///
+/// The `KeyStore` plays two roles:
+///
+/// 1. **dealer** — [`KeyStore::generate`] deterministically derives `n`
+///    keys from a seed and hands out per-replica [`Signer`]s;
+/// 2. **verification oracle** — because the simulated scheme is symmetric
+///    (HMAC), verification requires the signer's key; the store performs
+///    all verification on behalf of replicas. This mirrors how a public
+///    key vector would be known to everyone in the real system.
+#[derive(Clone, Debug)]
+pub struct KeyStore {
+    keys: Vec<SecretKey>,
+    faults: usize,
+}
+
+impl KeyStore {
+    /// Runs trusted setup for `n` replicas tolerating `f` faults, seeding
+    /// key material from `seed`.
+    ///
+    /// The quorum threshold `t` is fixed to `n - f`, as in the paper
+    /// (Section III).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 3f + 1` (the resilience bound) or `n == 0`.
+    pub fn generate(n: usize, f: usize, seed: u64) -> Self {
+        assert!(n >= 3 * f + 1, "BFT requires n >= 3f + 1 (n={n}, f={f})");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let keys = (0..n)
+            .map(|_| {
+                let mut bytes = [0u8; 32];
+                rng.fill_bytes(&mut bytes);
+                SecretKey(bytes)
+            })
+            .collect();
+        KeyStore { keys, faults: f }
+    }
+
+    /// Number of replicas `n`.
+    pub fn n(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Fault tolerance `f`.
+    pub fn f(&self) -> usize {
+        self.faults
+    }
+
+    /// Quorum size `t = n - f`.
+    pub fn quorum(&self) -> usize {
+        self.keys.len() - self.faults
+    }
+
+    /// Returns the signing handle for replica `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= n`.
+    pub fn signer(&self, index: ReplicaIndex) -> Signer {
+        Signer { index, key: self.keys[index].clone() }
+    }
+
+    /// Verifies a conventional signature by replica `index` over `message`.
+    pub fn verify(&self, index: ReplicaIndex, message: &[u8], sig: &Signature) -> bool {
+        match self.keys.get(index) {
+            Some(key) => sig.matches(key, message),
+            None => false,
+        }
+    }
+
+    /// Verifies a partial threshold signature.
+    pub fn verify_partial(&self, message: &[u8], partial: &PartialSig) -> bool {
+        match self.keys.get(partial.signer()) {
+            Some(key) => partial.matches(key, message),
+            None => false,
+        }
+    }
+
+    /// Combines at least `t = n - f` valid partial signatures over
+    /// `message` into a quorum certificate signature (`tcombine`).
+    ///
+    /// Invalid partials and duplicate signers are ignored; the combine
+    /// succeeds as long as the number of *distinct valid* signers reaches
+    /// the threshold.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SigError::BelowThreshold`] if fewer than `t` distinct
+    /// valid partial signatures were supplied.
+    pub fn combine(
+        &self,
+        message: &[u8],
+        partials: &[PartialSig],
+        format: QcFormat,
+    ) -> Result<CombinedSig, SigError> {
+        let mut bitmap = SignerBitmap::empty();
+        for p in partials {
+            if p.signer() < self.n() && self.verify_partial(message, p) {
+                bitmap.insert(p.signer());
+            }
+        }
+        if bitmap.count() < self.quorum() {
+            return Err(SigError::BelowThreshold {
+                got: bitmap.count(),
+                need: self.quorum(),
+            });
+        }
+        Ok(CombinedSig::assemble(format, bitmap, |i| self.keys[i].tag(message)))
+    }
+
+    /// Verifies a combined quorum-certificate signature (`tverify`).
+    ///
+    /// Checks that the signer set reaches the threshold and that the
+    /// aggregate tag matches a recomputation under the signers' keys.
+    pub fn verify_combined(&self, message: &[u8], sig: &CombinedSig) -> bool {
+        if sig.signers().count() < self.quorum() {
+            return false;
+        }
+        if sig.signers().iter().any(|i| i >= self.n()) {
+            return false;
+        }
+        sig.matches(|i| self.keys[i].tag(message))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::QcFormat;
+
+    fn store() -> KeyStore {
+        KeyStore::generate(4, 1, 42)
+    }
+
+    #[test]
+    fn generate_is_deterministic() {
+        let a = KeyStore::generate(7, 2, 9);
+        let b = KeyStore::generate(7, 2, 9);
+        let msg = b"m";
+        for i in 0..7 {
+            assert_eq!(a.signer(i).sign(msg), b.signer(i).sign(msg));
+        }
+    }
+
+    #[test]
+    fn distinct_seeds_distinct_keys() {
+        let a = KeyStore::generate(4, 1, 1);
+        let b = KeyStore::generate(4, 1, 2);
+        assert_ne!(a.signer(0).sign(b"m"), b.signer(0).sign(b"m"));
+    }
+
+    #[test]
+    #[should_panic(expected = "n >= 3f + 1")]
+    fn rejects_insufficient_resilience() {
+        KeyStore::generate(3, 1, 0);
+    }
+
+    #[test]
+    fn sign_verify_round_trip() {
+        let s = store();
+        let sig = s.signer(0).sign(b"hello");
+        assert!(s.verify(0, b"hello", &sig));
+        assert!(!s.verify(0, b"goodbye", &sig));
+        assert!(!s.verify(1, b"hello", &sig));
+        assert!(!s.verify(99, b"hello", &sig));
+    }
+
+    #[test]
+    fn combine_requires_quorum() {
+        let s = store();
+        let msg = b"qc";
+        let partials: Vec<_> = (0..2).map(|i| s.signer(i).sign_partial(msg)).collect();
+        let err = s.combine(msg, &partials, QcFormat::Threshold).unwrap_err();
+        assert!(matches!(err, SigError::BelowThreshold { got: 2, need: 3 }));
+    }
+
+    #[test]
+    fn combine_ignores_duplicates_and_bad_partials() {
+        let s = store();
+        let msg = b"qc";
+        let mut partials: Vec<_> = (0..3).map(|i| s.signer(i).sign_partial(msg)).collect();
+        // Duplicate of signer 0 and a partial for the wrong message.
+        partials.push(s.signer(0).sign_partial(msg));
+        partials.push(s.signer(3).sign_partial(b"other"));
+        let sig = s.combine(msg, &partials, QcFormat::Threshold).unwrap();
+        assert_eq!(sig.signers().count(), 3);
+        assert!(s.verify_combined(msg, &sig));
+    }
+
+    #[test]
+    fn combined_rejects_wrong_message() {
+        let s = store();
+        let partials: Vec<_> = (0..3).map(|i| s.signer(i).sign_partial(b"a")).collect();
+        let sig = s.combine(b"a", &partials, QcFormat::Threshold).unwrap();
+        assert!(!s.verify_combined(b"b", &sig));
+    }
+
+    #[test]
+    fn both_formats_verify() {
+        let s = store();
+        let msg = b"both";
+        let partials: Vec<_> = (0..4).map(|i| s.signer(i).sign_partial(msg)).collect();
+        for format in [QcFormat::SigGroup, QcFormat::Threshold] {
+            let sig = s.combine(msg, &partials, format).unwrap();
+            assert!(s.verify_combined(msg, &sig), "{format:?}");
+        }
+    }
+
+    #[test]
+    fn secret_key_debug_redacts() {
+        let s = store();
+        let dbg = format!("{:?}", s.signer(0));
+        assert!(dbg.contains("redacted"), "key bytes leaked: {dbg}");
+        assert!(!dbg.chars().any(|c| c.is_ascii_digit() && c != '0'), "raw bytes in {dbg}");
+    }
+}

@@ -1,0 +1,127 @@
+//! Conventional (single-signer) simulated signatures.
+
+use crate::digest::Digest;
+use crate::keys::SecretKey;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Wire length of a conventional signature, matching ECDSA/P-256 (64 bytes).
+pub const SIGNATURE_LEN: usize = 64;
+
+/// A simulated conventional signature.
+///
+/// Sized like an ECDSA signature so that byte accounting on the wire is
+/// faithful. Internally the 64 bytes are two chained HMAC-SHA-256 tags
+/// under the signer's key.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Signature {
+    tag: [u8; 32],
+    tag2: [u8; 32],
+}
+
+impl Signature {
+    pub(crate) fn create(key: &SecretKey, message: &[u8]) -> Self {
+        let tag = key.tag(message);
+        let tag2 = key.tag(tag.as_bytes());
+        Signature { tag: tag.into_bytes(), tag2: tag2.into_bytes() }
+    }
+
+    pub(crate) fn matches(&self, key: &SecretKey, message: &[u8]) -> bool {
+        let tag = key.tag(message);
+        let tag2 = key.tag(tag.as_bytes());
+        // Not constant-time; this is a simulation, not deployed crypto.
+        self.tag == *tag.as_bytes() && self.tag2 == *tag2.as_bytes()
+    }
+
+    /// The signature's bytes, `SIGNATURE_LEN` long.
+    pub fn to_bytes(self) -> [u8; SIGNATURE_LEN] {
+        let mut out = [0u8; SIGNATURE_LEN];
+        out[..32].copy_from_slice(&self.tag);
+        out[32..].copy_from_slice(&self.tag2);
+        out
+    }
+
+    /// Reconstructs a signature from wire bytes.
+    pub fn from_bytes(bytes: [u8; SIGNATURE_LEN]) -> Self {
+        let mut tag = [0u8; 32];
+        let mut tag2 = [0u8; 32];
+        tag.copy_from_slice(&bytes[..32]);
+        tag2.copy_from_slice(&bytes[32..]);
+        Signature { tag, tag2 }
+    }
+
+    /// First 32 bytes as a [`Digest`], handy for logging.
+    pub fn tag_digest(&self) -> Digest {
+        Digest::from_bytes(self.tag)
+    }
+}
+
+impl fmt::Debug for Signature {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Signature({}…)", self.tag_digest().short())
+    }
+}
+
+/// Errors from signature operations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SigError {
+    /// Fewer distinct valid partial signatures than the quorum threshold.
+    BelowThreshold {
+        /// Distinct valid partials supplied.
+        got: usize,
+        /// Threshold `t = n - f` required.
+        need: usize,
+    },
+    /// A signature failed verification.
+    Invalid,
+}
+
+impl fmt::Display for SigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SigError::BelowThreshold { got, need } => {
+                write!(f, "only {got} valid partial signatures, need {need}")
+            }
+            SigError::Invalid => write!(f, "signature verification failed"),
+        }
+    }
+}
+
+impl std::error::Error for SigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::KeyStore;
+
+    #[test]
+    fn byte_round_trip() {
+        let store = KeyStore::generate(4, 1, 5);
+        let sig = store.signer(1).sign(b"payload");
+        let restored = Signature::from_bytes(sig.to_bytes());
+        assert_eq!(sig, restored);
+        assert!(store.verify(1, b"payload", &restored));
+    }
+
+    #[test]
+    fn wire_length_matches_constant() {
+        let store = KeyStore::generate(4, 1, 5);
+        let sig = store.signer(0).sign(b"x");
+        assert_eq!(sig.to_bytes().len(), SIGNATURE_LEN);
+    }
+
+    #[test]
+    fn tampered_bytes_fail_verification() {
+        let store = KeyStore::generate(4, 1, 5);
+        let mut bytes = store.signer(0).sign(b"x").to_bytes();
+        bytes[0] ^= 0xFF;
+        assert!(!store.verify(0, b"x", &Signature::from_bytes(bytes)));
+    }
+
+    #[test]
+    fn error_display() {
+        let e = SigError::BelowThreshold { got: 1, need: 3 };
+        assert_eq!(e.to_string(), "only 1 valid partial signatures, need 3");
+        assert_eq!(SigError::Invalid.to_string(), "signature verification failed");
+    }
+}

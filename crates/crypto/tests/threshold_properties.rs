@@ -1,0 +1,121 @@
+//! Property tests for the simulated threshold-signature scheme:
+//! any `t = n − f` distinct valid shares combine into a verifying
+//! certificate; fewer never do; tampering always fails.
+
+use marlin_crypto::{KeyStore, PartialSig, QcFormat, SignerBitmap};
+use proptest::prelude::*;
+
+fn arb_system() -> impl Strategy<Value = (usize, usize)> {
+    // (n, f) with n = 3f + 1, f ∈ 1..=5
+    (1usize..=5).prop_map(|f| (3 * f + 1, f))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Any subset of at least `n − f` signers combines and verifies, in
+    /// both wire formats.
+    #[test]
+    fn any_quorum_subset_combines(
+        (n, f) in arb_system(),
+        seed in any::<u64>(),
+        subset_bits in any::<u32>(),
+        msg in prop::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let keys = KeyStore::generate(n, f, seed);
+        // Choose a subset of signers from the bits, then top up to
+        // quorum if needed.
+        let mut signers: Vec<usize> = (0..n).filter(|i| subset_bits >> (i % 32) & 1 == 1).collect();
+        let mut i = 0;
+        while signers.len() < keys.quorum() {
+            if !signers.contains(&i) {
+                signers.push(i);
+            }
+            i += 1;
+        }
+        let partials: Vec<PartialSig> =
+            signers.iter().map(|&i| keys.signer(i).sign_partial(&msg)).collect();
+        for format in [QcFormat::SigGroup, QcFormat::Threshold] {
+            let sig = keys.combine(&msg, &partials, format).expect("quorum combines");
+            prop_assert!(keys.verify_combined(&msg, &sig));
+            prop_assert_eq!(sig.signers().count(), signers.len());
+            // Never verifies for a different message.
+            let mut other = msg.clone();
+            other.push(0xAB);
+            prop_assert!(!keys.verify_combined(&other, &sig));
+        }
+    }
+
+    /// Below-threshold subsets never combine, no matter which replicas
+    /// they are.
+    #[test]
+    fn below_quorum_never_combines(
+        (n, f) in arb_system(),
+        seed in any::<u64>(),
+        drop_extra in 0usize..3,
+        msg in prop::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let keys = KeyStore::generate(n, f, seed);
+        let take = keys.quorum().saturating_sub(1 + drop_extra);
+        let partials: Vec<PartialSig> =
+            (0..take).map(|i| keys.signer(i).sign_partial(&msg)).collect();
+        prop_assert!(keys.combine(&msg, &partials, QcFormat::Threshold).is_err());
+    }
+
+    /// Duplicated shares count once: quorum-1 distinct shares plus any
+    /// number of duplicates still fail.
+    #[test]
+    fn duplicates_do_not_reach_quorum(
+        (n, f) in arb_system(),
+        seed in any::<u64>(),
+        dupes in 1usize..8,
+    ) {
+        let keys = KeyStore::generate(n, f, seed);
+        let msg = b"dup-test";
+        let mut partials: Vec<PartialSig> =
+            (0..keys.quorum() - 1).map(|i| keys.signer(i).sign_partial(msg)).collect();
+        for _ in 0..dupes {
+            partials.push(keys.signer(0).sign_partial(msg));
+        }
+        prop_assert!(keys.combine(msg, &partials, QcFormat::SigGroup).is_err());
+    }
+
+    /// A certificate from one key universe never verifies in another.
+    #[test]
+    fn cross_universe_forgery_fails(
+        (n, f) in arb_system(),
+        seed_a in any::<u64>(),
+        seed_b in any::<u64>(),
+    ) {
+        prop_assume!(seed_a != seed_b);
+        let a = KeyStore::generate(n, f, seed_a);
+        let b = KeyStore::generate(n, f, seed_b);
+        let msg = b"universe";
+        let partials: Vec<PartialSig> =
+            (0..a.quorum()).map(|i| a.signer(i).sign_partial(msg)).collect();
+        let sig = a.combine(msg, &partials, QcFormat::Threshold).expect("combines in A");
+        prop_assert!(!b.verify_combined(msg, &sig));
+    }
+
+    /// Tampering with the claimed signer set invalidates the aggregate.
+    #[test]
+    fn signer_set_tampering_fails(
+        (n, f) in arb_system(),
+        seed in any::<u64>(),
+        flip in any::<u8>(),
+    ) {
+        let keys = KeyStore::generate(n, f, seed);
+        let msg = b"bitmap";
+        let partials: Vec<PartialSig> =
+            (0..keys.quorum()).map(|i| keys.signer(i).sign_partial(msg)).collect();
+        let sig = keys.combine(msg, &partials, QcFormat::Threshold).expect("combines");
+        let mut bits = sig.signers().to_bits();
+        bits ^= 1u128 << (flip as usize % n);
+        let forged = marlin_crypto::CombinedSig::from_parts(
+            sig.format(),
+            SignerBitmap::from_bits(bits),
+            sig.agg(),
+        );
+        prop_assert!(!keys.verify_combined(msg, &forged));
+    }
+}

@@ -1,0 +1,169 @@
+//! A small replicated key-value application: the state machine the
+//! examples replicate on top of the consensus core.
+
+use bytes::Bytes;
+use marlin_storage::{KvStore, MemDisk, StoreConfig};
+use marlin_types::{Block, Transaction};
+
+/// Commands the application understands, encoded into transaction
+/// payloads.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum KvCommand {
+    /// Set `key` to `value`.
+    Set {
+        /// Key.
+        key: Vec<u8>,
+        /// Value.
+        value: Vec<u8>,
+    },
+    /// Delete `key`.
+    Delete {
+        /// Key.
+        key: Vec<u8>,
+    },
+}
+
+impl KvCommand {
+    /// Encodes the command into a transaction payload.
+    pub fn encode(&self) -> Bytes {
+        let mut out = Vec::new();
+        match self {
+            KvCommand::Set { key, value } => {
+                out.push(0);
+                out.extend_from_slice(&(key.len() as u32).to_le_bytes());
+                out.extend_from_slice(key);
+                out.extend_from_slice(value);
+            }
+            KvCommand::Delete { key } => {
+                out.push(1);
+                out.extend_from_slice(&(key.len() as u32).to_le_bytes());
+                out.extend_from_slice(key);
+            }
+        }
+        Bytes::from(out)
+    }
+
+    /// Decodes a payload; returns `None` for malformed or non-command
+    /// payloads (which the application ignores).
+    pub fn decode(payload: &[u8]) -> Option<KvCommand> {
+        if payload.len() < 5 {
+            return None;
+        }
+        let klen = u32::from_le_bytes(payload[1..5].try_into().ok()?) as usize;
+        let rest = payload.get(5..)?;
+        if rest.len() < klen {
+            return None;
+        }
+        let key = rest[..klen].to_vec();
+        match payload[0] {
+            0 => Some(KvCommand::Set { key, value: rest[klen..].to_vec() }),
+            1 if rest.len() == klen => Some(KvCommand::Delete { key }),
+            _ => None,
+        }
+    }
+}
+
+/// The replicated key-value state machine: applies committed blocks in
+/// order to a durable store.
+pub struct KvApp {
+    db: KvStore<MemDisk>,
+    applied_txs: u64,
+}
+
+impl Default for KvApp {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl KvApp {
+    /// A fresh application instance.
+    pub fn new() -> Self {
+        KvApp {
+            db: KvStore::open(MemDisk::new(), StoreConfig::default())
+                .expect("MemDisk cannot fail to open"),
+            applied_txs: 0,
+        }
+    }
+
+    /// Applies one committed block's transactions in order.
+    pub fn apply_block(&mut self, block: &Block) {
+        for tx in block.payload().iter() {
+            self.apply_transaction(tx);
+        }
+    }
+
+    /// Applies a single committed transaction.
+    pub fn apply_transaction(&mut self, tx: &Transaction) {
+        self.applied_txs += 1;
+        match KvCommand::decode(&tx.payload) {
+            Some(KvCommand::Set { key, value }) => {
+                self.db.put(key, value).expect("MemDisk put cannot fail");
+            }
+            Some(KvCommand::Delete { key }) => {
+                self.db.delete(key).expect("MemDisk delete cannot fail");
+            }
+            None => {} // non-command payloads (e.g. benchmark filler)
+        }
+    }
+
+    /// Reads a key from the replicated state.
+    pub fn get(&mut self, key: &[u8]) -> Option<Vec<u8>> {
+        self.db.get(key).expect("MemDisk get cannot fail")
+    }
+
+    /// Transactions applied so far.
+    pub fn applied_txs(&self) -> u64 {
+        self.applied_txs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use marlin_types::{Batch, Justify, Qc, View};
+
+    #[test]
+    fn command_codec_round_trip() {
+        let cmds = [
+            KvCommand::Set { key: b"k".to_vec(), value: b"v".to_vec() },
+            KvCommand::Set { key: vec![], value: vec![1, 2, 3] },
+            KvCommand::Delete { key: b"gone".to_vec() },
+        ];
+        for cmd in cmds {
+            assert_eq!(KvCommand::decode(&cmd.encode()), Some(cmd));
+        }
+    }
+
+    #[test]
+    fn malformed_payloads_are_none() {
+        assert_eq!(KvCommand::decode(b""), None);
+        assert_eq!(KvCommand::decode(b"\x00\xff\xff\xff\xff"), None);
+        assert_eq!(KvCommand::decode(b"\x09\x01\x00\x00\x00k"), None);
+        // Delete with trailing garbage is rejected.
+        assert_eq!(KvCommand::decode(b"\x01\x01\x00\x00\x00kX"), None);
+    }
+
+    #[test]
+    fn apply_block_mutates_state_in_order() {
+        let mut app = KvApp::new();
+        let txs = vec![
+            Transaction::new(1, 0, KvCommand::Set { key: b"a".to_vec(), value: b"1".to_vec() }.encode(), 0),
+            Transaction::new(2, 0, KvCommand::Set { key: b"a".to_vec(), value: b"2".to_vec() }.encode(), 0),
+            Transaction::new(3, 0, KvCommand::Delete { key: b"b".to_vec() }.encode(), 0),
+        ];
+        let g = Block::genesis();
+        let block = Block::new_normal(
+            g.id(),
+            g.view(),
+            View(1),
+            g.height().next(),
+            Batch::new(txs),
+            Justify::One(Qc::genesis(g.id())),
+        );
+        app.apply_block(&block);
+        assert_eq!(app.get(b"a"), Some(b"2".to_vec()));
+        assert_eq!(app.get(b"b"), None);
+        assert_eq!(app.applied_txs(), 3);
+    }
+}

@@ -1,0 +1,321 @@
+//! Latency and throughput measurement.
+
+use marlin_core::Note;
+use marlin_simnet::CommitObserver;
+use marlin_types::{Block, ReplicaId};
+use serde::Serialize;
+
+/// A fixed-bucket log-scale latency histogram (1 µs – ~1000 s).
+#[derive(Clone, Debug)]
+pub struct LatencyHistogram {
+    /// Bucket `i` counts samples in `[2^i, 2^(i+1))` microseconds.
+    buckets: Vec<u64>,
+    count: u64,
+    sum_ns: u128,
+    max_ns: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram { buckets: vec![0; 32], count: 0, sum_ns: 0, max_ns: 0 }
+    }
+
+    /// Records one latency sample.
+    pub fn record(&mut self, latency_ns: u64) {
+        let us = (latency_ns / 1_000).max(1);
+        let bucket = (63 - us.leading_zeros() as usize).min(self.buckets.len() - 1);
+        self.buckets[bucket] += 1;
+        self.count += 1;
+        self.sum_ns += latency_ns as u128;
+        self.max_ns = self.max_ns.max(latency_ns);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean latency in nanoseconds (0 when empty).
+    pub fn mean_ns(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            (self.sum_ns / self.count as u128) as u64
+        }
+    }
+
+    /// Approximate quantile (upper bucket bound), `q ∈ [0, 1]`.
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((self.count as f64) * q).ceil() as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                // Upper bound of bucket i, in ns.
+                return (1u64 << (i + 1)) * 1_000;
+            }
+        }
+        self.max_ns
+    }
+
+    /// Maximum sample.
+    pub fn max_ns(&self) -> u64 {
+        self.max_ns
+    }
+
+    /// Summarizes into milliseconds.
+    pub fn summary(&self) -> LatencySummary {
+        LatencySummary {
+            mean_ms: self.mean_ns() as f64 / 1e6,
+            p50_ms: self.quantile_ns(0.50) as f64 / 1e6,
+            p95_ms: self.quantile_ns(0.95) as f64 / 1e6,
+            p99_ms: self.quantile_ns(0.99) as f64 / 1e6,
+            max_ms: self.max_ns as f64 / 1e6,
+        }
+    }
+}
+
+/// Millisecond latency summary.
+#[derive(Clone, Copy, Debug, Default, Serialize)]
+pub struct LatencySummary {
+    /// Mean.
+    pub mean_ms: f64,
+    /// Median (bucket upper bound).
+    pub p50_ms: f64,
+    /// 95th percentile.
+    pub p95_ms: f64,
+    /// 99th percentile.
+    pub p99_ms: f64,
+    /// Maximum.
+    pub max_ms: f64,
+}
+
+/// Commit observer measuring throughput and end-to-end latency at a
+/// reference replica.
+///
+/// Latency per transaction is `commit_time − submit_time + 2 ×
+/// client_leg_ns` (the client→leader and replica→client hops the paper's
+/// end-to-end numbers include).
+#[derive(Debug)]
+pub struct Stats {
+    reference: ReplicaId,
+    client_leg_ns: u64,
+    warmup_until_ns: u64,
+    histogram: LatencyHistogram,
+    committed_txs: u64,
+    total_observed_txs: u64,
+    committed_blocks: u64,
+    first_commit_ns: Option<u64>,
+    last_commit_ns: u64,
+}
+
+impl Stats {
+    /// Creates a collector observing `reference`; samples before
+    /// `warmup_until_ns` are discarded.
+    pub fn new(reference: ReplicaId, client_leg_ns: u64, warmup_until_ns: u64) -> Self {
+        Stats {
+            reference,
+            client_leg_ns,
+            warmup_until_ns,
+            histogram: LatencyHistogram::new(),
+            committed_txs: 0,
+            total_observed_txs: 0,
+            committed_blocks: 0,
+            first_commit_ns: None,
+            last_commit_ns: 0,
+        }
+    }
+
+    /// Transactions counted after warmup.
+    pub fn committed_txs(&self) -> u64 {
+        self.committed_txs
+    }
+
+    /// All transactions observed committing at the reference replica,
+    /// including during warmup (drives the closed-loop client release).
+    pub fn total_observed_txs(&self) -> u64 {
+        self.total_observed_txs
+    }
+
+    /// Finalizes into metrics for a run that observed `duration_ns` of
+    /// post-warmup time.
+    pub fn into_metrics(
+        self,
+        duration_ns: u64,
+        notes: &[(u64, ReplicaId, Note)],
+    ) -> Metrics {
+        let mut view_changes = 0;
+        let mut happy = 0;
+        let mut unhappy = 0;
+        for (_, id, note) in notes {
+            if *id == self.reference {
+                if let Note::ViewChangeStarted { .. } = note {
+                    view_changes += 1;
+                }
+            }
+            match note {
+                Note::HappyPathVc { .. } => happy += 1,
+                Note::UnhappyPathVc { .. } => unhappy += 1,
+                _ => {}
+            }
+        }
+        Metrics {
+            duration_ns,
+            committed_txs: self.committed_txs,
+            committed_blocks: self.committed_blocks,
+            throughput_tps: if duration_ns == 0 {
+                0.0
+            } else {
+                self.committed_txs as f64 * 1e9 / duration_ns as f64
+            },
+            latency: self.histogram.summary(),
+            view_changes,
+            happy_path_vcs: happy,
+            unhappy_path_vcs: unhappy,
+        }
+    }
+}
+
+impl CommitObserver for Stats {
+    fn on_commit(&mut self, replica: ReplicaId, now_ns: u64, blocks: &[Block]) {
+        if replica != self.reference {
+            return;
+        }
+        self.first_commit_ns.get_or_insert(now_ns);
+        self.last_commit_ns = now_ns;
+        for block in blocks {
+            self.committed_blocks += 1;
+            for tx in block.payload().iter() {
+                self.total_observed_txs += 1;
+                if tx.submitted_at_ns < self.warmup_until_ns {
+                    continue;
+                }
+                self.committed_txs += 1;
+                let latency =
+                    now_ns.saturating_sub(tx.submitted_at_ns) + 2 * self.client_leg_ns;
+                self.histogram.record(latency);
+            }
+        }
+    }
+}
+
+/// The result of one experiment run.
+#[derive(Clone, Copy, Debug, Default, Serialize)]
+pub struct Metrics {
+    /// Post-warmup measured duration.
+    pub duration_ns: u64,
+    /// Transactions committed at the reference replica after warmup.
+    pub committed_txs: u64,
+    /// Blocks committed at the reference replica (incl. warmup).
+    pub committed_blocks: u64,
+    /// Committed transactions per second.
+    pub throughput_tps: f64,
+    /// End-to-end latency summary.
+    pub latency: LatencySummary,
+    /// View changes started at the reference replica.
+    pub view_changes: usize,
+    /// Happy-path view changes observed anywhere.
+    pub happy_path_vcs: usize,
+    /// Unhappy-path (pre-prepare) view changes observed anywhere.
+    pub unhappy_path_vcs: usize,
+}
+
+impl Metrics {
+    /// Throughput in kilo-transactions per second (the paper's unit).
+    pub fn ktps(&self) -> f64 {
+        self.throughput_tps / 1_000.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use marlin_types::{Batch, Block, Justify, Qc, Transaction, View};
+
+    #[test]
+    fn histogram_mean_and_quantiles() {
+        let mut h = LatencyHistogram::new();
+        for ms in [1u64, 2, 4, 8, 100] {
+            h.record(ms * 1_000_000);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.mean_ns(), 23 * 1_000_000);
+        assert!(h.quantile_ns(0.5) >= 2_000_000);
+        assert!(h.quantile_ns(1.0) >= 100_000_000);
+        assert_eq!(h.max_ns(), 100_000_000);
+        let s = h.summary();
+        assert!(s.p99_ms >= s.p50_ms);
+    }
+
+    #[test]
+    fn empty_histogram_is_zero() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.mean_ns(), 0);
+        assert_eq!(h.quantile_ns(0.99), 0);
+    }
+
+    fn block_with_txs(times: &[u64]) -> Block {
+        let g = Block::genesis();
+        let txs: Vec<Transaction> = times
+            .iter()
+            .enumerate()
+            .map(|(i, t)| Transaction::new(i as u64, 0, Bytes::new(), *t))
+            .collect();
+        Block::new_normal(
+            g.id(),
+            g.view(),
+            View(1),
+            g.height().next(),
+            Batch::new(txs),
+            Justify::One(Qc::genesis(g.id())),
+        )
+    }
+
+    #[test]
+    fn stats_measure_reference_replica_only() {
+        let mut stats = Stats::new(ReplicaId(0), 40_000_000, 0);
+        let block = block_with_txs(&[100, 200]);
+        stats.on_commit(ReplicaId(1), 1_000_000, &[block.clone()]);
+        assert_eq!(stats.committed_txs(), 0);
+        stats.on_commit(ReplicaId(0), 1_000_000, &[block]);
+        assert_eq!(stats.committed_txs(), 2);
+        let m = stats.into_metrics(1_000_000_000, &[]);
+        assert_eq!(m.committed_txs, 2);
+        assert!((m.throughput_tps - 2.0).abs() < 1e-9);
+        // Latency includes the two 40ms client legs.
+        assert!(m.latency.mean_ms >= 80.0);
+    }
+
+    #[test]
+    fn warmup_discards_early_transactions() {
+        let mut stats = Stats::new(ReplicaId(0), 0, 1_000);
+        let block = block_with_txs(&[500, 1_500]);
+        stats.on_commit(ReplicaId(0), 2_000, &[block]);
+        assert_eq!(stats.committed_txs(), 1);
+    }
+
+    #[test]
+    fn metrics_count_view_changes() {
+        let stats = Stats::new(ReplicaId(0), 0, 0);
+        let notes = vec![
+            (0, ReplicaId(0), Note::ViewChangeStarted { from_view: View(1) }),
+            (0, ReplicaId(1), Note::ViewChangeStarted { from_view: View(1) }),
+            (0, ReplicaId(2), Note::HappyPathVc { view: View(2) }),
+        ];
+        let m = stats.into_metrics(1, &notes);
+        assert_eq!(m.view_changes, 1);
+        assert_eq!(m.happy_path_vcs, 1);
+        assert_eq!(m.unhappy_path_vcs, 0);
+    }
+}

@@ -1,0 +1,178 @@
+//! Byte, message, and authenticator accounting — the paper's complexity
+//! metrics (Section III), measured rather than claimed.
+
+use marlin_types::{Message, MsgBody, Phase};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Coarse classification of messages for per-category breakdowns.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum MsgClass {
+    /// Leader proposal broadcasts, by phase.
+    Proposal(Phase),
+    /// Replica votes, by phase.
+    Vote(Phase),
+    /// `VIEW-CHANGE` / `NEW-VIEW` messages.
+    ViewChange,
+    /// `commitQC` dissemination.
+    Decide,
+    /// Block synchronisation traffic.
+    Fetch,
+}
+
+impl MsgClass {
+    /// Classifies a message.
+    pub fn of(msg: &Message) -> MsgClass {
+        match &msg.body {
+            MsgBody::Proposal(p) => MsgClass::Proposal(p.phase),
+            MsgBody::Vote(v) => MsgClass::Vote(v.seed.phase),
+            MsgBody::ViewChange(_) => MsgClass::ViewChange,
+            MsgBody::Decide(_) => MsgClass::Decide,
+            MsgBody::FetchRequest { .. } | MsgBody::FetchResponse { .. } => MsgClass::Fetch,
+        }
+    }
+
+    /// Whether this class belongs to the view-change protocol (used for
+    /// the Table I measurement window).
+    pub fn is_view_change(&self) -> bool {
+        matches!(
+            self,
+            MsgClass::ViewChange
+                | MsgClass::Proposal(Phase::PrePrepare)
+                | MsgClass::Vote(Phase::PrePrepare)
+        )
+    }
+}
+
+impl fmt::Display for MsgClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MsgClass::Proposal(p) => write!(f, "proposal/{p:?}"),
+            MsgClass::Vote(p) => write!(f, "vote/{p:?}"),
+            MsgClass::ViewChange => write!(f, "view-change"),
+            MsgClass::Decide => write!(f, "decide"),
+            MsgClass::Fetch => write!(f, "fetch"),
+        }
+    }
+}
+
+/// Aggregated traffic counters.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Accounting {
+    /// Totals per message class.
+    per_class: BTreeMap<MsgClass, Counters>,
+}
+
+/// Counter triple for one class.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Counters {
+    /// Messages transmitted.
+    pub messages: u64,
+    /// Bytes transmitted (wire encoding, shadow optimisation applied if
+    /// configured).
+    pub bytes: u64,
+    /// Authenticators transmitted (paper metric: a signature group of
+    /// `t` counts `t`; a threshold signature counts 1).
+    pub authenticators: u64,
+}
+
+impl Accounting {
+    /// Empty counters.
+    pub fn new() -> Self {
+        Accounting::default()
+    }
+
+    /// Charges one transmitted message.
+    pub fn record(&mut self, msg: &Message, wire_len: usize) {
+        let entry = self.per_class.entry(MsgClass::of(msg)).or_default();
+        entry.messages += 1;
+        entry.bytes += wire_len as u64;
+        entry.authenticators += msg.authenticator_count() as u64;
+    }
+
+    /// Total counters across all classes.
+    pub fn total(&self) -> Counters {
+        self.fold(|_| true)
+    }
+
+    /// Counters for view-change traffic only (Table I's `vc` columns).
+    pub fn view_change_total(&self) -> Counters {
+        self.fold(MsgClass::is_view_change)
+    }
+
+    /// Counters for one class.
+    pub fn class(&self, class: MsgClass) -> Counters {
+        self.per_class.get(&class).copied().unwrap_or_default()
+    }
+
+    /// Iterates over `(class, counters)` pairs in a stable order.
+    pub fn iter(&self) -> impl Iterator<Item = (&MsgClass, &Counters)> {
+        self.per_class.iter()
+    }
+
+    /// Clears all counters (starts a new measurement window).
+    pub fn reset(&mut self) {
+        self.per_class.clear();
+    }
+
+    fn fold(&self, pred: impl Fn(&MsgClass) -> bool) -> Counters {
+        let mut total = Counters::default();
+        for (class, c) in &self.per_class {
+            if pred(class) {
+                total.messages += c.messages;
+                total.bytes += c.bytes;
+                total.authenticators += c.authenticators;
+            }
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use marlin_types::{BlockId, ReplicaId, View};
+
+    fn fetch_msg() -> Message {
+        Message::new(ReplicaId(0), View(1), MsgBody::FetchRequest { block: BlockId::GENESIS })
+    }
+
+    #[test]
+    fn record_accumulates() {
+        let mut acc = Accounting::new();
+        let msg = fetch_msg();
+        acc.record(&msg, 45);
+        acc.record(&msg, 45);
+        let total = acc.total();
+        assert_eq!(total.messages, 2);
+        assert_eq!(total.bytes, 90);
+        assert_eq!(total.authenticators, 0);
+        assert_eq!(acc.class(MsgClass::Fetch).messages, 2);
+        assert_eq!(acc.class(MsgClass::Decide).messages, 0);
+    }
+
+    #[test]
+    fn view_change_window_filters_classes() {
+        let mut acc = Accounting::new();
+        acc.record(&fetch_msg(), 10);
+        assert_eq!(acc.view_change_total().messages, 0);
+        assert!(MsgClass::ViewChange.is_view_change());
+        assert!(MsgClass::Proposal(Phase::PrePrepare).is_view_change());
+        assert!(!MsgClass::Proposal(Phase::Prepare).is_view_change());
+        assert!(!MsgClass::Vote(Phase::Commit).is_view_change());
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut acc = Accounting::new();
+        acc.record(&fetch_msg(), 10);
+        acc.reset();
+        assert_eq!(acc.total(), Counters::default());
+    }
+
+    #[test]
+    fn class_display_is_stable() {
+        assert_eq!(MsgClass::of(&fetch_msg()).to_string(), "fetch");
+        assert_eq!(MsgClass::Vote(Phase::Prepare).to_string(), "vote/Prepare");
+    }
+}

@@ -1,0 +1,276 @@
+//! Byzantine replica adapters: wrappers that corrupt a correct
+//! protocol instance's *behaviour* while keeping its keys — the
+//! strongest adversary the simulation's crypto model admits (it can
+//! equivocate, lie about its state, and stay silent, but cannot forge
+//! other replicas' signatures).
+
+use marlin_core::{Action, Config, Event, Protocol, StepOutput};
+use marlin_types::{
+    Block, BlockId, BlockMeta, BlockStore, Justify, Message, MsgBody, Proposal, ReplicaId, View,
+};
+
+/// What a Byzantine replica does with its protocol-prescribed actions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Behavior {
+    /// Executes the protocol faithfully (control case).
+    Honest,
+    /// Sends nothing at all (a crash that still reads its mail).
+    Silent,
+    /// In `VIEW-CHANGE` messages, reports the genesis state instead of
+    /// its real `lb`/`highQC` — the Figure 2 "hide the QC" adversary.
+    HideQc,
+    /// As leader, equivocates: sends conflicting blocks of the same
+    /// height to different halves of the cluster.
+    Equivocate,
+    /// Votes for every proposal twice and re-sends every message — a
+    /// spam adversary that stresses deduplication.
+    Duplicate,
+}
+
+/// A protocol wrapper executing one of the [`Behavior`]s.
+///
+/// # Example
+///
+/// ```
+/// use marlin_core::{harness::build_protocol, Config, ProtocolKind};
+/// use marlin_simnet::{Behavior, ByzantineReplica};
+///
+/// let cfg = Config::for_test(4, 1).with_id(3u32.into());
+/// let honest = build_protocol(ProtocolKind::Marlin, cfg);
+/// use marlin_core::Protocol;
+/// let adversary = ByzantineReplica::new(honest, Behavior::HideQc);
+/// assert_eq!(adversary.name(), "marlin");
+/// ```
+pub struct ByzantineReplica {
+    inner: Box<dyn Protocol>,
+    behavior: Behavior,
+}
+
+impl ByzantineReplica {
+    /// Wraps `inner` with the given behavior.
+    pub fn new(inner: Box<dyn Protocol>, behavior: Behavior) -> Self {
+        ByzantineReplica { inner, behavior }
+    }
+
+    /// The configured behavior.
+    pub fn behavior(&self) -> Behavior {
+        self.behavior
+    }
+
+    fn corrupt(&self, actions: Vec<Action>) -> Vec<Action> {
+        match self.behavior {
+            Behavior::Honest => actions,
+            Behavior::Silent => actions
+                .into_iter()
+                .filter(|a| !matches!(a, Action::Send { .. } | Action::Broadcast { .. }))
+                .collect(),
+            Behavior::HideQc => actions
+                .into_iter()
+                .map(|a| match a {
+                    Action::Send { to, message } => Action::Send { to, message: hide_qc(message) },
+                    Action::Broadcast { message } => {
+                        Action::Broadcast { message: hide_qc(message) }
+                    }
+                    other => other,
+                })
+                .collect(),
+            Behavior::Equivocate => {
+                let n = self.inner.config().n;
+                let mut out = Vec::with_capacity(actions.len());
+                for a in actions {
+                    match a {
+                        Action::Broadcast { message } => {
+                            equivocate(self.inner.id(), n, message, &mut out)
+                        }
+                        other => out.push(other),
+                    }
+                }
+                out
+            }
+            Behavior::Duplicate => {
+                let mut out = Vec::with_capacity(actions.len() * 2);
+                for a in actions {
+                    if matches!(a, Action::Send { .. } | Action::Broadcast { .. }) {
+                        out.push(a.clone());
+                    }
+                    out.push(a);
+                }
+                out
+            }
+        }
+    }
+}
+
+/// Replaces the state a `VIEW-CHANGE` reports with genesis state.
+fn hide_qc(mut message: Message) -> Message {
+    if let MsgBody::ViewChange(vc) = &mut message.body {
+        vc.last_voted = BlockMeta::genesis();
+        vc.high_qc = Justify::One(marlin_types::Qc::genesis(BlockId::GENESIS));
+        // The parsig no longer matches the claimed lb; honest leaders
+        // will simply fail to use it on the happy path.
+    }
+    message
+}
+
+/// Splits a proposal broadcast into two conflicting per-half proposals.
+fn equivocate(id: ReplicaId, n: usize, message: Message, out: &mut Vec<Action>) {
+    let MsgBody::Proposal(p) = &message.body else {
+        out.push(Action::Broadcast { message });
+        return;
+    };
+    let Some(block) = p.blocks.first() else {
+        out.push(Action::Broadcast { message });
+        return;
+    };
+    // Build a conflicting twin: same parent and height, different
+    // payload (an extra forged no-op transaction).
+    let mut payload: Vec<marlin_types::Transaction> =
+        block.payload().iter().cloned().collect();
+    payload.push(marlin_types::Transaction::no_op(u64::MAX, u32::MAX, 0));
+    let twin = match block.parent_id() {
+        Some(parent) => Block::new_normal(
+            parent,
+            block.pview(),
+            block.view(),
+            block.height(),
+            marlin_types::Batch::new(payload),
+            *block.justify(),
+        ),
+        None => {
+            out.push(Action::Broadcast { message });
+            return;
+        }
+    };
+    let twin_msg = Message::new(
+        message.from,
+        message.view,
+        MsgBody::Proposal(Proposal {
+            phase: p.phase,
+            blocks: vec![twin],
+            justify: p.justify,
+            vc_proof: p.vc_proof.clone(),
+        }),
+    );
+    for i in 0..n {
+        let to = ReplicaId(i as u32);
+        if to == id {
+            continue;
+        }
+        let msg = if i % 2 == 0 { message.clone() } else { twin_msg.clone() };
+        out.push(Action::Send { to, message: msg });
+    }
+}
+
+impl Protocol for ByzantineReplica {
+    fn config(&self) -> &Config {
+        self.inner.config()
+    }
+
+    fn current_view(&self) -> View {
+        self.inner.current_view()
+    }
+
+    fn store(&self) -> &BlockStore {
+        self.inner.store()
+    }
+
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+
+    fn id(&self) -> ReplicaId {
+        self.inner.id()
+    }
+
+    fn on_event(&mut self, event: Event) -> StepOutput {
+        let out = self.inner.on_event(event);
+        StepOutput { actions: self.corrupt(out.actions), cpu_ns: out.cpu_ns }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use marlin_core::harness::build_protocol;
+    use marlin_core::ProtocolKind;
+
+    fn adversary(behavior: Behavior) -> ByzantineReplica {
+        let cfg = Config::for_test(4, 1).with_id(ReplicaId(1));
+        ByzantineReplica::new(build_protocol(ProtocolKind::Marlin, cfg), behavior)
+    }
+
+    #[test]
+    fn silent_strips_all_traffic() {
+        let mut a = adversary(Behavior::Silent);
+        let out = a.on_event(Event::Start);
+        assert!(out
+            .actions
+            .iter()
+            .all(|x| !matches!(x, Action::Send { .. } | Action::Broadcast { .. })));
+    }
+
+    #[test]
+    fn honest_passes_through() {
+        let mut honest = adversary(Behavior::Honest);
+        let mut plain = build_protocol(ProtocolKind::Marlin, Config::for_test(4, 1).with_id(ReplicaId(1)));
+        let a = honest.on_event(Event::Start);
+        let b = plain.on_event(Event::Start);
+        assert_eq!(a.actions.len(), b.actions.len());
+    }
+
+    #[test]
+    fn duplicate_doubles_sends() {
+        let mut dup = adversary(Behavior::Duplicate);
+        let mut plain = build_protocol(ProtocolKind::Marlin, Config::for_test(4, 1).with_id(ReplicaId(1)));
+        let a = dup.on_event(Event::Start);
+        let b = plain.on_event(Event::Start);
+        let count = |acts: &[Action]| {
+            acts.iter()
+                .filter(|x| matches!(x, Action::Send { .. } | Action::Broadcast { .. }))
+                .count()
+        };
+        assert_eq!(count(&a.actions), 2 * count(&b.actions));
+    }
+
+    #[test]
+    fn equivocation_splits_broadcasts() {
+        // The view-1 leader equivocates its first proposal.
+        let mut eq = adversary(Behavior::Equivocate);
+        let out = eq.on_event(Event::Start);
+        let sends: Vec<&Action> = out
+            .actions
+            .iter()
+            .filter(|a| matches!(a, Action::Send { .. }))
+            .collect();
+        // The broadcast became 3 per-destination sends.
+        assert_eq!(sends.len(), 3);
+        // Two distinct block ids among them.
+        let mut ids = std::collections::HashSet::new();
+        for a in sends {
+            if let Action::Send { message, .. } = a {
+                if let MsgBody::Proposal(p) = &message.body {
+                    ids.insert(p.blocks[0].id());
+                }
+            }
+        }
+        assert_eq!(ids.len(), 2, "expected two conflicting blocks");
+    }
+
+    #[test]
+    fn hide_qc_rewrites_view_changes() {
+        let mut a = adversary(Behavior::HideQc);
+        a.on_event(Event::Start);
+        // Force a timeout so a VIEW-CHANGE is produced.
+        let out = a.on_event(Event::Timeout { view: View(1) });
+        let vc = out.actions.iter().find_map(|x| match x {
+            Action::Send { message, .. } => match &message.body {
+                MsgBody::ViewChange(vc) => Some(vc.clone()),
+                _ => None,
+            },
+            _ => None,
+        });
+        let vc = vc.expect("a VIEW-CHANGE is sent on timeout");
+        assert_eq!(vc.last_voted.id, BlockId::GENESIS);
+        assert!(vc.high_qc.qc().expect("one qc").is_genesis());
+    }
+}

@@ -1,0 +1,617 @@
+//! The discrete-event simulation core.
+
+use crate::accounting::Accounting;
+use bytes_len::wire_len_of;
+use marlin_core::harness::build_protocol;
+use marlin_core::{Action, Config, Event, Note, Protocol, ProtocolKind};
+use marlin_types::{Block, Message, ReplicaId, Transaction, View};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BinaryHeap;
+
+/// Observer invoked on every commit at every replica.
+pub trait CommitObserver {
+    /// Called after `replica` commits `blocks` at simulated time
+    /// `now_ns`.
+    fn on_commit(&mut self, replica: ReplicaId, now_ns: u64, blocks: &[Block]);
+}
+
+/// Network and environment parameters.
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    /// One-way message latency in nanoseconds.
+    pub one_way_latency_ns: u64,
+    /// Seeded uniform jitter added to each delivery, `0..=jitter_ns`.
+    pub jitter_ns: u64,
+    /// Egress NIC bandwidth per replica, bits per second (all outgoing
+    /// copies share it). `0` disables the NIC model.
+    pub bandwidth_bps: u64,
+    /// Per-link bandwidth, bits per second (each destination has its own
+    /// pipe; the paper's "200 Mbps network bandwidth" on 1000 MB NICs).
+    /// `0` disables the link model.
+    pub link_bandwidth_bps: u64,
+    /// Probability of dropping any given message.
+    pub drop_rate: f64,
+    /// Whether the shadow-block wire optimisation is active (affects the
+    /// byte accounting and bandwidth costs of two-block proposals).
+    pub shadow_blocks: bool,
+    /// RNG seed (jitter and drops).
+    pub seed: u64,
+}
+
+impl SimConfig {
+    /// The paper's testbed (Section VI): 200 Mbps, 40 ms injected
+    /// latency, no loss.
+    pub fn paper_testbed() -> Self {
+        SimConfig {
+            one_way_latency_ns: 40_000_000,
+            jitter_ns: 200_000,
+            // "1000 MB NIC" ≈ 1 Gbps egress; 200 Mbps per network link.
+            bandwidth_bps: 1_000_000_000,
+            link_bandwidth_bps: 200_000_000,
+            drop_rate: 0.0,
+            shadow_blocks: true,
+            seed: 2022,
+        }
+    }
+
+    /// A fast LAN (for tests): 0.1 ms latency, 10 Gbps.
+    pub fn lan() -> Self {
+        SimConfig {
+            one_way_latency_ns: 100_000,
+            jitter_ns: 1_000,
+            bandwidth_bps: 10_000_000_000,
+            link_bandwidth_bps: 0,
+            drop_rate: 0.0,
+            shadow_blocks: true,
+            seed: 7,
+        }
+    }
+}
+
+/// Heap entry kinds.
+#[derive(Debug)]
+enum Ev {
+    Deliver { to: ReplicaId, msg: Message },
+    ViewTimer { replica: ReplicaId, view: View, seq: u64 },
+    Heartbeat { replica: ReplicaId, seq: u64 },
+    ClientBatch { to: ReplicaId, count: usize, payload_len: usize },
+    Crash { replica: ReplicaId },
+}
+
+struct Entry {
+    at_ns: u64,
+    tie: u64,
+    ev: Ev,
+}
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.at_ns == other.at_ns && self.tie == other.tie
+    }
+}
+impl Eq for Entry {}
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Min-heap: earliest first, FIFO tiebreak.
+        (other.at_ns, other.tie).cmp(&(self.at_ns, self.tie))
+    }
+}
+
+mod bytes_len {
+    use marlin_types::Message;
+
+    /// Wire length of a message under the configured shadow setting.
+    pub fn wire_len_of(msg: &Message, shadow: bool) -> usize {
+        msg.wire_len(shadow)
+    }
+}
+
+/// Message filter: return `false` to drop `msg` on the `from → to` link.
+pub type FilterFn = Box<dyn FnMut(ReplicaId, ReplicaId, &Message) -> bool>;
+
+/// A deterministic discrete-event simulation of a BFT cluster.
+pub struct SimNet {
+    cfg: SimConfig,
+    replicas: Vec<Box<dyn Protocol>>,
+    heap: BinaryHeap<Entry>,
+    tie: u64,
+    now_ns: u64,
+    /// Per-replica: simulated time until which the CPU is busy.
+    busy_until: Vec<u64>,
+    /// Per-replica: egress NIC free time.
+    nic_free: Vec<u64>,
+    /// Per-(from, to) link-pipe free time (flattened n×n).
+    link_free: Vec<u64>,
+    crashed: Vec<bool>,
+    live_view_timer: Vec<u64>,
+    live_heartbeat: Vec<u64>,
+    timer_seq: u64,
+    rng: StdRng,
+    accounting: Accounting,
+    committed_blocks: Vec<u64>,
+    committed_txs: Vec<u64>,
+    notes: Vec<(u64, ReplicaId, Note)>,
+    observer: Option<Box<dyn CommitObserver>>,
+    filter: Option<FilterFn>,
+    next_tx_id: u64,
+    events_processed: u64,
+}
+
+impl SimNet {
+    /// Builds a simulation of `config.n` replicas running `kind`.
+    pub fn new(kind: ProtocolKind, config: Config, sim: SimConfig) -> Self {
+        let replicas = (0..config.n)
+            .map(|i| build_protocol(kind, config.with_id(ReplicaId(i as u32))))
+            .collect();
+        Self::with_replicas(replicas, sim)
+    }
+
+    /// Builds a simulation over pre-constructed replicas (e.g. protocol
+    /// instances wrapped with storage by `marlin-node`).
+    pub fn with_replicas(replicas: Vec<Box<dyn Protocol>>, sim: SimConfig) -> Self {
+        let n = replicas.len();
+        let rng = StdRng::seed_from_u64(sim.seed);
+        let mut net = SimNet {
+            cfg: sim,
+            replicas,
+            heap: BinaryHeap::new(),
+            tie: 0,
+            now_ns: 0,
+            busy_until: vec![0; n],
+            nic_free: vec![0; n],
+            link_free: vec![0; n * n],
+            crashed: vec![false; n],
+            live_view_timer: vec![0; n],
+            live_heartbeat: vec![0; n],
+            timer_seq: 0,
+            rng,
+            accounting: Accounting::new(),
+            committed_blocks: vec![0; n],
+            committed_txs: vec![0; n],
+            notes: Vec::new(),
+            observer: None,
+            filter: None,
+            next_tx_id: 0,
+            events_processed: 0,
+        };
+        for i in 0..n {
+            net.step_replica(ReplicaId(i as u32), Event::Start);
+        }
+        net
+    }
+
+    /// Installs a commit observer (replacing any previous one).
+    pub fn set_observer(&mut self, observer: Box<dyn CommitObserver>) {
+        self.observer = Some(observer);
+    }
+
+    /// Removes and returns the commit observer.
+    pub fn take_observer(&mut self) -> Option<Box<dyn CommitObserver>> {
+        self.observer.take()
+    }
+
+    /// Installs a message filter (partitions / Byzantine suppression).
+    pub fn set_filter(&mut self, filter: FilterFn) {
+        self.filter = Some(filter);
+    }
+
+    /// Removes the message filter.
+    pub fn clear_filter(&mut self) {
+        self.filter = None;
+    }
+
+    /// The simulated clock.
+    pub fn now_ns(&self) -> u64 {
+        self.now_ns
+    }
+
+    /// Read access to a replica.
+    pub fn replica(&self, id: ReplicaId) -> &dyn Protocol {
+        self.replicas[id.index()].as_ref()
+    }
+
+    /// Traffic accounting.
+    pub fn accounting(&self) -> &Accounting {
+        &self.accounting
+    }
+
+    /// Clears the accounting window.
+    pub fn reset_accounting(&mut self) {
+        self.accounting.reset();
+    }
+
+    /// Blocks committed by `id` so far.
+    pub fn committed_blocks(&self, id: ReplicaId) -> u64 {
+        self.committed_blocks[id.index()]
+    }
+
+    /// Transactions committed by `id` so far.
+    pub fn committed_txs(&self, id: ReplicaId) -> u64 {
+        self.committed_txs[id.index()]
+    }
+
+    /// All trace notes `(time, replica, note)` so far.
+    pub fn notes(&self) -> &[(u64, ReplicaId, Note)] {
+        &self.notes
+    }
+
+    /// Total events processed (for sanity/perf introspection).
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Schedules a crash of `replica` at `at_ns`.
+    pub fn schedule_crash(&mut self, replica: ReplicaId, at_ns: u64) {
+        self.push(at_ns, Ev::Crash { replica });
+    }
+
+    /// Schedules `count` client transactions with `payload_len`-byte
+    /// payloads to arrive at `to` at `at_ns`. Client→replica latency is
+    /// assumed already included in `at_ns`; transaction timestamps are
+    /// set to `at_ns` so end-to-end latency can add the client legs.
+    pub fn schedule_client_batch(
+        &mut self,
+        to: ReplicaId,
+        at_ns: u64,
+        count: usize,
+        payload_len: usize,
+    ) {
+        self.push(at_ns, Ev::ClientBatch { to, count, payload_len });
+    }
+
+    /// Runs the simulation until the clock reaches `deadline_ns` (events
+    /// at exactly the deadline are processed).
+    pub fn run_until(&mut self, deadline_ns: u64) {
+        while let Some(top) = self.heap.peek() {
+            if top.at_ns > deadline_ns {
+                break;
+            }
+            let entry = self.heap.pop().expect("peeked");
+            self.now_ns = self.now_ns.max(entry.at_ns);
+            self.events_processed += 1;
+            self.dispatch_entry(entry);
+        }
+        self.now_ns = self.now_ns.max(deadline_ns);
+    }
+
+    /// Runs until no events remain (useful with `drop_rate = 0` and all
+    /// clients done; protocols keep heartbeats armed, so prefer
+    /// [`SimNet::run_until`] for time-bounded runs).
+    pub fn run_for_events(&mut self, max_events: u64) {
+        let target = self.events_processed + max_events;
+        while self.events_processed < target {
+            let Some(entry) = self.heap.pop() else { break };
+            self.now_ns = self.now_ns.max(entry.at_ns);
+            self.events_processed += 1;
+            self.dispatch_entry(entry);
+        }
+    }
+
+    // ------------------------------------------------------ internal --
+
+    fn push(&mut self, at_ns: u64, ev: Ev) {
+        self.tie += 1;
+        self.heap.push(Entry { at_ns, tie: self.tie, ev });
+    }
+
+    fn dispatch_entry(&mut self, entry: Entry) {
+        match entry.ev {
+            Ev::Deliver { to, msg } => {
+                if !self.crashed[to.index()] {
+                    self.step_replica(to, Event::Message(msg));
+                }
+            }
+            Ev::ViewTimer { replica, view, seq } => {
+                if !self.crashed[replica.index()]
+                    && self.live_view_timer[replica.index()] == seq
+                {
+                    self.step_replica(replica, Event::Timeout { view });
+                }
+            }
+            Ev::Heartbeat { replica, seq } => {
+                if !self.crashed[replica.index()] && self.live_heartbeat[replica.index()] == seq
+                {
+                    self.step_replica(replica, Event::Heartbeat);
+                }
+            }
+            Ev::ClientBatch { to, count, payload_len } => {
+                if !self.crashed[to.index()] {
+                    let now = self.now_ns;
+                    let txs: Vec<Transaction> = (0..count)
+                        .map(|_| {
+                            self.next_tx_id += 1;
+                            Transaction::new(
+                                self.next_tx_id,
+                                0,
+                                bytes::Bytes::from(vec![0u8; payload_len]),
+                                now,
+                            )
+                        })
+                        .collect();
+                    self.step_replica(to, Event::NewTransactions(txs));
+                }
+            }
+            Ev::Crash { replica } => {
+                self.crashed[replica.index()] = true;
+            }
+        }
+    }
+
+    fn step_replica(&mut self, id: ReplicaId, event: Event) {
+        // CPU model: the replica processes events sequentially; account
+        // the handling cost by pushing its busy horizon forward, and
+        // emit outputs only once the CPU has "finished".
+        let start = self.now_ns.max(self.busy_until[id.index()]);
+        let out = self.replicas[id.index()].step(event);
+        let done = start + out.cpu_ns;
+        self.busy_until[id.index()] = done;
+        for action in out.actions {
+            self.dispatch_action(id, done, action);
+        }
+    }
+
+    fn dispatch_action(&mut self, from: ReplicaId, at_ns: u64, action: Action) {
+        match action {
+            Action::Send { to, message } => {
+                debug_assert_ne!(to, from, "self-sends are resolved by step()");
+                self.transmit(from, to, message, at_ns);
+            }
+            Action::Broadcast { message } => {
+                for i in 0..self.replicas.len() {
+                    let to = ReplicaId(i as u32);
+                    if to != from {
+                        self.transmit(from, to, message.clone(), at_ns);
+                    }
+                }
+            }
+            Action::Commit { blocks } => {
+                self.committed_blocks[from.index()] += blocks.len() as u64;
+                self.committed_txs[from.index()] +=
+                    blocks.iter().map(|b| b.payload().len() as u64).sum::<u64>();
+                if let Some(obs) = self.observer.as_mut() {
+                    obs.on_commit(from, at_ns, &blocks);
+                }
+            }
+            Action::SetTimer { view, delay_ns } => {
+                self.timer_seq += 1;
+                self.live_view_timer[from.index()] = self.timer_seq;
+                self.push(at_ns + delay_ns, Ev::ViewTimer { replica: from, view, seq: self.timer_seq });
+            }
+            Action::SetHeartbeat { delay_ns } => {
+                self.timer_seq += 1;
+                self.live_heartbeat[from.index()] = self.timer_seq;
+                self.push(at_ns + delay_ns, Ev::Heartbeat { replica: from, seq: self.timer_seq });
+            }
+            Action::Note(note) => self.notes.push((at_ns, from, note)),
+        }
+    }
+
+    /// Applies the network model to one message transmission.
+    fn transmit(&mut self, from: ReplicaId, to: ReplicaId, msg: Message, at_ns: u64) {
+        if self.crashed[from.index()] {
+            return;
+        }
+        if let Some(filter) = self.filter.as_mut() {
+            if !filter(from, to, &msg) {
+                return;
+            }
+        }
+        let len = wire_len_of(&msg, self.cfg.shadow_blocks);
+        self.accounting.record(&msg, len);
+        if self.cfg.drop_rate > 0.0 && self.rng.gen_bool(self.cfg.drop_rate) {
+            return;
+        }
+        // Egress NIC: all outgoing copies serialize through it in turn.
+        let nic_done = if self.cfg.bandwidth_bps == 0 {
+            at_ns
+        } else {
+            let ser_ns = (len as u128 * 8 * 1_000_000_000 / self.cfg.bandwidth_bps as u128) as u64;
+            let start = at_ns.max(self.nic_free[from.index()]);
+            let done = start + ser_ns;
+            self.nic_free[from.index()] = done;
+            done
+        };
+        // Per-destination pipe: store-and-forward at the link rate.
+        let depart = if self.cfg.link_bandwidth_bps == 0 {
+            nic_done
+        } else {
+            let ser_ns =
+                (len as u128 * 8 * 1_000_000_000 / self.cfg.link_bandwidth_bps as u128) as u64;
+            let idx = from.index() * self.replicas.len() + to.index();
+            let start = nic_done.max(self.link_free[idx]);
+            let done = start + ser_ns;
+            self.link_free[idx] = done;
+            done
+        };
+        let jitter = if self.cfg.jitter_ns > 0 {
+            self.rng.gen_range(0..=self.cfg.jitter_ns)
+        } else {
+            0
+        };
+        let arrive = depart + self.cfg.one_way_latency_ns + jitter;
+        self.push(arrive, Ev::Deliver { to, msg });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use marlin_core::{Config, ProtocolKind};
+    use marlin_crypto::CostModel;
+
+    fn lan_sim(kind: ProtocolKind) -> SimNet {
+        SimNet::new(kind, Config::for_test(4, 1), SimConfig::lan())
+    }
+
+    #[test]
+    fn marlin_commits_under_lan() {
+        let mut sim = lan_sim(ProtocolKind::Marlin);
+        sim.schedule_client_batch(ReplicaId(1), 0, 100, 150);
+        sim.run_until(1_000_000_000);
+        for i in 0..4u32 {
+            assert!(sim.committed_txs(ReplicaId(i)) >= 100, "p{i}");
+        }
+    }
+
+    #[test]
+    fn determinism_same_seed_same_outcome() {
+        let run = || {
+            let mut sim = lan_sim(ProtocolKind::Marlin);
+            sim.schedule_client_batch(ReplicaId(1), 0, 50, 150);
+            sim.schedule_client_batch(ReplicaId(1), 5_000_000, 50, 150);
+            sim.run_until(500_000_000);
+            (sim.committed_txs(ReplicaId(0)), sim.accounting().total(), sim.events_processed())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn latency_delays_commits() {
+        // With 40ms one-way latency, a two-phase protocol needs at least
+        // 4 one-way hops to commit: nothing commits before ~160ms.
+        let mut cfg = SimConfig::paper_testbed();
+        cfg.bandwidth_bps = 0; // isolate latency
+        let mut sim = SimNet::new(ProtocolKind::Marlin, Config::for_test(4, 1), cfg);
+        sim.schedule_client_batch(ReplicaId(1), 0, 10, 150);
+        sim.run_until(159_000_000);
+        assert_eq!(sim.committed_txs(ReplicaId(1)), 0);
+        sim.run_until(2_000_000_000);
+        assert!(sim.committed_txs(ReplicaId(1)) >= 10);
+    }
+
+    #[test]
+    fn hotstuff_needs_more_hops_than_marlin() {
+        // First commit time: three-phase HotStuff (6 one-way hops) must
+        // trail two-phase Marlin (4 hops) by roughly 2 hops.
+        let first_commit_ns = |kind| {
+            let mut cfg = SimConfig::paper_testbed();
+            cfg.bandwidth_bps = 0;
+            let mut sim = SimNet::new(kind, Config::for_test(4, 1), cfg);
+            sim.schedule_client_batch(ReplicaId(1), 0, 10, 150);
+            sim.run_until(3_000_000_000);
+            sim.notes()
+                .iter()
+                .find_map(|(t, _, n)| match n {
+                    marlin_core::Note::Committed { txs, .. } if *txs > 0 => Some(*t),
+                    _ => None,
+                })
+                .expect("committed")
+        };
+        let marlin = first_commit_ns(ProtocolKind::Marlin);
+        let hotstuff = first_commit_ns(ProtocolKind::HotStuff);
+        // Two sequential blocks precede the first transaction commit
+        // (the empty bootstrap block, then the batch), so the expected
+        // gap is 2 blocks × 1 extra phase × 2 hops × 40 ms = 160 ms.
+        let delta = hotstuff.saturating_sub(marlin);
+        assert!(
+            (140_000_000..200_000_000).contains(&delta),
+            "expected ~160ms gap, got {delta}ns (marlin={marlin}, hotstuff={hotstuff})"
+        );
+    }
+
+    #[test]
+    fn bandwidth_serializes_large_broadcasts() {
+        // 8 Mbps NIC: broadcasting ~150-byte-tx batches to 3 peers takes
+        // measurable serialization time, delaying commits relative to an
+        // infinite-bandwidth run.
+        let mut slow = SimConfig::lan();
+        slow.bandwidth_bps = 8_000_000;
+        let commit_time = |cfg: SimConfig| {
+            // A view timeout larger than the serialization delay keeps
+            // the slow-NIC run free of spurious view changes.
+            let mut rcfg = Config::for_test(4, 1);
+            rcfg.base_timeout_ns = 5_000_000_000;
+            let mut sim = SimNet::new(ProtocolKind::Marlin, rcfg, cfg);
+            sim.schedule_client_batch(ReplicaId(1), 0, 100, 1500);
+            sim.run_until(5_000_000_000);
+            assert!(sim.committed_txs(ReplicaId(0)) >= 100);
+            sim.notes()
+                .iter()
+                .find_map(|(t, _, n)| match n {
+                    marlin_core::Note::Committed { txs, .. } if *txs > 0 => Some(*t),
+                    _ => None,
+                })
+                .unwrap()
+        };
+        let fast_t = commit_time(SimConfig::lan());
+        let slow_t = commit_time(slow);
+        assert!(slow_t > fast_t + 100_000, "bandwidth model had no effect: {fast_t} vs {slow_t}");
+    }
+
+    #[test]
+    fn crypto_cost_model_slows_processing() {
+        let run = |cost: CostModel| {
+            let mut cfg = Config::for_test(4, 1);
+            cfg.cost = cost;
+            let mut sim = SimNet::new(ProtocolKind::Marlin, cfg, SimConfig::lan());
+            sim.schedule_client_batch(ReplicaId(1), 0, 50, 150);
+            sim.run_until(3_000_000_000);
+            assert!(sim.committed_txs(ReplicaId(0)) >= 50);
+            sim.notes()
+                .iter()
+                .find_map(|(t, _, n)| match n {
+                    marlin_core::Note::Committed { txs, .. } if *txs > 0 => Some(*t),
+                    _ => None,
+                })
+                .unwrap()
+        };
+        assert!(run(CostModel::bls_like()) > run(CostModel::zero()));
+    }
+
+    #[test]
+    fn crash_and_view_change_in_simulation() {
+        let mut sim = SimNet::new(
+            ProtocolKind::Marlin,
+            Config::for_test(4, 1),
+            SimConfig::lan(),
+        );
+        sim.schedule_client_batch(ReplicaId(1), 0, 20, 0);
+        sim.schedule_crash(ReplicaId(1), 50_000_000);
+        // Submit to the next leader after the view change.
+        sim.schedule_client_batch(ReplicaId(2), 400_000_000, 20, 0);
+        sim.run_until(3_000_000_000);
+        for i in [0u32, 2, 3] {
+            assert!(
+                sim.committed_txs(ReplicaId(i)) >= 40,
+                "p{i} committed {}",
+                sim.committed_txs(ReplicaId(i))
+            );
+        }
+        // A view change happened.
+        assert!(sim
+            .notes()
+            .iter()
+            .any(|(_, _, n)| matches!(n, Note::HappyPathVc { .. } | Note::UnhappyPathVc { .. })));
+    }
+
+    #[test]
+    fn message_drops_are_survived() {
+        let mut cfg = SimConfig::lan();
+        cfg.drop_rate = 0.02;
+        let mut sim = SimNet::new(ProtocolKind::Marlin, Config::for_test(4, 1), cfg);
+        for k in 0..10 {
+            sim.schedule_client_batch(ReplicaId(1), k * 10_000_000, 10, 0);
+        }
+        sim.run_until(20_000_000_000);
+        assert!(sim.committed_txs(ReplicaId(0)) >= 80);
+    }
+
+    #[test]
+    fn accounting_records_traffic() {
+        let mut sim = lan_sim(ProtocolKind::Marlin);
+        sim.schedule_client_batch(ReplicaId(1), 0, 10, 150);
+        sim.run_until(500_000_000);
+        let total = sim.accounting().total();
+        assert!(total.messages > 0);
+        assert!(total.bytes > 0);
+        assert!(total.authenticators > 0);
+        sim.reset_accounting();
+        assert_eq!(sim.accounting().total().messages, 0);
+    }
+}

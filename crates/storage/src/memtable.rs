@@ -1,0 +1,102 @@
+//! The in-memory write buffer.
+
+use std::collections::BTreeMap;
+
+/// A sorted in-memory table of pending writes; `None` values are
+/// tombstones (deletions awaiting compaction).
+#[derive(Clone, Debug, Default)]
+pub struct MemTable {
+    entries: BTreeMap<Vec<u8>, Option<Vec<u8>>>,
+    approx_bytes: usize,
+}
+
+impl MemTable {
+    /// An empty memtable.
+    pub fn new() -> Self {
+        MemTable::default()
+    }
+
+    /// Buffers a write.
+    pub fn put(&mut self, key: Vec<u8>, value: Vec<u8>) {
+        self.approx_bytes += key.len() + value.len() + 16;
+        self.entries.insert(key, Some(value));
+    }
+
+    /// Buffers a deletion (tombstone).
+    pub fn delete(&mut self, key: Vec<u8>) {
+        self.approx_bytes += key.len() + 16;
+        self.entries.insert(key, None);
+    }
+
+    /// Looks a key up. `None` = not present here; `Some(None)` =
+    /// tombstoned; `Some(Some(v))` = live value.
+    pub fn get(&self, key: &[u8]) -> Option<Option<&[u8]>> {
+        self.entries.get(key).map(|v| v.as_deref())
+    }
+
+    /// Number of buffered entries (including tombstones).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn approx_bytes(&self) -> usize {
+        self.approx_bytes
+    }
+
+    /// Drains all entries in key order (for a segment flush).
+    pub fn drain_sorted(&mut self) -> Vec<(Vec<u8>, Option<Vec<u8>>)> {
+        self.approx_bytes = 0;
+        std::mem::take(&mut self.entries).into_iter().collect()
+    }
+
+    /// Iterates entries in key order without draining.
+    pub fn iter(&self) -> impl Iterator<Item = (&Vec<u8>, &Option<Vec<u8>>)> {
+        self.entries.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_delete() {
+        let mut m = MemTable::new();
+        assert!(m.is_empty());
+        m.put(b"k".to_vec(), b"v1".to_vec());
+        assert_eq!(m.get(b"k"), Some(Some(&b"v1"[..])));
+        m.put(b"k".to_vec(), b"v2".to_vec());
+        assert_eq!(m.get(b"k"), Some(Some(&b"v2"[..])));
+        m.delete(b"k".to_vec());
+        assert_eq!(m.get(b"k"), Some(None));
+        assert_eq!(m.get(b"absent"), None);
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn drain_is_sorted_and_empties() {
+        let mut m = MemTable::new();
+        m.put(b"b".to_vec(), b"2".to_vec());
+        m.put(b"a".to_vec(), b"1".to_vec());
+        m.delete(b"c".to_vec());
+        let drained = m.drain_sorted();
+        let keys: Vec<&[u8]> = drained.iter().map(|(k, _)| k.as_slice()).collect();
+        assert_eq!(keys, vec![&b"a"[..], &b"b"[..], &b"c"[..]]);
+        assert!(m.is_empty());
+        assert_eq!(m.approx_bytes(), 0);
+    }
+
+    #[test]
+    fn approx_bytes_grows() {
+        let mut m = MemTable::new();
+        let before = m.approx_bytes();
+        m.put(vec![0; 100], vec![0; 900]);
+        assert!(m.approx_bytes() >= before + 1000);
+    }
+}

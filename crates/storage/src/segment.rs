@@ -1,0 +1,221 @@
+//! Immutable sorted segments (the store's "SSTables").
+
+use crate::crc::crc32;
+use crate::disk::Disk;
+use std::io;
+
+/// An immutable sorted run of key/value entries loaded in memory.
+///
+/// On-disk format:
+/// `count: u32 | entries | crc: u32` where each entry is
+/// `klen: u32 | key | tomb: u8 | vlen: u32 | value`.
+#[derive(Clone, Debug)]
+pub struct Segment {
+    /// Sorted `(key, value-or-tombstone)` pairs.
+    entries: Vec<(Vec<u8>, Option<Vec<u8>>)>,
+}
+
+impl Segment {
+    /// Builds a segment from sorted entries.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts that keys are strictly increasing.
+    pub fn from_sorted(entries: Vec<(Vec<u8>, Option<Vec<u8>>)>) -> Self {
+        debug_assert!(entries.windows(2).all(|w| w[0].0 < w[1].0), "unsorted segment");
+        Segment { entries }
+    }
+
+    /// Number of entries (including tombstones).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the segment is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Binary-searches for `key`.
+    pub fn get(&self, key: &[u8]) -> Option<Option<&[u8]>> {
+        self.entries
+            .binary_search_by(|(k, _)| k.as_slice().cmp(key))
+            .ok()
+            .map(|i| self.entries[i].1.as_deref())
+    }
+
+    /// Iterates entries in key order.
+    pub fn iter(&self) -> impl Iterator<Item = &(Vec<u8>, Option<Vec<u8>>)> {
+        self.entries.iter()
+    }
+
+    /// Serialized byte size (what a write to disk costs).
+    pub fn encoded_len(&self) -> usize {
+        8 + self
+            .entries
+            .iter()
+            .map(|(k, v)| 4 + k.len() + 1 + 4 + v.as_ref().map_or(0, Vec::len))
+            .sum::<usize>()
+    }
+
+    /// Writes the segment to `disk` under `name`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates disk errors.
+    pub fn write<D: Disk>(&self, disk: &mut D, name: &str) -> io::Result<()> {
+        let mut buf = Vec::with_capacity(self.encoded_len());
+        buf.extend_from_slice(&(self.entries.len() as u32).to_le_bytes());
+        for (k, v) in &self.entries {
+            buf.extend_from_slice(&(k.len() as u32).to_le_bytes());
+            buf.extend_from_slice(k);
+            match v {
+                Some(v) => {
+                    buf.push(0);
+                    buf.extend_from_slice(&(v.len() as u32).to_le_bytes());
+                    buf.extend_from_slice(v);
+                }
+                None => {
+                    buf.push(1);
+                    buf.extend_from_slice(&0u32.to_le_bytes());
+                }
+            }
+        }
+        let crc = crc32(&buf);
+        buf.extend_from_slice(&crc.to_le_bytes());
+        disk.write_file(name, &buf)
+    }
+
+    /// Loads a segment from `disk`.
+    ///
+    /// # Errors
+    ///
+    /// Returns `InvalidData` on truncation or checksum mismatch.
+    pub fn load<D: Disk>(disk: &D, name: &str) -> io::Result<Self> {
+        let data = disk.read_file(name)?;
+        let bad = |what: &str| io::Error::new(io::ErrorKind::InvalidData, what.to_string());
+        if data.len() < 8 {
+            return Err(bad("segment too short"));
+        }
+        let (body, crc_bytes) = data.split_at(data.len() - 4);
+        let crc = u32::from_le_bytes(crc_bytes.try_into().expect("4 bytes"));
+        if crc32(body) != crc {
+            return Err(bad("segment checksum mismatch"));
+        }
+        let count = u32::from_le_bytes(body[..4].try_into().expect("4 bytes")) as usize;
+        let mut pos = 4usize;
+        let mut entries = Vec::with_capacity(count.min(1 << 20));
+        for _ in 0..count {
+            if pos + 4 > body.len() {
+                return Err(bad("truncated key length"));
+            }
+            let klen =
+                u32::from_le_bytes(body[pos..pos + 4].try_into().expect("4 bytes")) as usize;
+            pos += 4;
+            if pos + klen + 5 > body.len() {
+                return Err(bad("truncated entry"));
+            }
+            let key = body[pos..pos + klen].to_vec();
+            pos += klen;
+            let tomb = body[pos] == 1;
+            pos += 1;
+            let vlen =
+                u32::from_le_bytes(body[pos..pos + 4].try_into().expect("4 bytes")) as usize;
+            pos += 4;
+            if pos + vlen > body.len() {
+                return Err(bad("truncated value"));
+            }
+            let value = (!tomb).then(|| body[pos..pos + vlen].to_vec());
+            pos += vlen;
+            entries.push((key, value));
+        }
+        Ok(Segment { entries })
+    }
+
+    /// Merges segments (newest first) into one, dropping shadowed
+    /// entries; with `drop_tombstones` the result omits deletions (safe
+    /// only for a full compaction).
+    pub fn merge(newest_first: &[&Segment], drop_tombstones: bool) -> Segment {
+        let mut merged: std::collections::BTreeMap<Vec<u8>, Option<Vec<u8>>> =
+            std::collections::BTreeMap::new();
+        // Iterate oldest→newest so newer entries overwrite older ones.
+        for seg in newest_first.iter().rev() {
+            for (k, v) in seg.iter() {
+                merged.insert(k.clone(), v.clone());
+            }
+        }
+        if drop_tombstones {
+            merged.retain(|_, v| v.is_some());
+        }
+        Segment { entries: merged.into_iter().collect() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disk::MemDisk;
+
+    fn seg(pairs: &[(&[u8], Option<&[u8]>)]) -> Segment {
+        Segment::from_sorted(
+            pairs
+                .iter()
+                .map(|(k, v)| (k.to_vec(), v.map(|v| v.to_vec())))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn write_load_round_trip() {
+        let mut d = MemDisk::new();
+        let s = seg(&[(b"a", Some(b"1")), (b"b", None), (b"c", Some(b""))]);
+        s.write(&mut d, "seg-1").unwrap();
+        let loaded = Segment::load(&d, "seg-1").unwrap();
+        assert_eq!(loaded.len(), 3);
+        assert_eq!(loaded.get(b"a"), Some(Some(&b"1"[..])));
+        assert_eq!(loaded.get(b"b"), Some(None));
+        assert_eq!(loaded.get(b"c"), Some(Some(&b""[..])));
+        assert_eq!(loaded.get(b"zz"), None);
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let mut d = MemDisk::new();
+        seg(&[(b"k", Some(b"v"))]).write(&mut d, "seg").unwrap();
+        let mut raw = d.read_file("seg").unwrap();
+        raw[6] ^= 0x55;
+        d.write_file("seg", &raw).unwrap();
+        assert!(Segment::load(&d, "seg").is_err());
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let mut d = MemDisk::new();
+        seg(&[(b"k", Some(b"v"))]).write(&mut d, "seg").unwrap();
+        let raw = d.read_file("seg").unwrap();
+        d.write_file("seg", &raw[..raw.len() - 6]).unwrap();
+        assert!(Segment::load(&d, "seg").is_err());
+    }
+
+    #[test]
+    fn merge_prefers_newest_and_drops_tombstones() {
+        let old = seg(&[(b"a", Some(b"old")), (b"b", Some(b"keep")), (b"c", Some(b"dead"))]);
+        let new = seg(&[(b"a", Some(b"new")), (b"c", None)]);
+        let merged = Segment::merge(&[&new, &old], false);
+        assert_eq!(merged.get(b"a"), Some(Some(&b"new"[..])));
+        assert_eq!(merged.get(b"b"), Some(Some(&b"keep"[..])));
+        assert_eq!(merged.get(b"c"), Some(None));
+        let compacted = Segment::merge(&[&new, &old], true);
+        assert_eq!(compacted.get(b"c"), None);
+        assert_eq!(compacted.len(), 2);
+    }
+
+    #[test]
+    fn encoded_len_matches_bytes_written() {
+        let mut d = MemDisk::new();
+        let s = seg(&[(b"alpha", Some(b"beta")), (b"gamma", None)]);
+        s.write(&mut d, "seg").unwrap();
+        // encoded_len accounts for the count prefix and the CRC suffix.
+        assert_eq!(d.read_file("seg").unwrap().len(), s.encoded_len());
+    }
+}

@@ -1,0 +1,411 @@
+//! The wire message format shared by Marlin and every baseline protocol
+//! in this workspace.
+//!
+//! The paper's message `m` carries `m.view`, `m.type`, `m.block`,
+//! `m.justify` (one or two QCs), and `m.parsig`. This module realizes
+//! that shape as a tagged union, extended with the messages the baseline
+//! protocols and the block-synchronisation layer need.
+
+use crate::block::{Block, BlockId, BlockMeta, Justify};
+use crate::ids::{ReplicaId, View};
+use crate::qc::{Phase, Qc, QcSeed};
+use marlin_crypto::{PartialSig, Sha256, Signature};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A protocol message.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct Message {
+    /// Sender.
+    pub from: ReplicaId,
+    /// View in which the message was sent (`m.view`).
+    pub view: View,
+    /// The message body (`m.type` plus its fields).
+    pub body: MsgBody,
+}
+
+impl Message {
+    /// Creates a message.
+    pub fn new(from: ReplicaId, view: View, body: MsgBody) -> Self {
+        Message { from, view, body }
+    }
+
+    /// Bytes this message occupies on the wire. With `shadow` enabled,
+    /// the second block of a two-proposal `PRE-PREPARE` is charged only
+    /// its header (the shadow-block optimisation of Section IV-D).
+    pub fn wire_len(&self, shadow: bool) -> usize {
+        // from(4) + view(8) + body tag(1)
+        13 + self.body.wire_len(shadow)
+    }
+
+    /// Authenticators this message carries, under the paper's metric
+    /// (Section III): each partial signature or conventional signature is
+    /// one authenticator; QCs count per their format.
+    pub fn authenticator_count(&self) -> usize {
+        self.body.authenticator_count()
+    }
+}
+
+/// Message bodies.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum MsgBody {
+    /// Leader broadcast: a proposal for one or two blocks in some phase.
+    Proposal(Proposal),
+    /// Replica→leader vote carrying a partial signature.
+    Vote(Vote),
+    /// Replica→new-leader `VIEW-CHANGE`.
+    ViewChange(ViewChange),
+    /// Leader broadcast of a `commitQC`, triggering delivery.
+    Decide(Decide),
+    /// Request for a missing block (block synchronisation).
+    FetchRequest {
+        /// The block being requested.
+        block: BlockId,
+    },
+    /// Response carrying a previously proposed block.
+    FetchResponse {
+        /// The requested block.
+        block: Block,
+        /// For virtual blocks: the responder's resolved parent id
+        /// (virtual blocks carry no parent link of their own).
+        virtual_parent: Option<BlockId>,
+    },
+}
+
+impl MsgBody {
+    fn wire_len(&self, shadow: bool) -> usize {
+        match self {
+            MsgBody::Proposal(p) => p.wire_len(shadow),
+            MsgBody::Vote(v) => v.wire_len(),
+            MsgBody::ViewChange(vc) => vc.wire_len(),
+            MsgBody::Decide(d) => d.wire_len(),
+            MsgBody::FetchRequest { .. } => 32,
+            MsgBody::FetchResponse { block, .. } => block.wire_len() + 33,
+        }
+    }
+
+    fn authenticator_count(&self) -> usize {
+        match self {
+            MsgBody::Proposal(p) => p.authenticator_count(),
+            MsgBody::Vote(v) => v.authenticator_count(),
+            MsgBody::ViewChange(vc) => vc.authenticator_count(),
+            MsgBody::Decide(d) => d.commit_qc.authenticator_count(),
+            MsgBody::FetchRequest { .. } => 0,
+            MsgBody::FetchResponse { block, .. } => block.justify().authenticator_count(),
+        }
+    }
+}
+
+/// A leader's proposal broadcast.
+///
+/// * Normal-case `PREPARE`: one block, `justify` per Case N1/N2.
+/// * Normal-case `COMMIT` (and HotStuff `PRE-COMMIT`/`COMMIT`): no block
+///   payload — the certified block is identified by `justify`'s QC.
+/// * View-change `PRE-PREPARE`: one block (Case V2) or two shadow blocks
+///   (Cases V1/V3).
+/// * Jolteon-style protocols attach their quadratic new-view proof in
+///   `vc_proof`.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct Proposal {
+    /// The phase this proposal drives.
+    pub phase: Phase,
+    /// Zero, one, or two proposed blocks.
+    pub blocks: Vec<Block>,
+    /// The justifying certificate(s) (`m.justify`).
+    pub justify: Justify,
+    /// Quadratic view-change proof (Jolteon/Fast-HotStuff baselines
+    /// only; empty for Marlin and HotStuff).
+    pub vc_proof: Vec<VcCert>,
+}
+
+impl Proposal {
+    fn wire_len(&self, shadow: bool) -> usize {
+        let mut len = 1 + 1; // phase + block count
+        let dedup = shadow
+            && self.blocks.len() == 2
+            && self.blocks[0].payload() == self.blocks[1].payload();
+        for (i, b) in self.blocks.iter().enumerate() {
+            len += if dedup && i == 1 { b.header_wire_len() } else { b.wire_len() };
+        }
+        len += self.justify.wire_len();
+        len += 2 + self.vc_proof.iter().map(VcCert::wire_len).sum::<usize>();
+        len
+    }
+
+    fn authenticator_count(&self) -> usize {
+        self.justify.authenticator_count()
+            + self
+                .blocks
+                .iter()
+                .map(|b| b.justify().authenticator_count())
+                .sum::<usize>()
+            + self.vc_proof.iter().map(VcCert::authenticator_count).sum::<usize>()
+    }
+}
+
+/// A replica's vote: the seed it signed plus the partial signature.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct Vote {
+    /// The exact content the partial signature covers.
+    pub seed: QcSeed,
+    /// The vote share.
+    pub parsig: PartialSig,
+    /// Case R2 of the view change: the voter attaches its `lockedQC`
+    /// (the `prepareQC` for the virtual block's parent).
+    pub locked_qc: Option<Qc>,
+}
+
+impl Vote {
+    fn wire_len(&self) -> usize {
+        // seed: phase(1)+view(8)+block(32)+height(8)+block_view(8)
+        //       +pview(8)+kind(1) = 66
+        66 + PartialSig::WIRE_LEN
+            + 1
+            + self.locked_qc.as_ref().map_or(0, Qc::wire_len)
+    }
+
+    fn authenticator_count(&self) -> usize {
+        1 + self.locked_qc.as_ref().map_or(0, Qc::authenticator_count)
+    }
+}
+
+/// A `VIEW-CHANGE` message: the replica's last voted block (as compact
+/// metadata), its `highQC`, and a partial signature over the happy-path
+/// prepare seed for the last voted block at the new view.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct ViewChange {
+    /// Metadata of the sender's last voted block `lb`.
+    pub last_voted: BlockMeta,
+    /// The sender's `highQC` (one QC, or a `(qc, vc)` pair).
+    pub high_qc: Justify,
+    /// Partial signature over [`ViewChange::happy_seed`] for the target
+    /// view, enabling the happy-path `prepareQC`.
+    pub parsig: PartialSig,
+    /// Conventional signature over [`VcCert::signing_bytes`] — present
+    /// only in Jolteon-style protocols whose leaders assemble quadratic
+    /// view-change proofs from these certificates.
+    pub cert: Option<Signature>,
+}
+
+impl ViewChange {
+    /// The seed the view-change partial signature covers: a `PREPARE`
+    /// certification of `last_voted` at `view`. If all `n − f`
+    /// view-change messages agree on `last_voted`, the leader combines
+    /// their partials into a `prepareQC` and skips the pre-prepare phase
+    /// ("happy path", Section V-C).
+    pub fn happy_seed(last_voted: &BlockMeta, view: View) -> QcSeed {
+        QcSeed {
+            phase: Phase::Prepare,
+            view,
+            block: last_voted.id,
+            height: last_voted.height,
+            block_view: last_voted.view,
+            pview: last_voted.pview,
+            block_kind: last_voted.kind,
+        }
+    }
+
+    fn wire_len(&self) -> usize {
+        BlockMeta::WIRE_LEN
+            + self.high_qc.wire_len()
+            + PartialSig::WIRE_LEN
+            + 1
+            + self.cert.map_or(0, |_| crate::message::SIGNATURE_WIRE_LEN)
+    }
+
+    fn authenticator_count(&self) -> usize {
+        1 + self.high_qc.authenticator_count() + usize::from(self.cert.is_some())
+    }
+}
+
+/// Wire length of a conventional signature inside a message.
+pub(crate) const SIGNATURE_WIRE_LEN: usize = marlin_crypto::SIGNATURE_LEN;
+
+/// A `commitQC` broadcast: receivers deliver the certified block and its
+/// ancestors.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct Decide {
+    /// The commit certificate.
+    pub commit_qc: Qc,
+}
+
+impl Decide {
+    fn wire_len(&self) -> usize {
+        self.commit_qc.wire_len()
+    }
+}
+
+/// One entry of a Jolteon/Fast-HotStuff-style quadratic view-change
+/// proof: a conventionally signed statement of a replica's `highQC` for
+/// the new view.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct VcCert {
+    /// The attesting replica.
+    pub from: ReplicaId,
+    /// Its claimed `highQC`.
+    pub high_qc: Qc,
+    /// Conventional signature over [`VcCert::signing_bytes`].
+    pub sig: Signature,
+}
+
+impl VcCert {
+    /// The byte string `sig` covers.
+    pub fn signing_bytes(from: ReplicaId, view: View, high_qc: &Qc) -> [u8; 32] {
+        let mut h = Sha256::new();
+        h.update(b"marlin.vccert.v1");
+        h.update(&from.0.to_le_bytes());
+        h.update(&view.0.to_le_bytes());
+        h.update(&high_qc.seed().signing_bytes());
+        h.finalize().into_bytes()
+    }
+
+    fn wire_len(&self) -> usize {
+        4 + self.high_qc.wire_len() + marlin_crypto::SIGNATURE_LEN
+    }
+
+    fn authenticator_count(&self) -> usize {
+        1 + self.high_qc.authenticator_count()
+    }
+}
+
+impl fmt::Display for Message {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let kind = match &self.body {
+            MsgBody::Proposal(p) => format!("Proposal({:?},{} blocks)", p.phase, p.blocks.len()),
+            MsgBody::Vote(v) => format!("Vote({:?})", v.seed.phase),
+            MsgBody::ViewChange(_) => "ViewChange".to_string(),
+            MsgBody::Decide(_) => "Decide".to_string(),
+            MsgBody::FetchRequest { .. } => "FetchRequest".to_string(),
+            MsgBody::FetchResponse { .. } => "FetchResponse".to_string(),
+        };
+        write!(f, "[{} {:?} {}]", self.from, self.view, kind)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transaction::{Batch, Transaction};
+    use bytes::Bytes;
+
+    fn block_with_payload(len: usize) -> Block {
+        let g = Block::genesis();
+        let tx = Transaction::new(1, 0, Bytes::from(vec![7u8; len]), 0);
+        Block::new_normal(
+            g.id(),
+            g.view(),
+            View(1),
+            g.height().next(),
+            Batch::new(vec![tx]),
+            Justify::One(Qc::genesis(g.id())),
+        )
+    }
+
+    fn shadow_pair(len: usize) -> (Block, Block) {
+        let g = Block::genesis();
+        let tx = Transaction::new(1, 0, Bytes::from(vec![7u8; len]), 0);
+        let payload = Batch::new(vec![tx]);
+        let b1 = Block::new_normal(
+            g.id(),
+            g.view(),
+            View(2),
+            g.height().next(),
+            payload.clone(),
+            Justify::One(Qc::genesis(g.id())),
+        );
+        let b2 = Block::new_virtual(
+            g.view(),
+            View(2),
+            g.height().plus(2),
+            payload,
+            Justify::One(Qc::genesis(g.id())),
+        );
+        (b1, b2)
+    }
+
+    #[test]
+    fn shadow_blocks_save_payload_bytes() {
+        let (b1, b2) = shadow_pair(150);
+        let payload_len = b1.payload().wire_len();
+        let prop = Proposal {
+            phase: Phase::PrePrepare,
+            blocks: vec![b1, b2],
+            justify: Justify::None,
+            vc_proof: Vec::new(),
+        };
+        let msg = Message::new(ReplicaId(0), View(2), MsgBody::Proposal(prop));
+        let with = msg.wire_len(true);
+        let without = msg.wire_len(false);
+        assert_eq!(without - with, payload_len);
+    }
+
+    #[test]
+    fn shadow_does_not_apply_to_distinct_payloads() {
+        let b1 = block_with_payload(100);
+        let (_, b2) = shadow_pair(150);
+        let prop = Proposal {
+            phase: Phase::PrePrepare,
+            blocks: vec![b1, b2],
+            justify: Justify::None,
+            vc_proof: Vec::new(),
+        };
+        let msg = Message::new(ReplicaId(0), View(2), MsgBody::Proposal(prop));
+        assert_eq!(msg.wire_len(true), msg.wire_len(false));
+    }
+
+    #[test]
+    fn vote_authenticators() {
+        let g = Block::genesis();
+        let keys = marlin_crypto::KeyStore::generate(4, 1, 1);
+        let seed = g.vote_seed(Phase::Prepare, View(1));
+        let vote = Vote {
+            seed,
+            parsig: keys.signer(0).sign_partial(&seed.signing_bytes()),
+            locked_qc: None,
+        };
+        assert_eq!(vote.authenticator_count(), 1);
+        let with_lock = Vote { locked_qc: Some(Qc::genesis(g.id())), ..vote };
+        assert_eq!(with_lock.authenticator_count(), 1);
+    }
+
+    #[test]
+    fn happy_seed_is_deterministic_across_replicas() {
+        let meta = BlockMeta::genesis();
+        let a = ViewChange::happy_seed(&meta, View(5));
+        let b = ViewChange::happy_seed(&meta, View(5));
+        assert_eq!(a.signing_bytes(), b.signing_bytes());
+        assert_ne!(
+            ViewChange::happy_seed(&meta, View(6)).signing_bytes(),
+            a.signing_bytes()
+        );
+    }
+
+    #[test]
+    fn vc_cert_signing_bytes_bind_fields() {
+        let qc = Qc::genesis(BlockId::GENESIS);
+        let base = VcCert::signing_bytes(ReplicaId(1), View(2), &qc);
+        assert_ne!(VcCert::signing_bytes(ReplicaId(2), View(2), &qc), base);
+        assert_ne!(VcCert::signing_bytes(ReplicaId(1), View(3), &qc), base);
+    }
+
+    #[test]
+    fn message_wire_len_includes_header() {
+        let msg = Message::new(
+            ReplicaId(3),
+            View(9),
+            MsgBody::FetchRequest { block: BlockId::GENESIS },
+        );
+        assert_eq!(msg.wire_len(false), 13 + 32);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let msg = Message::new(
+            ReplicaId(3),
+            View(9),
+            MsgBody::FetchRequest { block: BlockId::GENESIS },
+        );
+        let s = msg.to_string();
+        assert!(s.contains("p3") && s.contains("v9") && s.contains("FetchRequest"));
+    }
+}

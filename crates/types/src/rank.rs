@@ -1,0 +1,202 @@
+//! Rank comparison rules for quorum certificates and blocks
+//! (paper Figure 4 and Section V-A).
+//!
+//! Ranks determine whether a proposal may safely be accepted. For QCs the
+//! rules of Figure 4 form a **total preorder**: every pair of QCs is
+//! comparable, but distinct QCs can share a rank (e.g. two
+//! `pre-prepareQC`s formed in the same view have equal rank regardless of
+//! height). For blocks the relation of Section V-A is a *partial* order —
+//! within one view a block only outranks another if it is higher **and**
+//! its justify is a `prepareQC` formed in that same view.
+//!
+//! # Example
+//!
+//! ```
+//! use marlin_types::rank::qc_rank_cmp;
+//! use marlin_types::{Phase, Qc, QcSeed, View, Height, BlockId, BlockKind};
+//! use std::cmp::Ordering;
+//!
+//! let lo = Qc::genesis(BlockId::GENESIS);
+//! let hi = Qc::genesis(BlockId::GENESIS); // same seed → same rank
+//! assert_eq!(qc_rank_cmp(&lo, &hi), Ordering::Equal);
+//! ```
+
+use crate::block::BlockMeta;
+use crate::qc::Qc;
+use std::cmp::Ordering;
+
+/// The totally ordered key realizing Figure 4's comparison rules.
+///
+/// * rule (a): view dominates;
+/// * rule (b): within a view, `PREPARE`/`COMMIT` (the "high class")
+///   outrank `PRE-PREPARE`;
+/// * rule (c): within a view and the high class, height decides;
+///   `PRE-PREPARE` QCs of one view are all equal regardless of height.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct RankKey {
+    view: u64,
+    high_class: bool,
+    height: u64,
+}
+
+/// The rank key of a certificate.
+pub fn qc_rank(qc: &Qc) -> RankKey {
+    let high_class = qc.phase().is_high_class();
+    RankKey {
+        view: qc.view().0,
+        high_class,
+        // Heights only discriminate within the high class (rule c);
+        // pre-prepare QCs of one view share a rank whatever their height.
+        height: if high_class { qc.height().0 } else { 0 },
+    }
+}
+
+/// Compares two certificates by rank (`Ordering::Equal` means
+/// "same rank", which does **not** imply the QCs are identical).
+pub fn qc_rank_cmp(a: &Qc, b: &Qc) -> Ordering {
+    qc_rank(a).cmp(&qc_rank(b))
+}
+
+/// `rank(a) ≥ rank(b)` for certificates; treats `None` as minus infinity
+/// (a replica that has never locked accepts any valid QC).
+pub fn qc_rank_ge(a: &Qc, b: Option<&Qc>) -> bool {
+    match b {
+        None => true,
+        Some(b) => qc_rank_cmp(a, b) != Ordering::Less,
+    }
+}
+
+/// Block rank: `rank(a) > rank(b)` per Section V-A.
+///
+/// True iff `a.view > b.view`, or (`a.view = b.view`, `a.height >
+/// b.height`, and `a.justify` is a `prepareQC` formed in `a.view` —
+/// captured by [`BlockMeta::rank_boost`]).
+pub fn block_rank_gt(a: &BlockMeta, b: &BlockMeta) -> bool {
+    a.view > b.view || (a.view == b.view && a.height > b.height && a.rank_boost)
+}
+
+/// Selects the metadata of a highest-ranked block from `candidates`
+/// (any maximal element of the partial order; ties broken by first seen).
+pub fn highest_block<'a, I>(candidates: I) -> Option<&'a BlockMeta>
+where
+    I: IntoIterator<Item = &'a BlockMeta>,
+{
+    let mut best: Option<&BlockMeta> = None;
+    for c in candidates {
+        match best {
+            None => best = Some(c),
+            Some(b) => {
+                if block_rank_gt(c, b) {
+                    best = Some(c);
+                }
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::{BlockId, BlockKind};
+    use crate::ids::{Height, View};
+    use crate::qc::{Phase, QcSeed};
+    use marlin_crypto::sha256;
+
+    fn qc(phase: Phase, view: u64, height: u64) -> Qc {
+        let seed = QcSeed {
+            phase,
+            view: View(view),
+            block: BlockId::from_digest(sha256(&[view as u8, height as u8, phase as u8])),
+            height: Height(height),
+            block_view: View(view),
+            pview: View(view.saturating_sub(1)),
+            block_kind: BlockKind::Normal,
+        };
+        // Rank never inspects the signature, so the genesis signature is
+        // a fine stand-in for tests.
+        Qc::new(seed, *Qc::genesis(BlockId::GENESIS).sig())
+    }
+
+    fn meta(view: u64, height: u64, rank_boost: bool) -> BlockMeta {
+        BlockMeta {
+            id: BlockId::from_digest(sha256(&[view as u8, height as u8, rank_boost as u8])),
+            view: View(view),
+            height: Height(height),
+            pview: View(view.saturating_sub(1)),
+            kind: BlockKind::Normal,
+            rank_boost,
+        }
+    }
+
+    #[test]
+    fn rule_a_view_dominates() {
+        // Even a PRE-PREPARE in a later view outranks a COMMIT earlier.
+        assert_eq!(qc_rank_cmp(&qc(Phase::PrePrepare, 5, 1), &qc(Phase::Commit, 4, 99)), Ordering::Greater);
+    }
+
+    #[test]
+    fn rule_b_class_dominates_within_view() {
+        assert_eq!(qc_rank_cmp(&qc(Phase::Prepare, 3, 1), &qc(Phase::PrePrepare, 3, 9)), Ordering::Greater);
+        assert_eq!(qc_rank_cmp(&qc(Phase::Commit, 3, 1), &qc(Phase::PrePrepare, 3, 9)), Ordering::Greater);
+    }
+
+    #[test]
+    fn rule_c_height_decides_in_high_class() {
+        assert_eq!(qc_rank_cmp(&qc(Phase::Prepare, 3, 5), &qc(Phase::Commit, 3, 4)), Ordering::Greater);
+        assert_eq!(qc_rank_cmp(&qc(Phase::Prepare, 3, 4), &qc(Phase::Commit, 3, 4)), Ordering::Equal);
+    }
+
+    #[test]
+    fn pre_prepare_heights_do_not_discriminate() {
+        // Figure 5: qc3 and qc3' have the same rank although their
+        // heights differ.
+        assert_eq!(qc_rank_cmp(&qc(Phase::PrePrepare, 3, 7), &qc(Phase::PrePrepare, 3, 8)), Ordering::Equal);
+    }
+
+    #[test]
+    fn figure5_example() {
+        // Reconstruction of the paper's Figure 5 rank chain:
+        //   rank(qc2) > rank(qc1)            (rule c)
+        //   rank(qc3') > rank(qc2)           (rule a)
+        //   rank(qc4) > rank(qc3), rank(qc3') (rule b)
+        //   rank(qc3) = rank(qc3')
+        let qc1 = qc(Phase::Prepare, 1, 1);
+        let qc2 = qc(Phase::Prepare, 1, 2);
+        let qc3 = qc(Phase::PrePrepare, 2, 3);
+        let qc3p = qc(Phase::PrePrepare, 2, 4);
+        let qc4 = qc(Phase::Prepare, 2, 3);
+        assert_eq!(qc_rank_cmp(&qc2, &qc1), Ordering::Greater);
+        assert_eq!(qc_rank_cmp(&qc3p, &qc2), Ordering::Greater);
+        assert_eq!(qc_rank_cmp(&qc4, &qc3), Ordering::Greater);
+        assert_eq!(qc_rank_cmp(&qc4, &qc3p), Ordering::Greater);
+        assert_eq!(qc_rank_cmp(&qc3, &qc3p), Ordering::Equal);
+    }
+
+    #[test]
+    fn rank_ge_with_none_lock() {
+        assert!(qc_rank_ge(&qc(Phase::Prepare, 1, 1), None));
+        assert!(qc_rank_ge(&qc(Phase::Prepare, 2, 1), Some(&qc(Phase::Prepare, 1, 9))));
+        assert!(!qc_rank_ge(&qc(Phase::Prepare, 1, 1), Some(&qc(Phase::Prepare, 2, 1))));
+    }
+
+    #[test]
+    fn block_rank_rules() {
+        // Higher view always wins.
+        assert!(block_rank_gt(&meta(2, 1, false), &meta(1, 9, true)));
+        // Same view: need higher height AND rank boost.
+        assert!(block_rank_gt(&meta(2, 3, true), &meta(2, 2, false)));
+        assert!(!block_rank_gt(&meta(2, 3, false), &meta(2, 2, false)));
+        assert!(!block_rank_gt(&meta(2, 2, true), &meta(2, 3, false)));
+        // Equal blocks are not greater.
+        assert!(!block_rank_gt(&meta(2, 2, true), &meta(2, 2, true)));
+    }
+
+    #[test]
+    fn highest_block_selects_maximal() {
+        let ms = [meta(1, 1, false), meta(2, 5, true), meta(2, 7, true), meta(2, 6, false)];
+        let best = highest_block(ms.iter()).unwrap();
+        assert_eq!(best.height, Height(7));
+        assert!(highest_block(std::iter::empty()).is_none());
+    }
+}

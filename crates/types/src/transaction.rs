@@ -1,0 +1,170 @@
+//! Client operations and batches.
+
+use bytes::Bytes;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A client operation (`op` in the paper's block syntax).
+///
+/// The evaluation uses 150-byte transactions and replies, plus a "no-op"
+/// configuration with empty payloads (Section VI). The payload is real
+/// bytes so application state machines (e.g. the replicated KV example)
+/// can interpret them, while the simulator uses [`Transaction::wire_len`]
+/// for its bandwidth model.
+#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Transaction {
+    /// Unique transaction id (client id in the high bits, sequence in the
+    /// low bits, by convention of the workload generator).
+    pub id: u64,
+    /// Submitting client.
+    pub client: u32,
+    /// Operation payload.
+    pub payload: Bytes,
+    /// Simulation time (ns) at which the client submitted the operation;
+    /// used for end-to-end latency measurement. Not part of the signed
+    /// content in a real system, carried here for bookkeeping.
+    pub submitted_at_ns: u64,
+}
+
+impl Transaction {
+    /// Fixed per-transaction wire overhead: id + client + length prefix
+    /// + client timestamp.
+    pub const HEADER_LEN: usize = 8 + 4 + 4 + 8;
+
+    /// Creates a transaction.
+    pub fn new(id: u64, client: u32, payload: Bytes, submitted_at_ns: u64) -> Self {
+        Transaction { id, client, payload, submitted_at_ns }
+    }
+
+    /// A zero-payload transaction (the paper's "no-op request").
+    pub fn no_op(id: u64, client: u32, submitted_at_ns: u64) -> Self {
+        Transaction { id, client, payload: Bytes::new(), submitted_at_ns }
+    }
+
+    /// Bytes this transaction occupies on the wire.
+    pub fn wire_len(&self) -> usize {
+        Self::HEADER_LEN + self.payload.len()
+    }
+}
+
+impl fmt::Debug for Transaction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tx(#{} c{} {}B)", self.id, self.client, self.payload.len())
+    }
+}
+
+/// An ordered batch of transactions proposed in one block.
+#[derive(Clone, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct Batch {
+    txs: Vec<Transaction>,
+}
+
+impl Batch {
+    /// The empty batch (used by genesis and leader no-op proposals).
+    pub fn empty() -> Self {
+        Batch { txs: Vec::new() }
+    }
+
+    /// Wraps transactions into a batch.
+    pub fn new(txs: Vec<Transaction>) -> Self {
+        Batch { txs }
+    }
+
+    /// Number of transactions in the batch.
+    pub fn len(&self) -> usize {
+        self.txs.len()
+    }
+
+    /// Whether the batch holds no transactions.
+    pub fn is_empty(&self) -> bool {
+        self.txs.is_empty()
+    }
+
+    /// Iterates over the batch's transactions.
+    pub fn iter(&self) -> std::slice::Iter<'_, Transaction> {
+        self.txs.iter()
+    }
+
+    /// Borrows the underlying transactions.
+    pub fn transactions(&self) -> &[Transaction] {
+        &self.txs
+    }
+
+    /// Total wire bytes of all transactions plus the count prefix.
+    pub fn wire_len(&self) -> usize {
+        4 + self.txs.iter().map(Transaction::wire_len).sum::<usize>()
+    }
+}
+
+impl fmt::Debug for Batch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Batch({} txs, {}B)", self.txs.len(), self.wire_len())
+    }
+}
+
+impl FromIterator<Transaction> for Batch {
+    fn from_iter<I: IntoIterator<Item = Transaction>>(iter: I) -> Self {
+        Batch { txs: iter.into_iter().collect() }
+    }
+}
+
+impl Extend<Transaction> for Batch {
+    fn extend<I: IntoIterator<Item = Transaction>>(&mut self, iter: I) {
+        self.txs.extend(iter);
+    }
+}
+
+impl IntoIterator for Batch {
+    type Item = Transaction;
+    type IntoIter = std::vec::IntoIter<Transaction>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.txs.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a Batch {
+    type Item = &'a Transaction;
+    type IntoIter = std::slice::Iter<'a, Transaction>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.txs.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tx(id: u64, len: usize) -> Transaction {
+        Transaction::new(id, 0, Bytes::from(vec![0u8; len]), 0)
+    }
+
+    #[test]
+    fn wire_len_accounts_header_and_payload() {
+        let t = tx(1, 150);
+        assert_eq!(t.wire_len(), Transaction::HEADER_LEN + 150);
+        let noop = Transaction::no_op(2, 0, 0);
+        assert_eq!(noop.wire_len(), Transaction::HEADER_LEN);
+    }
+
+    #[test]
+    fn batch_wire_len_sums() {
+        let b = Batch::new(vec![tx(1, 10), tx(2, 20)]);
+        assert_eq!(b.wire_len(), 4 + 2 * Transaction::HEADER_LEN + 30);
+        assert_eq!(b.len(), 2);
+        assert!(!b.is_empty());
+        assert!(Batch::empty().is_empty());
+    }
+
+    #[test]
+    fn batch_collects_and_extends() {
+        let mut b: Batch = (0..3).map(|i| tx(i, 1)).collect();
+        b.extend([tx(3, 1)]);
+        assert_eq!(b.len(), 4);
+        let ids: Vec<u64> = (&b).into_iter().map(|t| t.id).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3]);
+        let owned: Vec<Transaction> = b.into_iter().collect();
+        assert_eq!(owned.len(), 4);
+    }
+}

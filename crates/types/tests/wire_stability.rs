@@ -1,0 +1,96 @@
+//! Wire-format stability: golden encodings pin the codec so accidental
+//! format changes (which would desynchronise byte accounting and break
+//! cross-version interop) fail loudly.
+
+use bytes::Bytes;
+use marlin_types::codec::{decode_message, encode_message};
+use marlin_types::{
+    Batch, Block, BlockId, Height, Justify, Message, MsgBody, Phase, Qc, ReplicaId, Transaction,
+    View,
+};
+
+fn hex(bytes: &[u8]) -> String {
+    bytes.iter().map(|b| format!("{b:02x}")).collect()
+}
+
+fn golden_message() -> Message {
+    let g = Block::genesis();
+    let qc = Qc::genesis(g.id());
+    let tx = Transaction::new(7, 3, Bytes::from_static(b"op"), 42);
+    let block = Block::new_normal(
+        g.id(),
+        g.view(),
+        View(1),
+        g.height().next(),
+        Batch::new(vec![tx]),
+        Justify::One(qc),
+    );
+    Message::new(
+        ReplicaId(1),
+        View(1),
+        MsgBody::Proposal(marlin_types::Proposal {
+            phase: Phase::Prepare,
+            blocks: vec![block],
+            justify: Justify::One(qc),
+            vc_proof: Vec::new(),
+        }),
+    )
+}
+
+/// The golden bytes for [`golden_message`], captured from the v1 codec.
+/// If this test fails because the format deliberately changed, bump the
+/// codec version tags and refresh the constant.
+const GOLDEN_HEX: &str = "010000000100000000000000000101010000000000000000000000000000000000000000000000\
+000000000000000000000000000000000001000000000000000100000000000000010100000000\
+000000000000000000000000000000000000000000000000000000000000000000000000000000\
+000000000000000000000000000000000000000000000100000000000000000000000000000000\
+000000000000000000000000000000000000000000000000000000000000000000000000000000\
+000000000000000000000000000000000000000000000000000000000000000000000000000000\
+0001000000070000000000000003000000020000002a000000000000006f700101000000000000\
+000000000000000000000000000000000000000000000000000000000000000000000000000000\
+000000000000000000000000000000000000000001000000000000000000000000000000000000\
+000000000000000000000000000000000000000000000000000000000000000000000000000000\
+000000000000000000000000000000000000000000000000000000000000000000000000000000\
+00";
+
+#[test]
+fn golden_encoding_is_stable() {
+    let msg = golden_message();
+    let encoded = encode_message(&msg, false);
+    let got = hex(&encoded);
+    // Self-check first: decode must round-trip regardless.
+    assert_eq!(decode_message(&encoded).unwrap(), msg);
+    assert_eq!(
+        got,
+        GOLDEN_HEX.replace('\n', ""),
+        "wire format changed — if intentional, bump the version tags and refresh GOLDEN_HEX"
+    );
+}
+
+#[test]
+fn wire_len_constants_are_stable() {
+    // The byte-accounting building blocks the evaluation depends on.
+    assert_eq!(Transaction::HEADER_LEN, 24);
+    assert_eq!(marlin_crypto::SIGNATURE_LEN, 64);
+    assert_eq!(marlin_crypto::THRESHOLD_SIG_LEN, 96);
+    assert_eq!(marlin_types::BlockMeta::WIRE_LEN, 58);
+    let qc = Qc::genesis(BlockId::GENESIS);
+    assert_eq!(qc.wire_len(), 66 + 96);
+    let g = Block::genesis();
+    assert_eq!(g.header_wire_len(), 33 + 24 + 1);
+    assert_eq!(g.wire_len(), g.header_wire_len() + 4);
+    let fetch = Message::new(ReplicaId(0), View(0), MsgBody::FetchRequest { block: g.id() });
+    assert_eq!(fetch.wire_len(false), 45);
+}
+
+#[test]
+fn heights_and_views_encode_little_endian() {
+    let msg = Message::new(
+        ReplicaId(0x0A0B0C0D),
+        View(0x1122334455667788),
+        MsgBody::FetchRequest { block: BlockId::GENESIS },
+    );
+    let enc = encode_message(&msg, false);
+    assert_eq!(&enc[0..4], &[0x0D, 0x0C, 0x0B, 0x0A]);
+    assert_eq!(&enc[4..12], &[0x88, 0x77, 0x66, 0x55, 0x44, 0x33, 0x22, 0x11]);
+}
