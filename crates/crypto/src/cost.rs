@@ -9,7 +9,6 @@
 //! order or several orders of magnitude slower").
 
 use crate::threshold::QcFormat;
-use serde::{Deserialize, Serialize};
 
 /// A single cryptographic operation the simulation can charge for.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -50,7 +49,7 @@ pub enum CryptoOp {
 /// let group = m.cost(CryptoOp::VerifyCombined { format: QcFormat::SigGroup, signers: 3 });
 /// assert_eq!(group, 3 * m.cost(CryptoOp::Verify));
 /// ```
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct CostModel {
     /// Cost of one conventional / partial signature.
     pub sign_ns: u64,

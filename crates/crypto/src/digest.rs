@@ -1,6 +1,5 @@
 //! Fixed-length hash digests.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A 32-byte SHA-256 digest.
@@ -17,7 +16,7 @@ use std::fmt;
 /// assert_eq!(d.as_bytes().len(), 32);
 /// assert_ne!(d, Digest::ZERO);
 /// ```
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Digest([u8; 32]);
 
 impl Digest {

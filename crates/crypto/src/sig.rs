@@ -2,7 +2,6 @@
 
 use crate::digest::Digest;
 use crate::keys::SecretKey;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Wire length of a conventional signature, matching ECDSA/P-256 (64 bytes).
@@ -13,7 +12,7 @@ pub const SIGNATURE_LEN: usize = 64;
 /// Sized like an ECDSA signature so that byte accounting on the wire is
 /// faithful. Internally the 64 bytes are two chained HMAC-SHA-256 tags
 /// under the signer's key.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Signature {
     tag: [u8; 32],
     tag2: [u8; 32],

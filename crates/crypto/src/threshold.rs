@@ -5,7 +5,6 @@ use crate::digest::Digest;
 use crate::keys::{ReplicaIndex, SecretKey};
 use crate::sha256::Sha256;
 use crate::sig::SIGNATURE_LEN;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Wire length of a combined pairing-style threshold signature
@@ -23,7 +22,7 @@ pub const MAX_REPLICAS: usize = 128;
 /// expensive — but the group costs `n × 64` bytes instead of one constant
 /// size signature. Both instantiations are supported so the trade-off can
 /// be measured (ablation A2 in DESIGN.md).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum QcFormat {
     /// A group of `t` conventional signatures plus a signer bitmap
     /// ("HotStuff with conventional signatures").
@@ -58,7 +57,7 @@ impl QcFormat {
 /// assert_eq!(bm.count(), 2);
 /// assert_eq!(bm.iter().collect::<Vec<_>>(), vec![0, 3]);
 /// ```
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub struct SignerBitmap(u128);
 
 impl SignerBitmap {
@@ -146,7 +145,7 @@ impl Iterator for Iter {
 
 /// A partial threshold signature (`tsign` output): one replica's vote
 /// share over a message.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
 pub struct PartialSig {
     signer: ReplicaIndex,
     tag: Digest,
@@ -193,7 +192,7 @@ impl fmt::Debug for PartialSig {
 /// Carries the signer set and an aggregate tag. The tag binds the exact
 /// signer set and each signer's HMAC share, so forging it would require a
 /// key the adversary does not hold.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
 pub struct CombinedSig {
     format: QcFormat,
     signers: SignerBitmap,

@@ -8,7 +8,6 @@ use marlin_crypto::{CostModel, KeyStore, QcFormat};
 use marlin_simnet::{SimConfig, SimNet};
 use marlin_simnet::CommitObserver;
 use marlin_types::ReplicaId;
-use serde::Serialize;
 use std::sync::{Arc, Mutex};
 
 /// Everything one run needs.
@@ -216,7 +215,7 @@ impl CommitObserver for SharedStats {
 }
 
 /// One point of a rate sweep.
-#[derive(Clone, Copy, Debug, Serialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct SweepPoint {
     /// Offered load.
     pub rate_tps: u64,

@@ -3,7 +3,6 @@
 use marlin_core::Note;
 use marlin_simnet::CommitObserver;
 use marlin_types::{Block, ReplicaId};
-use serde::Serialize;
 
 /// A fixed-bucket log-scale latency histogram (1 µs – ~1000 s).
 #[derive(Clone, Debug)]
@@ -86,7 +85,7 @@ impl LatencyHistogram {
 }
 
 /// Millisecond latency summary.
-#[derive(Clone, Copy, Debug, Default, Serialize)]
+#[derive(Clone, Copy, Debug, Default)]
 pub struct LatencySummary {
     /// Mean.
     pub mean_ms: f64,
@@ -210,7 +209,7 @@ impl CommitObserver for Stats {
 }
 
 /// The result of one experiment run.
-#[derive(Clone, Copy, Debug, Default, Serialize)]
+#[derive(Clone, Copy, Debug, Default)]
 pub struct Metrics {
     /// Post-warmup measured duration.
     pub duration_ns: u64,

@@ -1,10 +1,9 @@
 //! I/O cost model for the discrete-event simulation.
 
-use serde::{Deserialize, Serialize};
 
 /// Simulated nanosecond costs for storage operations, approximating a
 /// datacenter SSD with an OS page cache in front of it.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct IoCostModel {
     /// Per-byte cost of appending to the WAL.
     pub wal_write_ns_per_byte: u64,

@@ -4,12 +4,11 @@ use crate::ids::{Height, View};
 use crate::qc::{Phase, Qc, QcSeed};
 use crate::transaction::Batch;
 use marlin_crypto::{Digest, KeyStore, Sha256};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifies a block by the SHA-256 digest of its contents.
 #[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
 )]
 pub struct BlockId(Digest);
 
@@ -42,7 +41,7 @@ impl fmt::Display for BlockId {
 
 /// Whether a block is a normal block or a *virtual* block (a view-change
 /// placeholder whose parent link is ⊥; Section V-A).
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum BlockKind {
     /// An ordinary block with a concrete parent link.
     Normal,
@@ -52,7 +51,7 @@ pub enum BlockKind {
 }
 
 /// A block's parent link (`pl`).
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum ParentLink {
     /// Hash of the parent block.
     Hash(BlockId),
@@ -62,7 +61,7 @@ pub enum ParentLink {
 
 /// One or two quorum certificates justifying a block or message
 /// (`justify` in the paper; "m.justify includes one or two QCs").
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
 pub enum Justify {
     /// No certificate (genesis only).
     #[default]
@@ -156,7 +155,7 @@ impl<'a> Iterator for JustifyIter<'a> {
 /// Compact block metadata carried in `VIEW-CHANGE` messages (the paper's
 /// `m.block = lb`) and used for block-rank comparison without shipping
 /// operations.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct BlockMeta {
     /// The block's id.
     pub id: BlockId,
@@ -214,7 +213,7 @@ impl BlockMeta {
 /// assert_eq!(child.height(), Height(1));
 /// assert_ne!(child.id(), BlockId::GENESIS);
 /// ```
-#[derive(Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq)]
 pub struct Block {
     parent: ParentLink,
     pview: View,

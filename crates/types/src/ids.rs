@@ -1,6 +1,5 @@
 //! Protocol newtypes: views, heights, and replica identifiers.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A view number (`cview` / `b.view` in the paper).
@@ -18,7 +17,7 @@ use std::fmt;
 /// assert!(View(4) > v);
 /// ```
 #[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
 )]
 pub struct View(pub u64);
 
@@ -58,7 +57,7 @@ impl From<u64> for View {
 /// A block height: the number of blocks on the branch led by a block
 /// (the genesis block has height 0).
 #[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
 )]
 pub struct Height(pub u64);
 
@@ -108,7 +107,7 @@ impl From<u64> for Height {
 
 /// Identifies one of the `n` replicas, `p_0 .. p_{n-1}`.
 #[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
 )]
 pub struct ReplicaId(pub u32);
 

@@ -10,11 +10,10 @@ use crate::block::{Block, BlockId, BlockMeta, Justify};
 use crate::ids::{ReplicaId, View};
 use crate::qc::{Phase, Qc, QcSeed};
 use marlin_crypto::{PartialSig, Sha256, Signature};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A protocol message.
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct Message {
     /// Sender.
     pub from: ReplicaId,
@@ -47,7 +46,7 @@ impl Message {
 }
 
 /// Message bodies.
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub enum MsgBody {
     /// Leader broadcast: a proposal for one or two blocks in some phase.
     Proposal(Proposal),
@@ -105,7 +104,7 @@ impl MsgBody {
 ///   (Cases V1/V3).
 /// * Jolteon-style protocols attach their quadratic new-view proof in
 ///   `vc_proof`.
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct Proposal {
     /// The phase this proposal drives.
     pub phase: Phase,
@@ -144,7 +143,7 @@ impl Proposal {
 }
 
 /// A replica's vote: the seed it signed plus the partial signature.
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct Vote {
     /// The exact content the partial signature covers.
     pub seed: QcSeed,
@@ -172,7 +171,7 @@ impl Vote {
 /// A `VIEW-CHANGE` message: the replica's last voted block (as compact
 /// metadata), its `highQC`, and a partial signature over the happy-path
 /// prepare seed for the last voted block at the new view.
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct ViewChange {
     /// Metadata of the sender's last voted block `lb`.
     pub last_voted: BlockMeta,
@@ -223,7 +222,7 @@ pub(crate) const SIGNATURE_WIRE_LEN: usize = marlin_crypto::SIGNATURE_LEN;
 
 /// A `commitQC` broadcast: receivers deliver the certified block and its
 /// ancestors.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct Decide {
     /// The commit certificate.
     pub commit_qc: Qc,
@@ -238,7 +237,7 @@ impl Decide {
 /// One entry of a Jolteon/Fast-HotStuff-style quadratic view-change
 /// proof: a conventionally signed statement of a replica's `highQC` for
 /// the new view.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct VcCert {
     /// The attesting replica.
     pub from: ReplicaId,

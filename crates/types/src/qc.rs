@@ -3,7 +3,6 @@
 use crate::block::{BlockId, BlockKind};
 use crate::ids::{Height, View};
 use marlin_crypto::{CombinedSig, Digest, KeyStore, PartialSig, QcFormat, Sha256, SignerBitmap};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The phase a vote or quorum certificate belongs to.
@@ -13,7 +12,7 @@ use std::fmt;
 /// phase. The paper's rank rules (Figure 4) treat `Prepare` and `Commit`
 /// as one class ranking above `PrePrepare`; `PreCommit` is grouped with
 /// that higher class so HotStuff QCs rank consistently.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub enum Phase {
     /// First view-change phase (Marlin) — `pre-prepareQC`.
     PrePrepare,
@@ -49,7 +48,7 @@ impl Phase {
 /// [`Qc`]. The seed also carries enough block metadata (`block_view`,
 /// `pview`, `block_kind`) that a QC's rank and validity rules can be
 /// evaluated without possessing the block itself.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct QcSeed {
     /// Phase being certified.
     pub phase: Phase,
@@ -98,7 +97,7 @@ impl QcSeed {
 /// let genesis_qc = Qc::genesis(BlockId::GENESIS);
 /// assert!(genesis_qc.is_genesis());
 /// ```
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Qc {
     seed: QcSeed,
     sig: CombinedSig,

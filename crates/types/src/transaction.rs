@@ -1,7 +1,6 @@
 //! Client operations and batches.
 
 use bytes::Bytes;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A client operation (`op` in the paper's block syntax).
@@ -11,7 +10,7 @@ use std::fmt;
 /// bytes so application state machines (e.g. the replicated KV example)
 /// can interpret them, while the simulator uses [`Transaction::wire_len`]
 /// for its bandwidth model.
-#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Hash)]
 pub struct Transaction {
     /// Unique transaction id (client id in the high bits, sequence in the
     /// low bits, by convention of the workload generator).
@@ -54,7 +53,7 @@ impl fmt::Debug for Transaction {
 }
 
 /// An ordered batch of transactions proposed in one block.
-#[derive(Clone, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
 pub struct Batch {
     txs: Vec<Transaction>,
 }

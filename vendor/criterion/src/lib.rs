@@ -1,0 +1,320 @@
+//! A minimal, offline stand-in for the `criterion` crate.
+//!
+//! Measures wall-clock time with `std::time::Instant` and prints
+//! `name  time: [min median max]` (plus throughput when configured) in
+//! a criterion-like format. No statistics beyond min/median/max, no
+//! HTML reports, no CLI parsing — samples land on stdout and that's it.
+//! Per-sample iteration counts are auto-calibrated so fast routines are
+//! timed over many iterations and slow ones over few.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+/// Prevents the optimizer from deleting a benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Units for derived throughput reporting.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// How `iter_batched` amortizes setup cost. The stub times each routine
+/// call individually, so the variants behave identically.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// A benchmark's display name, optionally parameterized.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    /// Just the parameter, for single-function groups.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Timing context handed to each benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed_ns: u128,
+}
+
+impl Bencher {
+    /// Times `iters` back-to-back calls of `routine`.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed_ns = start.elapsed().as_nanos();
+    }
+
+    /// Times `routine` only, rebuilding its input with `setup` outside
+    /// the timed region each iteration.
+    pub fn iter_batched<I, R>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> R,
+        _size: BatchSize,
+    ) {
+        let mut total: u128 = 0;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed().as_nanos();
+        }
+        self.elapsed_ns = total;
+    }
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group sharing sample-size/throughput settings.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function(
+        &mut self,
+        name: &str,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_benchmark(name, self.sample_size, None, &mut f);
+        self
+    }
+}
+
+/// A set of related benchmarks reported under a common prefix.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Samples per benchmark (min 2).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Enables derived throughput reporting for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Benchmarks `f` against a borrowed input.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let name = format!("{}/{}", self.name, id.id);
+        run_benchmark(&name, self.sample_size, self.throughput, &mut |b| f(b, input));
+        self
+    }
+
+    /// Benchmarks `f` with no external input.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let name = format!("{}/{}", self.name, id.into().id);
+        run_benchmark(&name, self.sample_size, self.throughput, &mut f);
+        self
+    }
+
+    /// Ends the group (drop would do; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Calibrates the per-sample iteration count, takes `sample_size`
+/// samples, and prints min/median/max per-iteration time.
+fn run_benchmark(
+    name: &str,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    f: &mut dyn FnMut(&mut Bencher),
+) {
+    // Double the iteration count until one sample costs >= 2 ms, so
+    // per-iteration noise stays small without making slow sims crawl.
+    let mut iters: u64 = 1;
+    loop {
+        let mut b = Bencher { iters, elapsed_ns: 0 };
+        f(&mut b);
+        if b.elapsed_ns >= 2_000_000 || iters >= 1 << 20 {
+            break;
+        }
+        iters *= 2;
+    }
+
+    let mut samples: Vec<f64> = Vec::with_capacity(sample_size);
+    for _ in 0..sample_size {
+        let mut b = Bencher { iters, elapsed_ns: 0 };
+        f(&mut b);
+        samples.push(b.elapsed_ns as f64 / iters as f64);
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("sample times are finite"));
+    let min = samples[0];
+    let median = samples[samples.len() / 2];
+    let max = samples[samples.len() - 1];
+
+    print!(
+        "{name:<48} time:   [{} {} {}]",
+        fmt_time(min),
+        fmt_time(median),
+        fmt_time(max)
+    );
+    if let Some(tp) = throughput {
+        let per_sec = |count: u64| count as f64 * 1e9 / median;
+        match tp {
+            Throughput::Bytes(n) => print!("  thrpt: {}/s", fmt_bytes(per_sec(n))),
+            Throughput::Elements(n) => print!("  thrpt: {} elem/s", fmt_count(per_sec(n))),
+        }
+    }
+    println!();
+}
+
+fn fmt_time(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.2} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+fn fmt_bytes(bps: f64) -> String {
+    if bps < 1024.0 {
+        format!("{bps:.1} B")
+    } else if bps < 1024.0 * 1024.0 {
+        format!("{:.2} KiB", bps / 1024.0)
+    } else if bps < 1024.0 * 1024.0 * 1024.0 {
+        format!("{:.2} MiB", bps / (1024.0 * 1024.0))
+    } else {
+        format!("{:.3} GiB", bps / (1024.0 * 1024.0 * 1024.0))
+    }
+}
+
+fn fmt_count(per_sec: f64) -> String {
+    if per_sec < 1e3 {
+        format!("{per_sec:.1}")
+    } else if per_sec < 1e6 {
+        format!("{:.2}K", per_sec / 1e3)
+    } else if per_sec < 1e9 {
+        format!("{:.3}M", per_sec / 1e6)
+    } else {
+        format!("{:.3}G", per_sec / 1e9)
+    }
+}
+
+/// Collects benchmark functions into one runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the given groups in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[allow(unused_must_use)]
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut calls = 0u64;
+        c.bench_function("smoke", |b| b.iter(|| calls += 1));
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn group_with_input_and_throughput() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(3).throughput(Throughput::Bytes(64));
+        g.bench_with_input(BenchmarkId::new("sum", 4), &[1u8, 2, 3, 4][..], |b, xs| {
+            b.iter(|| xs.iter().map(|&x| x as u64).sum::<u64>())
+        });
+        g.bench_with_input(BenchmarkId::from_parameter(7), &7u32, |b, &x| {
+            b.iter_batched(|| vec![x; 8], |v| v.len(), BatchSize::SmallInput)
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn time_formatting_picks_units() {
+        assert_eq!(fmt_time(12.0), "12.00 ns");
+        assert_eq!(fmt_time(1_500.0), "1.50 µs");
+        assert_eq!(fmt_time(2_000_000.0), "2.00 ms");
+        assert_eq!(fmt_time(3.2e9), "3.200 s");
+    }
+}
