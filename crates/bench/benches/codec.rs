@@ -14,7 +14,14 @@ fn proposal_message(txs: usize, payload: usize) -> Message {
     let batch: Batch = (0..txs as u64)
         .map(|i| Transaction::new(i, 0, Bytes::from(vec![0u8; payload]), i))
         .collect();
-    let block = Block::new_normal(g.id(), g.view(), View(1), g.height().next(), batch, Justify::One(qc));
+    let block = Block::new_normal(
+        g.id(),
+        g.view(),
+        View(1),
+        g.height().next(),
+        batch,
+        Justify::One(qc),
+    );
     Message::new(
         ReplicaId(1),
         View(1),

@@ -22,9 +22,13 @@ fn bench_sign_verify(c: &mut Criterion) {
     let msg = b"view=42 phase=PREPARE block=...";
     c.bench_function("sign_partial", |b| b.iter(|| signer.sign_partial(msg)));
     let partial = signer.sign_partial(msg);
-    c.bench_function("verify_partial", |b| b.iter(|| keys.verify_partial(msg, &partial)));
+    c.bench_function("verify_partial", |b| {
+        b.iter(|| keys.verify_partial(msg, &partial))
+    });
     let sig = signer.sign(msg);
-    c.bench_function("verify_conventional", |b| b.iter(|| keys.verify(0, msg, &sig)));
+    c.bench_function("verify_conventional", |b| {
+        b.iter(|| keys.verify(0, msg, &sig))
+    });
 }
 
 fn bench_combine_verify_qc(c: &mut Criterion) {
@@ -33,7 +37,9 @@ fn bench_combine_verify_qc(c: &mut Criterion) {
         let n = 3 * f + 1;
         let keys = KeyStore::generate(n, f, 7);
         let msg = b"qc seed";
-        let partials: Vec<_> = (0..n - f).map(|i| keys.signer(i).sign_partial(msg)).collect();
+        let partials: Vec<_> = (0..n - f)
+            .map(|i| keys.signer(i).sign_partial(msg))
+            .collect();
         for format in [QcFormat::SigGroup, QcFormat::Threshold] {
             g.bench_with_input(
                 BenchmarkId::new(format!("combine/{format:?}"), n),
@@ -55,5 +61,10 @@ fn bench_combine_verify_qc(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_sha256, bench_sign_verify, bench_combine_verify_qc);
+criterion_group!(
+    benches,
+    bench_sha256,
+    bench_sign_verify,
+    bench_combine_verify_qc
+);
 criterion_main!(benches);

@@ -7,7 +7,8 @@ use marlin_core::ProtocolKind;
 
 fn bench_peak(c: &mut Criterion) {
     // Report the measured peaks once.
-    for f in [1usize] {
+    {
+        let f = 1usize;
         let m = figures::peak_throughput(ProtocolKind::Marlin, f, Effort::Quick);
         let h = figures::peak_throughput(ProtocolKind::HotStuff, f, Effort::Quick);
         println!(
@@ -16,7 +17,10 @@ fn bench_peak(c: &mut Criterion) {
             h.ktps(),
             (m.throughput_tps / h.throughput_tps - 1.0) * 100.0
         );
-        assert!(m.throughput_tps > h.throughput_tps, "Marlin should outperform HotStuff");
+        assert!(
+            m.throughput_tps > h.throughput_tps,
+            "Marlin should outperform HotStuff"
+        );
     }
 
     // Benchmark a single near-peak experiment per protocol (the full
@@ -28,9 +32,13 @@ fn bench_peak(c: &mut Criterion) {
         cfg.rate_tps = 32_000;
         cfg.duration_ns = 1_000_000_000;
         cfg.warmup_ns = 500_000_000;
-        g.bench_with_input(BenchmarkId::from_parameter(protocol.name()), &cfg, |b, cfg| {
-            b.iter(|| marlin_node::run_experiment(cfg));
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(protocol.name()),
+            &cfg,
+            |b, cfg| {
+                b.iter(|| marlin_node::run_experiment(cfg));
+            },
+        );
     }
     g.finish();
 }

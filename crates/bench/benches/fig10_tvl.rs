@@ -15,17 +15,13 @@ fn bench_tvl_point(c: &mut Criterion) {
             cfg.rate_tps = 20_000;
             cfg.duration_ns = 1_000_000_000;
             cfg.warmup_ns = 500_000_000;
-            g.bench_with_input(
-                BenchmarkId::new(protocol.name(), f),
-                &cfg,
-                |b, cfg| {
-                    b.iter(|| {
-                        let m = run_experiment(cfg);
-                        assert!(m.committed_txs > 0, "no progress in {:?}", cfg.protocol);
-                        m
-                    });
-                },
-            );
+            g.bench_with_input(BenchmarkId::new(protocol.name(), f), &cfg, |b, cfg| {
+                b.iter(|| {
+                    let m = run_experiment(cfg);
+                    assert!(m.committed_txs > 0, "no progress in {:?}", cfg.protocol);
+                    m
+                });
+            });
         }
     }
     g.finish();

@@ -12,13 +12,25 @@ fn bench_fig10i(c: &mut Criterion) {
     // Measured simulated latencies (the paper's Fig. 10i shape: happy
     // Marlin well below HotStuff; unhappy Marlin comparable).
     let happy = measure_view_change(
-        ProtocolKind::Marlin, 1, false, QcFormat::SigGroup, SimConfig::paper_testbed(),
+        ProtocolKind::Marlin,
+        1,
+        false,
+        QcFormat::SigGroup,
+        SimConfig::paper_testbed(),
     );
     let unhappy = measure_view_change(
-        ProtocolKind::Marlin, 1, true, QcFormat::SigGroup, SimConfig::paper_testbed(),
+        ProtocolKind::Marlin,
+        1,
+        true,
+        QcFormat::SigGroup,
+        SimConfig::paper_testbed(),
     );
     let hotstuff = measure_view_change(
-        ProtocolKind::HotStuff, 1, false, QcFormat::SigGroup, SimConfig::paper_testbed(),
+        ProtocolKind::HotStuff,
+        1,
+        false,
+        QcFormat::SigGroup,
+        SimConfig::paper_testbed(),
     );
     println!(
         "\nFig10i (f=1): Marlin happy {:.1} ms | Marlin unhappy {:.1} ms | HotStuff {:.1} ms",
@@ -26,7 +38,10 @@ fn bench_fig10i(c: &mut Criterion) {
         unhappy.latency_ns as f64 / 1e6,
         hotstuff.latency_ns as f64 / 1e6
     );
-    assert!(happy.latency_ns < hotstuff.latency_ns, "happy path must beat HotStuff");
+    assert!(
+        happy.latency_ns < hotstuff.latency_ns,
+        "happy path must beat HotStuff"
+    );
 
     let mut g = c.benchmark_group("fig10i_view_change");
     g.sample_size(10);
@@ -36,11 +51,15 @@ fn bench_fig10i(c: &mut Criterion) {
         ("hotstuff", ProtocolKind::HotStuff, false),
     ];
     for (name, protocol, force) in cases {
-        g.bench_with_input(BenchmarkId::from_parameter(name), &(protocol, force), |b, &(p, f)| {
-            b.iter(|| {
-                measure_view_change(p, 1, f, QcFormat::SigGroup, SimConfig::paper_testbed())
-            });
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(name),
+            &(protocol, force),
+            |b, &(p, f)| {
+                b.iter(|| {
+                    measure_view_change(p, 1, f, QcFormat::SigGroup, SimConfig::paper_testbed())
+                });
+            },
+        );
     }
     g.finish();
 }

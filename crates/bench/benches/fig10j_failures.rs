@@ -14,7 +14,10 @@ fn bench_fig10j(c: &mut Criterion) {
         free.ktps(),
         one.ktps()
     );
-    assert!(one.throughput_tps <= free.throughput_tps, "failures must not speed things up");
+    assert!(
+        one.throughput_tps <= free.throughput_tps,
+        "failures must not speed things up"
+    );
 
     let mut g = c.benchmark_group("fig10j_rotation");
     g.sample_size(10);

@@ -16,43 +16,55 @@ fn bench_commit_throughput(c: &mut Criterion) {
         ProtocolKind::ChainedMarlin,
         ProtocolKind::ChainedHotStuff,
     ] {
-        g.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, &kind| {
-            b.iter_batched(
-                || Cluster::new(kind, Config::for_test(4, 1), 1),
-                |mut cl| {
-                    cl.submit_to(ReplicaId(1), 100, 150);
-                    cl.run_until_idle();
-                    cl
-                },
-                criterion::BatchSize::SmallInput,
-            );
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(kind.name()),
+            &kind,
+            |b, &kind| {
+                b.iter_batched(
+                    || Cluster::new(kind, Config::for_test(4, 1), 1),
+                    |mut cl| {
+                        cl.submit_to(ReplicaId(1), 100, 150);
+                        cl.run_until_idle();
+                        cl
+                    },
+                    criterion::BatchSize::SmallInput,
+                );
+            },
+        );
     }
     g.finish();
 }
 
 fn bench_view_change(c: &mut Criterion) {
     let mut g = c.benchmark_group("view_change");
-    for kind in [ProtocolKind::Marlin, ProtocolKind::HotStuff, ProtocolKind::Jolteon] {
-        g.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, &kind| {
-            b.iter_batched(
-                || {
-                    let mut cl = Cluster::new(kind, Config::for_test(4, 1), 2);
-                    cl.submit_to(ReplicaId(1), 10, 0);
-                    cl.run_until_idle();
-                    cl.crash(ReplicaId(1));
-                    cl
-                },
-                |mut cl| {
-                    while cl.min_view() < 2u64.into() {
-                        assert!(cl.fire_next_timer());
-                    }
-                    cl.run_until_idle();
-                    cl
-                },
-                criterion::BatchSize::SmallInput,
-            );
-        });
+    for kind in [
+        ProtocolKind::Marlin,
+        ProtocolKind::HotStuff,
+        ProtocolKind::Jolteon,
+    ] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(kind.name()),
+            &kind,
+            |b, &kind| {
+                b.iter_batched(
+                    || {
+                        let mut cl = Cluster::new(kind, Config::for_test(4, 1), 2);
+                        cl.submit_to(ReplicaId(1), 10, 0);
+                        cl.run_until_idle();
+                        cl.crash(ReplicaId(1));
+                        cl
+                    },
+                    |mut cl| {
+                        while cl.min_view() < 2u64.into() {
+                            assert!(cl.fire_next_timer());
+                        }
+                        cl.run_until_idle();
+                        cl
+                    },
+                    criterion::BatchSize::SmallInput,
+                );
+            },
+        );
     }
     g.finish();
 }

@@ -24,18 +24,22 @@ fn bench_put_get(c: &mut Criterion) {
                 db.put(i.to_le_bytes().to_vec(), vec![0u8; len]).unwrap();
             });
         });
-        g.bench_with_input(BenchmarkId::new("get_hit", value_len), &value_len, |b, &len| {
-            let mut db = store();
-            for i in 0..1000u64 {
-                db.put(i.to_le_bytes().to_vec(), vec![0u8; len]).unwrap();
-            }
-            db.flush().unwrap();
-            let mut i = 0u64;
-            b.iter(|| {
-                i = (i + 1) % 1000;
-                db.get(&i.to_le_bytes()).unwrap()
-            });
-        });
+        g.bench_with_input(
+            BenchmarkId::new("get_hit", value_len),
+            &value_len,
+            |b, &len| {
+                let mut db = store();
+                for i in 0..1000u64 {
+                    db.put(i.to_le_bytes().to_vec(), vec![0u8; len]).unwrap();
+                }
+                db.flush().unwrap();
+                let mut i = 0u64;
+                b.iter(|| {
+                    i = (i + 1) % 1000;
+                    db.get(&i.to_le_bytes()).unwrap()
+                });
+            },
+        );
     }
     g.finish();
 }
@@ -60,7 +64,8 @@ fn bench_flush_compact(c: &mut Criterion) {
                 let mut db = store();
                 for seg in 0..4u64 {
                     for i in 0..250u64 {
-                        db.put((seg * 1000 + i).to_le_bytes().to_vec(), vec![7u8; 128]).unwrap();
+                        db.put((seg * 1000 + i).to_le_bytes().to_vec(), vec![7u8; 128])
+                            .unwrap();
                     }
                     db.flush().unwrap();
                 }

@@ -12,9 +12,16 @@ fn bench_table1(c: &mut Criterion) {
     // Print the measured Table I numbers once (the benchmark itself
     // times the simulation).
     println!("\nTable I (measured, QC format = SigGroup):");
-    println!("{:<12} {:>4} {:>12} {:>8} {:>6}", "protocol", "n", "vc bytes", "auths", "msgs");
+    println!(
+        "{:<12} {:>4} {:>12} {:>8} {:>6}",
+        "protocol", "n", "vc bytes", "auths", "msgs"
+    );
     for f in [1usize, 5] {
-        for protocol in [ProtocolKind::Marlin, ProtocolKind::HotStuff, ProtocolKind::Jolteon] {
+        for protocol in [
+            ProtocolKind::Marlin,
+            ProtocolKind::HotStuff,
+            ProtocolKind::Jolteon,
+        ] {
             let m = measure_view_change(
                 protocol,
                 f,
@@ -37,7 +44,11 @@ fn bench_table1(c: &mut Criterion) {
     let mut g = c.benchmark_group("table1_view_change");
     g.sample_size(10);
     for f in [1usize, 5] {
-        for protocol in [ProtocolKind::Marlin, ProtocolKind::HotStuff, ProtocolKind::Jolteon] {
+        for protocol in [
+            ProtocolKind::Marlin,
+            ProtocolKind::HotStuff,
+            ProtocolKind::Jolteon,
+        ] {
             g.bench_with_input(
                 BenchmarkId::new(protocol.name(), 3 * f + 1),
                 &(protocol, f),

@@ -42,19 +42,23 @@ fn bench_tree(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::new("is_extension", len), &store, |b, store| {
             b.iter(|| store.is_extension(&tip, &blocks[0].id()));
         });
-        g.bench_with_input(BenchmarkId::new("commit_chain", len), &blocks, |b, blocks| {
-            b.iter_batched(
-                || {
-                    let mut s = BlockStore::new();
-                    for blk in &blocks[1..] {
-                        s.insert(blk.clone());
-                    }
-                    s
-                },
-                |mut s| s.commit(&tip).unwrap(),
-                criterion::BatchSize::SmallInput,
-            );
-        });
+        g.bench_with_input(
+            BenchmarkId::new("commit_chain", len),
+            &blocks,
+            |b, blocks| {
+                b.iter_batched(
+                    || {
+                        let mut s = BlockStore::new();
+                        for blk in &blocks[1..] {
+                            s.insert(blk.clone());
+                        }
+                        s
+                    },
+                    |mut s| s.commit(&tip).unwrap(),
+                    criterion::BatchSize::SmallInput,
+                );
+            },
+        );
     }
     g.finish();
 }

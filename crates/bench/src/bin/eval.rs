@@ -17,8 +17,16 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let full = args.iter().any(|a| a == "--full");
     let effort = if full { Effort::Full } else { Effort::Quick };
-    let wanted: Vec<&str> = args.iter().filter(|a| !a.starts_with("--")).map(String::as_str).collect();
-    let wanted: Vec<&str> = if wanted.is_empty() { vec!["all"] } else { wanted };
+    let wanted: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
+    let wanted: Vec<&str> = if wanted.is_empty() {
+        vec!["all"]
+    } else {
+        wanted
+    };
     let all = wanted.contains(&"all");
     let run = |name: &str| all || wanted.contains(&name);
 
@@ -69,9 +77,20 @@ traffic from the leader crash to the first commit of the new view.\n"
     };
     for format in [QcFormat::SigGroup, QcFormat::Threshold] {
         println!("### QC format: {format:?}\n");
-        let mut table = Table::new(&["protocol", "n", "vc bytes", "vc auths", "vc msgs", "latency (ms)"]);
+        let mut table = Table::new(&[
+            "protocol",
+            "n",
+            "vc bytes",
+            "vc auths",
+            "vc msgs",
+            "latency (ms)",
+        ]);
         for &f in fs {
-            for protocol in [ProtocolKind::Marlin, ProtocolKind::HotStuff, ProtocolKind::Jolteon] {
+            for protocol in [
+                ProtocolKind::Marlin,
+                ProtocolKind::HotStuff,
+                ProtocolKind::Jolteon,
+            ] {
                 let m = vc::measure_view_change(
                     protocol,
                     f,
@@ -103,8 +122,13 @@ fn fig10_tvl(effort: Effort) {
     };
     for &f in fs {
         println!("### f = {f} (n = {})\n", 3 * f + 1);
-        let mut table =
-            Table::new(&["protocol", "offered (ktx/s)", "throughput (ktx/s)", "latency (ms)", "p99 (ms)"]);
+        let mut table = Table::new(&[
+            "protocol",
+            "offered (ktx/s)",
+            "throughput (ktx/s)",
+            "latency (ms)",
+            "p99 (ms)",
+        ]);
         for protocol in [ProtocolKind::HotStuff, ProtocolKind::Marlin] {
             for point in figures::throughput_vs_latency(protocol, f, effort) {
                 table.row(vec![
@@ -127,8 +151,13 @@ fn fig10g(effort: Effort) {
         Effort::Quick => &[1, 2, 3],
         Effort::Full => &[1, 2, 3, 4, 5, 6, 7, 8, 9, 10],
     };
-    let mut table =
-        Table::new(&["f", "n", "Marlin (ktx/s)", "HotStuff (ktx/s)", "Marlin advantage"]);
+    let mut table = Table::new(&[
+        "f",
+        "n",
+        "Marlin (ktx/s)",
+        "HotStuff (ktx/s)",
+        "Marlin advantage",
+    ]);
     for &f in fs {
         let m = figures::peak_throughput(ProtocolKind::Marlin, f, effort);
         let h = figures::peak_throughput(ProtocolKind::HotStuff, f, effort);
@@ -147,8 +176,13 @@ fn fig10g(effort: Effort) {
 /// Fig. 10h — peak throughput for no-op requests.
 fn fig10h(effort: Effort) {
     println!("## Fig. 10h — peak throughput (no-op requests)\n");
-    let mut table =
-        Table::new(&["f", "n", "Marlin (ktx/s)", "HotStuff (ktx/s)", "Marlin advantage"]);
+    let mut table = Table::new(&[
+        "f",
+        "n",
+        "Marlin (ktx/s)",
+        "HotStuff (ktx/s)",
+        "Marlin advantage",
+    ]);
     for f in [1usize, 2, 5] {
         let m = figures::peak_throughput_noop(ProtocolKind::Marlin, f, effort);
         let h = figures::peak_throughput_noop(ProtocolKind::HotStuff, f, effort);
@@ -167,7 +201,12 @@ fn fig10h(effort: Effort) {
 /// Fig. 10i — view-change latency.
 fn fig10i() {
     println!("## Fig. 10i — view-change latency\n");
-    let mut table = Table::new(&["f", "Marlin happy (ms)", "Marlin unhappy (ms)", "HotStuff (ms)"]);
+    let mut table = Table::new(&[
+        "f",
+        "Marlin happy (ms)",
+        "Marlin unhappy (ms)",
+        "HotStuff (ms)",
+    ]);
     for f in [1usize, 10] {
         let happy = vc::measure_view_change(
             ProtocolKind::Marlin,
@@ -184,7 +223,10 @@ fn fig10i() {
             QcFormat::SigGroup,
             SimConfig::paper_testbed(),
         );
-        assert!(!unhappy.took_happy_path, "expected the unhappy path at f={f}");
+        assert!(
+            !unhappy.took_happy_path,
+            "expected the unhappy path at f={f}"
+        );
         let hotstuff = vc::measure_view_change(
             ProtocolKind::HotStuff,
             f,
@@ -206,7 +248,12 @@ fn fig10i() {
 fn fig10j(effort: Effort) {
     println!("## Fig. 10j — rotating leaders under failures (f = 3)\n");
     let rate = 40_000;
-    let mut table = Table::new(&["crashed", "Marlin (ktx/s)", "HotStuff (ktx/s)", "Marlin advantage"]);
+    let mut table = Table::new(&[
+        "crashed",
+        "Marlin (ktx/s)",
+        "HotStuff (ktx/s)",
+        "Marlin advantage",
+    ]);
     for crashes in [0usize, 1, 3] {
         let m = figures::rotating_under_failures(ProtocolKind::Marlin, crashes, rate, effort);
         let h = figures::rotating_under_failures(ProtocolKind::HotStuff, crashes, rate, effort);
@@ -228,7 +275,12 @@ fn ablate_shadow() {
     for f in [1usize, 5] {
         let (with, without) = figures::ablate_shadow_blocks(f);
         let saved = 100.0 * (without.saturating_sub(with)) as f64 / without.max(1) as f64;
-        table.row(vec![f.to_string(), bytes(with), bytes(without), format!("{saved:.1}%")]);
+        table.row(vec![
+            f.to_string(),
+            bytes(with),
+            bytes(without),
+            format!("{saved:.1}%"),
+        ]);
     }
     println!("{}", table.render());
 }

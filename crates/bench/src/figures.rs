@@ -38,11 +38,7 @@ pub fn rate_ladder(f: usize, effort: Effort) -> Vec<u64> {
 
 /// Fig. 10a–f: the throughput-vs-latency curve for one protocol at one
 /// fault level.
-pub fn throughput_vs_latency(
-    protocol: ProtocolKind,
-    f: usize,
-    effort: Effort,
-) -> Vec<SweepPoint> {
+pub fn throughput_vs_latency(protocol: ProtocolKind, f: usize, effort: Effort) -> Vec<SweepPoint> {
     let cfg = paper_config(protocol, f, effort);
     marlin_node::sweep_peak_throughput(&cfg, &rate_ladder(f, effort))
 }
@@ -116,7 +112,10 @@ pub fn ablate_shadow_blocks(f: usize) -> (u64, u64) {
             net,
             4_000,
         );
-        assert!(!m.took_happy_path, "shadow ablation requires the unhappy path");
+        assert!(
+            !m.took_happy_path,
+            "shadow ablation requires the unhappy path"
+        );
         m.window.total().bytes
     };
     (run(true), run(false))
@@ -140,9 +139,15 @@ pub fn ablate_four_phase(f: usize) -> [(String, u64); 4] {
     };
     [
         ("marlin (happy)".to_string(), m(ProtocolKind::Marlin, false)),
-        ("marlin (unhappy)".to_string(), m(ProtocolKind::Marlin, true)),
+        (
+            "marlin (unhappy)".to_string(),
+            m(ProtocolKind::Marlin, true),
+        ),
         ("hotstuff".to_string(), m(ProtocolKind::HotStuff, false)),
-        ("four-phase (no virtual blocks)".to_string(), m(ProtocolKind::MarlinFourPhase, false)),
+        (
+            "four-phase (no virtual blocks)".to_string(),
+            m(ProtocolKind::MarlinFourPhase, false),
+        ),
     ]
 }
 

@@ -12,7 +12,10 @@ pub struct Table {
 impl Table {
     /// Starts a table with the given column headers.
     pub fn new(header: &[&str]) -> Self {
-        Table { header: header.iter().map(ToString::to_string).collect(), rows: Vec::new() }
+        Table {
+            header: header.iter().map(ToString::to_string).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Adds a row (must match the header width).
@@ -30,7 +33,15 @@ impl Table {
     pub fn render(&self) -> String {
         let mut out = String::new();
         let _ = writeln!(out, "| {} |", self.header.join(" | "));
-        let _ = writeln!(out, "|{}|", self.header.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+        let _ = writeln!(
+            out,
+            "|{}|",
+            self.header
+                .iter()
+                .map(|_| "---")
+                .collect::<Vec<_>>()
+                .join("|")
+        );
         for row in &self.rows {
             let _ = writeln!(out, "| {} |", row.join(" | "));
         }
@@ -53,7 +64,7 @@ pub fn bytes(b: u64) -> String {
     let s = b.to_string();
     let mut out = String::new();
     for (i, c) in s.chars().enumerate() {
-        if i > 0 && (s.len() - i) % 3 == 0 {
+        if i > 0 && (s.len() - i).is_multiple_of(3) {
             out.push(',');
         }
         out.push(c);

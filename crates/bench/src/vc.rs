@@ -69,21 +69,23 @@ pub fn measure_view_change_with_preload(
     let mut sim = SimNet::new(protocol, cfg, net);
 
     let leader = ReplicaId(1); // leader of view 1
-    // Phase 1: commit a first batch so every replica has state.
+                               // Phase 1: commit a first batch so every replica has state.
     sim.schedule_client_batch(leader, 0, 50, 150);
     let horizon = 30_000_000_000u64;
     let mut t = 0u64;
     while sim.committed_txs(ReplicaId(0)) < 50 {
         t += 100_000_000;
-        assert!(t < horizon, "{protocol:?} n={n}: first batch never committed");
+        assert!(
+            t < horizon,
+            "{protocol:?} n={n}: first batch never committed"
+        );
         sim.run_until(t);
     }
 
     // Phase 2 (optionally): create divergent last-voted blocks by hiding
     // the next block's PREPARE from the f highest-id replicas.
     if force_unhappy {
-        let hidden: Vec<ReplicaId> =
-            ((n - f) as u32..n as u32).map(ReplicaId).collect();
+        let hidden: Vec<ReplicaId> = ((n - f) as u32..n as u32).map(ReplicaId).collect();
         let contested_after = sim.committed_txs(ReplicaId(0));
         let _ = contested_after;
         sim.set_filter(Box::new(move |_from, to, msg: &Message| match &msg.body {

@@ -25,8 +25,8 @@ use crate::util::{Base, Protocol};
 use crate::votes::VoteCollector;
 use marlin_types::rank::{block_rank_gt, highest_block, qc_rank_cmp, qc_rank_ge};
 use marlin_types::{
-    Block, BlockId, BlockKind, BlockMeta, BlockStore, Justify, Message, MsgBody, Phase,
-    Proposal, Qc, ReplicaId, View, ViewChange, Vote,
+    Block, BlockId, BlockKind, BlockMeta, BlockStore, Justify, Message, MsgBody, Phase, Proposal,
+    Qc, ReplicaId, View, ViewChange, Vote,
 };
 use std::cmp::Ordering;
 use std::collections::HashMap;
@@ -124,7 +124,9 @@ impl Chained {
     }
 
     fn start_view_change(&mut self, target: View, out: &mut StepOutput) {
-        out.actions.push(Action::Note(Note::ViewChangeStarted { from_view: self.base.cview }));
+        out.actions.push(Action::Note(Note::ViewChangeStarted {
+            from_view: self.base.cview,
+        }));
         self.enter_view(target, out);
         let parsig = self
             .base
@@ -163,7 +165,11 @@ impl Chained {
                 CommitRule::TwoChain => in_view,
                 CommitRule::ThreeChain => {
                     in_view
-                        || self.vc_rounds.get(&view).map(|r| r.decided).unwrap_or(false)
+                        || self
+                            .vc_rounds
+                            .get(&view)
+                            .map(|r| r.decided)
+                            .unwrap_or(false)
                 }
             };
             if !ready {
@@ -215,7 +221,9 @@ impl Chained {
         let Some(block) = self.base.store.get(&qc.block()).cloned() else {
             return;
         };
-        let Some(parent_qc) = block.justify().qc().copied() else { return };
+        let Some(parent_qc) = block.justify().qc().copied() else {
+            return;
+        };
         if parent_qc.is_genesis() || parent_qc.phase() != Phase::Prepare {
             return;
         }
@@ -231,7 +239,9 @@ impl Chained {
                 let Some(parent) = self.base.store.get(&parent_qc.block()).cloned() else {
                     return;
                 };
-                let Some(gp_qc) = parent.justify().qc().copied() else { return };
+                let Some(gp_qc) = parent.justify().qc().copied() else {
+                    return;
+                };
                 if gp_qc.is_genesis() || gp_qc.phase() != Phase::Prepare {
                     return;
                 }
@@ -298,7 +308,9 @@ impl Chained {
         if block.view() != view || !block_rank_gt(&block.meta(), &self.lb) {
             return;
         }
-        let Some(qc) = p.justify.qc().copied() else { return };
+        let Some(qc) = p.justify.qc().copied() else {
+            return;
+        };
         if !self.base.crypto.verify_justify(&p.justify) {
             return;
         }
@@ -348,7 +360,9 @@ impl Chained {
         }
         self.base.store_block(block);
         if let Some(vc) = virtual_vc {
-            self.base.store.resolve_virtual_parent(block.id(), vc.block());
+            self.base
+                .store
+                .resolve_virtual_parent(block.id(), vc.block());
         }
         let seed = block.vote_seed(Phase::Prepare, view);
         let parsig = self.base.crypto.sign_seed(&seed);
@@ -357,7 +371,11 @@ impl Chained {
             message: Message::new(
                 self.cfg().id,
                 view,
-                MsgBody::Vote(Vote { seed, parsig, locked_qc: None }),
+                MsgBody::Vote(Vote {
+                    seed,
+                    parsig,
+                    locked_qc: None,
+                }),
             ),
         });
         self.lb = block.meta();
@@ -392,7 +410,10 @@ impl Chained {
             return;
         }
         let quorum = self.quorum();
-        let Some(qc) = self.votes.add(v.seed, v.parsig, quorum, &mut self.base.crypto) else {
+        let Some(qc) = self
+            .votes
+            .add(v.seed, v.parsig, quorum, &mut self.base.crypto)
+        else {
             return;
         };
         out.actions.push(Action::Note(Note::QcFormed {
@@ -455,7 +476,9 @@ impl Chained {
             if let Some(qc) = m.high_qc.qc() {
                 if qc.phase() == Phase::Prepare
                     && self.base.crypto.verify_qc(qc)
-                    && best.as_ref().is_none_or(|b| qc_rank_cmp(qc, b) == Ordering::Greater)
+                    && best
+                        .as_ref()
+                        .is_none_or(|b| qc_rank_cmp(qc, b) == Ordering::Greater)
                 {
                     best = Some(*qc);
                 }
@@ -488,7 +511,9 @@ impl Chained {
                     out.actions.push(Action::Note(Note::HappyPathVc { view }));
                     if first_lb.kind == BlockKind::Virtual {
                         if let Some(vc) = Self::find_virtual_vc(&first_lb, &msgs) {
-                            self.base.store.resolve_virtual_parent(first_lb.id, vc.block());
+                            self.base
+                                .store
+                                .resolve_virtual_parent(first_lb.id, vc.block());
                         }
                     }
                     self.high_qc = Justify::One(qc);
@@ -537,7 +562,10 @@ impl Chained {
         if first.phase() == Phase::Prepare {
             let qc = first;
             if block_rank_gt(&bv, &Self::meta_of_qc(&qc)) {
-                out.actions.push(Action::Note(Note::UnhappyPathVc { view, case: VcCase::V1 }));
+                out.actions.push(Action::Note(Note::UnhappyPathVc {
+                    view,
+                    case: VcCase::V1,
+                }));
                 blocks.push(Block::new_normal(
                     qc.block(),
                     qc.block_view(),
@@ -554,7 +582,10 @@ impl Chained {
                     Justify::One(qc),
                 ));
             } else {
-                out.actions.push(Action::Note(Note::UnhappyPathVc { view, case: VcCase::V2 }));
+                out.actions.push(Action::Note(Note::UnhappyPathVc {
+                    view,
+                    case: VcCase::V2,
+                }));
                 blocks.push(Block::new_normal(
                     qc.block(),
                     qc.block_view(),
@@ -571,7 +602,10 @@ impl Chained {
             .len()
             == 1
         {
-            out.actions.push(Action::Note(Note::UnhappyPathVc { view, case: VcCase::V2 }));
+            out.actions.push(Action::Note(Note::UnhappyPathVc {
+                view,
+                case: VcCase::V2,
+            }));
             let justify = match (first.block_kind(), first_vc) {
                 (BlockKind::Virtual, Some(vc)) => Justify::Two(first, vc),
                 _ => Justify::One(first),
@@ -585,9 +619,16 @@ impl Chained {
                 justify,
             ));
         } else {
-            out.actions.push(Action::Note(Note::UnhappyPathVc { view, case: VcCase::V3 }));
-            let normal = top.iter().find(|(qc, _)| qc.block_kind() == BlockKind::Normal);
-            let virt = top.iter().find(|(qc, _)| qc.block_kind() == BlockKind::Virtual);
+            out.actions.push(Action::Note(Note::UnhappyPathVc {
+                view,
+                case: VcCase::V3,
+            }));
+            let normal = top
+                .iter()
+                .find(|(qc, _)| qc.block_kind() == BlockKind::Normal);
+            let virt = top
+                .iter()
+                .find(|(qc, _)| qc.block_kind() == BlockKind::Virtual);
             if let Some((qc1, _)) = normal {
                 blocks.push(Block::new_normal(
                     qc1.block(),
@@ -616,7 +657,9 @@ impl Chained {
         for b in &blocks {
             self.base.store_block(b);
             if let Justify::Two(pre, vc) = b.justify() {
-                self.base.store.resolve_virtual_parent(pre.block(), vc.block());
+                self.base
+                    .store
+                    .resolve_virtual_parent(pre.block(), vc.block());
             }
             let round = self.vc_rounds.entry(view).or_default();
             round.candidates.push(b.id());
@@ -661,7 +704,9 @@ impl Chained {
                 continue;
             }
             let justify = *block.justify();
-            let Some(qc) = justify.qc().copied() else { continue };
+            let Some(qc) = justify.qc().copied() else {
+                continue;
+            };
             if qc.view() >= view || !self.base.crypto.verify_justify(&justify) {
                 continue;
             }
@@ -689,7 +734,9 @@ impl Chained {
                 if !pair_ok {
                     continue;
                 }
-                self.base.store.resolve_virtual_parent(pre.block(), vc.block());
+                self.base
+                    .store
+                    .resolve_virtual_parent(pre.block(), vc.block());
             }
             let mut attach = None;
             let r1 = qc_rank_ge(&qc, self.locked_qc.as_ref());
@@ -703,7 +750,10 @@ impl Chained {
             let r3 = !r1
                 && !r2
                 && qc.phase() == Phase::PrePrepare
-                && self.locked_qc.as_ref().is_some_and(|l| l.block() == qc.block());
+                && self
+                    .locked_qc
+                    .as_ref()
+                    .is_some_and(|l| l.block() == qc.block());
             if r2 {
                 attach = self.locked_qc;
             }
@@ -718,7 +768,11 @@ impl Chained {
                 message: Message::new(
                     self.cfg().id,
                     view,
-                    MsgBody::Vote(Vote { seed, parsig, locked_qc: attach }),
+                    MsgBody::Vote(Vote {
+                        seed,
+                        parsig,
+                        locked_qc: attach,
+                    }),
                 ),
             });
             progressed = true;
@@ -737,7 +791,9 @@ impl Chained {
             return;
         }
         let quorum = self.quorum();
-        let Some(round) = self.vc_rounds.get_mut(&view) else { return };
+        let Some(round) = self.vc_rounds.get_mut(&view) else {
+            return;
+        };
         if round.advanced || !round.candidates.contains(&v.seed.block) {
             return;
         }
@@ -750,7 +806,10 @@ impl Chained {
                 round.virtual_vc = Some(vc);
             }
         }
-        if let Some(qc) = self.votes.add(v.seed, v.parsig, quorum, &mut self.base.crypto) {
+        if let Some(qc) = self
+            .votes
+            .add(v.seed, v.parsig, quorum, &mut self.base.crypto)
+        {
             out.actions.push(Action::Note(Note::QcFormed {
                 phase: Phase::PrePrepare,
                 view: qc.view(),
@@ -766,7 +825,9 @@ impl Chained {
                 BlockKind::Virtual => match round.virtual_vc {
                     Some(vc) => {
                         round.advanced = true;
-                        self.base.store.resolve_virtual_parent(qc.block(), vc.block());
+                        self.base
+                            .store
+                            .resolve_virtual_parent(qc.block(), vc.block());
                         self.high_qc = Justify::Two(qc, vc);
                         self.propose(out);
                     }
@@ -777,7 +838,9 @@ impl Chained {
             if !round.advanced {
                 if let (Some(pre), Some(vc)) = (round.stashed_virtual_qc, round.virtual_vc) {
                     round.advanced = true;
-                    self.base.store.resolve_virtual_parent(pre.block(), vc.block());
+                    self.base
+                        .store
+                        .resolve_virtual_parent(pre.block(), vc.block());
                     self.high_qc = Justify::Two(pre, vc);
                     self.propose(out);
                 }
@@ -873,7 +936,11 @@ pub struct ChainedHotStuff(Chained);
 impl ChainedHotStuff {
     /// Creates a replica in the pre-start state.
     pub fn new(config: Config) -> Self {
-        ChainedHotStuff(Chained::new(config, CommitRule::ThreeChain, "chained-hotstuff"))
+        ChainedHotStuff(Chained::new(
+            config,
+            CommitRule::ThreeChain,
+            "chained-hotstuff",
+        ))
     }
 
     /// The current lock, if any.

@@ -3,7 +3,7 @@
 use crate::config::Config;
 use marlin_crypto::{CostModel, CryptoOp, KeyStore, PartialSig, QcFormat, Signature, Signer};
 use marlin_types::{Justify, Qc, QcSeed, VcCert};
-use std::collections::HashSet;
+use std::collections::{HashSet, VecDeque};
 use std::sync::Arc;
 
 /// Performs signing/verification through the [`KeyStore`] while charging
@@ -20,6 +20,13 @@ pub struct CryptoCtx {
     format: QcFormat,
     charged_ns: u64,
     verified_qcs: HashSet<[u8; 32]>,
+    /// Insertion order of `verified_qcs`, for bounded FIFO eviction.
+    verified_order: VecDeque<[u8; 32]>,
+    /// Last seed whose signing bytes were computed. Vote handling asks
+    /// for the same seed's bytes `n − f` times back-to-back (once per
+    /// share), so a single-entry memo absorbs nearly every repeat
+    /// without unbounded growth.
+    last_seed: Option<(QcSeed, [u8; 32])>,
 }
 
 impl CryptoCtx {
@@ -32,6 +39,30 @@ impl CryptoCtx {
             format: config.qc_format,
             charged_ns: 0,
             verified_qcs: HashSet::new(),
+            verified_order: VecDeque::new(),
+            last_seed: None,
+        }
+    }
+
+    /// Canonical signing bytes of `seed`, memoized for consecutive calls
+    /// with the same seed (the common case while collecting one round's
+    /// votes).
+    pub fn seed_bytes(&mut self, seed: &QcSeed) -> [u8; 32] {
+        if let Some((cached, bytes)) = &self.last_seed {
+            if cached == seed {
+                return *bytes;
+            }
+        }
+        let bytes = seed.signing_bytes();
+        self.last_seed = Some((*seed, bytes));
+        bytes
+    }
+
+    /// Marks `key` as a verified certificate, tracking insertion order
+    /// so [`CryptoCtx::trim_cache`] can evict oldest-first.
+    fn cache_verified(&mut self, key: [u8; 32]) {
+        if self.verified_qcs.insert(key) {
+            self.verified_order.push_back(key);
         }
     }
 
@@ -48,7 +79,8 @@ impl CryptoCtx {
     /// Signs a vote seed, producing a partial signature.
     pub fn sign_seed(&mut self, seed: &QcSeed) -> PartialSig {
         self.charged_ns += self.cost.cost(CryptoOp::Sign);
-        self.signer.sign_partial(&seed.signing_bytes())
+        let bytes = self.seed_bytes(seed);
+        self.signer.sign_partial(&bytes)
     }
 
     /// Signs arbitrary bytes with a conventional signature (used by the
@@ -61,7 +93,8 @@ impl CryptoCtx {
     /// Verifies a partial signature over a seed.
     pub fn verify_partial(&mut self, seed: &QcSeed, parsig: &PartialSig) -> bool {
         self.charged_ns += self.cost.cost(CryptoOp::Verify);
-        self.keys.verify_partial(&seed.signing_bytes(), parsig)
+        let bytes = self.seed_bytes(seed);
+        self.keys.verify_partial(&bytes, parsig)
     }
 
     /// Verifies a quorum certificate, charging per its format; cached.
@@ -69,7 +102,7 @@ impl CryptoCtx {
         if qc.is_genesis() {
             return true;
         }
-        let key = qc.seed().signing_bytes();
+        let key = *qc.signing_bytes();
         if self.verified_qcs.contains(&key) {
             return true;
         }
@@ -79,7 +112,7 @@ impl CryptoCtx {
         });
         let ok = qc.verify(&self.keys);
         if ok {
-            self.verified_qcs.insert(key);
+            self.cache_verified(key);
         }
         ok
     }
@@ -103,9 +136,11 @@ impl CryptoCtx {
     /// cost. Returns `None` below threshold (should not happen if the
     /// caller gates on quorum size).
     pub fn combine(&mut self, seed: QcSeed, partials: &[PartialSig]) -> Option<Qc> {
-        self.charged_ns += self.cost.cost(CryptoOp::Combine { shares: partials.len() });
+        self.charged_ns += self.cost.cost(CryptoOp::Combine {
+            shares: partials.len(),
+        });
         let qc = Qc::combine(seed, partials, &self.keys, self.format).ok()?;
-        self.verified_qcs.insert(seed.signing_bytes());
+        self.cache_verified(*qc.signing_bytes());
         Some(qc)
     }
 
@@ -114,11 +149,15 @@ impl CryptoCtx {
         self.charged_ns += self.cost.cost(CryptoOp::Hash { len });
     }
 
-    /// Drops the verification cache below the given capacity; called by
-    /// long-running drivers to bound memory.
+    /// Evicts oldest-first until the verification cache holds at most
+    /// `max` entries; called by long-running drivers to bound memory.
+    /// Recently verified certificates — the ones still circulating in
+    /// live messages — survive, so a trim does not force the whole
+    /// working set to re-verify.
     pub fn trim_cache(&mut self, max: usize) {
-        if self.verified_qcs.len() > max {
-            self.verified_qcs.clear();
+        while self.verified_qcs.len() > max {
+            let oldest = self.verified_order.pop_front().expect("order tracks set");
+            self.verified_qcs.remove(&oldest);
         }
     }
 }
@@ -191,6 +230,64 @@ mod tests {
         let s = seed(4);
         let wrong = cfg.keys.signer(1).sign_partial(b"something else");
         assert!(!ctx.verify_partial(&s, &wrong));
+    }
+
+    #[test]
+    fn trim_under_capacity_keeps_verified_qcs_cached() {
+        let (mut ctx, cfg) = ctx_with_cost();
+        let qcs: Vec<Qc> = (1..=4)
+            .map(|v| {
+                let s = seed(v);
+                let partials: Vec<_> = (0..3)
+                    .map(|i| cfg.keys.signer(i).sign_partial(&s.signing_bytes()))
+                    .collect();
+                Qc::combine(s, &partials, &cfg.keys, QcFormat::Threshold).unwrap()
+            })
+            .collect();
+        for qc in &qcs {
+            assert!(ctx.verify_qc(qc));
+        }
+        ctx.take_charge();
+        // Regression: a trim that is still within capacity must be a
+        // no-op, not a full flush — every QC stays cached.
+        ctx.trim_cache(10);
+        for qc in &qcs {
+            assert!(ctx.verify_qc(qc));
+        }
+        assert_eq!(
+            ctx.take_charge(),
+            0,
+            "trim under capacity evicted cached QCs"
+        );
+    }
+
+    #[test]
+    fn trim_over_capacity_evicts_oldest_first() {
+        let (mut ctx, cfg) = ctx_with_cost();
+        // Views start at 1: a (view 0, height 0) seed would read as the
+        // genesis QC, which verifies free and is never cached.
+        let qcs: Vec<Qc> = (1..=4)
+            .map(|v| {
+                let s = seed(v);
+                let partials: Vec<_> = (0..3)
+                    .map(|i| cfg.keys.signer(i).sign_partial(&s.signing_bytes()))
+                    .collect();
+                Qc::combine(s, &partials, &cfg.keys, QcFormat::Threshold).unwrap()
+            })
+            .collect();
+        for qc in &qcs {
+            assert!(ctx.verify_qc(qc));
+        }
+        ctx.take_charge();
+        ctx.trim_cache(2);
+        // The two oldest re-verify (charged); the two newest stay free.
+        assert!(ctx.verify_qc(&qcs[0]));
+        assert!(
+            ctx.take_charge() > 0,
+            "oldest entry should have been evicted"
+        );
+        assert!(ctx.verify_qc(&qcs[3]));
+        assert_eq!(ctx.take_charge(), 0, "newest entry should have survived");
     }
 
     #[test]

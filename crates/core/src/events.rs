@@ -3,7 +3,11 @@
 use marlin_types::{Block, Height, Message, Phase, ReplicaId, Transaction, View};
 
 /// An input to a replica's state machine.
+///
+/// `Message` dwarfs the other variants, but events are consumed in
+/// place, never queued in bulk, so boxing would only add indirection.
 #[derive(Clone, Debug)]
+#[allow(clippy::large_enum_variant)]
 pub enum Event {
     /// Bootstraps the replica: enter view 1 and, if leader, propose.
     Start,
@@ -165,9 +169,15 @@ mod tests {
 
     #[test]
     fn merge_concatenates() {
-        let mut a = StepOutput { actions: vec![Action::Note(Note::HappyPathVc { view: View(1) })], cpu_ns: 5 };
+        let mut a = StepOutput {
+            actions: vec![Action::Note(Note::HappyPathVc { view: View(1) })],
+            cpu_ns: 5,
+        };
         let b = StepOutput {
-            actions: vec![Action::SetTimer { view: View(2), delay_ns: 7 }],
+            actions: vec![Action::SetTimer {
+                view: View(2),
+                delay_ns: 7,
+            }],
             cpu_ns: 3,
         };
         a.merge(b);
@@ -180,7 +190,9 @@ mod tests {
         let out = StepOutput {
             actions: vec![
                 Action::Note(Note::HappyPathVc { view: View(3) }),
-                Action::Commit { blocks: vec![Block::genesis()] },
+                Action::Commit {
+                    blocks: vec![Block::genesis()],
+                },
             ],
             cpu_ns: 0,
         };

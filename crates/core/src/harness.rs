@@ -212,7 +212,9 @@ impl Cluster {
     /// all resulting messages. Returns `false` if no timers are armed.
     pub fn fire_next_timer(&mut self) -> bool {
         loop {
-            let Some(entry) = self.timers.pop() else { return false };
+            let Some(entry) = self.timers.pop() else {
+                return false;
+            };
             if self.crashed.contains(&entry.replica) {
                 continue;
             }
@@ -393,7 +395,10 @@ impl Cluster {
     fn drain(&mut self) {
         while let Some((to, event)) = self.inbox.pop_front() {
             self.steps += 1;
-            assert!(self.steps < 10_000_000, "cluster livelock: step budget exhausted");
+            assert!(
+                self.steps < 10_000_000,
+                "cluster livelock: step budget exhausted"
+            );
             self.step_replica(to, event);
         }
     }

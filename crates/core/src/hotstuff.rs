@@ -22,8 +22,8 @@ use crate::util::{Base, Protocol};
 use crate::votes::VoteCollector;
 use marlin_types::rank::{block_rank_gt, qc_rank_cmp, qc_rank_ge};
 use marlin_types::{
-    Block, BlockId, BlockMeta, BlockStore, Decide, Justify, Message, MsgBody, Phase, Proposal,
-    Qc, QcSeed, ReplicaId, View, ViewChange, Vote,
+    Block, BlockId, BlockMeta, BlockStore, Decide, Justify, Message, MsgBody, Phase, Proposal, Qc,
+    QcSeed, ReplicaId, View, ViewChange, Vote,
 };
 use std::cmp::Ordering;
 use std::collections::HashMap;
@@ -113,7 +113,9 @@ impl HotStuff {
     }
 
     fn start_view_change(&mut self, target: View, out: &mut StepOutput) {
-        out.actions.push(Action::Note(Note::ViewChangeStarted { from_view: self.base.cview }));
+        out.actions.push(Action::Note(Note::ViewChangeStarted {
+            from_view: self.base.cview,
+        }));
         self.enter_view(target, out);
         let parsig = self
             .base
@@ -235,7 +237,11 @@ impl HotStuff {
             message: Message::new(
                 self.cfg().id,
                 view,
-                MsgBody::Vote(Vote { seed, parsig, locked_qc: None }),
+                MsgBody::Vote(Vote {
+                    seed,
+                    parsig,
+                    locked_qc: None,
+                }),
             ),
         });
         self.lb = block.meta();
@@ -260,20 +266,25 @@ impl HotStuff {
             Phase::Commit => Phase::PreCommit,
             _ => return,
         };
-        if qc.phase() != expected_qc_phase
-            || qc.view() != view
-            || !self.base.crypto.verify_qc(&qc)
+        if qc.phase() != expected_qc_phase || qc.view() != view || !self.base.crypto.verify_qc(&qc)
         {
             return;
         }
-        let seed = QcSeed { phase: p.phase, ..*qc.seed() };
+        let seed = QcSeed {
+            phase: p.phase,
+            ..*qc.seed()
+        };
         let parsig = self.base.crypto.sign_seed(&seed);
         out.actions.push(Action::Send {
             to: from,
             message: Message::new(
                 self.cfg().id,
                 view,
-                MsgBody::Vote(Vote { seed, parsig, locked_qc: None }),
+                MsgBody::Vote(Vote {
+                    seed,
+                    parsig,
+                    locked_qc: None,
+                }),
             ),
         });
         match p.phase {
@@ -292,7 +303,10 @@ impl HotStuff {
             return;
         }
         let quorum = self.cfg().quorum();
-        let Some(qc) = self.votes.add(v.seed, v.parsig, quorum, &mut self.base.crypto) else {
+        let Some(qc) = self
+            .votes
+            .add(v.seed, v.parsig, quorum, &mut self.base.crypto)
+        else {
             return;
         };
         out.actions.push(Action::Note(Note::QcFormed {
@@ -387,7 +401,9 @@ impl HotStuff {
             if let Some(qc) = m.high_qc.qc() {
                 if qc.phase() == Phase::Prepare
                     && self.base.crypto.verify_qc(qc)
-                    && best.as_ref().is_none_or(|b| qc_rank_cmp(qc, b) == Ordering::Greater)
+                    && best
+                        .as_ref()
+                        .is_none_or(|b| qc_rank_cmp(qc, b) == Ordering::Greater)
                 {
                     best = Some(*qc);
                 }

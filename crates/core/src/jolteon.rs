@@ -18,8 +18,8 @@ use crate::util::{Base, Protocol};
 use crate::votes::VoteCollector;
 use marlin_types::rank::{block_rank_gt, qc_rank_cmp, qc_rank_ge};
 use marlin_types::{
-    Block, BlockId, BlockMeta, BlockStore, Decide, Justify, Message, MsgBody, Phase, Proposal,
-    Qc, ReplicaId, VcCert, View, ViewChange, Vote,
+    Block, BlockId, BlockMeta, BlockStore, Decide, Justify, Message, MsgBody, Phase, Proposal, Qc,
+    ReplicaId, VcCert, View, ViewChange, Vote,
 };
 use std::cmp::Ordering;
 use std::collections::HashMap;
@@ -93,7 +93,9 @@ impl Jolteon {
     }
 
     fn start_view_change(&mut self, target: View, out: &mut StepOutput) {
-        out.actions.push(Action::Note(Note::ViewChangeStarted { from_view: self.base.cview }));
+        out.actions.push(Action::Note(Note::ViewChangeStarted {
+            from_view: self.base.cview,
+        }));
         self.enter_view(target, out);
         let parsig = self
             .base
@@ -228,7 +230,11 @@ impl Jolteon {
             message: Message::new(
                 self.cfg().id,
                 view,
-                MsgBody::Vote(Vote { seed, parsig, locked_qc: None }),
+                MsgBody::Vote(Vote {
+                    seed,
+                    parsig,
+                    locked_qc: None,
+                }),
             ),
         });
         self.lb = block.meta();
@@ -265,14 +271,21 @@ impl Jolteon {
         if qc.phase() != Phase::Prepare || qc.view() != view || !self.base.crypto.verify_qc(&qc) {
             return;
         }
-        let seed = marlin_types::QcSeed { phase: Phase::Commit, ..*qc.seed() };
+        let seed = marlin_types::QcSeed {
+            phase: Phase::Commit,
+            ..*qc.seed()
+        };
         let parsig = self.base.crypto.sign_seed(&seed);
         out.actions.push(Action::Send {
             to: from,
             message: Message::new(
                 self.cfg().id,
                 view,
-                MsgBody::Vote(Vote { seed, parsig, locked_qc: None }),
+                MsgBody::Vote(Vote {
+                    seed,
+                    parsig,
+                    locked_qc: None,
+                }),
             ),
         });
         self.raise_high(&qc);
@@ -285,7 +298,10 @@ impl Jolteon {
             return;
         }
         let quorum = self.cfg().quorum();
-        let Some(qc) = self.votes.add(v.seed, v.parsig, quorum, &mut self.base.crypto) else {
+        let Some(qc) = self
+            .votes
+            .add(v.seed, v.parsig, quorum, &mut self.base.crypto)
+        else {
             return;
         };
         out.actions.push(Action::Note(Note::QcFormed {
@@ -374,7 +390,10 @@ impl Jolteon {
             if !self.base.crypto.verify_vc_cert(view, &cert) {
                 continue;
             }
-            if best.as_ref().is_none_or(|b| qc_rank_cmp(qc, b) == Ordering::Greater) {
+            if best
+                .as_ref()
+                .is_none_or(|b| qc_rank_cmp(qc, b) == Ordering::Greater)
+            {
                 best = Some(*qc);
             }
             certs.push(cert);
@@ -497,7 +516,7 @@ mod tests {
                 !(p.blocks.first().is_some_and(|b| b.height().0 == contested) && to == P2)
             }
             MsgBody::Proposal(p) if p.phase == Phase::Commit => {
-                !p.justify.qc().is_some_and(|qc| qc.height().0 == contested) || to == P0
+                p.justify.qc().is_none_or(|qc| qc.height().0 != contested) || to == P0
             }
             _ => true,
         }));

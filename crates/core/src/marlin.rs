@@ -166,7 +166,9 @@ impl Marlin {
     /// Times out of the current view and joins the view change for
     /// `target` (normally `cview + 1`).
     fn start_view_change(&mut self, target: View, out: &mut StepOutput) {
-        out.actions.push(Action::Note(Note::ViewChangeStarted { from_view: self.base.cview }));
+        out.actions.push(Action::Note(Note::ViewChangeStarted {
+            from_view: self.base.cview,
+        }));
         self.enter_view(target, out);
         let parsig = self
             .base
@@ -182,7 +184,10 @@ impl Marlin {
                 cert: None,
             }),
         );
-        out.actions.push(Action::Send { to: self.cfg().leader_of(target), message: msg });
+        out.actions.push(Action::Send {
+            to: self.cfg().leader_of(target),
+            message: msg,
+        });
     }
 
     /// Leader: proposes per the normal-case rules (N1/N2).
@@ -308,7 +313,9 @@ impl Marlin {
         if !block_rank_gt(&block.meta(), &self.lb) {
             return;
         }
-        let Some(qc) = p.justify.qc().copied() else { return };
+        let Some(qc) = p.justify.qc().copied() else {
+            return;
+        };
         if !self.base.crypto.verify_justify(&p.justify) {
             return;
         }
@@ -352,7 +359,9 @@ impl Marlin {
 
         self.base.store_block(block);
         if let Some(vc) = locked_attachment {
-            self.base.store.resolve_virtual_parent(block.id(), vc.block());
+            self.base
+                .store
+                .resolve_virtual_parent(block.id(), vc.block());
         }
         let seed = block.vote_seed(Phase::Prepare, view);
         let parsig = self.base.crypto.sign_seed(&seed);
@@ -361,7 +370,11 @@ impl Marlin {
             message: Message::new(
                 self.cfg().id,
                 view,
-                MsgBody::Vote(Vote { seed, parsig, locked_qc: None }),
+                MsgBody::Vote(Vote {
+                    seed,
+                    parsig,
+                    locked_qc: None,
+                }),
             ),
         });
         self.lb = block.meta();
@@ -378,7 +391,10 @@ impl Marlin {
         if v.seed.view != self.base.cview || Some(v.seed.block) != self.in_flight {
             return;
         }
-        if let Some(qc) = self.votes.add(v.seed, v.parsig, self.quorum(), &mut self.base.crypto) {
+        if let Some(qc) = self
+            .votes
+            .add(v.seed, v.parsig, self.quorum(), &mut self.base.crypto)
+        {
             out.actions.push(Action::Note(Note::QcFormed {
                 phase: Phase::Prepare,
                 view: qc.view(),
@@ -418,14 +434,21 @@ impl Marlin {
         if !self.base.crypto.verify_qc(&qc) {
             return;
         }
-        let seed = marlin_types::QcSeed { phase: Phase::Commit, ..*qc.seed() };
+        let seed = marlin_types::QcSeed {
+            phase: Phase::Commit,
+            ..*qc.seed()
+        };
         let parsig = self.base.crypto.sign_seed(&seed);
         out.actions.push(Action::Send {
             to: from,
             message: Message::new(
                 self.cfg().id,
                 view,
-                MsgBody::Vote(Vote { seed, parsig, locked_qc: None }),
+                MsgBody::Vote(Vote {
+                    seed,
+                    parsig,
+                    locked_qc: None,
+                }),
             ),
         });
         self.high_qc = Justify::One(qc);
@@ -439,7 +462,10 @@ impl Marlin {
         if v.seed.view != self.base.cview || Some(v.seed.block) != self.in_flight {
             return;
         }
-        if let Some(qc) = self.votes.add(v.seed, v.parsig, self.quorum(), &mut self.base.crypto) {
+        if let Some(qc) = self
+            .votes
+            .add(v.seed, v.parsig, self.quorum(), &mut self.base.crypto)
+        {
             out.actions.push(Action::Note(Note::QcFormed {
                 phase: Phase::Commit,
                 view: qc.view(),
@@ -509,8 +535,13 @@ impl Marlin {
             return;
         }
         round.decided = true;
-        let msgs: Vec<(ReplicaId, ViewChange)> =
-            round.msgs.iter().map(|(k, v)| (*k, v.clone())).collect();
+        // Move the collected messages out instead of deep-cloning the
+        // map (`decided` above keeps later arrivals from re-entering).
+        // Sorting by sender makes the leader's case analysis independent
+        // of HashMap iteration order.
+        let mut msgs: Vec<(ReplicaId, ViewChange)> =
+            std::mem::take(&mut round.msgs).into_iter().collect();
+        msgs.sort_unstable_by_key(|(id, _)| *id);
         self.run_pre_prepare(view, msgs, out);
     }
 
@@ -537,7 +568,9 @@ impl Marlin {
                     // must stay resolvable; carry the vc alongside.
                     self.high_qc = match Self::find_virtual_vc(&first_lb, &msgs) {
                         Some(vc) if first_lb.kind == BlockKind::Virtual => {
-                            self.base.store.resolve_virtual_parent(first_lb.id, vc.block());
+                            self.base
+                                .store
+                                .resolve_virtual_parent(first_lb.id, vc.block());
                             Justify::One(qc)
                         }
                         _ => Justify::One(qc),
@@ -593,7 +626,10 @@ impl Marlin {
             let parent_meta = Self::meta_of_qc(&qc);
             if block_rank_gt(&bv, &parent_meta) {
                 // Case V1: normal + virtual shadow blocks.
-                out.actions.push(Action::Note(Note::UnhappyPathVc { view, case: VcCase::V1 }));
+                out.actions.push(Action::Note(Note::UnhappyPathVc {
+                    view,
+                    case: VcCase::V1,
+                }));
                 let b1 = Block::new_normal(
                     qc.block(),
                     qc.block_view(),
@@ -613,7 +649,10 @@ impl Marlin {
                 blocks.push(b2);
             } else {
                 // Case V2 with a prepareQC: certain-safe snapshot.
-                out.actions.push(Action::Note(Note::UnhappyPathVc { view, case: VcCase::V2 }));
+                out.actions.push(Action::Note(Note::UnhappyPathVc {
+                    view,
+                    case: VcCase::V2,
+                }));
                 let b = Block::new_normal(
                     qc.block(),
                     qc.block_view(),
@@ -624,9 +663,18 @@ impl Marlin {
                 );
                 blocks.push(b);
             }
-        } else if top.iter().map(|(qc, _)| qc.block()).collect::<std::collections::HashSet<_>>().len() == 1 {
+        } else if top
+            .iter()
+            .map(|(qc, _)| qc.block())
+            .collect::<std::collections::HashSet<_>>()
+            .len()
+            == 1
+        {
             // Case V2 with a single pre-prepareQC.
-            out.actions.push(Action::Note(Note::UnhappyPathVc { view, case: VcCase::V2 }));
+            out.actions.push(Action::Note(Note::UnhappyPathVc {
+                view,
+                case: VcCase::V2,
+            }));
             let justify = match (first.block_kind(), first_vc) {
                 (BlockKind::Virtual, Some(vc)) => Justify::Two(first, vc),
                 _ => Justify::One(first),
@@ -642,9 +690,16 @@ impl Marlin {
             blocks.push(b);
         } else {
             // Case V3: two pre-prepareQCs of equal rank (normal+virtual).
-            out.actions.push(Action::Note(Note::UnhappyPathVc { view, case: VcCase::V3 }));
-            let normal = top.iter().find(|(qc, _)| qc.block_kind() == BlockKind::Normal);
-            let virt = top.iter().find(|(qc, _)| qc.block_kind() == BlockKind::Virtual);
+            out.actions.push(Action::Note(Note::UnhappyPathVc {
+                view,
+                case: VcCase::V3,
+            }));
+            let normal = top
+                .iter()
+                .find(|(qc, _)| qc.block_kind() == BlockKind::Normal);
+            let virt = top
+                .iter()
+                .find(|(qc, _)| qc.block_kind() == BlockKind::Virtual);
             if let Some((qc1, _)) = normal {
                 blocks.push(Block::new_normal(
                     qc1.block(),
@@ -674,7 +729,9 @@ impl Marlin {
             self.base.store_block(b);
             if let Justify::Two(pre, vc) = b.justify() {
                 // Make the virtual grandparent resolvable.
-                self.base.store.resolve_virtual_parent(pre.block(), vc.block());
+                self.base
+                    .store
+                    .resolve_virtual_parent(pre.block(), vc.block());
             }
             let round = self.vc_rounds.entry(view).or_default();
             round.candidates.push(b.id());
@@ -720,7 +777,9 @@ impl Marlin {
                 continue;
             }
             let justify = *block.justify();
-            let Some(qc) = justify.qc().copied() else { continue };
+            let Some(qc) = justify.qc().copied() else {
+                continue;
+            };
             // The justify must have been formed before this view.
             if qc.view() >= view {
                 continue;
@@ -754,7 +813,9 @@ impl Marlin {
                 if !pair_ok {
                     continue;
                 }
-                self.base.store.resolve_virtual_parent(pre.block(), vc.block());
+                self.base
+                    .store
+                    .resolve_virtual_parent(pre.block(), vc.block());
             }
 
             // Voting cases.
@@ -763,13 +824,17 @@ impl Marlin {
             let r2 = !r1
                 && block.kind() == BlockKind::Virtual
                 && qc.phase() == Phase::Prepare
-                && self.locked_qc.as_ref().is_some_and(|l| {
-                    l.view() == qc.view() && l.height() == qc.height().next()
-                });
+                && self
+                    .locked_qc
+                    .as_ref()
+                    .is_some_and(|l| l.view() == qc.view() && l.height() == qc.height().next());
             let r3 = !r1
                 && !r2
                 && qc.phase() == Phase::PrePrepare
-                && self.locked_qc.as_ref().is_some_and(|l| l.block() == qc.block());
+                && self
+                    .locked_qc
+                    .as_ref()
+                    .is_some_and(|l| l.block() == qc.block());
             if r2 {
                 attach = self.locked_qc;
             }
@@ -785,7 +850,11 @@ impl Marlin {
                 message: Message::new(
                     self.cfg().id,
                     view,
-                    MsgBody::Vote(Vote { seed, parsig, locked_qc: attach }),
+                    MsgBody::Vote(Vote {
+                        seed,
+                        parsig,
+                        locked_qc: attach,
+                    }),
                 ),
             });
             progressed = true;
@@ -803,7 +872,9 @@ impl Marlin {
             return;
         }
         let quorum = self.quorum();
-        let Some(round) = self.vc_rounds.get_mut(&view) else { return };
+        let Some(round) = self.vc_rounds.get_mut(&view) else {
+            return;
+        };
         if round.advanced || !round.candidates.contains(&v.seed.block) {
             return;
         }
@@ -817,7 +888,10 @@ impl Marlin {
                 round.virtual_vc = Some(vc);
             }
         }
-        if let Some(qc) = self.votes.add(v.seed, v.parsig, quorum, &mut self.base.crypto) {
+        if let Some(qc) = self
+            .votes
+            .add(v.seed, v.parsig, quorum, &mut self.base.crypto)
+        {
             out.actions.push(Action::Note(Note::QcFormed {
                 phase: Phase::PrePrepare,
                 view: qc.view(),
@@ -833,7 +907,9 @@ impl Marlin {
                 BlockKind::Virtual => match round.virtual_vc {
                     Some(vc) => {
                         round.advanced = true;
-                        self.base.store.resolve_virtual_parent(qc.block(), vc.block());
+                        self.base
+                            .store
+                            .resolve_virtual_parent(qc.block(), vc.block());
                         self.high_qc = Justify::Two(qc, vc);
                         self.propose(out);
                     }
@@ -848,7 +924,9 @@ impl Marlin {
             if !round.advanced {
                 if let (Some(pre), Some(vc)) = (round.stashed_virtual_qc, round.virtual_vc) {
                     round.advanced = true;
-                    self.base.store.resolve_virtual_parent(pre.block(), vc.block());
+                    self.base
+                        .store
+                        .resolve_virtual_parent(pre.block(), vc.block());
                     self.high_qc = Justify::Two(pre, vc);
                     self.propose(out);
                 }

@@ -24,8 +24,8 @@ use crate::util::{Base, Protocol};
 use crate::votes::VoteCollector;
 use marlin_types::rank::{block_rank_gt, qc_rank_cmp, qc_rank_ge};
 use marlin_types::{
-    Block, BlockId, BlockMeta, BlockStore, Decide, Justify, Message, MsgBody, Phase, Proposal,
-    Qc, QcSeed, ReplicaId, View, ViewChange, Vote,
+    Block, BlockId, BlockMeta, BlockStore, Decide, Justify, Message, MsgBody, Phase, Proposal, Qc,
+    QcSeed, ReplicaId, View, ViewChange, Vote,
 };
 use std::cmp::Ordering;
 use std::collections::HashMap;
@@ -110,7 +110,9 @@ impl MarlinFourPhase {
     }
 
     fn start_view_change(&mut self, target: View, out: &mut StepOutput) {
-        out.actions.push(Action::Note(Note::ViewChangeStarted { from_view: self.base.cview }));
+        out.actions.push(Action::Note(Note::ViewChangeStarted {
+            from_view: self.base.cview,
+        }));
         self.enter_view(target, out);
         let parsig = self
             .base
@@ -258,7 +260,11 @@ impl MarlinFourPhase {
                 message: Message::new(
                     self.cfg().id,
                     view,
-                    MsgBody::Vote(Vote { seed, parsig, locked_qc: None }),
+                    MsgBody::Vote(Vote {
+                        seed,
+                        parsig,
+                        locked_qc: None,
+                    }),
                 ),
             });
         } else {
@@ -269,7 +275,11 @@ impl MarlinFourPhase {
                 message: Message::new(
                     self.cfg().id,
                     view,
-                    MsgBody::Vote(Vote { seed, parsig, locked_qc: self.locked_qc }),
+                    MsgBody::Vote(Vote {
+                        seed,
+                        parsig,
+                        locked_qc: self.locked_qc,
+                    }),
                 ),
             });
         }
@@ -318,7 +328,11 @@ impl MarlinFourPhase {
             message: Message::new(
                 self.cfg().id,
                 view,
-                MsgBody::Vote(Vote { seed, parsig, locked_qc: None }),
+                MsgBody::Vote(Vote {
+                    seed,
+                    parsig,
+                    locked_qc: None,
+                }),
             ),
         });
         self.lb = block.meta();
@@ -352,14 +366,21 @@ impl MarlinFourPhase {
         if !ok || qc.view() != view || !self.base.crypto.verify_qc(&qc) {
             return;
         }
-        let seed = QcSeed { phase: p.phase, ..*qc.seed() };
+        let seed = QcSeed {
+            phase: p.phase,
+            ..*qc.seed()
+        };
         let parsig = self.base.crypto.sign_seed(&seed);
         out.actions.push(Action::Send {
             to: from,
             message: Message::new(
                 self.cfg().id,
                 view,
-                MsgBody::Vote(Vote { seed, parsig, locked_qc: None }),
+                MsgBody::Vote(Vote {
+                    seed,
+                    parsig,
+                    locked_qc: None,
+                }),
             ),
         });
         match (p.phase, qc.phase()) {
@@ -404,7 +425,10 @@ impl MarlinFourPhase {
             return;
         }
         let quorum = self.cfg().quorum();
-        let Some(qc) = self.votes.add(v.seed, v.parsig, quorum, &mut self.base.crypto) else {
+        let Some(qc) = self
+            .votes
+            .add(v.seed, v.parsig, quorum, &mut self.base.crypto)
+        else {
             return;
         };
         out.actions.push(Action::Note(Note::QcFormed {
@@ -418,7 +442,9 @@ impl MarlinFourPhase {
                 round.advanced = true;
                 self.in_flight = Some(qc.block());
                 self.recovering = true;
-                let Some(block) = self.base.store.get(&qc.block()).cloned() else { return };
+                let Some(block) = self.base.store.get(&qc.block()).cloned() else {
+                    return;
+                };
                 out.actions.push(Action::Broadcast {
                     message: Message::new(
                         self.cfg().id,
@@ -436,7 +462,11 @@ impl MarlinFourPhase {
                 self.raise_high(&qc);
                 // Recovery blocks take the long path (pre-commit);
                 // normal blocks go straight to commit.
-                let phase = if self.recovering { Phase::PreCommit } else { Phase::Commit };
+                let phase = if self.recovering {
+                    Phase::PreCommit
+                } else {
+                    Phase::Commit
+                };
                 out.actions.push(Action::Broadcast {
                     message: Message::new(
                         self.cfg().id,
@@ -522,14 +552,19 @@ impl MarlinFourPhase {
             if let Some(qc) = m.high_qc.qc() {
                 if qc.phase() == Phase::Prepare
                     && self.base.crypto.verify_qc(qc)
-                    && best.as_ref().is_none_or(|b| qc_rank_cmp(qc, b) == Ordering::Greater)
+                    && best
+                        .as_ref()
+                        .is_none_or(|b| qc_rank_cmp(qc, b) == Ordering::Greater)
                 {
                     best = Some(*qc);
                 }
             }
         }
         if let Some(qc) = best {
-            out.actions.push(Action::Note(Note::UnhappyPathVc { view, case: VcCase::V2 }));
+            out.actions.push(Action::Note(Note::UnhappyPathVc {
+                view,
+                case: VcCase::V2,
+            }));
             self.raise_high(&qc);
             self.propose_pre_prepare(qc, out);
         }
@@ -625,7 +660,11 @@ mod tests {
             .notes()
             .iter()
             .filter_map(|(p, n)| match n {
-                Note::QcFormed { phase, view: View(2), .. } if *p == P2 => Some(*phase),
+                Note::QcFormed {
+                    phase,
+                    view: View(2),
+                    ..
+                } if *p == P2 => Some(*phase),
                 _ => None,
             })
             .collect();
@@ -655,7 +694,7 @@ mod tests {
                 !(p.blocks.first().is_some_and(|b| b.height().0 == contested) && to == P2)
             }
             MsgBody::Proposal(p) if p.phase == Phase::Commit => {
-                !p.justify.qc().is_some_and(|qc| qc.height().0 == contested) || to == P0
+                p.justify.qc().is_none_or(|qc| qc.height().0 != contested) || to == P0
             }
             _ => true,
         }));
@@ -678,8 +717,13 @@ mod tests {
         let partials: Vec<_> = (0..3)
             .map(|i| cfg.keys.signer(i).sign_partial(&seed.signing_bytes()))
             .collect();
-        let stale_qc =
-            Qc::combine(seed, &partials, &cfg.keys, marlin_crypto::QcFormat::Threshold).unwrap();
+        let stale_qc = Qc::combine(
+            seed,
+            &partials,
+            &cfg.keys,
+            marlin_crypto::QcFormat::Threshold,
+        )
+        .unwrap();
         let parsig = cfg
             .keys
             .signer(1)
@@ -701,9 +745,14 @@ mod tests {
         // The NACK-restart recovered the contested block.
         cl.assert_consistent();
         assert!(
-            cl.committed_blocks(P0).iter().any(|b| b.height().0 == contested),
+            cl.committed_blocks(P0)
+                .iter()
+                .any(|b| b.height().0 == contested),
             "contested block not recovered; heights: {:?}",
-            cl.committed_blocks(P0).iter().map(|b| b.height().0).collect::<Vec<_>>()
+            cl.committed_blocks(P0)
+                .iter()
+                .map(|b| b.height().0)
+                .collect::<Vec<_>>()
         );
         assert_eq!(cl.total_committed_txs(P0), 20);
     }

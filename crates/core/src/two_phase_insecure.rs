@@ -19,8 +19,8 @@ use crate::util::{Base, Protocol};
 use crate::votes::VoteCollector;
 use marlin_types::rank::{block_rank_gt, qc_rank_cmp, qc_rank_ge};
 use marlin_types::{
-    Block, BlockId, BlockMeta, BlockStore, Decide, Justify, Message, MsgBody, Phase, Proposal,
-    Qc, ReplicaId, View, ViewChange, Vote,
+    Block, BlockId, BlockMeta, BlockStore, Decide, Justify, Message, MsgBody, Phase, Proposal, Qc,
+    ReplicaId, View, ViewChange, Vote,
 };
 use std::cmp::Ordering;
 use std::collections::HashMap;
@@ -90,7 +90,9 @@ impl TwoPhaseInsecure {
     }
 
     fn start_view_change(&mut self, target: View, out: &mut StepOutput) {
-        out.actions.push(Action::Note(Note::ViewChangeStarted { from_view: self.base.cview }));
+        out.actions.push(Action::Note(Note::ViewChangeStarted {
+            from_view: self.base.cview,
+        }));
         self.enter_view(target, out);
         let parsig = self
             .base
@@ -211,7 +213,11 @@ impl TwoPhaseInsecure {
             message: Message::new(
                 self.cfg().id,
                 view,
-                MsgBody::Vote(Vote { seed, parsig, locked_qc: None }),
+                MsgBody::Vote(Vote {
+                    seed,
+                    parsig,
+                    locked_qc: None,
+                }),
             ),
         });
         self.lb = block.meta();
@@ -228,14 +234,21 @@ impl TwoPhaseInsecure {
         if qc.phase() != Phase::Prepare || qc.view() != view || !self.base.crypto.verify_qc(&qc) {
             return;
         }
-        let seed = marlin_types::QcSeed { phase: Phase::Commit, ..*qc.seed() };
+        let seed = marlin_types::QcSeed {
+            phase: Phase::Commit,
+            ..*qc.seed()
+        };
         let parsig = self.base.crypto.sign_seed(&seed);
         out.actions.push(Action::Send {
             to: from,
             message: Message::new(
                 self.cfg().id,
                 view,
-                MsgBody::Vote(Vote { seed, parsig, locked_qc: None }),
+                MsgBody::Vote(Vote {
+                    seed,
+                    parsig,
+                    locked_qc: None,
+                }),
             ),
         });
         self.raise_high(&qc);
@@ -248,7 +261,10 @@ impl TwoPhaseInsecure {
             return;
         }
         let quorum = self.cfg().quorum();
-        let Some(qc) = self.votes.add(v.seed, v.parsig, quorum, &mut self.base.crypto) else {
+        let Some(qc) = self
+            .votes
+            .add(v.seed, v.parsig, quorum, &mut self.base.crypto)
+        else {
             return;
         };
         out.actions.push(Action::Note(Note::QcFormed {
@@ -327,7 +343,9 @@ impl TwoPhaseInsecure {
         for m in msgs.values() {
             if let Some(qc) = m.high_qc.qc() {
                 if self.base.crypto.verify_qc(qc)
-                    && best.as_ref().is_none_or(|b| qc_rank_cmp(qc, b) == Ordering::Greater)
+                    && best
+                        .as_ref()
+                        .is_none_or(|b| qc_rank_cmp(qc, b) == Ordering::Greater)
                 {
                     best = Some(*qc);
                 }

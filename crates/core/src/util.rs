@@ -50,7 +50,11 @@ pub trait Protocol {
         let mut guard = 0usize;
         while let Some(ev) = queue.pop_front() {
             guard += 1;
-            assert!(guard < 100_000, "self-delivery loop runaway in {}", self.name());
+            assert!(
+                guard < 100_000,
+                "self-delivery loop runaway in {}",
+                self.name()
+            );
             let out = self.on_event(ev);
             result.cpu_ns += out.cpu_ns;
             for action in out.actions {
@@ -139,7 +143,10 @@ impl Base {
     pub fn enter_view(&mut self, view: View, out: &mut StepOutput) -> Vec<Message> {
         debug_assert!(view > self.cview || self.cview == View::GENESIS);
         self.cview = view;
-        out.actions.push(Action::SetTimer { view, delay_ns: self.pacemaker.delay_for(view) });
+        out.actions.push(Action::SetTimer {
+            view,
+            delay_ns: self.pacemaker.delay_for(view),
+        });
         out.actions.push(Action::Note(Note::EnteredView {
             view,
             leader: self.cfg.is_leader(view),
@@ -194,7 +201,8 @@ impl Base {
                 self.commits_since_prune += newly.len() as u64;
                 let txs = newly.iter().map(|b| b.payload().len()).sum();
                 let height = newly.last().expect("nonempty").height();
-                out.actions.push(Action::Note(Note::Committed { height, txs }));
+                out.actions
+                    .push(Action::Note(Note::Committed { height, txs }));
                 out.actions.push(Action::Commit { blocks: newly });
                 self.pacemaker.record_progress(self.cview);
                 // Progress: keep the failure timer fresh (no-op when
@@ -202,7 +210,9 @@ impl Base {
                 self.progress_timer(out);
                 if self.commits_since_prune >= PRUNE_INTERVAL {
                     self.commits_since_prune = 0;
-                    let keep_from = self.store.get(&self.store.last_committed())
+                    let keep_from = self
+                        .store
+                        .get(&self.store.last_committed())
                         .map(|b| marlin_types::Height(b.height().0.saturating_sub(PRUNE_INTERVAL)))
                         .unwrap_or_default();
                     self.store.prune(keep_from, 64);
@@ -234,15 +244,21 @@ impl Base {
         let attempts = self.fetching.entry(wanted).or_insert(0);
         let n = *attempts;
         *attempts += 1;
-        if n % 4 != 0 {
+        if !n.is_multiple_of(4) {
             return;
         }
-        let message =
-            Message::new(self.cfg.id, self.cview, MsgBody::FetchRequest { block: wanted });
+        let message = Message::new(
+            self.cfg.id,
+            self.cview,
+            MsgBody::FetchRequest { block: wanted },
+        );
         if source == self.cfg.id || n >= 8 {
             out.actions.push(Action::Broadcast { message });
         } else {
-            out.actions.push(Action::Send { to: source, message });
+            out.actions.push(Action::Send {
+                to: source,
+                message,
+            });
         }
     }
 
@@ -252,20 +268,28 @@ impl Base {
         match &msg.body {
             MsgBody::FetchRequest { block } => {
                 if let Some(b) = self.store.get(block) {
-                    let virtual_parent =
-                        b.is_virtual().then(|| self.store.parent_id_of(block)).flatten();
+                    let virtual_parent = b
+                        .is_virtual()
+                        .then(|| self.store.parent_id_of(block))
+                        .flatten();
                     out.actions.push(Action::Send {
                         to: msg.from,
                         message: Message::new(
                             self.cfg.id,
                             self.cview,
-                            MsgBody::FetchResponse { block: b.clone(), virtual_parent },
+                            MsgBody::FetchResponse {
+                                block: b.clone(),
+                                virtual_parent,
+                            },
                         ),
                     });
                 }
                 true
             }
-            MsgBody::FetchResponse { block, virtual_parent } => {
+            MsgBody::FetchResponse {
+                block,
+                virtual_parent,
+            } => {
                 self.fetching.remove(&block.id());
                 if self.store.contains(&block.id())
                     && !(block.is_virtual() && virtual_parent.is_some())
@@ -313,14 +337,29 @@ mod tests {
     #[test]
     fn enter_view_arms_timer_and_drains_buffered() {
         let mut b = base();
-        let m1 = Message::new(ReplicaId(1), View(2), MsgBody::FetchRequest { block: BlockId::GENESIS });
-        let m2 = Message::new(ReplicaId(2), View(5), MsgBody::FetchRequest { block: BlockId::GENESIS });
+        let m1 = Message::new(
+            ReplicaId(1),
+            View(2),
+            MsgBody::FetchRequest {
+                block: BlockId::GENESIS,
+            },
+        );
+        let m2 = Message::new(
+            ReplicaId(2),
+            View(5),
+            MsgBody::FetchRequest {
+                block: BlockId::GENESIS,
+            },
+        );
         b.buffer_future(m1.clone());
         b.buffer_future(m2);
         let mut out = StepOutput::empty();
         let drained = b.enter_view(View(3), &mut out);
         assert_eq!(drained, vec![m1]);
-        assert!(matches!(out.actions[0], Action::SetTimer { view: View(3), .. }));
+        assert!(matches!(
+            out.actions[0],
+            Action::SetTimer { view: View(3), .. }
+        ));
         // The view-5 message stays buffered.
         let drained = b.enter_view(View(5), &mut StepOutput::empty());
         assert_eq!(drained.len(), 1);
@@ -349,7 +388,10 @@ mod tests {
             Justify::One(Qc::genesis(g.id())),
         );
         b.store_block(&block);
-        let qc = Qc::new(block.vote_seed(Phase::Commit, View(1)), *Qc::genesis(g.id()).sig());
+        let qc = Qc::new(
+            block.vote_seed(Phase::Commit, View(1)),
+            *Qc::genesis(g.id()).sig(),
+        );
         let mut out = StepOutput::empty();
         b.try_commit(qc, ReplicaId(1), &mut out);
         assert_eq!(out.committed_blocks().count(), 1);
@@ -361,16 +403,27 @@ mod tests {
         let mut b = base();
         let g = b.store.genesis().clone();
         let b1 = Block::new_normal(
-            g.id(), g.view(), View(1), g.height().next(),
-            Batch::empty(), Justify::One(Qc::genesis(g.id())),
+            g.id(),
+            g.view(),
+            View(1),
+            g.height().next(),
+            Batch::empty(),
+            Justify::One(Qc::genesis(g.id())),
         );
         let b2 = Block::new_normal(
-            b1.id(), b1.view(), View(1), b1.height().next(),
-            Batch::empty(), Justify::One(Qc::genesis(g.id())),
+            b1.id(),
+            b1.view(),
+            View(1),
+            b1.height().next(),
+            Batch::empty(),
+            Justify::One(Qc::genesis(g.id())),
         );
         // Replica has b2 but not b1.
         b.store_block(&b2);
-        let qc = Qc::new(b2.vote_seed(Phase::Commit, View(1)), *Qc::genesis(g.id()).sig());
+        let qc = Qc::new(
+            b2.vote_seed(Phase::Commit, View(1)),
+            *Qc::genesis(g.id()).sig(),
+        );
         let mut out = StepOutput::empty();
         b.try_commit(qc, ReplicaId(3), &mut out);
         assert_eq!(out.committed_blocks().count(), 0);
@@ -387,7 +440,10 @@ mod tests {
         let resp = Message::new(
             ReplicaId(3),
             View(1),
-            MsgBody::FetchResponse { block: b1.clone(), virtual_parent: None },
+            MsgBody::FetchResponse {
+                block: b1.clone(),
+                virtual_parent: None,
+            },
         );
         let mut out2 = StepOutput::empty();
         assert!(b.handle_fetch(&resp, &mut out2));
@@ -397,7 +453,13 @@ mod tests {
     #[test]
     fn fetch_request_served_from_store() {
         let mut b = base();
-        let req = Message::new(ReplicaId(2), View(1), MsgBody::FetchRequest { block: BlockId::GENESIS });
+        let req = Message::new(
+            ReplicaId(2),
+            View(1),
+            MsgBody::FetchRequest {
+                block: BlockId::GENESIS,
+            },
+        );
         let mut out = StepOutput::empty();
         assert!(b.handle_fetch(&req, &mut out));
         assert!(matches!(

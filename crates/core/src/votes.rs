@@ -38,7 +38,7 @@ impl VoteCollector {
         quorum: usize,
         crypto: &mut CryptoCtx,
     ) -> Option<Qc> {
-        let key = seed.signing_bytes();
+        let key = crypto.seed_bytes(&seed);
         let slot = self.pending.entry(key).or_insert_with(|| Slot {
             seed,
             partials: Vec::new(),

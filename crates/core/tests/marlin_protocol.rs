@@ -2,12 +2,10 @@
 //! including reconstructions of the paper's Figure 2 view-change
 //! snapshot scenarios.
 
-use marlin_core::{harness::Cluster, Config, Note, Protocol, VcCase};
-use marlin_crypto::QcFormat;
-use marlin_types::{
-    Message, MsgBody, Phase, Qc, ReplicaId, View, ViewChange,
-};
 use marlin_core::ProtocolKind;
+use marlin_core::{harness::Cluster, Config, Note, VcCase};
+use marlin_crypto::QcFormat;
+use marlin_types::{Message, MsgBody, Phase, Qc, ReplicaId, View, ViewChange};
 
 const P0: ReplicaId = ReplicaId(0);
 const P1: ReplicaId = ReplicaId(1);
@@ -81,7 +79,9 @@ fn leader_crash_triggers_happy_path_view_change() {
     }
     cl.run_until_idle();
     assert!(
-        cl.notes().iter().any(|(p, n)| *p == P2 && matches!(n, Note::HappyPathVc { view: View(2) })),
+        cl.notes()
+            .iter()
+            .any(|(p, n)| *p == P2 && matches!(n, Note::HappyPathVc { view: View(2) })),
         "expected a happy-path view change at p2; notes: {:?}",
         cl.notes()
     );
@@ -121,11 +121,19 @@ fn consecutive_leader_crashes_are_survived() {
 /// on it), p2/p3 voted for it but never saw its QC, and the view-1
 /// leader p1 has crashed.
 fn build_figure2_scenario(insecure: bool) -> (Cluster, u64) {
-    let kind = if insecure { ProtocolKind::TwoPhaseInsecure } else { ProtocolKind::Marlin };
+    let kind = if insecure {
+        ProtocolKind::TwoPhaseInsecure
+    } else {
+        ProtocolKind::Marlin
+    };
     let mut cl = Cluster::new(kind, Config::for_test(4, 1), 7);
     cl.submit_to(P1, 10, 0);
     cl.run_until_idle();
-    assert_eq!(cl.total_committed_txs(P0), 10, "{kind:?} failed in the failure-free phase");
+    assert_eq!(
+        cl.total_committed_txs(P0),
+        10,
+        "{kind:?} failed in the failure-free phase"
+    );
     let committed = cl.committed_height(P0) as u64;
     let contested = committed + 1;
 
@@ -201,7 +209,14 @@ fn figure2c_unsafe_snapshot_case_v1_recovers() {
     // Case V1 must have run, and the contested block must commit.
     assert!(
         cl.notes().iter().any(|(p, n)| {
-            *p == P2 && matches!(n, Note::UnhappyPathVc { case: VcCase::V1, .. })
+            *p == P2
+                && matches!(
+                    n,
+                    Note::UnhappyPathVc {
+                        case: VcCase::V1,
+                        ..
+                    }
+                )
         }),
         "expected Case V1; notes: {:?}",
         cl.notes()
@@ -258,7 +273,10 @@ fn figure2b_insecure_two_phase_stalls() {
                 committed_before,
                 "{p} made progress in view {target} despite the unsafe snapshot"
             );
-            assert!(!cl.committed_blocks(p).iter().any(|b| b.height().0 == contested));
+            assert!(!cl
+                .committed_blocks(p)
+                .iter()
+                .any(|b| b.height().0 == contested));
         }
     }
 }
@@ -283,14 +301,24 @@ fn figure2_safe_snapshot_case_v2() {
 
     assert!(
         cl.notes().iter().any(|(p, n)| {
-            *p == P2 && matches!(n, Note::UnhappyPathVc { case: VcCase::V2, .. })
+            *p == P2
+                && matches!(
+                    n,
+                    Note::UnhappyPathVc {
+                        case: VcCase::V2,
+                        ..
+                    }
+                )
         }),
         "expected Case V2; notes: {:?}",
         cl.notes()
     );
     cl.assert_consistent();
     for p in [P0, P2, P3] {
-        assert!(cl.committed_blocks(p).iter().any(|b| b.height().0 == contested));
+        assert!(cl
+            .committed_blocks(p)
+            .iter()
+            .any(|b| b.height().0 == contested));
         assert_eq!(cl.total_committed_txs(p), 20, "{p}");
     }
     // Case V2 extends the contested block with a normal block: no

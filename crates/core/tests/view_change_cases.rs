@@ -75,7 +75,10 @@ fn case_v3_two_equal_rank_pre_prepare_qcs() {
                 Message::new(
                     P1,
                     View(1),
-                    MsgBody::FetchResponse { block: block.clone(), virtual_parent },
+                    MsgBody::FetchResponse {
+                        block: block.clone(),
+                        virtual_parent,
+                    },
                 ),
             );
         }
@@ -112,15 +115,23 @@ fn case_v3_two_equal_rank_pre_prepare_qcs() {
         )
     };
     cl.clear_filter();
-    cl.inject(P3, vc_msg(P0, Justify::Two(pre_virtual, vc_contested), &virtual_cand));
+    cl.inject(
+        P3,
+        vc_msg(P0, Justify::Two(pre_virtual, vc_contested), &virtual_cand),
+    );
     cl.inject(P3, vc_msg(P1, Justify::One(pre_normal), &normal_cand));
     cl.inject(P3, vc_msg(P2, Justify::One(qc_old), &b_old));
 
     // Case V3 ran, and the cluster commits again.
     assert!(
-        cl.notes()
-            .iter()
-            .any(|(p, n)| *p == P3 && matches!(n, Note::UnhappyPathVc { case: VcCase::V3, .. })),
+        cl.notes().iter().any(|(p, n)| *p == P3
+            && matches!(
+                n,
+                Note::UnhappyPathVc {
+                    case: VcCase::V3,
+                    ..
+                }
+            )),
         "expected Case V3; notes: {:?}",
         cl.notes()
             .iter()
@@ -131,7 +142,10 @@ fn case_v3_two_equal_rank_pre_prepare_qcs() {
     cl.submit_to(P3, 10, 0);
     cl.run_until_idle();
     cl.assert_consistent();
-    assert!(cl.total_committed_txs(P0) >= 20, "no recovery after Case V3");
+    assert!(
+        cl.total_committed_txs(P0) >= 20,
+        "no recovery after Case V3"
+    );
     // One of the two crafted candidates was committed.
     let chain: Vec<_> = cl.committed_blocks(P0).iter().map(Block::id).collect();
     assert!(
@@ -163,7 +177,10 @@ fn chained_marlin_unhappy_view_change() {
         .0;
     cl.set_filter(Box::new(move |_f, to, msg: &Message| match &msg.body {
         MsgBody::Proposal(p) if p.phase == Phase::Prepare => {
-            !(p.blocks.first().is_some_and(|b| b.height().0 > marker_height) && to != P0)
+            !(p.blocks
+                .first()
+                .is_some_and(|b| b.height().0 > marker_height)
+                && to != P0)
         }
         _ => true,
     }));

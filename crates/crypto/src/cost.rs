@@ -136,7 +136,10 @@ mod tests {
         let m = CostModel::zero();
         assert_eq!(m.cost(CryptoOp::Sign), 0);
         assert_eq!(
-            m.cost(CryptoOp::VerifyCombined { format: QcFormat::Threshold, signers: 10 }),
+            m.cost(CryptoOp::VerifyCombined {
+                format: QcFormat::Threshold,
+                signers: 10
+            }),
             0
         );
     }
@@ -159,16 +162,28 @@ mod tests {
     #[test]
     fn sig_group_verification_linear_in_signers() {
         let m = CostModel::ecdsa_like();
-        let c10 = m.cost(CryptoOp::VerifyCombined { format: QcFormat::SigGroup, signers: 10 });
-        let c20 = m.cost(CryptoOp::VerifyCombined { format: QcFormat::SigGroup, signers: 20 });
+        let c10 = m.cost(CryptoOp::VerifyCombined {
+            format: QcFormat::SigGroup,
+            signers: 10,
+        });
+        let c20 = m.cost(CryptoOp::VerifyCombined {
+            format: QcFormat::SigGroup,
+            signers: 20,
+        });
         assert_eq!(c20, 2 * c10);
     }
 
     #[test]
     fn threshold_verification_constant_in_signers() {
         let m = CostModel::ecdsa_like();
-        let c10 = m.cost(CryptoOp::VerifyCombined { format: QcFormat::Threshold, signers: 10 });
-        let c90 = m.cost(CryptoOp::VerifyCombined { format: QcFormat::Threshold, signers: 90 });
+        let c10 = m.cost(CryptoOp::VerifyCombined {
+            format: QcFormat::Threshold,
+            signers: 10,
+        });
+        let c90 = m.cost(CryptoOp::VerifyCombined {
+            format: QcFormat::Threshold,
+            signers: 90,
+        });
         assert_eq!(c10, c90);
         assert_eq!(c10, 2 * m.pairing_ns);
     }

@@ -101,7 +101,7 @@ impl KeyStore {
     ///
     /// Panics if `n < 3f + 1` (the resilience bound) or `n == 0`.
     pub fn generate(n: usize, f: usize, seed: u64) -> Self {
-        assert!(n >= 3 * f + 1, "BFT requires n >= 3f + 1 (n={n}, f={f})");
+        assert!(n > 3 * f, "BFT requires n >= 3f + 1 (n={n}, f={f})");
         let mut rng = StdRng::seed_from_u64(seed);
         let keys = (0..n)
             .map(|_| {
@@ -134,7 +134,10 @@ impl KeyStore {
     ///
     /// Panics if `index >= n`.
     pub fn signer(&self, index: ReplicaIndex) -> Signer {
-        Signer { index, key: self.keys[index].clone() }
+        Signer {
+            index,
+            key: self.keys[index].clone(),
+        }
     }
 
     /// Verifies a conventional signature by replica `index` over `message`.
@@ -182,7 +185,9 @@ impl KeyStore {
                 need: self.quorum(),
             });
         }
-        Ok(CombinedSig::assemble(format, bitmap, |i| self.keys[i].tag(message)))
+        Ok(CombinedSig::assemble(format, bitmap, |i| {
+            self.keys[i].tag(message)
+        }))
     }
 
     /// Verifies a combined quorum-certificate signature (`tverify`).
@@ -288,6 +293,9 @@ mod tests {
         let s = store();
         let dbg = format!("{:?}", s.signer(0));
         assert!(dbg.contains("redacted"), "key bytes leaked: {dbg}");
-        assert!(!dbg.chars().any(|c| c.is_ascii_digit() && c != '0'), "raw bytes in {dbg}");
+        assert!(
+            !dbg.chars().any(|c| c.is_ascii_digit() && c != '0'),
+            "raw bytes in {dbg}"
+        );
     }
 }

@@ -22,7 +22,10 @@ impl Signature {
     pub(crate) fn create(key: &SecretKey, message: &[u8]) -> Self {
         let tag = key.tag(message);
         let tag2 = key.tag(tag.as_bytes());
-        Signature { tag: tag.into_bytes(), tag2: tag2.into_bytes() }
+        Signature {
+            tag: tag.into_bytes(),
+            tag2: tag2.into_bytes(),
+        }
     }
 
     pub(crate) fn matches(&self, key: &SecretKey, message: &[u8]) -> bool {
@@ -121,6 +124,9 @@ mod tests {
     fn error_display() {
         let e = SigError::BelowThreshold { got: 1, need: 3 };
         assert_eq!(e.to_string(), "only 1 valid partial signatures, need 3");
-        assert_eq!(SigError::Invalid.to_string(), "signature verification failed");
+        assert_eq!(
+            SigError::Invalid.to_string(),
+            "signature verification failed"
+        );
     }
 }

@@ -88,13 +88,16 @@ impl SignerBitmap {
 
     /// Iterates over member indices in ascending order.
     pub fn iter(&self) -> Iter {
-        Iter { bits: self.0, next: 0 }
+        Iter {
+            bits: self.0,
+            next: 0,
+        }
     }
 
     /// Whether `index` is outside the set for any member. Helper for
     /// validation: true if any member index is `>= n`.
-    pub fn any(&self, mut pred: impl FnMut(ReplicaIndex) -> bool) -> bool {
-        self.iter().any(|i| pred(i))
+    pub fn any(&self, pred: impl FnMut(ReplicaIndex) -> bool) -> bool {
+        self.iter().any(pred)
     }
 
     /// Raw bit representation (for the wire codec).
@@ -153,7 +156,10 @@ pub struct PartialSig {
 
 impl PartialSig {
     pub(crate) fn create(signer: ReplicaIndex, key: &SecretKey, message: &[u8]) -> Self {
-        PartialSig { signer, tag: key.tag(message) }
+        PartialSig {
+            signer,
+            tag: key.tag(message),
+        }
     }
 
     pub(crate) fn matches(&self, key: &SecretKey, message: &[u8]) -> bool {
@@ -208,7 +214,11 @@ impl CombinedSig {
         share_of: impl Fn(ReplicaIndex) -> Digest,
     ) -> Self {
         let agg = Self::aggregate(signers, share_of);
-        CombinedSig { format, signers, agg }
+        CombinedSig {
+            format,
+            signers,
+            agg,
+        }
     }
 
     pub(crate) fn matches(&self, share_of: impl Fn(ReplicaIndex) -> Digest) -> bool {
@@ -245,7 +255,11 @@ impl CombinedSig {
     /// Intended for the codec; an aggregate fabricated without the keys
     /// will fail [`crate::KeyStore::verify_combined`].
     pub fn from_parts(format: QcFormat, signers: SignerBitmap, agg: Digest) -> Self {
-        CombinedSig { format, signers, agg }
+        CombinedSig {
+            format,
+            signers,
+            agg,
+        }
     }
 
     /// Minimum encodable size: format tag + bitmap + aggregate tag. The
@@ -255,7 +269,9 @@ impl CombinedSig {
 
     /// Bytes this signature occupies on the wire, per its format.
     pub fn wire_len(&self) -> usize {
-        self.format.wire_len(self.signers.count()).max(Self::MIN_WIRE_LEN)
+        self.format
+            .wire_len(self.signers.count())
+            .max(Self::MIN_WIRE_LEN)
     }
 
     /// Number of *authenticators* this signature counts as, under the

@@ -56,7 +56,10 @@ impl KvCommand {
         }
         let key = rest[..klen].to_vec();
         match payload[0] {
-            0 => Some(KvCommand::Set { key, value: rest[klen..].to_vec() }),
+            0 => Some(KvCommand::Set {
+                key,
+                value: rest[klen..].to_vec(),
+            }),
             1 if rest.len() == klen => Some(KvCommand::Delete { key }),
             _ => None,
         }
@@ -126,9 +129,17 @@ mod tests {
     #[test]
     fn command_codec_round_trip() {
         let cmds = [
-            KvCommand::Set { key: b"k".to_vec(), value: b"v".to_vec() },
-            KvCommand::Set { key: vec![], value: vec![1, 2, 3] },
-            KvCommand::Delete { key: b"gone".to_vec() },
+            KvCommand::Set {
+                key: b"k".to_vec(),
+                value: b"v".to_vec(),
+            },
+            KvCommand::Set {
+                key: vec![],
+                value: vec![1, 2, 3],
+            },
+            KvCommand::Delete {
+                key: b"gone".to_vec(),
+            },
         ];
         for cmd in cmds {
             assert_eq!(KvCommand::decode(&cmd.encode()), Some(cmd));
@@ -148,8 +159,26 @@ mod tests {
     fn apply_block_mutates_state_in_order() {
         let mut app = KvApp::new();
         let txs = vec![
-            Transaction::new(1, 0, KvCommand::Set { key: b"a".to_vec(), value: b"1".to_vec() }.encode(), 0),
-            Transaction::new(2, 0, KvCommand::Set { key: b"a".to_vec(), value: b"2".to_vec() }.encode(), 0),
+            Transaction::new(
+                1,
+                0,
+                KvCommand::Set {
+                    key: b"a".to_vec(),
+                    value: b"1".to_vec(),
+                }
+                .encode(),
+                0,
+            ),
+            Transaction::new(
+                2,
+                0,
+                KvCommand::Set {
+                    key: b"a".to_vec(),
+                    value: b"2".to_vec(),
+                }
+                .encode(),
+                0,
+            ),
             Transaction::new(3, 0, KvCommand::Delete { key: b"b".to_vec() }.encode(), 0),
         ];
         let g = Block::genesis();

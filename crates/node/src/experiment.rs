@@ -5,8 +5,8 @@ use crate::stats::{Metrics, Stats};
 use marlin_core::harness::build_protocol;
 use marlin_core::{Config, Protocol, ProtocolKind};
 use marlin_crypto::{CostModel, KeyStore, QcFormat};
-use marlin_simnet::{SimConfig, SimNet};
 use marlin_simnet::CommitObserver;
+use marlin_simnet::{SimConfig, SimNet};
 use marlin_types::ReplicaId;
 use std::sync::{Arc, Mutex};
 
@@ -147,8 +147,7 @@ pub fn run_experiment(cfg: &ExperimentConfig) -> Metrics {
     while t < total_ns {
         let count = match cfg.closed_loop_clients {
             None => {
-                let due =
-                    ((t + tick_ns) as u128 * cfg.rate_tps as u128 / 1_000_000_000u128) as u64;
+                let due = ((t + tick_ns) as u128 * cfg.rate_tps as u128 / 1_000_000_000u128) as u64;
                 let c = due.saturating_sub(submitted) as usize;
                 submitted = due;
                 c
@@ -178,7 +177,8 @@ pub fn run_experiment(cfg: &ExperimentConfig) -> Metrics {
                 leader = ReplicaId::leader_of(view, n);
             }
             // Closed-loop releases pay the reply + resubmit client legs.
-            let at = t + tick_ns
+            let at = t
+                + tick_ns
                 + if cfg.closed_loop_clients.is_some() {
                     2 * cfg.net.one_way_latency_ns
                 } else {
@@ -231,7 +231,10 @@ pub fn sweep_peak_throughput(base: &ExperimentConfig, rates: &[u64]) -> Vec<Swee
         .map(|&rate_tps| {
             let mut cfg = base.clone();
             cfg.rate_tps = rate_tps;
-            SweepPoint { rate_tps, metrics: run_experiment(&cfg) }
+            SweepPoint {
+                rate_tps,
+                metrics: run_experiment(&cfg),
+            }
         })
         .collect()
 }

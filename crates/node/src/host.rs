@@ -9,7 +9,6 @@ use marlin_types::{codec, Block, BlockStore, Message, MsgBody, ReplicaId, View};
 /// blocks (Section VI).
 pub const CHECKPOINT_INTERVAL: u64 = 5_000;
 
-
 /// Wraps a protocol with the durable block log.
 ///
 /// Every committed block is encoded and written to the LevelDB stand-in
@@ -29,7 +28,12 @@ impl ReplicaHost {
     pub fn new(inner: Box<dyn Protocol>, persist: bool) -> Self {
         let db = KvStore::open(MemDisk::new(), StoreConfig::default())
             .expect("MemDisk cannot fail to open");
-        ReplicaHost { inner, db, blocks_since_checkpoint: 0, persist }
+        ReplicaHost {
+            inner,
+            db,
+            blocks_since_checkpoint: 0,
+            persist,
+        }
     }
 
     /// Read access to the block log database.
@@ -43,7 +47,10 @@ impl ReplicaHost {
             let msg = Message::new(
                 self.inner.id(),
                 block.view(),
-                MsgBody::FetchResponse { block: block.clone(), virtual_parent: None },
+                MsgBody::FetchResponse {
+                    block: block.clone(),
+                    virtual_parent: None,
+                },
             );
             let value = codec::encode_message(&msg, false).to_vec();
             self.db.put(key, value).expect("MemDisk put cannot fail");
@@ -51,7 +58,9 @@ impl ReplicaHost {
         }
         if self.blocks_since_checkpoint >= CHECKPOINT_INTERVAL {
             self.blocks_since_checkpoint = 0;
-            self.db.checkpoint().expect("MemDisk checkpoint cannot fail");
+            self.db
+                .checkpoint()
+                .expect("MemDisk checkpoint cannot fail");
         }
         self.db.take_io_cost_ns()
     }
@@ -157,7 +166,11 @@ mod tests {
                 with_block += 1;
             }
         }
-        assert!(with_block >= 3, "block log missing on {} hosts", 4 - with_block);
+        assert!(
+            with_block >= 3,
+            "block log missing on {} hosts",
+            4 - with_block
+        );
     }
 
     #[test]

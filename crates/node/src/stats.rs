@@ -23,7 +23,12 @@ impl Default for LatencyHistogram {
 impl LatencyHistogram {
     /// An empty histogram.
     pub fn new() -> Self {
-        LatencyHistogram { buckets: vec![0; 32], count: 0, sum_ns: 0, max_ns: 0 }
+        LatencyHistogram {
+            buckets: vec![0; 32],
+            count: 0,
+            sum_ns: 0,
+            max_ns: 0,
+        }
     }
 
     /// Records one latency sample.
@@ -148,11 +153,7 @@ impl Stats {
 
     /// Finalizes into metrics for a run that observed `duration_ns` of
     /// post-warmup time.
-    pub fn into_metrics(
-        self,
-        duration_ns: u64,
-        notes: &[(u64, ReplicaId, Note)],
-    ) -> Metrics {
+    pub fn into_metrics(self, duration_ns: u64, notes: &[(u64, ReplicaId, Note)]) -> Metrics {
         let mut view_changes = 0;
         let mut happy = 0;
         let mut unhappy = 0;
@@ -200,8 +201,7 @@ impl CommitObserver for Stats {
                     continue;
                 }
                 self.committed_txs += 1;
-                let latency =
-                    now_ns.saturating_sub(tx.submitted_at_ns) + 2 * self.client_leg_ns;
+                let latency = now_ns.saturating_sub(tx.submitted_at_ns) + 2 * self.client_leg_ns;
                 self.histogram.record(latency);
             }
         }
@@ -285,7 +285,7 @@ mod tests {
     fn stats_measure_reference_replica_only() {
         let mut stats = Stats::new(ReplicaId(0), 40_000_000, 0);
         let block = block_with_txs(&[100, 200]);
-        stats.on_commit(ReplicaId(1), 1_000_000, &[block.clone()]);
+        stats.on_commit(ReplicaId(1), 1_000_000, std::slice::from_ref(&block));
         assert_eq!(stats.committed_txs(), 0);
         stats.on_commit(ReplicaId(0), 1_000_000, &[block]);
         assert_eq!(stats.committed_txs(), 2);
@@ -308,8 +308,16 @@ mod tests {
     fn metrics_count_view_changes() {
         let stats = Stats::new(ReplicaId(0), 0, 0);
         let notes = vec![
-            (0, ReplicaId(0), Note::ViewChangeStarted { from_view: View(1) }),
-            (0, ReplicaId(1), Note::ViewChangeStarted { from_view: View(1) }),
+            (
+                0,
+                ReplicaId(0),
+                Note::ViewChangeStarted { from_view: View(1) },
+            ),
+            (
+                0,
+                ReplicaId(1),
+                Note::ViewChangeStarted { from_view: View(1) },
+            ),
             (0, ReplicaId(2), Note::HappyPathVc { view: View(2) }),
         ];
         let m = stats.into_metrics(1, &notes);

@@ -134,7 +134,13 @@ mod tests {
     use marlin_types::{BlockId, ReplicaId, View};
 
     fn fetch_msg() -> Message {
-        Message::new(ReplicaId(0), View(1), MsgBody::FetchRequest { block: BlockId::GENESIS })
+        Message::new(
+            ReplicaId(0),
+            View(1),
+            MsgBody::FetchRequest {
+                block: BlockId::GENESIS,
+            },
+        )
     }
 
     #[test]

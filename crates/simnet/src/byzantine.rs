@@ -67,10 +67,13 @@ impl ByzantineReplica {
             Behavior::HideQc => actions
                 .into_iter()
                 .map(|a| match a {
-                    Action::Send { to, message } => Action::Send { to, message: hide_qc(message) },
-                    Action::Broadcast { message } => {
-                        Action::Broadcast { message: hide_qc(message) }
-                    }
+                    Action::Send { to, message } => Action::Send {
+                        to,
+                        message: hide_qc(message),
+                    },
+                    Action::Broadcast { message } => Action::Broadcast {
+                        message: hide_qc(message),
+                    },
                     other => other,
                 })
                 .collect(),
@@ -124,8 +127,7 @@ fn equivocate(id: ReplicaId, n: usize, message: Message, out: &mut Vec<Action>) 
     };
     // Build a conflicting twin: same parent and height, different
     // payload (an extra forged no-op transaction).
-    let mut payload: Vec<marlin_types::Transaction> =
-        block.payload().iter().cloned().collect();
+    let mut payload: Vec<marlin_types::Transaction> = block.payload().iter().cloned().collect();
     payload.push(marlin_types::Transaction::no_op(u64::MAX, u32::MAX, 0));
     let twin = match block.parent_id() {
         Some(parent) => Block::new_normal(
@@ -156,7 +158,11 @@ fn equivocate(id: ReplicaId, n: usize, message: Message, out: &mut Vec<Action>) 
         if to == id {
             continue;
         }
-        let msg = if i % 2 == 0 { message.clone() } else { twin_msg.clone() };
+        let msg = if i % 2 == 0 {
+            message.clone()
+        } else {
+            twin_msg.clone()
+        };
         out.push(Action::Send { to, message: msg });
     }
 }
@@ -184,7 +190,10 @@ impl Protocol for ByzantineReplica {
 
     fn on_event(&mut self, event: Event) -> StepOutput {
         let out = self.inner.on_event(event);
-        StepOutput { actions: self.corrupt(out.actions), cpu_ns: out.cpu_ns }
+        StepOutput {
+            actions: self.corrupt(out.actions),
+            cpu_ns: out.cpu_ns,
+        }
     }
 }
 
@@ -212,7 +221,10 @@ mod tests {
     #[test]
     fn honest_passes_through() {
         let mut honest = adversary(Behavior::Honest);
-        let mut plain = build_protocol(ProtocolKind::Marlin, Config::for_test(4, 1).with_id(ReplicaId(1)));
+        let mut plain = build_protocol(
+            ProtocolKind::Marlin,
+            Config::for_test(4, 1).with_id(ReplicaId(1)),
+        );
         let a = honest.on_event(Event::Start);
         let b = plain.on_event(Event::Start);
         assert_eq!(a.actions.len(), b.actions.len());
@@ -221,7 +233,10 @@ mod tests {
     #[test]
     fn duplicate_doubles_sends() {
         let mut dup = adversary(Behavior::Duplicate);
-        let mut plain = build_protocol(ProtocolKind::Marlin, Config::for_test(4, 1).with_id(ReplicaId(1)));
+        let mut plain = build_protocol(
+            ProtocolKind::Marlin,
+            Config::for_test(4, 1).with_id(ReplicaId(1)),
+        );
         let a = dup.on_event(Event::Start);
         let b = plain.on_event(Event::Start);
         let count = |acts: &[Action]| {

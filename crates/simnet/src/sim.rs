@@ -70,13 +70,34 @@ impl SimConfig {
 }
 
 /// Heap entry kinds.
+///
+/// `Deliver` dominates the size, but the heap holds in-flight events
+/// only (bounded by bandwidth-delay product); boxing every message
+/// would cost an allocation per delivery on the hottest path.
 #[derive(Debug)]
+#[allow(clippy::large_enum_variant)]
 enum Ev {
-    Deliver { to: ReplicaId, msg: Message },
-    ViewTimer { replica: ReplicaId, view: View, seq: u64 },
-    Heartbeat { replica: ReplicaId, seq: u64 },
-    ClientBatch { to: ReplicaId, count: usize, payload_len: usize },
-    Crash { replica: ReplicaId },
+    Deliver {
+        to: ReplicaId,
+        msg: Message,
+    },
+    ViewTimer {
+        replica: ReplicaId,
+        view: View,
+        seq: u64,
+    },
+    Heartbeat {
+        replica: ReplicaId,
+        seq: u64,
+    },
+    ClientBatch {
+        to: ReplicaId,
+        count: usize,
+        payload_len: usize,
+    },
+    Crash {
+        replica: ReplicaId,
+    },
 }
 
 struct Entry {
@@ -109,6 +130,20 @@ mod bytes_len {
     /// Wire length of a message under the configured shadow setting.
     pub fn wire_len_of(msg: &Message, shadow: bool) -> usize {
         msg.wire_len(shadow)
+    }
+
+    /// Debug cross-check: the modeled wire length must equal the length
+    /// of the real codec's encoding, byte for byte. Encoded once per
+    /// broadcast and shared — this is the simulator's stand-in for the
+    /// encode-once transmission a production sender would do.
+    #[cfg(debug_assertions)]
+    pub fn validate_wire(msg: &Message, shadow: bool, len: usize) {
+        let encoded: bytes::Bytes = marlin_types::codec::encode_message(msg, shadow);
+        debug_assert_eq!(
+            encoded.len(),
+            len,
+            "modeled wire_len diverges from the codec for {msg:?}"
+        );
     }
 }
 
@@ -262,7 +297,14 @@ impl SimNet {
         count: usize,
         payload_len: usize,
     ) {
-        self.push(at_ns, Ev::ClientBatch { to, count, payload_len });
+        self.push(
+            at_ns,
+            Ev::ClientBatch {
+                to,
+                count,
+                payload_len,
+            },
+        );
     }
 
     /// Runs the simulation until the clock reaches `deadline_ns` (events
@@ -297,7 +339,11 @@ impl SimNet {
 
     fn push(&mut self, at_ns: u64, ev: Ev) {
         self.tie += 1;
-        self.heap.push(Entry { at_ns, tie: self.tie, ev });
+        self.heap.push(Entry {
+            at_ns,
+            tie: self.tie,
+            ev,
+        });
     }
 
     fn dispatch_entry(&mut self, entry: Entry) {
@@ -308,19 +354,20 @@ impl SimNet {
                 }
             }
             Ev::ViewTimer { replica, view, seq } => {
-                if !self.crashed[replica.index()]
-                    && self.live_view_timer[replica.index()] == seq
-                {
+                if !self.crashed[replica.index()] && self.live_view_timer[replica.index()] == seq {
                     self.step_replica(replica, Event::Timeout { view });
                 }
             }
             Ev::Heartbeat { replica, seq } => {
-                if !self.crashed[replica.index()] && self.live_heartbeat[replica.index()] == seq
-                {
+                if !self.crashed[replica.index()] && self.live_heartbeat[replica.index()] == seq {
                     self.step_replica(replica, Event::Heartbeat);
                 }
             }
-            Ev::ClientBatch { to, count, payload_len } => {
+            Ev::ClientBatch {
+                to,
+                count,
+                payload_len,
+            } => {
                 if !self.crashed[to.index()] {
                     let now = self.now_ns;
                     let txs: Vec<Transaction> = (0..count)
@@ -363,10 +410,20 @@ impl SimNet {
                 self.transmit(from, to, message, at_ns);
             }
             Action::Broadcast { message } => {
+                if self.crashed[from.index()] {
+                    return;
+                }
+                // Per-broadcast work happens once: the wire length (and,
+                // in debug builds, the shared reference encoding) is
+                // computed here, not per recipient. Each recipient then
+                // costs a batch refcount bump plus the network model.
+                let len = wire_len_of(&message, self.cfg.shadow_blocks);
+                #[cfg(debug_assertions)]
+                bytes_len::validate_wire(&message, self.cfg.shadow_blocks, len);
                 for i in 0..self.replicas.len() {
                     let to = ReplicaId(i as u32);
                     if to != from {
-                        self.transmit(from, to, message.clone(), at_ns);
+                        self.transmit_prepared(from, to, message.clone(), len, at_ns);
                     }
                 }
             }
@@ -381,28 +438,56 @@ impl SimNet {
             Action::SetTimer { view, delay_ns } => {
                 self.timer_seq += 1;
                 self.live_view_timer[from.index()] = self.timer_seq;
-                self.push(at_ns + delay_ns, Ev::ViewTimer { replica: from, view, seq: self.timer_seq });
+                self.push(
+                    at_ns + delay_ns,
+                    Ev::ViewTimer {
+                        replica: from,
+                        view,
+                        seq: self.timer_seq,
+                    },
+                );
             }
             Action::SetHeartbeat { delay_ns } => {
                 self.timer_seq += 1;
                 self.live_heartbeat[from.index()] = self.timer_seq;
-                self.push(at_ns + delay_ns, Ev::Heartbeat { replica: from, seq: self.timer_seq });
+                self.push(
+                    at_ns + delay_ns,
+                    Ev::Heartbeat {
+                        replica: from,
+                        seq: self.timer_seq,
+                    },
+                );
             }
             Action::Note(note) => self.notes.push((at_ns, from, note)),
         }
     }
 
-    /// Applies the network model to one message transmission.
+    /// Applies the network model to one point-to-point transmission,
+    /// computing the message's wire length first.
     fn transmit(&mut self, from: ReplicaId, to: ReplicaId, msg: Message, at_ns: u64) {
         if self.crashed[from.index()] {
             return;
         }
+        let len = wire_len_of(&msg, self.cfg.shadow_blocks);
+        self.transmit_prepared(from, to, msg, len, at_ns);
+    }
+
+    /// Applies the network model to one transmission whose wire length
+    /// `len` the caller already computed (once per broadcast). The crash
+    /// check also lives with the caller.
+    fn transmit_prepared(
+        &mut self,
+        from: ReplicaId,
+        to: ReplicaId,
+        msg: Message,
+        len: usize,
+        at_ns: u64,
+    ) {
         if let Some(filter) = self.filter.as_mut() {
             if !filter(from, to, &msg) {
                 return;
             }
         }
-        let len = wire_len_of(&msg, self.cfg.shadow_blocks);
         self.accounting.record(&msg, len);
         if self.cfg.drop_rate > 0.0 && self.rng.gen_bool(self.cfg.drop_rate) {
             return;
@@ -466,7 +551,11 @@ mod tests {
             sim.schedule_client_batch(ReplicaId(1), 0, 50, 150);
             sim.schedule_client_batch(ReplicaId(1), 5_000_000, 50, 150);
             sim.run_until(500_000_000);
-            (sim.committed_txs(ReplicaId(0)), sim.accounting().total(), sim.events_processed())
+            (
+                sim.committed_txs(ReplicaId(0)),
+                sim.accounting().total(),
+                sim.events_processed(),
+            )
         };
         assert_eq!(run(), run());
     }
@@ -541,7 +630,10 @@ mod tests {
         };
         let fast_t = commit_time(SimConfig::lan());
         let slow_t = commit_time(slow);
-        assert!(slow_t > fast_t + 100_000, "bandwidth model had no effect: {fast_t} vs {slow_t}");
+        assert!(
+            slow_t > fast_t + 100_000,
+            "bandwidth model had no effect: {fast_t} vs {slow_t}"
+        );
     }
 
     #[test]

@@ -21,8 +21,15 @@ fn minority_partition_heals_and_catches_up() {
     }));
     net.schedule_client_batch(ReplicaId(1), 0, 100, 150);
     net.run_until(2_000_000_000);
-    assert!(net.committed_txs(ReplicaId(0)) >= 100, "majority must progress");
-    assert_eq!(net.committed_txs(ReplicaId(3)), 0, "minority must not commit");
+    assert!(
+        net.committed_txs(ReplicaId(0)) >= 100,
+        "majority must progress"
+    );
+    assert_eq!(
+        net.committed_txs(ReplicaId(3)),
+        0,
+        "minority must not commit"
+    );
 
     net.clear_filter();
     net.schedule_client_batch(ReplicaId(1), 2_000_000_000, 50, 150);
@@ -50,7 +57,11 @@ fn even_split_halts_until_healed() {
     }));
     net.schedule_client_batch(ReplicaId(1), 1_000_000_000, 20, 0);
     net.run_until(4_000_000_000);
-    assert_eq!(net.committed_txs(ReplicaId(0)), before, "no quorum ⇒ no commits");
+    assert_eq!(
+        net.committed_txs(ReplicaId(0)),
+        before,
+        "no quorum ⇒ no commits"
+    );
 
     net.clear_filter();
     net.schedule_client_batch(ReplicaId(1), 4_100_000_000, 20, 0);
@@ -80,7 +91,11 @@ fn accounting_breaks_down_by_class() {
     assert!(acc.class(MsgClass::Vote(Phase::Prepare)).messages > 0);
     assert!(acc.class(MsgClass::Vote(Phase::Commit)).messages > 0);
     assert!(acc.class(MsgClass::Decide).messages > 0);
-    assert_eq!(acc.view_change_total().messages, 0, "no VC traffic expected");
+    assert_eq!(
+        acc.view_change_total().messages,
+        0,
+        "no VC traffic expected"
+    );
     // Proposals carry the payload bytes: they dominate.
     assert!(
         acc.class(MsgClass::Proposal(Phase::Prepare)).bytes
@@ -111,7 +126,7 @@ fn views_are_monotone_under_crashes() {
     net.schedule_crash(ReplicaId(2), 1_500_000_000);
     net.schedule_client_batch(ReplicaId(1), 0, 10, 0);
     net.run_until(8_000_000_000);
-    let mut last_view = vec![View(0); 4];
+    let mut last_view = [View(0); 4];
     for (_, id, note) in net.notes() {
         if let Note::EnteredView { view, .. } = note {
             assert!(*view > last_view[id.index()], "{id} re-entered {view}");

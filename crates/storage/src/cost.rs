@@ -1,6 +1,5 @@
 //! I/O cost model for the discrete-event simulation.
 
-
 /// Simulated nanosecond costs for storage operations, approximating a
 /// datacenter SSD with an OS page cache in front of it.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]

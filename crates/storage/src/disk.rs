@@ -54,7 +54,11 @@ impl MemDisk {
     /// Returns the reverted disk (use with [`crate::KvStore::open`] to
     /// test recovery).
     pub fn crash(self) -> MemDisk {
-        MemDisk { live: self.durable.clone(), durable: self.durable, tear_after: None }
+        MemDisk {
+            live: self.durable.clone(),
+            durable: self.durable,
+            tear_after: None,
+        }
     }
 
     /// Total live bytes (for size assertions).

@@ -22,7 +22,10 @@ impl Segment {
     ///
     /// Debug-asserts that keys are strictly increasing.
     pub fn from_sorted(entries: Vec<(Vec<u8>, Option<Vec<u8>>)>) -> Self {
-        debug_assert!(entries.windows(2).all(|w| w[0].0 < w[1].0), "unsorted segment");
+        debug_assert!(
+            entries.windows(2).all(|w| w[0].0 < w[1].0),
+            "unsorted segment"
+        );
         Segment { entries }
     }
 
@@ -109,8 +112,7 @@ impl Segment {
             if pos + 4 > body.len() {
                 return Err(bad("truncated key length"));
             }
-            let klen =
-                u32::from_le_bytes(body[pos..pos + 4].try_into().expect("4 bytes")) as usize;
+            let klen = u32::from_le_bytes(body[pos..pos + 4].try_into().expect("4 bytes")) as usize;
             pos += 4;
             if pos + klen + 5 > body.len() {
                 return Err(bad("truncated entry"));
@@ -119,8 +121,7 @@ impl Segment {
             pos += klen;
             let tomb = body[pos] == 1;
             pos += 1;
-            let vlen =
-                u32::from_le_bytes(body[pos..pos + 4].try_into().expect("4 bytes")) as usize;
+            let vlen = u32::from_le_bytes(body[pos..pos + 4].try_into().expect("4 bytes")) as usize;
             pos += 4;
             if pos + vlen > body.len() {
                 return Err(bad("truncated value"));
@@ -147,7 +148,9 @@ impl Segment {
         if drop_tombstones {
             merged.retain(|_, v| v.is_some());
         }
-        Segment { entries: merged.into_iter().collect() }
+        Segment {
+            entries: merged.into_iter().collect(),
+        }
     }
 }
 
@@ -199,7 +202,11 @@ mod tests {
 
     #[test]
     fn merge_prefers_newest_and_drops_tombstones() {
-        let old = seg(&[(b"a", Some(b"old")), (b"b", Some(b"keep")), (b"c", Some(b"dead"))]);
+        let old = seg(&[
+            (b"a", Some(b"old")),
+            (b"b", Some(b"keep")),
+            (b"c", Some(b"dead")),
+        ]);
         let new = seg(&[(b"a", Some(b"new")), (b"c", None)]);
         let merged = Segment::merge(&[&new, &old], false);
         assert_eq!(merged.get(b"a"), Some(Some(&b"new"[..])));

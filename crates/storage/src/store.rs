@@ -81,7 +81,6 @@ pub struct KvStore<D: Disk> {
 }
 
 impl<D: Disk> KvStore<D> {
-
     /// Opens a store, recovering segments and replaying the WAL.
     ///
     /// # Errors
@@ -101,7 +100,10 @@ impl<D: Disk> KvStore<D> {
         let mut max_id = 0u64;
         for name in names {
             let seg = Segment::load(&disk, &name)?;
-            if let Some(id) = name.strip_prefix("seg-").and_then(|s| s.parse::<u64>().ok()) {
+            if let Some(id) = name
+                .strip_prefix("seg-")
+                .and_then(|s| s.parse::<u64>().ok())
+            {
                 max_id = max_id.max(id);
             }
             segments.push((name, seg));
@@ -331,7 +333,11 @@ mod tests {
     use crate::disk::MemDisk;
 
     fn small_config() -> StoreConfig {
-        StoreConfig { memtable_flush_bytes: 256, max_segments: 3, cost: IoCostModel::ssd() }
+        StoreConfig {
+            memtable_flush_bytes: 256,
+            max_segments: 3,
+            cost: IoCostModel::ssd(),
+        }
     }
 
     fn open_mem(cfg: StoreConfig) -> KvStore<MemDisk> {
@@ -367,7 +373,8 @@ mod tests {
     fn automatic_flush_and_compaction() {
         let mut db = open_mem(small_config());
         for i in 0..200u32 {
-            db.put(format!("key-{i:04}").into_bytes(), vec![7u8; 64]).unwrap();
+            db.put(format!("key-{i:04}").into_bytes(), vec![7u8; 64])
+                .unwrap();
         }
         assert!(db.segment_count() >= 1);
         assert!(db.segment_count() <= small_config().max_segments + 1);
@@ -412,7 +419,8 @@ mod tests {
     fn checkpoint_compacts_to_single_segment() {
         let mut db = open_mem(small_config());
         for i in 0..100u32 {
-            db.put(format!("k{i}").into_bytes(), vec![1u8; 100]).unwrap();
+            db.put(format!("k{i}").into_bytes(), vec![1u8; 100])
+                .unwrap();
         }
         for i in 0..50u32 {
             db.delete(format!("k{i}").into_bytes()).unwrap();

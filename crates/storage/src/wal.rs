@@ -88,7 +88,10 @@ mod tests {
         Wal::append(&mut d, b"one").unwrap();
         Wal::append(&mut d, b"two").unwrap();
         Wal::append(&mut d, b"").unwrap();
-        assert_eq!(Wal::replay(&d).unwrap(), vec![b"one".to_vec(), b"two".to_vec(), vec![]]);
+        assert_eq!(
+            Wal::replay(&d).unwrap(),
+            vec![b"one".to_vec(), b"two".to_vec(), vec![]]
+        );
     }
 
     #[test]

@@ -25,7 +25,11 @@ fn arb_op() -> impl Strategy<Value = Op> {
 }
 
 fn config() -> StoreConfig {
-    StoreConfig { memtable_flush_bytes: 512, max_segments: 3, cost: IoCostModel::zero() }
+    StoreConfig {
+        memtable_flush_bytes: 512,
+        max_segments: 3,
+        cost: IoCostModel::zero(),
+    }
 }
 
 fn key(k: u16) -> Vec<u8> {

@@ -7,9 +7,7 @@ use marlin_crypto::{Digest, KeyStore, Sha256};
 use std::fmt;
 
 /// Identifies a block by the SHA-256 digest of its contents.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct BlockId(Digest);
 
 impl BlockId {
@@ -92,7 +90,10 @@ impl Justify {
 
     /// Iterates over all certificates carried.
     pub fn iter(&self) -> JustifyIter<'_> {
-        JustifyIter { justify: self, next: 0 }
+        JustifyIter {
+            justify: self,
+            next: 0,
+        }
     }
 
     /// Verifies every carried certificate against `keys`.
@@ -115,13 +116,13 @@ impl Justify {
             Justify::None => h.update(&[0u8]),
             Justify::One(qc) => {
                 h.update(&[1u8]);
-                h.update(&qc.seed().signing_bytes());
+                h.update(qc.signing_bytes());
                 h.update(qc.sig().agg().as_bytes());
             }
             Justify::Two(qc, vc) => {
                 h.update(&[2u8]);
                 for q in [qc, vc] {
-                    h.update(&q.seed().signing_bytes());
+                    h.update(q.signing_bytes());
                     h.update(q.sig().agg().as_bytes());
                 }
             }
@@ -248,7 +249,14 @@ impl Block {
         payload: Batch,
         justify: Justify,
     ) -> Self {
-        Self::build(ParentLink::Hash(parent), pview, view, height, payload, justify)
+        Self::build(
+            ParentLink::Hash(parent),
+            pview,
+            view,
+            height,
+            payload,
+            justify,
+        )
     }
 
     /// Creates a virtual block (parent link ⊥) for the view-change
@@ -271,7 +279,15 @@ impl Block {
         payload: Batch,
         justify: Justify,
     ) -> Self {
-        let mut b = Block { parent, pview, view, height, payload, justify, id: BlockId::GENESIS };
+        let mut b = Block {
+            parent,
+            pview,
+            view,
+            height,
+            payload,
+            justify,
+            id: BlockId::GENESIS,
+        };
         b.id = b.compute_id();
         b
     }
@@ -469,7 +485,10 @@ mod tests {
     #[test]
     fn id_is_deterministic() {
         let g = Block::genesis();
-        assert_eq!(child_of(&g, 1, Batch::empty()).id(), child_of(&g, 1, Batch::empty()).id());
+        assert_eq!(
+            child_of(&g, 1, Batch::empty()).id(),
+            child_of(&g, 1, Batch::empty()).id()
+        );
     }
 
     #[test]

@@ -55,7 +55,11 @@ type Result<T> = std::result::Result<T, DecodeError>;
 pub fn encode_message(msg: &Message, shadow: bool) -> Bytes {
     let mut buf = BytesMut::with_capacity(msg.wire_len(shadow));
     put_message(&mut buf, msg, shadow);
-    debug_assert_eq!(buf.len(), msg.wire_len(shadow), "wire_len mismatch for {msg}");
+    debug_assert_eq!(
+        buf.len(),
+        msg.wire_len(shadow),
+        "wire_len mismatch for {msg}"
+    );
     buf.freeze()
 }
 
@@ -100,7 +104,10 @@ fn put_message(buf: &mut BytesMut, msg: &Message, shadow: bool) {
             buf.put_u8(4);
             put_digest(buf, &block.digest());
         }
-        MsgBody::FetchResponse { block, virtual_parent } => {
+        MsgBody::FetchResponse {
+            block,
+            virtual_parent,
+        } => {
             buf.put_u8(5);
             put_block(buf, block, true);
             match virtual_parent {
@@ -119,8 +126,7 @@ fn put_message(buf: &mut BytesMut, msg: &Message, shadow: bool) {
 
 fn put_proposal(buf: &mut BytesMut, p: &Proposal, shadow: bool) {
     put_phase(buf, p.phase);
-    let dedup =
-        shadow && p.blocks.len() == 2 && p.blocks[0].payload() == p.blocks[1].payload();
+    let dedup = shadow && p.blocks.len() == 2 && p.blocks[0].payload() == p.blocks[1].payload();
     let count_byte = p.blocks.len() as u8 | if dedup { 0x80 } else { 0 };
     buf.put_u8(count_byte);
     for (i, b) in p.blocks.iter().enumerate() {
@@ -319,8 +325,12 @@ fn get_message(buf: &mut &[u8]) -> Result<Message> {
         0 => MsgBody::Proposal(get_proposal(buf)?),
         1 => MsgBody::Vote(get_vote(buf)?),
         2 => MsgBody::ViewChange(get_view_change(buf)?),
-        3 => MsgBody::Decide(Decide { commit_qc: get_qc(buf)? }),
-        4 => MsgBody::FetchRequest { block: BlockId::from_digest(get_digest(buf)?) },
+        3 => MsgBody::Decide(Decide {
+            commit_qc: get_qc(buf)?,
+        }),
+        4 => MsgBody::FetchRequest {
+            block: BlockId::from_digest(get_digest(buf)?),
+        },
         5 => {
             let block = get_block(buf, None)?;
             let has_parent = get_u8(buf)?;
@@ -328,11 +338,24 @@ fn get_message(buf: &mut &[u8]) -> Result<Message> {
             let virtual_parent = match has_parent {
                 0 => None,
                 1 => Some(BlockId::from_digest(digest)),
-                t => return Err(DecodeError::BadTag { what: "FetchResponse.virtual_parent", tag: t }),
+                t => {
+                    return Err(DecodeError::BadTag {
+                        what: "FetchResponse.virtual_parent",
+                        tag: t,
+                    })
+                }
             };
-            MsgBody::FetchResponse { block, virtual_parent }
+            MsgBody::FetchResponse {
+                block,
+                virtual_parent,
+            }
         }
-        t => return Err(DecodeError::BadTag { what: "MsgBody", tag: t }),
+        t => {
+            return Err(DecodeError::BadTag {
+                what: "MsgBody",
+                tag: t,
+            })
+        }
     };
     Ok(Message { from, view, body })
 }
@@ -343,7 +366,10 @@ fn get_proposal(buf: &mut &[u8]) -> Result<Proposal> {
     let dedup = count_byte & 0x80 != 0;
     let count = (count_byte & 0x7f) as usize;
     if count > 2 {
-        return Err(DecodeError::BadTag { what: "Proposal.blocks", tag: count_byte });
+        return Err(DecodeError::BadTag {
+            what: "Proposal.blocks",
+            tag: count_byte,
+        });
     }
     let mut blocks: Vec<Block> = Vec::with_capacity(count);
     for i in 0..count {
@@ -352,7 +378,10 @@ fn get_proposal(buf: &mut &[u8]) -> Result<Proposal> {
         } else {
             None
         };
-        blocks.push(get_block(buf, borrowed.as_ref().map(Block::payload).cloned())?);
+        blocks.push(get_block(
+            buf,
+            borrowed.as_ref().map(Block::payload).cloned(),
+        )?);
     }
     let justify = get_justify(buf)?;
     let proof_len = get_u16(buf)? as usize;
@@ -363,9 +392,18 @@ fn get_proposal(buf: &mut &[u8]) -> Result<Proposal> {
         need(buf, SIGNATURE_LEN)?;
         let mut sig_bytes = [0u8; SIGNATURE_LEN];
         buf.copy_to_slice(&mut sig_bytes);
-        vc_proof.push(VcCert { from, high_qc, sig: Signature::from_bytes(sig_bytes) });
+        vc_proof.push(VcCert {
+            from,
+            high_qc,
+            sig: Signature::from_bytes(sig_bytes),
+        });
     }
-    Ok(Proposal { phase, blocks, justify, vc_proof })
+    Ok(Proposal {
+        phase,
+        blocks,
+        justify,
+        vc_proof,
+    })
 }
 
 fn get_vote(buf: &mut &[u8]) -> Result<Vote> {
@@ -374,9 +412,18 @@ fn get_vote(buf: &mut &[u8]) -> Result<Vote> {
     let locked_qc = match get_u8(buf)? {
         0 => None,
         1 => Some(get_qc(buf)?),
-        t => return Err(DecodeError::BadTag { what: "Vote.locked_qc", tag: t }),
+        t => {
+            return Err(DecodeError::BadTag {
+                what: "Vote.locked_qc",
+                tag: t,
+            })
+        }
     };
-    Ok(Vote { seed, parsig, locked_qc })
+    Ok(Vote {
+        seed,
+        parsig,
+        locked_qc,
+    })
 }
 
 fn get_view_change(buf: &mut &[u8]) -> Result<ViewChange> {
@@ -391,9 +438,19 @@ fn get_view_change(buf: &mut &[u8]) -> Result<ViewChange> {
             buf.copy_to_slice(&mut bytes);
             Some(Signature::from_bytes(bytes))
         }
-        t => return Err(DecodeError::BadTag { what: "ViewChange.cert", tag: t }),
+        t => {
+            return Err(DecodeError::BadTag {
+                what: "ViewChange.cert",
+                tag: t,
+            })
+        }
     };
-    Ok(ViewChange { last_voted, high_qc, parsig, cert })
+    Ok(ViewChange {
+        last_voted,
+        high_qc,
+        parsig,
+        cert,
+    })
 }
 
 /// `shared_payload` carries the first shadow block's batch when decoding
@@ -425,7 +482,12 @@ fn get_block(buf: &mut &[u8], shared_payload: Option<Batch>) -> Result<Block> {
                 Block::new_virtual(pview, view, height, payload, justify)
             }
         }
-        t => return Err(DecodeError::BadTag { what: "ParentLink", tag: t }),
+        t => {
+            return Err(DecodeError::BadTag {
+                what: "ParentLink",
+                tag: t,
+            })
+        }
     };
     Ok(block)
 }
@@ -462,7 +524,10 @@ fn get_justify(buf: &mut &[u8]) -> Result<Justify> {
         0 => Ok(Justify::None),
         1 => Ok(Justify::One(get_qc(buf)?)),
         2 => Ok(Justify::Two(get_qc(buf)?, get_qc(buf)?)),
-        t => Err(DecodeError::BadTag { what: "Justify", tag: t }),
+        t => Err(DecodeError::BadTag {
+            what: "Justify",
+            tag: t,
+        }),
     }
 }
 
@@ -488,7 +553,12 @@ fn get_combined_sig(buf: &mut &[u8]) -> Result<CombinedSig> {
     let format = match get_u8(buf)? {
         0 => QcFormat::SigGroup,
         1 => QcFormat::Threshold,
-        t => return Err(DecodeError::BadTag { what: "QcFormat", tag: t }),
+        t => {
+            return Err(DecodeError::BadTag {
+                what: "QcFormat",
+                tag: t,
+            })
+        }
     };
     let bitmap = SignerBitmap::from_bits(get_u128(buf)?);
     let agg = get_digest(buf)?;
@@ -514,7 +584,10 @@ fn get_phase(buf: &mut &[u8]) -> Result<Phase> {
         1 => Ok(Phase::Prepare),
         2 => Ok(Phase::PreCommit),
         3 => Ok(Phase::Commit),
-        t => Err(DecodeError::BadTag { what: "Phase", tag: t }),
+        t => Err(DecodeError::BadTag {
+            what: "Phase",
+            tag: t,
+        }),
     }
 }
 
@@ -522,7 +595,10 @@ fn get_kind(buf: &mut &[u8]) -> Result<BlockKind> {
     match get_u8(buf)? {
         0 => Ok(BlockKind::Normal),
         1 => Ok(BlockKind::Virtual),
-        t => Err(DecodeError::BadTag { what: "BlockKind", tag: t }),
+        t => Err(DecodeError::BadTag {
+            what: "BlockKind",
+            tag: t,
+        }),
     }
 }
 
@@ -565,7 +641,13 @@ mod tests {
     #[test]
     fn fetch_request_round_trip() {
         round_trip(
-            Message::new(ReplicaId(2), View(4), MsgBody::FetchRequest { block: BlockId::GENESIS }),
+            Message::new(
+                ReplicaId(2),
+                View(4),
+                MsgBody::FetchRequest {
+                    block: BlockId::GENESIS,
+                },
+            ),
             false,
         );
     }
@@ -574,14 +656,21 @@ mod tests {
     fn vote_round_trip_with_and_without_lock() {
         let ks = keys();
         let qc = make_qc(&ks, Phase::Prepare, 2, QcFormat::Threshold);
-        let seed = QcSeed { phase: Phase::PrePrepare, ..*qc.seed() };
+        let seed = QcSeed {
+            phase: Phase::PrePrepare,
+            ..*qc.seed()
+        };
         let parsig = ks.signer(1).sign_partial(&seed.signing_bytes());
         for locked in [None, Some(qc)] {
             round_trip(
                 Message::new(
                     ReplicaId(1),
                     View(3),
-                    MsgBody::Vote(Vote { seed, parsig, locked_qc: locked }),
+                    MsgBody::Vote(Vote {
+                        seed,
+                        parsig,
+                        locked_qc: locked,
+                    }),
                 ),
                 false,
             );
@@ -600,7 +689,12 @@ mod tests {
                 Message::new(
                     ReplicaId(0),
                     View(3),
-                    MsgBody::ViewChange(ViewChange { last_voted: meta, high_qc, parsig, cert: None }),
+                    MsgBody::ViewChange(ViewChange {
+                        last_voted: meta,
+                        high_qc,
+                        parsig,
+                        cert: None,
+                    }),
                 ),
                 false,
             );
@@ -641,10 +735,19 @@ mod tests {
         let payload = Batch::new(vec![tx(1, 150)]);
         let qc = Qc::genesis(g.id());
         let b1 = Block::new_normal(
-            g.id(), g.view(), View(2), g.height().next(), payload.clone(), Justify::One(qc),
+            g.id(),
+            g.view(),
+            View(2),
+            g.height().next(),
+            payload.clone(),
+            Justify::One(qc),
         );
         let b2 = Block::new_virtual(
-            g.view(), View(2), g.height().plus(2), payload, Justify::One(qc),
+            g.view(),
+            View(2),
+            g.height().plus(2),
+            payload,
+            Justify::One(qc),
         );
         let msg = Message::new(
             ReplicaId(2),
@@ -703,7 +806,11 @@ mod tests {
         let ks = keys();
         let qc = make_qc(&ks, Phase::Commit, 5, QcFormat::SigGroup);
         round_trip(
-            Message::new(ReplicaId(0), View(5), MsgBody::Decide(Decide { commit_qc: qc })),
+            Message::new(
+                ReplicaId(0),
+                View(5),
+                MsgBody::Decide(Decide { commit_qc: qc }),
+            ),
             false,
         );
         let g = Block::genesis();
@@ -711,7 +818,10 @@ mod tests {
             Message::new(
                 ReplicaId(0),
                 View(5),
-                MsgBody::FetchResponse { block: g, virtual_parent: Some(BlockId::GENESIS) },
+                MsgBody::FetchResponse {
+                    block: g,
+                    virtual_parent: Some(BlockId::GENESIS),
+                },
             ),
             false,
         );
@@ -722,7 +832,10 @@ mod tests {
         let msg = Message::new(
             ReplicaId(0),
             View(0),
-            MsgBody::FetchResponse { block: Block::genesis(), virtual_parent: None },
+            MsgBody::FetchResponse {
+                block: Block::genesis(),
+                virtual_parent: None,
+            },
         );
         let dec = decode_message(&encode_message(&msg, false)).unwrap();
         if let MsgBody::FetchResponse { block, .. } = dec.body {
@@ -737,8 +850,11 @@ mod tests {
     fn truncated_buffers_error_cleanly() {
         let ks = keys();
         let qc = make_qc(&ks, Phase::Commit, 5, QcFormat::Threshold);
-        let msg =
-            Message::new(ReplicaId(0), View(5), MsgBody::Decide(Decide { commit_qc: qc }));
+        let msg = Message::new(
+            ReplicaId(0),
+            View(5),
+            MsgBody::Decide(Decide { commit_qc: qc }),
+        );
         let enc = encode_message(&msg, false);
         for cut in [0, 1, 12, 13, 20, enc.len() - 1] {
             assert!(decode_message(&enc[..cut]).is_err(), "cut={cut}");
@@ -750,13 +866,18 @@ mod tests {
         let msg = Message::new(
             ReplicaId(0),
             View(1),
-            MsgBody::FetchRequest { block: BlockId::GENESIS },
+            MsgBody::FetchRequest {
+                block: BlockId::GENESIS,
+            },
         );
         let mut enc = encode_message(&msg, false).to_vec();
         enc[12] = 99; // body tag
         assert_eq!(
             decode_message(&enc),
-            Err(DecodeError::BadTag { what: "MsgBody", tag: 99 })
+            Err(DecodeError::BadTag {
+                what: "MsgBody",
+                tag: 99
+            })
         );
     }
 
@@ -765,7 +886,9 @@ mod tests {
         let msg = Message::new(
             ReplicaId(0),
             View(1),
-            MsgBody::FetchRequest { block: BlockId::GENESIS },
+            MsgBody::FetchRequest {
+                block: BlockId::GENESIS,
+            },
         );
         let mut enc = encode_message(&msg, false).to_vec();
         enc.push(0);

@@ -16,9 +16,7 @@ use std::fmt;
 /// assert_eq!(v.next(), View(4));
 /// assert!(View(4) > v);
 /// ```
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct View(pub u64);
 
 impl View {
@@ -56,9 +54,7 @@ impl From<u64> for View {
 
 /// A block height: the number of blocks on the branch led by a block
 /// (the genesis block has height 0).
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Height(pub u64);
 
 impl Height {
@@ -106,9 +102,7 @@ impl From<u64> for Height {
 }
 
 /// Identifies one of the `n` replicas, `p_0 .. p_{n-1}`.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct ReplicaId(pub u32);
 
 impl ReplicaId {

@@ -124,7 +124,11 @@ impl Proposal {
             && self.blocks.len() == 2
             && self.blocks[0].payload() == self.blocks[1].payload();
         for (i, b) in self.blocks.iter().enumerate() {
-            len += if dedup && i == 1 { b.header_wire_len() } else { b.wire_len() };
+            len += if dedup && i == 1 {
+                b.header_wire_len()
+            } else {
+                b.wire_len()
+            };
         }
         len += self.justify.wire_len();
         len += 2 + self.vc_proof.iter().map(VcCert::wire_len).sum::<usize>();
@@ -138,7 +142,11 @@ impl Proposal {
                 .iter()
                 .map(|b| b.justify().authenticator_count())
                 .sum::<usize>()
-            + self.vc_proof.iter().map(VcCert::authenticator_count).sum::<usize>()
+            + self
+                .vc_proof
+                .iter()
+                .map(VcCert::authenticator_count)
+                .sum::<usize>()
     }
 }
 
@@ -158,9 +166,7 @@ impl Vote {
     fn wire_len(&self) -> usize {
         // seed: phase(1)+view(8)+block(32)+height(8)+block_view(8)
         //       +pview(8)+kind(1) = 66
-        66 + PartialSig::WIRE_LEN
-            + 1
-            + self.locked_qc.as_ref().map_or(0, Qc::wire_len)
+        66 + PartialSig::WIRE_LEN + 1 + self.locked_qc.as_ref().map_or(0, Qc::wire_len)
     }
 
     fn authenticator_count(&self) -> usize {
@@ -254,7 +260,7 @@ impl VcCert {
         h.update(b"marlin.vccert.v1");
         h.update(&from.0.to_le_bytes());
         h.update(&view.0.to_le_bytes());
-        h.update(&high_qc.seed().signing_bytes());
+        h.update(high_qc.signing_bytes());
         h.finalize().into_bytes()
     }
 
@@ -363,7 +369,10 @@ mod tests {
             locked_qc: None,
         };
         assert_eq!(vote.authenticator_count(), 1);
-        let with_lock = Vote { locked_qc: Some(Qc::genesis(g.id())), ..vote };
+        let with_lock = Vote {
+            locked_qc: Some(Qc::genesis(g.id())),
+            ..vote
+        };
         assert_eq!(with_lock.authenticator_count(), 1);
     }
 
@@ -392,7 +401,9 @@ mod tests {
         let msg = Message::new(
             ReplicaId(3),
             View(9),
-            MsgBody::FetchRequest { block: BlockId::GENESIS },
+            MsgBody::FetchRequest {
+                block: BlockId::GENESIS,
+            },
         );
         assert_eq!(msg.wire_len(false), 13 + 32);
     }
@@ -402,7 +413,9 @@ mod tests {
         let msg = Message::new(
             ReplicaId(3),
             View(9),
-            MsgBody::FetchRequest { block: BlockId::GENESIS },
+            MsgBody::FetchRequest {
+                block: BlockId::GENESIS,
+            },
         );
         let s = msg.to_string();
         assert!(s.contains("p3") && s.contains("v9") && s.contains("FetchRequest"));

@@ -101,6 +101,11 @@ impl QcSeed {
 pub struct Qc {
     seed: QcSeed,
     sig: CombinedSig,
+    /// Memoized `seed.signing_bytes()`, computed once at construction.
+    /// Every signature check, justify hash, and verification-cache probe
+    /// needs these bytes; certificates are re-verified and re-hashed far
+    /// more often than they are built.
+    signing: [u8; 32],
 }
 
 impl Qc {
@@ -109,7 +114,11 @@ impl Qc {
     /// The signature's validity is *not* checked here; use
     /// [`Qc::verify`] at trust boundaries.
     pub fn new(seed: QcSeed, sig: CombinedSig) -> Self {
-        Qc { seed, sig }
+        Qc {
+            seed,
+            sig,
+            signing: seed.signing_bytes(),
+        }
     }
 
     /// The well-known certificate for the genesis block. Its signature is
@@ -125,7 +134,7 @@ impl Qc {
             block_kind: BlockKind::Normal,
         };
         let sig = CombinedSig::from_parts(QcFormat::Threshold, SignerBitmap::empty(), Digest::ZERO);
-        Qc { seed, sig }
+        Qc::new(seed, sig)
     }
 
     /// Whether this is the genesis certificate.
@@ -136,6 +145,13 @@ impl Qc {
     /// The certified seed.
     pub fn seed(&self) -> &QcSeed {
         &self.seed
+    }
+
+    /// The seed's canonical signing bytes, memoized at construction.
+    /// Prefer this over `seed().signing_bytes()` on hot paths — the
+    /// latter recomputes a SHA-256 every call.
+    pub fn signing_bytes(&self) -> &[u8; 32] {
+        &self.signing
     }
 
     /// The combined signature.
@@ -185,7 +201,7 @@ impl Qc {
         if self.is_genesis() {
             return true;
         }
-        keys.verify_combined(&self.seed.signing_bytes(), &self.sig)
+        keys.verify_combined(&self.signing, &self.sig)
     }
 
     /// Combines `partials` (each signed over `seed.signing_bytes()`) into
@@ -201,8 +217,9 @@ impl Qc {
         keys: &KeyStore,
         format: QcFormat,
     ) -> Result<Self, marlin_crypto::SigError> {
-        let sig = keys.combine(&seed.signing_bytes(), partials, format)?;
-        Ok(Qc { seed, sig })
+        let signing = seed.signing_bytes();
+        let sig = keys.combine(&signing, partials, format)?;
+        Ok(Qc { seed, sig, signing })
     }
 
     /// Bytes this certificate occupies on the wire (seed metadata plus
@@ -306,12 +323,30 @@ mod tests {
     fn seeds_differing_in_any_field_sign_differently() {
         let base = seed(Phase::Prepare, 3, 7);
         let variants = [
-            QcSeed { phase: Phase::Commit, ..base },
-            QcSeed { view: View(4), ..base },
-            QcSeed { height: Height(8), ..base },
-            QcSeed { block_view: View(9), ..base },
-            QcSeed { pview: View(9), ..base },
-            QcSeed { block_kind: BlockKind::Virtual, ..base },
+            QcSeed {
+                phase: Phase::Commit,
+                ..base
+            },
+            QcSeed {
+                view: View(4),
+                ..base
+            },
+            QcSeed {
+                height: Height(8),
+                ..base
+            },
+            QcSeed {
+                block_view: View(9),
+                ..base
+            },
+            QcSeed {
+                pview: View(9),
+                ..base
+            },
+            QcSeed {
+                block_kind: BlockKind::Virtual,
+                ..base
+            },
         ];
         for v in variants {
             assert_ne!(v.signing_bytes(), base.signing_bytes(), "{v:?}");
@@ -329,6 +364,23 @@ mod tests {
         let grp = Qc::combine(s, &partials, &keys, QcFormat::SigGroup).unwrap();
         assert!(grp.wire_len() > thr.wire_len());
         assert_eq!(thr.wire_len(), 66 + 96);
+    }
+
+    #[test]
+    fn memoized_signing_bytes_match_seed() {
+        let keys = KeyStore::generate(4, 1, 1);
+        let s = seed(Phase::Commit, 5, 9);
+        let partials: Vec<_> = (0..3)
+            .map(|i| keys.signer(i).sign_partial(&s.signing_bytes()))
+            .collect();
+        let qc = Qc::combine(s, &partials, &keys, QcFormat::Threshold).unwrap();
+        assert_eq!(qc.signing_bytes(), &qc.seed().signing_bytes());
+        let rebuilt = Qc::new(*qc.seed(), *qc.sig());
+        assert_eq!(rebuilt.signing_bytes(), qc.signing_bytes());
+        assert_eq!(
+            Qc::genesis(BlockId::GENESIS).signing_bytes(),
+            &Qc::genesis(BlockId::GENESIS).seed().signing_bytes()
+        );
     }
 
     #[test]

@@ -132,26 +132,44 @@ mod tests {
     #[test]
     fn rule_a_view_dominates() {
         // Even a PRE-PREPARE in a later view outranks a COMMIT earlier.
-        assert_eq!(qc_rank_cmp(&qc(Phase::PrePrepare, 5, 1), &qc(Phase::Commit, 4, 99)), Ordering::Greater);
+        assert_eq!(
+            qc_rank_cmp(&qc(Phase::PrePrepare, 5, 1), &qc(Phase::Commit, 4, 99)),
+            Ordering::Greater
+        );
     }
 
     #[test]
     fn rule_b_class_dominates_within_view() {
-        assert_eq!(qc_rank_cmp(&qc(Phase::Prepare, 3, 1), &qc(Phase::PrePrepare, 3, 9)), Ordering::Greater);
-        assert_eq!(qc_rank_cmp(&qc(Phase::Commit, 3, 1), &qc(Phase::PrePrepare, 3, 9)), Ordering::Greater);
+        assert_eq!(
+            qc_rank_cmp(&qc(Phase::Prepare, 3, 1), &qc(Phase::PrePrepare, 3, 9)),
+            Ordering::Greater
+        );
+        assert_eq!(
+            qc_rank_cmp(&qc(Phase::Commit, 3, 1), &qc(Phase::PrePrepare, 3, 9)),
+            Ordering::Greater
+        );
     }
 
     #[test]
     fn rule_c_height_decides_in_high_class() {
-        assert_eq!(qc_rank_cmp(&qc(Phase::Prepare, 3, 5), &qc(Phase::Commit, 3, 4)), Ordering::Greater);
-        assert_eq!(qc_rank_cmp(&qc(Phase::Prepare, 3, 4), &qc(Phase::Commit, 3, 4)), Ordering::Equal);
+        assert_eq!(
+            qc_rank_cmp(&qc(Phase::Prepare, 3, 5), &qc(Phase::Commit, 3, 4)),
+            Ordering::Greater
+        );
+        assert_eq!(
+            qc_rank_cmp(&qc(Phase::Prepare, 3, 4), &qc(Phase::Commit, 3, 4)),
+            Ordering::Equal
+        );
     }
 
     #[test]
     fn pre_prepare_heights_do_not_discriminate() {
         // Figure 5: qc3 and qc3' have the same rank although their
         // heights differ.
-        assert_eq!(qc_rank_cmp(&qc(Phase::PrePrepare, 3, 7), &qc(Phase::PrePrepare, 3, 8)), Ordering::Equal);
+        assert_eq!(
+            qc_rank_cmp(&qc(Phase::PrePrepare, 3, 7), &qc(Phase::PrePrepare, 3, 8)),
+            Ordering::Equal
+        );
     }
 
     #[test]
@@ -176,8 +194,14 @@ mod tests {
     #[test]
     fn rank_ge_with_none_lock() {
         assert!(qc_rank_ge(&qc(Phase::Prepare, 1, 1), None));
-        assert!(qc_rank_ge(&qc(Phase::Prepare, 2, 1), Some(&qc(Phase::Prepare, 1, 9))));
-        assert!(!qc_rank_ge(&qc(Phase::Prepare, 1, 1), Some(&qc(Phase::Prepare, 2, 1))));
+        assert!(qc_rank_ge(
+            &qc(Phase::Prepare, 2, 1),
+            Some(&qc(Phase::Prepare, 1, 9))
+        ));
+        assert!(!qc_rank_ge(
+            &qc(Phase::Prepare, 1, 1),
+            Some(&qc(Phase::Prepare, 2, 1))
+        ));
     }
 
     #[test]
@@ -194,7 +218,12 @@ mod tests {
 
     #[test]
     fn highest_block_selects_maximal() {
-        let ms = [meta(1, 1, false), meta(2, 5, true), meta(2, 7, true), meta(2, 6, false)];
+        let ms = [
+            meta(1, 1, false),
+            meta(2, 5, true),
+            meta(2, 7, true),
+            meta(2, 6, false),
+        ];
         let best = highest_block(ms.iter()).unwrap();
         assert_eq!(best.height, Height(7));
         assert!(highest_block(std::iter::empty()).is_none());

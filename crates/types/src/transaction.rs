@@ -2,6 +2,7 @@
 
 use bytes::Bytes;
 use std::fmt;
+use std::sync::Arc;
 
 /// A client operation (`op` in the paper's block syntax).
 ///
@@ -32,12 +33,22 @@ impl Transaction {
 
     /// Creates a transaction.
     pub fn new(id: u64, client: u32, payload: Bytes, submitted_at_ns: u64) -> Self {
-        Transaction { id, client, payload, submitted_at_ns }
+        Transaction {
+            id,
+            client,
+            payload,
+            submitted_at_ns,
+        }
     }
 
     /// A zero-payload transaction (the paper's "no-op request").
     pub fn no_op(id: u64, client: u32, submitted_at_ns: u64) -> Self {
-        Transaction { id, client, payload: Bytes::new(), submitted_at_ns }
+        Transaction {
+            id,
+            client,
+            payload: Bytes::new(),
+            submitted_at_ns,
+        }
     }
 
     /// Bytes this transaction occupies on the wire.
@@ -48,25 +59,49 @@ impl Transaction {
 
 impl fmt::Debug for Transaction {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Tx(#{} c{} {}B)", self.id, self.client, self.payload.len())
+        write!(
+            f,
+            "Tx(#{} c{} {}B)",
+            self.id,
+            self.client,
+            self.payload.len()
+        )
     }
 }
 
 /// An ordered batch of transactions proposed in one block.
-#[derive(Clone, PartialEq, Eq, Hash, Default)]
+///
+/// Internally the transactions live behind an `Arc<[Transaction]>`, so
+/// cloning a batch — which the simulator does once per broadcast
+/// recipient, per phase — is a reference-count bump regardless of batch
+/// size. The wire length is computed once at construction for the same
+/// reason: the bandwidth model asks for it on every transmission.
+///
+/// Batches are immutable after construction; [`Batch::extend`] rebuilds
+/// the backing allocation and is the one O(n) escape hatch.
+#[derive(Clone, PartialEq, Eq, Hash)]
 pub struct Batch {
-    txs: Vec<Transaction>,
+    txs: Arc<[Transaction]>,
+    /// Memoized [`Batch::wire_len`] (count prefix + per-tx wire bytes).
+    wire: usize,
 }
 
 impl Batch {
     /// The empty batch (used by genesis and leader no-op proposals).
     pub fn empty() -> Self {
-        Batch { txs: Vec::new() }
+        Batch {
+            txs: Arc::from(Vec::new()),
+            wire: 4,
+        }
     }
 
     /// Wraps transactions into a batch.
     pub fn new(txs: Vec<Transaction>) -> Self {
-        Batch { txs }
+        let wire = 4 + txs.iter().map(Transaction::wire_len).sum::<usize>();
+        Batch {
+            txs: Arc::from(txs),
+            wire,
+        }
     }
 
     /// Number of transactions in the batch.
@@ -89,9 +124,22 @@ impl Batch {
         &self.txs
     }
 
+    /// Whether `self` and `other` share one backing allocation (i.e. one
+    /// is a clone of the other). Clones made for fan-out must satisfy
+    /// this — it is what makes them O(1).
+    pub fn ptr_eq(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.txs, &other.txs)
+    }
+
     /// Total wire bytes of all transactions plus the count prefix.
     pub fn wire_len(&self) -> usize {
-        4 + self.txs.iter().map(Transaction::wire_len).sum::<usize>()
+        self.wire
+    }
+}
+
+impl Default for Batch {
+    fn default() -> Self {
+        Batch::empty()
     }
 }
 
@@ -103,13 +151,17 @@ impl fmt::Debug for Batch {
 
 impl FromIterator<Transaction> for Batch {
     fn from_iter<I: IntoIterator<Item = Transaction>>(iter: I) -> Self {
-        Batch { txs: iter.into_iter().collect() }
+        Batch::new(iter.into_iter().collect())
     }
 }
 
 impl Extend<Transaction> for Batch {
+    /// Rebuilds the backing allocation (copy-on-write): existing clones
+    /// of this batch keep the old contents.
     fn extend<I: IntoIterator<Item = Transaction>>(&mut self, iter: I) {
-        self.txs.extend(iter);
+        let mut txs = self.txs.to_vec();
+        txs.extend(iter);
+        *self = Batch::new(txs);
     }
 }
 
@@ -117,8 +169,12 @@ impl IntoIterator for Batch {
     type Item = Transaction;
     type IntoIter = std::vec::IntoIter<Transaction>;
 
+    // The iterator must own its items (`self` is consumed but the slice
+    // may be shared), so a Vec is unavoidable; Transaction clones are
+    // cheap — the payload is refcounted.
+    #[allow(clippy::unnecessary_to_owned)]
     fn into_iter(self) -> Self::IntoIter {
-        self.txs.into_iter()
+        self.txs.to_vec().into_iter()
     }
 }
 
@@ -154,6 +210,33 @@ mod tests {
         assert_eq!(b.len(), 2);
         assert!(!b.is_empty());
         assert!(Batch::empty().is_empty());
+    }
+
+    #[test]
+    fn batch_clone_shares_backing_storage() {
+        let b = Batch::new((0..1000).map(|i| tx(i, 150)).collect());
+        let c = b.clone();
+        assert!(b.ptr_eq(&c), "clone must be a refcount bump, not a copy");
+        assert_eq!(b, c);
+        // Extending one side rebuilds it and leaves the other untouched.
+        let mut d = c.clone();
+        d.extend([tx(1000, 1)]);
+        assert!(!d.ptr_eq(&b));
+        assert_eq!(b.len(), 1000);
+        assert_eq!(d.len(), 1001);
+    }
+
+    #[test]
+    fn batch_wire_len_is_memoized_consistently() {
+        for sizes in [vec![], vec![0usize], vec![10, 20, 0, 150]] {
+            let b: Batch = sizes
+                .iter()
+                .enumerate()
+                .map(|(i, &len)| tx(i as u64, len))
+                .collect();
+            let recomputed = 4 + b.iter().map(Transaction::wire_len).sum::<usize>();
+            assert_eq!(b.wire_len(), recomputed);
+        }
     }
 
     #[test]

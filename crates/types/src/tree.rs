@@ -148,7 +148,10 @@ impl BlockStore {
     /// Walks the branch led by `id` down to genesis, yielding ids
     /// starting at `id`. Stops early if a link is unresolved or missing.
     pub fn branch(&self, id: &BlockId) -> Branch<'_> {
-        Branch { store: self, next: self.blocks.contains_key(id).then_some(*id) }
+        Branch {
+            store: self,
+            next: self.blocks.contains_key(id).then_some(*id),
+        }
     }
 
     /// Whether `descendant` is `ancestor` or an extension of it
@@ -169,7 +172,10 @@ impl BlockStore {
 
     /// The tip of the committed chain.
     pub fn last_committed(&self) -> BlockId {
-        *self.committed.last().expect("committed chain always holds genesis")
+        *self
+            .committed
+            .last()
+            .expect("committed chain always holds genesis")
     }
 
     /// Whether `id` has been committed.
@@ -203,7 +209,10 @@ impl BlockStore {
             let parent = match self.parent_id_of(&cur) {
                 Some(p) => p,
                 None => {
-                    return Err(CommitError::MissingAncestor { of: cur, parent: None });
+                    return Err(CommitError::MissingAncestor {
+                        of: cur,
+                        parent: None,
+                    });
                 }
             };
             if self.committed_set.contains(&parent) {
@@ -214,7 +223,10 @@ impl BlockStore {
                 break;
             }
             if !self.blocks.contains_key(&parent) {
-                return Err(CommitError::MissingAncestor { of: cur, parent: Some(parent) });
+                return Err(CommitError::MissingAncestor {
+                    of: cur,
+                    parent: Some(parent),
+                });
             }
             cur = parent;
         }
@@ -335,7 +347,9 @@ mod tests {
     #[test]
     fn commit_unknown_block_errors() {
         let mut store = BlockStore::new();
-        let err = store.commit(&BlockId::from_digest(marlin_crypto::sha256(b"?"))).unwrap_err();
+        let err = store
+            .commit(&BlockId::from_digest(marlin_crypto::sha256(b"?")))
+            .unwrap_err();
         assert!(matches!(err, CommitError::UnknownBlock(_)));
     }
 
@@ -349,7 +363,10 @@ mod tests {
         let err = sparse.commit(&chain[3].id()).unwrap_err();
         assert_eq!(
             err,
-            CommitError::MissingAncestor { of: chain[3].id(), parent: Some(chain[2].id()) }
+            CommitError::MissingAncestor {
+                of: chain[3].id(),
+                parent: Some(chain[2].id())
+            }
         );
         drop(full);
     }

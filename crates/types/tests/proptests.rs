@@ -7,8 +7,8 @@ use marlin_crypto::{sha256, PartialSig, QcFormat, SignerBitmap};
 use marlin_types::codec::{decode_message, encode_message};
 use marlin_types::rank::{block_rank_gt, qc_rank_cmp};
 use marlin_types::{
-    Batch, Block, BlockId, BlockKind, BlockMeta, Decide, Height, Justify, Message, MsgBody,
-    Phase, Proposal, Qc, QcSeed, ReplicaId, Transaction, VcCert, View, ViewChange, Vote,
+    Batch, Block, BlockId, BlockKind, BlockMeta, Decide, Height, Justify, Message, MsgBody, Phase,
+    Proposal, Qc, QcSeed, ReplicaId, Transaction, VcCert, View, ViewChange, Vote,
 };
 use proptest::prelude::*;
 use std::cmp::Ordering;
@@ -145,24 +145,41 @@ fn arb_body() -> BoxedStrategy<MsgBody> {
                         sig: marlin_crypto::Signature::from_bytes(sig),
                     })
                     .collect();
-                MsgBody::Proposal(Proposal { phase, blocks, justify, vc_proof })
+                MsgBody::Proposal(Proposal {
+                    phase,
+                    blocks,
+                    justify,
+                    vc_proof,
+                })
             }),
-        (arb_seed(), arb_parsig(), prop::option::of(arb_qc()))
-            .prop_map(|(seed, parsig, locked_qc)| MsgBody::Vote(Vote { seed, parsig, locked_qc })),
-        (arb_meta(), arb_justify(), arb_parsig(), prop::option::of(any::<[u8; 64]>())).prop_map(
-            |(last_voted, high_qc, parsig, cert)| {
+        (arb_seed(), arb_parsig(), prop::option::of(arb_qc())).prop_map(
+            |(seed, parsig, locked_qc)| MsgBody::Vote(Vote {
+                seed,
+                parsig,
+                locked_qc
+            })
+        ),
+        (
+            arb_meta(),
+            arb_justify(),
+            arb_parsig(),
+            prop::option::of(any::<[u8; 64]>())
+        )
+            .prop_map(|(last_voted, high_qc, parsig, cert)| {
                 MsgBody::ViewChange(ViewChange {
                     last_voted,
                     high_qc,
                     parsig,
                     cert: cert.map(marlin_crypto::Signature::from_bytes),
                 })
-            }
-        ),
+            }),
         arb_qc().prop_map(|qc| MsgBody::Decide(Decide { commit_qc: qc })),
         arb_digest().prop_map(|block| MsgBody::FetchRequest { block }),
         (arb_block(), prop::option::of(arb_digest())).prop_map(|(block, virtual_parent)| {
-            MsgBody::FetchResponse { block, virtual_parent }
+            MsgBody::FetchResponse {
+                block,
+                virtual_parent,
+            }
         }),
     ]
     .boxed()

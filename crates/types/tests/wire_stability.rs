@@ -5,8 +5,7 @@
 use bytes::Bytes;
 use marlin_types::codec::{decode_message, encode_message};
 use marlin_types::{
-    Batch, Block, BlockId, Height, Justify, Message, MsgBody, Phase, Qc, ReplicaId, Transaction,
-    View,
+    Batch, Block, BlockId, Justify, Message, MsgBody, Phase, Qc, ReplicaId, Transaction, View,
 };
 
 fn hex(bytes: &[u8]) -> String {
@@ -40,7 +39,8 @@ fn golden_message() -> Message {
 /// The golden bytes for [`golden_message`], captured from the v1 codec.
 /// If this test fails because the format deliberately changed, bump the
 /// codec version tags and refresh the constant.
-const GOLDEN_HEX: &str = "010000000100000000000000000101010000000000000000000000000000000000000000000000\
+const GOLDEN_HEX: &str =
+    "010000000100000000000000000101010000000000000000000000000000000000000000000000\
 000000000000000000000000000000000001000000000000000100000000000000010100000000\
 000000000000000000000000000000000000000000000000000000000000000000000000000000\
 000000000000000000000000000000000000000000000100000000000000000000000000000000\
@@ -79,7 +79,11 @@ fn wire_len_constants_are_stable() {
     let g = Block::genesis();
     assert_eq!(g.header_wire_len(), 33 + 24 + 1);
     assert_eq!(g.wire_len(), g.header_wire_len() + 4);
-    let fetch = Message::new(ReplicaId(0), View(0), MsgBody::FetchRequest { block: g.id() });
+    let fetch = Message::new(
+        ReplicaId(0),
+        View(0),
+        MsgBody::FetchRequest { block: g.id() },
+    );
     assert_eq!(fetch.wire_len(false), 45);
 }
 
@@ -88,9 +92,14 @@ fn heights_and_views_encode_little_endian() {
     let msg = Message::new(
         ReplicaId(0x0A0B0C0D),
         View(0x1122334455667788),
-        MsgBody::FetchRequest { block: BlockId::GENESIS },
+        MsgBody::FetchRequest {
+            block: BlockId::GENESIS,
+        },
     );
     let enc = encode_message(&msg, false);
     assert_eq!(&enc[0..4], &[0x0D, 0x0C, 0x0B, 0x0A]);
-    assert_eq!(&enc[4..12], &[0x88, 0x77, 0x66, 0x55, 0x44, 0x33, 0x22, 0x11]);
+    assert_eq!(
+        &enc[4..12],
+        &[0x88, 0x77, 0x66, 0x55, 0x44, 0x33, 0x22, 0x11]
+    );
 }

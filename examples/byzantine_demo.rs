@@ -8,11 +8,9 @@
 //! cargo run --example byzantine_demo
 //! ```
 
-use marlin_bft::core::{harness::Cluster, Config, Note, Protocol, ProtocolKind, VcCase};
+use marlin_bft::core::{harness::Cluster, Config, Note, ProtocolKind, VcCase};
 use marlin_bft::crypto::QcFormat;
-use marlin_bft::types::{
-    Justify, Message, MsgBody, Phase, Qc, ReplicaId, View, ViewChange,
-};
+use marlin_bft::types::{Justify, Message, MsgBody, Phase, Qc, ReplicaId, View, ViewChange};
 
 const P0: ReplicaId = ReplicaId(0);
 const P1: ReplicaId = ReplicaId(1);
@@ -86,10 +84,15 @@ fn run(kind: ProtocolKind) -> (usize, bool, bool) {
         .committed_blocks(P2)
         .iter()
         .any(|b| b.height().0 == contested);
-    let used_virtual = cl
-        .notes()
-        .iter()
-        .any(|(_, n)| matches!(n, Note::UnhappyPathVc { case: VcCase::V1, .. }));
+    let used_virtual = cl.notes().iter().any(|(_, n)| {
+        matches!(
+            n,
+            Note::UnhappyPathVc {
+                case: VcCase::V1,
+                ..
+            }
+        )
+    });
     (committed, contested_committed, used_virtual)
 }
 

@@ -15,12 +15,26 @@ fn main() {
     let leader = ReplicaId(1);
 
     // Submit a little banking workload through consensus.
-    let commands = vec![
-        KvCommand::Set { key: b"alice".to_vec(), value: b"100".to_vec() },
-        KvCommand::Set { key: b"bob".to_vec(), value: b"50".to_vec() },
-        KvCommand::Set { key: b"alice".to_vec(), value: b"75".to_vec() },
-        KvCommand::Set { key: b"carol".to_vec(), value: b"10".to_vec() },
-        KvCommand::Delete { key: b"bob".to_vec() },
+    let commands = [
+        KvCommand::Set {
+            key: b"alice".to_vec(),
+            value: b"100".to_vec(),
+        },
+        KvCommand::Set {
+            key: b"bob".to_vec(),
+            value: b"50".to_vec(),
+        },
+        KvCommand::Set {
+            key: b"alice".to_vec(),
+            value: b"75".to_vec(),
+        },
+        KvCommand::Set {
+            key: b"carol".to_vec(),
+            value: b"10".to_vec(),
+        },
+        KvCommand::Delete {
+            key: b"bob".to_vec(),
+        },
     ];
     println!("submitting {} commands through Marlin…", commands.len());
     let txs: Vec<Transaction> = commands

@@ -24,17 +24,26 @@ fn trace(sim: &SimNet, from_ns: u64) {
         }
         let what = match note {
             Note::EnteredView { view, leader } => {
-                format!("entered view {view}{}", if *leader { " as leader" } else { "" })
+                format!(
+                    "entered view {view}{}",
+                    if *leader { " as leader" } else { "" }
+                )
             }
             Note::ViewChangeStarted { from_view } => format!("timed out of view {from_view}"),
             Note::HappyPathVc { view } => format!("HAPPY-PATH view change into view {view}"),
             Note::UnhappyPathVc { view, case } => {
                 format!("UNHAPPY-PATH view change into view {view} (leader case {case:?})")
             }
-            Note::QcFormed { phase, view, height } => {
+            Note::QcFormed {
+                phase,
+                view,
+                height,
+            } => {
                 format!("formed {phase:?} QC (view {view}, height {height})")
             }
-            Note::Committed { height, txs } => format!("committed up to height {height} ({txs} txs)"),
+            Note::Committed { height, txs } => {
+                format!("committed up to height {height} ({txs} txs)")
+            }
         };
         println!("  {:>8.1} ms  {}  {}", *at as f64 / 1e6, id, what);
     }
@@ -69,14 +78,20 @@ fn run(title: &str, force_unhappy: bool) {
     }
 
     let crash_at = 1_500_000_000;
-    println!("crashing the view-1 leader {leader} at {:.0} ms…", crash_at as f64 / 1e6);
+    println!(
+        "crashing the view-1 leader {leader} at {:.0} ms…",
+        crash_at as f64 / 1e6
+    );
     sim.schedule_crash(leader, crash_at);
     sim.run_until(3_200_000_000);
     trace(&sim, crash_at);
 }
 
 fn main() {
-    run("happy path: unanimous last-voted blocks → two-phase view change", false);
+    run(
+        "happy path: unanimous last-voted blocks → two-phase view change",
+        false,
+    );
     run(
         "unhappy path: divergent snapshot → pre-prepare phase with a virtual block",
         true,

@@ -83,14 +83,21 @@ fn run_with_adversary(
 
 #[test]
 fn equivocating_leader_cannot_break_safety() {
-    for kind in [ProtocolKind::Marlin, ProtocolKind::HotStuff, ProtocolKind::ChainedMarlin] {
+    for kind in [
+        ProtocolKind::Marlin,
+        ProtocolKind::HotStuff,
+        ProtocolKind::ChainedMarlin,
+    ] {
         // Replica 1 leads view 1 and equivocates every proposal.
         let (committed, chains) = run_with_adversary(kind, ReplicaId(1), Behavior::Equivocate, 4);
         assert_prefix_consistent(&chains, ReplicaId(1));
         // Liveness: the cluster either commits under the equivocator
         // (half the replicas still form quorums with the leader's copy)
         // or rotates past it; either way progress happens.
-        assert!(committed > 0, "{kind:?}: no progress with an equivocating leader");
+        assert!(
+            committed > 0,
+            "{kind:?}: no progress with an equivocating leader"
+        );
     }
 }
 
@@ -105,7 +112,10 @@ fn qc_hiding_replica_cannot_break_safety_or_liveness() {
         // Replica 3 is never the early leader; it lies in view changes.
         let (committed, chains) = run_with_adversary(kind, ReplicaId(3), Behavior::HideQc, 4);
         assert_prefix_consistent(&chains, ReplicaId(3));
-        assert!(committed > 50, "{kind:?}: commits stalled under a QC-hiding replica");
+        assert!(
+            committed > 50,
+            "{kind:?}: commits stalled under a QC-hiding replica"
+        );
     }
 }
 

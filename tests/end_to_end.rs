@@ -29,7 +29,10 @@ fn every_protocol_commits_on_the_paper_testbed() {
             "{protocol:?} committed only {} txs",
             m.committed_txs
         );
-        assert!(m.latency.mean_ms > 80.0, "{protocol:?} latency below physics");
+        assert!(
+            m.latency.mean_ms > 80.0,
+            "{protocol:?} latency below physics"
+        );
         assert_eq!(m.view_changes, 0, "{protocol:?} should be failure-free");
     }
 }
@@ -122,8 +125,7 @@ fn closed_loop_clients_trace_the_latency_curve() {
         large.throughput_tps
     );
     // …and Little's law roughly holds for the small population.
-    let predicted = small.committed_txs as f64
-        / (small.duration_ns as f64 / 1e9)
+    let predicted = small.committed_txs as f64 / (small.duration_ns as f64 / 1e9)
         * (small.latency.mean_ms / 1e3);
     assert!(
         (predicted - 200.0).abs() < 120.0,

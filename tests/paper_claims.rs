@@ -37,7 +37,10 @@ fn crash_and_measure(protocol: ProtocolKind, f: usize, format: QcFormat) -> (u64
     let mut deadline = crash_at;
     while sim.committed_blocks(ReplicaId(0)) == before {
         deadline += 100_000_000;
-        assert!(deadline < crash_at + 20_000_000_000, "{protocol:?}: VC never completed");
+        assert!(
+            deadline < crash_at + 20_000_000_000,
+            "{protocol:?}: VC never completed"
+        );
         sim.run_until(deadline);
     }
     let mut t0 = None;
@@ -48,9 +51,7 @@ fn crash_and_measure(protocol: ProtocolKind, f: usize, format: QcFormat) -> (u64
             continue;
         }
         match note {
-            Note::ViewChangeStarted { .. } if *id == ReplicaId(0) && t0.is_none() => {
-                t0 = Some(*at)
-            }
+            Note::ViewChangeStarted { .. } if *id == ReplicaId(0) && t0.is_none() => t0 = Some(*at),
             Note::HappyPathVc { .. } => happy = true,
             Note::Committed { .. } if *id == ReplicaId(0) && t1.is_none() => t1 = Some(*at),
             _ => {}
@@ -108,6 +109,12 @@ fn authenticator_complexity_matches_table1() {
     let auths = |protocol, f| crash_and_measure(protocol, f, QcFormat::Threshold).2 as f64;
     let marlin_ratio = auths(ProtocolKind::Marlin, 5) / auths(ProtocolKind::Marlin, 1);
     let jolteon_ratio = auths(ProtocolKind::Jolteon, 5) / auths(ProtocolKind::Jolteon, 1);
-    assert!(marlin_ratio < 9.0, "Marlin authenticators grew {marlin_ratio:.1}×");
-    assert!(jolteon_ratio > 9.0, "Jolteon authenticators grew only {jolteon_ratio:.1}×");
+    assert!(
+        marlin_ratio < 9.0,
+        "Marlin authenticators grew {marlin_ratio:.1}×"
+    );
+    assert!(
+        jolteon_ratio > 9.0,
+        "Jolteon authenticators grew only {jolteon_ratio:.1}×"
+    );
 }

@@ -4,7 +4,7 @@
 //! and every baseline. After the network heals, the cluster must resume
 //! committing (liveness after GST, Theorem 2).
 
-use marlin_bft::core::{harness::Cluster, Config, Protocol, ProtocolKind};
+use marlin_bft::core::{harness::Cluster, Config, ProtocolKind};
 use marlin_bft::types::{Message, ReplicaId, View};
 use proptest::prelude::*;
 
@@ -63,7 +63,10 @@ fn fuzz_one(kind: ProtocolKind, seed: u64, drop_pct: u64, crash_one: bool, n: us
         );
         cl.run_until_idle();
         fires += 1;
-        assert!(fires < 300, "{kind:?} seed={seed}: liveness lost after healing");
+        assert!(
+            fires < 300,
+            "{kind:?} seed={seed}: liveness lost after healing"
+        );
         // Keep the current leader supplied with transactions.
         let v = cl.max_view();
         cl.submit_to(ReplicaId::leader_of(v, n), 5, 0);
@@ -86,7 +89,7 @@ fn healthy_replica(cl: &Cluster, n: usize) -> ReplicaId {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+    #![proptest_config(ProptestConfig::with_cases(24))]
 
     #[test]
     fn marlin_is_safe_and_recovers(seed in 0u64..1_000_000, drop_pct in 0u64..30, crash in any::<bool>()) {

@@ -24,17 +24,23 @@ pub struct Bytes {
 impl Bytes {
     /// An empty buffer (no allocation is shared, but clones remain O(1)).
     pub fn new() -> Self {
-        Bytes { data: Arc::from(&[][..]) }
+        Bytes {
+            data: Arc::from(&[][..]),
+        }
     }
 
     /// Copies `slice` into a new buffer.
     pub fn copy_from_slice(slice: &[u8]) -> Self {
-        Bytes { data: Arc::from(slice) }
+        Bytes {
+            data: Arc::from(slice),
+        }
     }
 
     /// Wraps a static slice (copied once; clones are still O(1)).
     pub fn from_static(slice: &'static [u8]) -> Self {
-        Bytes { data: Arc::from(slice) }
+        Bytes {
+            data: Arc::from(slice),
+        }
     }
 
     /// Length in bytes.
@@ -147,6 +153,9 @@ impl IntoIterator for Bytes {
     type Item = u8;
     type IntoIter = std::vec::IntoIter<u8>;
 
+    // The iterator must own its items while the buffer may be shared,
+    // so a Vec copy is unavoidable here.
+    #[allow(clippy::unnecessary_to_owned)]
     fn into_iter(self) -> Self::IntoIter {
         self.to_vec().into_iter()
     }
@@ -181,7 +190,9 @@ impl BytesMut {
 
     /// An empty builder with `cap` bytes preallocated.
     pub fn with_capacity(cap: usize) -> Self {
-        BytesMut { vec: Vec::with_capacity(cap) }
+        BytesMut {
+            vec: Vec::with_capacity(cap),
+        }
     }
 
     /// Bytes written so far.
@@ -201,7 +212,9 @@ impl BytesMut {
 
     /// Freezes the builder into an immutable, cheaply cloneable buffer.
     pub fn freeze(self) -> Bytes {
-        Bytes { data: Arc::from(self.vec) }
+        Bytes {
+            data: Arc::from(self.vec),
+        }
     }
 }
 

@@ -42,12 +42,16 @@ pub struct BenchmarkId {
 impl BenchmarkId {
     /// `function_name/parameter`.
     pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
-        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
     }
 
     /// Just the parameter, for single-function groups.
     pub fn from_parameter(parameter: impl Display) -> Self {
-        BenchmarkId { id: parameter.to_string() }
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
     }
 }
 
@@ -121,11 +125,7 @@ impl Criterion {
     }
 
     /// Runs one stand-alone benchmark.
-    pub fn bench_function(
-        &mut self,
-        name: &str,
-        mut f: impl FnMut(&mut Bencher),
-    ) -> &mut Self {
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
         run_benchmark(name, self.sample_size, None, &mut f);
         self
     }
@@ -160,7 +160,9 @@ impl BenchmarkGroup<'_> {
         mut f: impl FnMut(&mut Bencher, &I),
     ) -> &mut Self {
         let name = format!("{}/{}", self.name, id.id);
-        run_benchmark(&name, self.sample_size, self.throughput, &mut |b| f(b, input));
+        run_benchmark(&name, self.sample_size, self.throughput, &mut |b| {
+            f(b, input)
+        });
         self
     }
 
@@ -191,7 +193,10 @@ fn run_benchmark(
     // per-iteration noise stays small without making slow sims crawl.
     let mut iters: u64 = 1;
     loop {
-        let mut b = Bencher { iters, elapsed_ns: 0 };
+        let mut b = Bencher {
+            iters,
+            elapsed_ns: 0,
+        };
         f(&mut b);
         if b.elapsed_ns >= 2_000_000 || iters >= 1 << 20 {
             break;
@@ -201,7 +206,10 @@ fn run_benchmark(
 
     let mut samples: Vec<f64> = Vec::with_capacity(sample_size);
     for _ in 0..sample_size {
-        let mut b = Bencher { iters, elapsed_ns: 0 };
+        let mut b = Bencher {
+            iters,
+            elapsed_ns: 0,
+        };
         f(&mut b);
         samples.push(b.elapsed_ns as f64 / iters as f64);
     }

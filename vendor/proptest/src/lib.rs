@@ -101,7 +101,9 @@ pub mod arbitrary {
 
     /// An arbitrary value of `T`.
     pub fn any<T: Arbitrary>() -> Any<T> {
-        Any { _marker: std::marker::PhantomData }
+        Any {
+            _marker: std::marker::PhantomData,
+        }
     }
 }
 

@@ -25,7 +25,9 @@ pub trait Strategy {
     where
         Self: Sized + 'static,
     {
-        BoxedStrategy { inner: Box::new(self) }
+        BoxedStrategy {
+            inner: Box::new(self),
+        }
     }
 }
 
@@ -94,7 +96,10 @@ impl<V> Union<V> {
         assert!(!options.is_empty(), "prop_oneof! needs at least one option");
         let total_weight = options.iter().map(|(w, _)| *w as u64).sum();
         assert!(total_weight > 0, "prop_oneof! weights sum to zero");
-        Union { options, total_weight }
+        Union {
+            options,
+            total_weight,
+        }
     }
 }
 
@@ -176,7 +181,7 @@ impl<S: Strategy> Strategy for OptionStrategy<S> {
 
     fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
         // `None` a quarter of the time, as in the real crate's default.
-        if rng.next_u64() % 4 == 0 {
+        if rng.next_u64().is_multiple_of(4) {
             None
         } else {
             Some(self.inner.generate(rng))

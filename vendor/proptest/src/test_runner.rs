@@ -39,7 +39,9 @@ impl TestRng {
             h ^= b as u64;
             h = h.wrapping_mul(0x1000_0000_01b3);
         }
-        TestRng { inner: StdRng::seed_from_u64(h ^ ((case as u64) << 1 | 1)) }
+        TestRng {
+            inner: StdRng::seed_from_u64(h ^ ((case as u64) << 1 | 1)),
+        }
     }
 }
 
