@@ -797,13 +797,26 @@ impl Chained {
         if round.advanced || !round.candidates.contains(&v.seed.block) {
             return;
         }
+        // Record a validating prepareQC from a Case R2 voter. As in
+        // the non-chained leader, only a vc that resolves the round's
+        // virtual candidate (the `pair_ok` shape) may occupy the slot,
+        // and matching attachments keep being accepted rather than
+        // latching whichever arrived first.
         if let Some(vc) = v.locked_qc {
-            let fits = vc.phase() == Phase::Prepare
-                && round.virtual_vc.is_none()
-                && self.base.crypto.verify_qc(&vc);
-            if fits {
-                let round = self.vc_rounds.get_mut(&view).expect("exists");
-                round.virtual_vc = Some(vc);
+            let virt = round
+                .candidates
+                .iter()
+                .find_map(|id| self.base.store.get(id).filter(|b| b.is_virtual()))
+                .map(|b| (b.pview(), b.height()));
+            if let Some((pview, height)) = virt {
+                let fits = vc.phase() == Phase::Prepare
+                    && vc.view() == pview
+                    && vc.height() == height.prev()
+                    && self.base.crypto.verify_qc(&vc);
+                if fits {
+                    let round = self.vc_rounds.get_mut(&view).expect("exists");
+                    round.virtual_vc = Some(vc);
+                }
             }
         }
         if let Some(qc) = self
@@ -919,6 +932,10 @@ impl Protocol for ChainedMarlin {
         &self.0.base.store
     }
 
+    fn locked_qc(&self) -> Option<&Qc> {
+        self.0.locked_qc.as_ref()
+    }
+
     fn name(&self) -> &'static str {
         self.0.name
     }
@@ -960,6 +977,10 @@ impl Protocol for ChainedHotStuff {
 
     fn store(&self) -> &BlockStore {
         &self.0.base.store
+    }
+
+    fn locked_qc(&self) -> Option<&Qc> {
+        self.0.locked_qc.as_ref()
     }
 
     fn name(&self) -> &'static str {

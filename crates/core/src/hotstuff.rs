@@ -429,6 +429,10 @@ impl Protocol for HotStuff {
         &self.base.store
     }
 
+    fn locked_qc(&self) -> Option<&Qc> {
+        self.locked_qc.as_ref()
+    }
+
     fn name(&self) -> &'static str {
         "hotstuff"
     }

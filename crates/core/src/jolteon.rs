@@ -422,6 +422,10 @@ impl Protocol for Jolteon {
         &self.base.store
     }
 
+    fn locked_qc(&self) -> Option<&Qc> {
+        self.locked_qc.as_ref()
+    }
+
     fn name(&self) -> &'static str {
         "jolteon"
     }

@@ -561,20 +561,23 @@ impl Marlin {
                 .filter(|(_, m)| self.base.crypto.verify_partial(&seed, &m.parsig))
                 .map(|(_, m)| m.parsig)
                 .collect();
-            if valid.len() >= self.quorum() {
+            // If the unanimous lb is a virtual block, its parent must
+            // stay resolvable: extending it is only safe when some
+            // view-change message carried the resolving `vc`. With no
+            // such vc in the snapshot the happy path would propose a
+            // block whose virtual parent no replica can ever resolve —
+            // fall through to the unhappy pre-prepare path instead.
+            let resolving_vc = Self::find_virtual_vc(&first_lb, &msgs);
+            let resolvable = first_lb.kind != BlockKind::Virtual || resolving_vc.is_some();
+            if valid.len() >= self.quorum() && resolvable {
                 if let Some(qc) = self.base.crypto.combine(seed, &valid) {
                     out.actions.push(Action::Note(Note::HappyPathVc { view }));
-                    // If the unanimous lb is a virtual block, its parent
-                    // must stay resolvable; carry the vc alongside.
-                    self.high_qc = match Self::find_virtual_vc(&first_lb, &msgs) {
-                        Some(vc) if first_lb.kind == BlockKind::Virtual => {
-                            self.base
-                                .store
-                                .resolve_virtual_parent(first_lb.id, vc.block());
-                            Justify::One(qc)
-                        }
-                        _ => Justify::One(qc),
-                    };
+                    if let (BlockKind::Virtual, Some(vc)) = (first_lb.kind, resolving_vc) {
+                        self.base
+                            .store
+                            .resolve_virtual_parent(first_lb.id, vc.block());
+                    }
+                    self.high_qc = Justify::One(qc);
                     self.propose(out);
                     return;
                 }
@@ -590,9 +593,26 @@ impl Marlin {
                 continue;
             }
             match m.high_qc {
-                Justify::One(qc) => qcs.push((qc, None)),
+                Justify::One(qc) => {
+                    // An unpaired pre-prepareQC over a *virtual* block
+                    // is unusable: extending it needs the resolving
+                    // `vc`, which honest replicas always report as a
+                    // `Justify::Two` pair.
+                    if qc.phase() != Phase::PrePrepare || qc.block_kind() != BlockKind::Virtual {
+                        qcs.push((qc, None));
+                    }
+                }
                 Justify::Two(pre, vc) => {
-                    qcs.push((pre, Some(vc)));
+                    // Apply the pairing rule replicas enforce
+                    // (`pair_ok`): a mismatched pair would yield a
+                    // proposal every honest replica rejects.
+                    let pair_ok = pre.block_kind() == BlockKind::Virtual
+                        && vc.phase() == Phase::Prepare
+                        && vc.view() == pre.pview()
+                        && vc.height() == pre.height().prev();
+                    if pair_ok {
+                        qcs.push((pre, Some(vc)));
+                    }
                     qcs.push((vc, None));
                 }
                 Justify::None => {}
@@ -675,7 +695,10 @@ impl Marlin {
                 view,
                 case: VcCase::V2,
             }));
-            let justify = match (first.block_kind(), first_vc) {
+            // All top entries certify the same block; the resolving vc
+            // may ride on any of them, not necessarily the first.
+            let vc_any = first_vc.or_else(|| top.iter().find_map(|(_, vc)| *vc));
+            let justify = match (first.block_kind(), vc_any) {
                 (BlockKind::Virtual, Some(vc)) => Justify::Two(first, vc),
                 _ => Justify::One(first),
             };
@@ -878,14 +901,28 @@ impl Marlin {
         if round.advanced || !round.candidates.contains(&v.seed.block) {
             return;
         }
-        // Record a validating prepareQC from a Case R2 voter.
+        // Record a validating prepareQC from a Case R2 voter. Only a
+        // vc that resolves this round's *virtual candidate* counts: it
+        // must certify the candidate's parent slot (the `pair_ok` rule
+        // every replica later applies to `Justify::Two`). An unrelated
+        // prepareQC — e.g. one attached by a Byzantine voter — must not
+        // occupy the slot, and matching attachments keep being accepted
+        // rather than latching whichever arrived first.
         if let Some(vc) = v.locked_qc {
-            let fits = vc.phase() == Phase::Prepare
-                && round.virtual_vc.is_none()
-                && self.base.crypto.verify_qc(&vc);
-            if fits {
-                let round = self.vc_rounds.get_mut(&view).expect("exists");
-                round.virtual_vc = Some(vc);
+            let virt = round
+                .candidates
+                .iter()
+                .find_map(|id| self.base.store.get(id).filter(|b| b.is_virtual()))
+                .map(|b| (b.pview(), b.height()));
+            if let Some((pview, height)) = virt {
+                let fits = vc.phase() == Phase::Prepare
+                    && vc.view() == pview
+                    && vc.height() == height.prev()
+                    && self.base.crypto.verify_qc(&vc);
+                if fits {
+                    let round = self.vc_rounds.get_mut(&view).expect("exists");
+                    round.virtual_vc = Some(vc);
+                }
             }
         }
         if let Some(qc) = self
@@ -946,6 +983,10 @@ impl Protocol for Marlin {
 
     fn store(&self) -> &BlockStore {
         &self.base.store
+    }
+
+    fn locked_qc(&self) -> Option<&Qc> {
+        self.locked_qc.as_ref()
     }
 
     fn name(&self) -> &'static str {

@@ -584,6 +584,10 @@ impl Protocol for MarlinFourPhase {
         &self.base.store
     }
 
+    fn locked_qc(&self) -> Option<&Qc> {
+        self.locked_qc.as_ref()
+    }
+
     fn name(&self) -> &'static str {
         "marlin-four-phase"
     }

@@ -371,6 +371,10 @@ impl Protocol for TwoPhaseInsecure {
         &self.base.store
     }
 
+    fn locked_qc(&self) -> Option<&Qc> {
+        self.locked_qc.as_ref()
+    }
+
     fn name(&self) -> &'static str {
         "two-phase-insecure"
     }

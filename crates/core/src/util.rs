@@ -27,6 +27,13 @@ pub trait Protocol {
     /// The replica's block tree.
     fn store(&self) -> &BlockStore;
 
+    /// The replica's current lock, if the protocol keeps one. Exposed
+    /// so cross-replica invariant checkers can relate locks to the
+    /// committed chain; the default is lock-free.
+    fn locked_qc(&self) -> Option<&Qc> {
+        None
+    }
+
     /// Handles one event. Drivers should call [`Protocol::step`] instead.
     fn on_event(&mut self, event: Event) -> StepOutput;
 

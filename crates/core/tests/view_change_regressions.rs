@@ -1,0 +1,285 @@
+//! Regression tests for Byzantine-wedgeable view-change edge cases.
+//!
+//! Each test reconstructs the exact adversarial snapshot that used to
+//! wedge (or mislead) the leader, and fails against the pre-fix code:
+//!
+//! * a Case R2 lock attachment must *resolve the round's virtual
+//!   candidate* — the leader used to latch whichever valid `prepareQC`
+//!   arrived first, letting a Byzantine voter poison the
+//!   `Justify::Two` pair with an unrelated QC;
+//! * the happy path over a unanimous *virtual* `lb` must fall back to
+//!   the unhappy pre-prepare when no view-change message carries the
+//!   resolving `vc` — the leader used to propose a block whose virtual
+//!   parent no replica could ever resolve.
+
+use marlin_core::{harness::Cluster, Config, Note, ProtocolKind, VcCase};
+use marlin_crypto::QcFormat;
+use marlin_types::{
+    Batch, Block, Justify, Message, MsgBody, Phase, Qc, QcSeed, ReplicaId, View, ViewChange, Vote,
+};
+
+const P0: ReplicaId = ReplicaId(0);
+const P1: ReplicaId = ReplicaId(1);
+const P2: ReplicaId = ReplicaId(2);
+const P3: ReplicaId = ReplicaId(3);
+
+/// Signs a quorum certificate over `seed` with the first three keys.
+fn craft_qc(cfg: &Config, seed: QcSeed) -> Qc {
+    let partials: Vec<_> = (0..3)
+        .map(|i| cfg.keys.signer(i).sign_partial(&seed.signing_bytes()))
+        .collect();
+    Qc::combine(seed, &partials, &cfg.keys, QcFormat::Threshold).expect("quorum of signers")
+}
+
+/// A Byzantine voter attaches a *valid but unrelated* `prepareQC` to
+/// its Case R2 pre-prepare vote, before the genuine resolving `vc`
+/// arrives. The leader must reject the decoy (it does not certify the
+/// virtual candidate's parent slot) and accept the later matching
+/// attachment; latching the decoy would pair the virtual
+/// `pre-prepareQC` with a QC every honest replica rejects, wedging the
+/// view.
+#[test]
+fn r2_lock_attachment_must_resolve_the_virtual_candidate() {
+    let cfg = Config::for_test(4, 1);
+    let mut cl = Cluster::new(ProtocolKind::Marlin, cfg.clone(), 17);
+    cl.submit_to(P1, 10, 0);
+    cl.run_until_idle();
+    let b_old = cl.committed_blocks(P0).last().expect("committed").clone();
+    let h = b_old.height();
+
+    // ---- Craft the aftermath of a contested view 2. ----
+    // `contested` earned a prepareQC in view 2; `ghost` extends it and
+    // is the victim's last-voted block (its prepareQC over `ghost` is
+    // the lock an R2 voter would attach).
+    let qc_old = craft_qc(&cfg, b_old.vote_seed(Phase::Prepare, View(1)));
+    let contested = Block::new_normal(
+        b_old.id(),
+        b_old.view(),
+        View(2),
+        h.next(),
+        Batch::empty(),
+        Justify::One(qc_old),
+    );
+    let vc_contested = craft_qc(&cfg, contested.vote_seed(Phase::Prepare, View(2)));
+    let ghost = Block::new_normal(
+        contested.id(),
+        View(2),
+        View(2),
+        h.plus(2),
+        Batch::empty(),
+        Justify::One(vc_contested),
+    );
+    let vc_ghost = craft_qc(&cfg, ghost.vote_seed(Phase::Prepare, View(2)));
+
+    // The view-3 leader's Case V1 candidates, reconstructed exactly as
+    // `run_pre_prepare` will build them (empty batch: nothing is in
+    // p3's mempool).
+    let b1 = Block::new_normal(
+        contested.id(),
+        View(2),
+        View(3),
+        h.plus(2),
+        Batch::empty(),
+        Justify::One(vc_contested),
+    );
+    let b2 = Block::new_virtual(
+        View(2),
+        View(3),
+        h.plus(3),
+        Batch::empty(),
+        Justify::One(vc_contested),
+    );
+
+    // Hand every live replica the crafted blocks (as if block sync ran).
+    for block in [&contested, &ghost] {
+        for to in [P0, P2, P3] {
+            cl.inject(
+                to,
+                Message::new(
+                    P1,
+                    View(1),
+                    MsgBody::FetchResponse {
+                        block: block.clone(),
+                        virtual_parent: None,
+                    },
+                ),
+            );
+        }
+    }
+
+    // ---- Drive everyone to view 3 with no view-2 progress. ----
+    cl.crash(P1);
+    // Drop view-2 traffic, every real VIEW-CHANGE (the crafted snapshot
+    // replaces them), and all pre-prepare votes for the *normal* view-3
+    // candidate — so the round must advance through the virtual one.
+    let b1_id = b1.id();
+    cl.set_filter(Box::new(move |_from, _to, msg: &Message| match &msg.body {
+        MsgBody::Proposal(_) if msg.view == View(2) => false,
+        MsgBody::ViewChange(_) if msg.view >= View(2) => false,
+        MsgBody::Vote(v) if v.seed.phase == Phase::PrePrepare && v.seed.block == b1_id => false,
+        _ => true,
+    }));
+    while cl.min_view() < View(3) {
+        assert!(cl.fire_next_timer());
+    }
+    cl.run_until_idle();
+
+    // ---- The crafted view-3 snapshot (injected from p3 replaces the
+    // leader's own real VIEW-CHANGE in the round). ----
+    let vc_msg = |from: ReplicaId, high_qc: Justify, lb: &Block| {
+        Message::new(
+            from,
+            View(3),
+            MsgBody::ViewChange(ViewChange {
+                last_voted: lb.meta(),
+                high_qc,
+                parsig: cfg.keys.signer(from.index()).sign_partial(b"unused"),
+                cert: None,
+            }),
+        )
+    };
+    cl.inject(P3, vc_msg(P3, Justify::One(vc_contested), &ghost));
+    cl.inject(P3, vc_msg(P0, Justify::One(qc_old), &b_old));
+    cl.inject(P3, vc_msg(P2, Justify::One(qc_old), &b_old));
+    cl.run_until_idle();
+    assert!(
+        cl.notes().iter().any(|(p, n)| *p == P3
+            && matches!(
+                n,
+                Note::UnhappyPathVc {
+                    view: View(3),
+                    case: VcCase::V1,
+                }
+            )),
+        "expected Case V1 in view 3"
+    );
+
+    // ---- The attack: a decoy attachment, then the genuine one. ----
+    // `qc_old` is a perfectly valid prepareQC — it just certifies the
+    // wrong slot (view 1, two heights below the virtual candidate's
+    // parent). `vc_ghost` certifies exactly the parent slot.
+    let seed_b2 = b2.vote_seed(Phase::PrePrepare, View(3));
+    let r2_vote = |from: ReplicaId, attach: Qc| {
+        Message::new(
+            from,
+            View(3),
+            MsgBody::Vote(Vote {
+                seed: seed_b2,
+                parsig: cfg
+                    .keys
+                    .signer(from.index())
+                    .sign_partial(&seed_b2.signing_bytes()),
+                locked_qc: Some(attach),
+            }),
+        )
+    };
+    cl.inject(P3, r2_vote(P1, qc_old));
+    cl.inject(P3, r2_vote(P0, vc_ghost));
+    cl.run_until_idle();
+
+    // The round advanced through the *virtual* candidate with the
+    // correct pair: the contested chain (incl. the resolved virtual
+    // block) is committed on every live replica.
+    cl.assert_consistent();
+    let chain: Vec<_> = cl.committed_blocks(P0).iter().map(Block::id).collect();
+    assert!(
+        chain.contains(&ghost.id()) && chain.contains(&b2.id()),
+        "virtual candidate never committed — the decoy attachment wedged the view"
+    );
+
+    // And the system keeps committing afterwards.
+    cl.clear_filter();
+    cl.submit_to(P3, 10, 0);
+    cl.run_until_idle();
+    cl.assert_consistent();
+    assert!(
+        cl.total_committed_txs(P0) >= 20,
+        "no post-recovery progress"
+    );
+}
+
+/// Every replica reports the same *virtual* last-voted block, but no
+/// view-change message carries the `vc` that resolves its parent. The
+/// happy path must be refused (extending an unresolvable virtual block
+/// wedges the system); the leader falls back to the unhappy
+/// pre-prepare and the cluster recovers.
+#[test]
+fn happy_path_requires_resolvable_virtual_lb() {
+    let cfg = Config::for_test(4, 1);
+    let mut cl = Cluster::new(ProtocolKind::Marlin, cfg.clone(), 18);
+    cl.submit_to(P1, 10, 0);
+    cl.run_until_idle();
+    let b_old = cl.committed_blocks(P0).last().expect("committed").clone();
+    let h = b_old.height();
+
+    let qc_old = craft_qc(&cfg, b_old.vote_seed(Phase::Prepare, View(1)));
+    // The unanimous virtual lb: a view-2 shadow block whose parent (the
+    // contested view-1 slot at h+1) is certified by a `vc` that *no*
+    // snapshot message carries.
+    let virt = Block::new_virtual(
+        b_old.view(),
+        View(2),
+        h.plus(2),
+        Batch::empty(),
+        Justify::One(qc_old),
+    );
+
+    cl.crash(P1);
+    cl.set_filter(Box::new(|_from, _to, msg: &Message| {
+        !matches!(&msg.body,
+            MsgBody::Proposal(_) if msg.view == View(2))
+            && !matches!(&msg.body,
+                MsgBody::ViewChange(_) if msg.view >= View(2))
+    }));
+    while cl.min_view() < View(3) {
+        assert!(cl.fire_next_timer());
+    }
+    cl.run_until_idle();
+
+    // Unanimous virtual lb with *valid* happy-path signatures — the
+    // happy path is cryptographically available, just unsafe.
+    let happy = ViewChange::happy_seed(&virt.meta(), View(3));
+    let vc_msg = |from: ReplicaId| {
+        Message::new(
+            from,
+            View(3),
+            MsgBody::ViewChange(ViewChange {
+                last_voted: virt.meta(),
+                high_qc: Justify::One(qc_old),
+                parsig: cfg
+                    .keys
+                    .signer(from.index())
+                    .sign_partial(&happy.signing_bytes()),
+                cert: None,
+            }),
+        )
+    };
+    cl.inject(P3, vc_msg(P3));
+    cl.inject(P3, vc_msg(P0));
+    cl.inject(P3, vc_msg(P2));
+    cl.run_until_idle();
+
+    // The leader refused the happy path and ran the unhappy pre-prepare.
+    assert!(
+        !cl.notes()
+            .iter()
+            .any(|(p, n)| *p == P3 && matches!(n, Note::HappyPathVc { view: View(3) })),
+        "leader took the happy path over an unresolvable virtual lb"
+    );
+    assert!(
+        cl.notes()
+            .iter()
+            .any(|(p, n)| *p == P3 && matches!(n, Note::UnhappyPathVc { view: View(3), .. })),
+        "leader never ran the unhappy pre-prepare fallback"
+    );
+
+    // The fallback recovered the system: new transactions commit.
+    cl.clear_filter();
+    cl.submit_to(P3, 10, 0);
+    cl.run_until_idle();
+    cl.assert_consistent();
+    assert!(
+        cl.total_committed_txs(P0) >= 20,
+        "no progress after the virtual-lb view change"
+    );
+}

@@ -40,4 +40,4 @@ mod stats;
 pub use app::{KvApp, KvCommand};
 pub use experiment::{run_experiment, sweep_peak_throughput, ExperimentConfig, SweepPoint};
 pub use host::{ReplicaHost, CHECKPOINT_INTERVAL};
-pub use stats::{LatencyHistogram, LatencySummary, Metrics, Stats};
+pub use stats::{CampaignReport, LatencyHistogram, LatencySummary, Metrics, Stats};

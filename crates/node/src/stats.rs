@@ -1,7 +1,7 @@
-//! Latency and throughput measurement.
+//! Latency and throughput measurement, and fault-campaign reporting.
 
 use marlin_core::Note;
-use marlin_simnet::CommitObserver;
+use marlin_simnet::{CommitObserver, ScenarioOutcome};
 use marlin_types::{Block, ReplicaId};
 
 /// A fixed-bucket log-scale latency histogram (1 µs – ~1000 s).
@@ -233,6 +233,80 @@ impl Metrics {
     /// Throughput in kilo-transactions per second (the paper's unit).
     pub fn ktps(&self) -> f64 {
         self.throughput_tps / 1_000.0
+    }
+}
+
+/// Aggregates fault-injection campaign verdicts (one
+/// [`ScenarioOutcome`] per `(protocol, scenario, seed)` cell) into a
+/// printable per-scenario table.
+#[derive(Default)]
+pub struct CampaignReport {
+    rows: Vec<ScenarioOutcome>,
+}
+
+impl CampaignReport {
+    /// An empty report.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one campaign cell.
+    pub fn push(&mut self, outcome: ScenarioOutcome) {
+        self.rows.push(outcome);
+    }
+
+    /// All recorded cells, in insertion order.
+    pub fn rows(&self) -> &[ScenarioOutcome] {
+        &self.rows
+    }
+
+    /// Total safety violations across the campaign.
+    pub fn total_safety_violations(&self) -> usize {
+        self.rows
+            .iter()
+            .map(ScenarioOutcome::safety_violations)
+            .sum()
+    }
+
+    /// Total cells that ended in a post-quiet liveness stall.
+    pub fn total_stalls(&self) -> usize {
+        self.rows.iter().filter(|r| r.has_liveness_stall()).count()
+    }
+
+    /// Renders the verdict table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<18} {:<24} {:>4}  {:<7} {:>9} {:>8} {:>5} {:>16}\n",
+            "protocol",
+            "scenario",
+            "seed",
+            "verdict",
+            "committed",
+            "max-view",
+            "viols",
+            "fingerprint"
+        ));
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{:<18} {:<24} {:>4}  {:<7} {:>9} {:>8} {:>5} {:>16x}\n",
+                r.protocol,
+                r.scenario,
+                r.seed,
+                r.verdict(),
+                r.committed,
+                r.max_view,
+                r.violations.len(),
+                r.fingerprint,
+            ));
+        }
+        out.push_str(&format!(
+            "campaign: {} cells, {} safety violations, {} stalls\n",
+            self.rows.len(),
+            self.total_safety_violations(),
+            self.total_stalls(),
+        ));
+        out
     }
 }
 

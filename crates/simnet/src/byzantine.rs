@@ -6,8 +6,10 @@
 
 use marlin_core::{Action, Config, Event, Protocol, StepOutput};
 use marlin_types::{
-    Block, BlockId, BlockMeta, BlockStore, Justify, Message, MsgBody, Proposal, ReplicaId, View,
+    Batch, Block, BlockId, BlockMeta, BlockStore, Justify, Message, MsgBody, Phase, Proposal, Qc,
+    ReplicaId, Transaction, View,
 };
+use std::sync::{Arc, Mutex};
 
 /// What a Byzantine replica does with its protocol-prescribed actions.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -25,6 +27,18 @@ pub enum Behavior {
     /// Votes for every proposal twice and re-sends every message — a
     /// spam adversary that stresses deduplication.
     Duplicate,
+    /// The full Figure 2b adversary: leads honestly until one of its
+    /// `prepareQC`s certifies a block whose own justify comes from the
+    /// same view (so the paper's Case R2 lock shape arises), sends that
+    /// commit-phase proposal *only* to `victim`, then plays dead except
+    /// for `VIEW-CHANGE` messages that report genesis state. The victim
+    /// ends up the sole honest replica locked on the hidden `prepareQC`
+    /// — the *unsafe view-change snapshot* that wedges the two-phase
+    /// strawman and that Marlin's pre-prepare phase recovers from.
+    UnsafeSnapshot {
+        /// The one replica that still receives the hidden QC.
+        victim: ReplicaId,
+    },
 }
 
 /// A protocol wrapper executing one of the [`Behavior`]s.
@@ -43,22 +57,39 @@ pub enum Behavior {
 /// ```
 pub struct ByzantineReplica {
     inner: Box<dyn Protocol>,
-    behavior: Behavior,
+    behavior: Arc<Mutex<Behavior>>,
+    /// `UnsafeSnapshot` state: set once the hidden QC has been withheld.
+    poisoned: bool,
 }
 
 impl ByzantineReplica {
     /// Wraps `inner` with the given behavior.
     pub fn new(inner: Box<dyn Protocol>, behavior: Behavior) -> Self {
-        ByzantineReplica { inner, behavior }
+        Self::with_shared(inner, Arc::new(Mutex::new(behavior)))
     }
 
-    /// The configured behavior.
+    /// Wraps `inner` with a *shared* behavior handle, so a scenario
+    /// driver can change the behavior over time from outside.
+    pub fn with_shared(inner: Box<dyn Protocol>, behavior: Arc<Mutex<Behavior>>) -> Self {
+        ByzantineReplica {
+            inner,
+            behavior,
+            poisoned: false,
+        }
+    }
+
+    /// The current behavior.
     pub fn behavior(&self) -> Behavior {
-        self.behavior
+        *self.behavior.lock().expect("behavior lock")
     }
 
-    fn corrupt(&self, actions: Vec<Action>) -> Vec<Action> {
-        match self.behavior {
+    /// Whether the `UnsafeSnapshot` adversary has withheld its QC yet.
+    pub fn poisoned(&self) -> bool {
+        self.poisoned
+    }
+
+    fn corrupt(&mut self, actions: Vec<Action>) -> Vec<Action> {
+        match self.behavior() {
             Behavior::Honest => actions,
             Behavior::Silent => actions
                 .into_iter()
@@ -100,7 +131,66 @@ impl ByzantineReplica {
                 }
                 out
             }
+            Behavior::UnsafeSnapshot { victim } => {
+                let mut out = Vec::with_capacity(actions.len());
+                for a in actions {
+                    if !self.poisoned {
+                        if let Action::Broadcast { message } = &a {
+                            if self.hidden_qc_moment(message) {
+                                let Action::Broadcast { message } = a else {
+                                    unreachable!("matched above")
+                                };
+                                self.poisoned = true;
+                                out.push(Action::Send {
+                                    to: victim,
+                                    message,
+                                });
+                                continue;
+                            }
+                        }
+                        out.push(a);
+                        continue;
+                    }
+                    // Poisoned: dead to the world except for lying
+                    // view changes that keep the snapshot unsafe.
+                    match a {
+                        Action::Send { to, message }
+                            if matches!(message.body, MsgBody::ViewChange(_)) =>
+                        {
+                            out.push(Action::Send {
+                                to,
+                                message: hide_qc(message),
+                            });
+                        }
+                        Action::Send { .. } | Action::Broadcast { .. } => {}
+                        other => out.push(other),
+                    }
+                }
+                out
+            }
         }
+    }
+
+    /// Whether `message` is the commit-phase proposal the
+    /// [`Behavior::UnsafeSnapshot`] adversary hides: it carries a fresh
+    /// `prepareQC` whose certified block is itself justified by a QC
+    /// from the same view, so the victim's resulting lock has the exact
+    /// Case R2 shape of the paper's Figure 2.
+    fn hidden_qc_moment(&self, message: &Message) -> bool {
+        let MsgBody::Proposal(p) = &message.body else {
+            return false;
+        };
+        if p.phase != Phase::Commit {
+            return false;
+        }
+        let Some(qc) = p.justify.qc() else {
+            return false;
+        };
+        self.inner
+            .store()
+            .get(&qc.block())
+            .and_then(|b| b.justify().qc().copied())
+            .is_some_and(|under| under.view() == qc.view())
     }
 }
 
@@ -121,34 +211,20 @@ fn equivocate(id: ReplicaId, n: usize, message: Message, out: &mut Vec<Action>) 
         out.push(Action::Broadcast { message });
         return;
     };
-    let Some(block) = p.blocks.first() else {
+    if p.blocks.is_empty() {
         out.push(Action::Broadcast { message });
         return;
-    };
-    // Build a conflicting twin: same parent and height, different
-    // payload (an extra forged no-op transaction).
-    let mut payload: Vec<marlin_types::Transaction> = block.payload().iter().cloned().collect();
-    payload.push(marlin_types::Transaction::no_op(u64::MAX, u32::MAX, 0));
-    let twin = match block.parent_id() {
-        Some(parent) => Block::new_normal(
-            parent,
-            block.pview(),
-            block.view(),
-            block.height(),
-            marlin_types::Batch::new(payload),
-            *block.justify(),
-        ),
-        None => {
-            out.push(Action::Broadcast { message });
-            return;
-        }
-    };
+    }
+    // Build conflicting twins of *every* block, keeping the proposal's
+    // shape: a two-block pre-prepare (Cases V1/V3) stays two blocks, so
+    // equivocation stresses the virtual-block path too.
+    let twins: Vec<Block> = p.blocks.iter().map(twin_of).collect();
     let twin_msg = Message::new(
         message.from,
         message.view,
         MsgBody::Proposal(Proposal {
             phase: p.phase,
-            blocks: vec![twin],
+            blocks: twins,
             justify: p.justify,
             vc_proof: p.vc_proof.clone(),
         }),
@@ -165,11 +241,46 @@ fn equivocate(id: ReplicaId, n: usize, message: Message, out: &mut Vec<Action>) 
         };
         out.push(Action::Send { to, message: msg });
     }
+    // The equivocator wants one twin certified: deliver the original to
+    // itself (step() resolves self-sends) so its inner protocol votes
+    // like any other recipient instead of starving its own quorum.
+    out.push(Action::Send { to: id, message });
+}
+
+/// A conflicting twin of `block`: same slot in the tree (parent link,
+/// height, views, justify), different payload — an extra forged no-op
+/// transaction. Virtual blocks (no parent link) twin through the
+/// virtual constructor so the twin keeps their kind.
+fn twin_of(block: &Block) -> Block {
+    let mut payload: Vec<Transaction> = block.payload().iter().cloned().collect();
+    payload.push(Transaction::no_op(u64::MAX, u32::MAX, 0));
+    let batch = Batch::new(payload);
+    match block.parent_id() {
+        Some(parent) => Block::new_normal(
+            parent,
+            block.pview(),
+            block.view(),
+            block.height(),
+            batch,
+            *block.justify(),
+        ),
+        None => Block::new_virtual(
+            block.pview(),
+            block.view(),
+            block.height(),
+            batch,
+            *block.justify(),
+        ),
+    }
 }
 
 impl Protocol for ByzantineReplica {
     fn config(&self) -> &Config {
         self.inner.config()
+    }
+
+    fn locked_qc(&self) -> Option<&Qc> {
+        self.inner.locked_qc()
     }
 
     fn current_view(&self) -> View {
@@ -255,9 +366,10 @@ mod tests {
         let sends: Vec<&Action> = out
             .actions
             .iter()
-            .filter(|a| matches!(a, Action::Send { .. }))
+            .filter(|a| matches!(a, Action::Send { to, .. } if *to != ReplicaId(1)))
             .collect();
-        // The broadcast became 3 per-destination sends.
+        // The broadcast became 3 per-destination sends (plus a
+        // self-delivery of the original, resolved by step()).
         assert_eq!(sends.len(), 3);
         // Two distinct block ids among them.
         let mut ids = std::collections::HashSet::new();
@@ -269,6 +381,100 @@ mod tests {
             }
         }
         assert_eq!(ids.len(), 2, "expected two conflicting blocks");
+    }
+
+    /// Builds a two-block pre-prepare (a Case V1/V3 shape: normal +
+    /// virtual) wrapped in a proposal broadcast from replica 1.
+    fn two_block_proposal() -> Message {
+        use marlin_types::Height;
+        let normal = Block::new_normal(
+            BlockId::GENESIS,
+            View(0),
+            View(3),
+            Height(1),
+            Batch::empty(),
+            Justify::None,
+        );
+        let virt = Block::new_virtual(View(0), View(3), Height(2), Batch::empty(), Justify::None);
+        Message::new(
+            ReplicaId(1),
+            View(3),
+            MsgBody::Proposal(Proposal {
+                phase: Phase::PrePrepare,
+                blocks: vec![normal, virt],
+                justify: Justify::None,
+                vc_proof: Vec::new(),
+            }),
+        )
+    }
+
+    /// Regression: equivocation must twin *every* block of a two-block
+    /// pre-prepare and keep the proposal's shape. The old code twinned
+    /// only the first block and dropped the second, so equivocation
+    /// never stressed the virtual-block (Case V1/V3) path — and bailed
+    /// out entirely when the first block was virtual.
+    #[test]
+    fn equivocation_twins_every_block_and_keeps_shape() {
+        let message = two_block_proposal();
+        let (orig_normal, orig_virt) = match &message.body {
+            MsgBody::Proposal(p) => (p.blocks[0].clone(), p.blocks[1].clone()),
+            _ => unreachable!(),
+        };
+        let mut out = Vec::new();
+        equivocate(ReplicaId(1), 4, message, &mut out);
+
+        // Per-destination sends, not a fallback broadcast.
+        assert!(out.iter().all(|a| !matches!(a, Action::Broadcast { .. })));
+        let twinned: Vec<&Proposal> = out
+            .iter()
+            .filter_map(|a| match a {
+                Action::Send { to, message } if *to != ReplicaId(1) => match &message.body {
+                    MsgBody::Proposal(p) if p.blocks[0].id() != orig_normal.id() => Some(p),
+                    _ => None,
+                },
+                _ => None,
+            })
+            .collect();
+        assert!(!twinned.is_empty(), "nobody received the twin proposal");
+        for p in twinned {
+            assert_eq!(p.blocks.len(), 2, "two-block shape not preserved");
+            assert_ne!(p.blocks[0].id(), orig_normal.id());
+            assert_ne!(p.blocks[1].id(), orig_virt.id());
+            // Same slots, same kinds — conflicting twins, not new blocks.
+            assert_eq!(p.blocks[0].height(), orig_normal.height());
+            assert_eq!(p.blocks[0].parent_id(), orig_normal.parent_id());
+            assert!(p.blocks[1].is_virtual(), "virtual twin lost its kind");
+            assert_eq!(p.blocks[1].height(), orig_virt.height());
+        }
+    }
+
+    /// Regression: the equivocator must deliver the original proposal
+    /// to itself. Without the self-send its inner protocol never sees
+    /// (or votes for) its own proposal — the leader starves its own
+    /// quorum and every view it leads stalls to the timeout, so the
+    /// equivocation under test never actually runs.
+    #[test]
+    fn equivocator_delivers_original_to_itself() {
+        let message = two_block_proposal();
+        let original_id = match &message.body {
+            MsgBody::Proposal(p) => p.blocks[0].id(),
+            _ => unreachable!(),
+        };
+        let mut out = Vec::new();
+        equivocate(ReplicaId(1), 4, message, &mut out);
+        let self_send = out.iter().find_map(|a| match a {
+            Action::Send { to, message } if *to == ReplicaId(1) => Some(message),
+            _ => None,
+        });
+        let msg = self_send.expect("equivocator must self-deliver its proposal");
+        match &msg.body {
+            MsgBody::Proposal(p) => assert_eq!(
+                p.blocks[0].id(),
+                original_id,
+                "the self-delivered copy must be the original, not the twin"
+            ),
+            other => panic!("self-send is not a proposal: {other:?}"),
+        }
     }
 
     #[test]

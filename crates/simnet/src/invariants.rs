@@ -1,0 +1,273 @@
+//! Global cross-replica invariant checking.
+//!
+//! [`Invariants`] attaches to a [`SimNet`](crate::SimNet) via
+//! [`set_invariant_checker`](crate::SimNet::set_invariant_checker) and
+//! cross-checks *all* replicas after every delivered event — the
+//! omniscient observer a real deployment never has:
+//!
+//! * **agreement** — no two honest replicas ever commit different
+//!   blocks at the same chain position or height;
+//! * **prefix consistency** — every honest committed chain is a prefix
+//!   of the longest committed chain observed;
+//! * **lock safety** — no honest replica holds a lock that contradicts
+//!   an already-committed block at the lock's height, unless the lock
+//!   predates that commit (stale locks are legal; *fresh* conflicting
+//!   locks mean a quorum certified a fork);
+//! * **liveness** — once the fault schedule goes quiet, the committed
+//!   chain must keep growing by the horizon.
+//!
+//! The checker is `Clone` (shared interior state), so a scenario driver
+//! keeps a handle while the simulation owns the installed copy.
+
+use crate::sim::InvariantChecker;
+use marlin_core::Protocol;
+use marlin_types::{BlockId, Height, ReplicaId, View};
+use std::collections::{BTreeMap, HashSet};
+use std::sync::{Arc, Mutex};
+
+/// A detected invariant violation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Violation {
+    /// Two honest replicas committed different blocks at the same chain
+    /// position — a direct agreement (safety) failure.
+    ConflictingCommit {
+        /// Chain position (0 = genesis).
+        position: usize,
+        /// The replica that diverged.
+        replica: ReplicaId,
+        /// What it committed there.
+        committed: BlockId,
+        /// What the canonical chain holds there.
+        canonical: BlockId,
+    },
+    /// Two different blocks were committed at the same block height —
+    /// the height-indexed view of the same safety failure.
+    ConflictingHeight {
+        /// The contested height.
+        height: Height,
+        /// The replica that committed the second block.
+        replica: ReplicaId,
+        /// The block it committed.
+        committed: BlockId,
+        /// The block first committed at this height.
+        canonical: BlockId,
+    },
+    /// An honest replica holds a lock, formed *after* a block was
+    /// committed at the lock's height, on a different block: a quorum
+    /// certified a fork of the committed chain.
+    LockConflict {
+        /// The replica holding the contradicting lock.
+        replica: ReplicaId,
+        /// The lock's view.
+        lock_view: View,
+        /// The lock's height.
+        height: Height,
+        /// The locked block.
+        locked: BlockId,
+        /// The committed block at that height.
+        committed: BlockId,
+    },
+    /// The committed chain stopped growing after the fault schedule
+    /// went quiet: the cluster is wedged.
+    LivenessStall {
+        /// Committed chain length when the schedule went quiet.
+        committed_at_quiet: usize,
+        /// Committed chain length at the end of the run.
+        committed_at_end: usize,
+    },
+}
+
+impl Violation {
+    /// Whether this is a safety violation (liveness stalls are not).
+    pub fn is_safety(&self) -> bool {
+        !matches!(self, Violation::LivenessStall { .. })
+    }
+}
+
+#[derive(Default)]
+struct State {
+    /// The canonical committed chain: the union of all honest chains
+    /// (they must agree position-by-position).
+    canonical: Vec<BlockId>,
+    /// First committed block per height, plus the highest honest view
+    /// observed at the moment of that first commit (locks at or below
+    /// that view are stale, not conflicting).
+    by_height: BTreeMap<Height, (BlockId, View)>,
+    /// Per-replica cursor into its committed chain (already-checked
+    /// prefix; chains are append-only).
+    seen_len: Vec<usize>,
+    /// Canonical length when the quiet point was reached.
+    len_at_quiet: Option<usize>,
+    /// Simulated time of the last canonical chain growth.
+    last_commit_ns: u64,
+    violations: Vec<Violation>,
+}
+
+/// The global invariant checker (see the module docs).
+#[derive(Clone)]
+pub struct Invariants {
+    state: Arc<Mutex<State>>,
+    byzantine: HashSet<ReplicaId>,
+    quiet_ns: u64,
+}
+
+impl Invariants {
+    /// Creates a checker that ignores the `byzantine` replicas (their
+    /// state is adversary-controlled) and expects post-quiet liveness
+    /// after `quiet_ns`.
+    pub fn new(byzantine: &[ReplicaId], quiet_ns: u64) -> Self {
+        Invariants {
+            state: Arc::new(Mutex::new(State::default())),
+            byzantine: byzantine.iter().copied().collect(),
+            quiet_ns,
+        }
+    }
+
+    /// All violations recorded so far.
+    pub fn violations(&self) -> Vec<Violation> {
+        self.state
+            .lock()
+            .expect("single-threaded")
+            .violations
+            .clone()
+    }
+
+    /// Length of the canonical committed chain (including genesis).
+    pub fn committed_len(&self) -> usize {
+        self.state.lock().expect("single-threaded").canonical.len()
+    }
+
+    /// Simulated time of the last observed commit.
+    pub fn last_commit_ns(&self) -> u64 {
+        self.state.lock().expect("single-threaded").last_commit_ns
+    }
+
+    /// Closes the run: records a [`Violation::LivenessStall`] if the
+    /// canonical chain did not grow after the quiet point, then returns
+    /// all violations. Call once, after the simulation's horizon.
+    pub fn finish(&self) -> Vec<Violation> {
+        let mut st = self.state.lock().expect("single-threaded");
+        let at_quiet = st.len_at_quiet.unwrap_or(st.canonical.len());
+        let at_end = st.canonical.len();
+        if at_end <= at_quiet {
+            st.violations.push(Violation::LivenessStall {
+                committed_at_quiet: at_quiet,
+                committed_at_end: at_end,
+            });
+        }
+        st.violations.clone()
+    }
+
+    /// A deterministic fingerprint of everything the checker saw:
+    /// identical runs produce identical fingerprints (FNV-1a over the
+    /// canonical chain, per-height commits, and violations).
+    pub fn fingerprint(&self) -> u64 {
+        let st = self.state.lock().expect("single-threaded");
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        for id in &st.canonical {
+            eat(format!("{id:?}").as_bytes());
+        }
+        for (height, (id, view)) in &st.by_height {
+            eat(format!("{}:{id:?}:{}", height.0, view.0).as_bytes());
+        }
+        for v in &st.violations {
+            eat(format!("{v:?}").as_bytes());
+        }
+        h
+    }
+}
+
+impl InvariantChecker for Invariants {
+    fn after_event(&mut self, now_ns: u64, replicas: &[Box<dyn Protocol>], _crashed: &[bool]) {
+        let mut st = self.state.lock().expect("single-threaded");
+        if st.seen_len.len() < replicas.len() {
+            st.seen_len.resize(replicas.len(), 0);
+        }
+        let honest = |i: usize| !self.byzantine.contains(&ReplicaId(i as u32));
+        // The view bound for lock staleness: the highest view any
+        // honest replica has reached right now.
+        let view_bound = replicas
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| honest(*i))
+            .map(|(_, r)| r.current_view())
+            .max()
+            .unwrap_or(View(0));
+
+        for (i, rep) in replicas.iter().enumerate() {
+            if !honest(i) {
+                continue;
+            }
+            let id = ReplicaId(i as u32);
+            let chain = rep.store().committed_chain();
+            for (pos, &bid) in chain.iter().enumerate().skip(st.seen_len[i]) {
+                if pos < st.canonical.len() {
+                    if st.canonical[pos] != bid {
+                        let canonical = st.canonical[pos];
+                        st.violations.push(Violation::ConflictingCommit {
+                            position: pos,
+                            replica: id,
+                            committed: bid,
+                            canonical,
+                        });
+                    }
+                } else {
+                    st.canonical.push(bid);
+                    st.last_commit_ns = now_ns;
+                }
+                if let Some(block) = rep.store().get(&bid) {
+                    let height = block.height();
+                    match st.by_height.get(&height) {
+                        None => {
+                            st.by_height.insert(height, (bid, view_bound));
+                        }
+                        Some(&(canonical, _)) if canonical != bid => {
+                            st.violations.push(Violation::ConflictingHeight {
+                                height,
+                                replica: id,
+                                committed: bid,
+                                canonical,
+                            });
+                        }
+                        Some(_) => {}
+                    }
+                }
+            }
+            st.seen_len[i] = chain.len();
+        }
+
+        // Lock safety: a lock formed after a commit at its height must
+        // be on the committed block.
+        for (i, rep) in replicas.iter().enumerate() {
+            if !honest(i) {
+                continue;
+            }
+            if let Some(lock) = rep.locked_qc() {
+                if let Some(&(committed, bound)) = st.by_height.get(&lock.height()) {
+                    if committed != lock.block() && lock.view() > bound {
+                        let v = Violation::LockConflict {
+                            replica: ReplicaId(i as u32),
+                            lock_view: lock.view(),
+                            height: lock.height(),
+                            locked: lock.block(),
+                            committed,
+                        };
+                        if !st.violations.contains(&v) {
+                            st.violations.push(v);
+                        }
+                    }
+                }
+            }
+        }
+
+        if now_ns >= self.quiet_ns && st.len_at_quiet.is_none() {
+            st.len_at_quiet = Some(st.canonical.len());
+        }
+    }
+}

@@ -40,8 +40,12 @@
 
 mod accounting;
 mod byzantine;
+mod invariants;
+mod scenario;
 mod sim;
 
 pub use accounting::{Accounting, MsgClass};
 pub use byzantine::{Behavior, ByzantineReplica};
-pub use sim::{CommitObserver, SimConfig, SimNet};
+pub use invariants::{Invariants, Violation};
+pub use scenario::{run_scenario, BehaviorPhase, Scenario, ScenarioOutcome};
+pub use sim::{CommitObserver, InvariantChecker, LinkFault, Partition, SimConfig, SimNet};

@@ -1,0 +1,375 @@
+//! Deterministic fault-injection scenarios.
+//!
+//! A [`Scenario`] is a composable fault schedule — crash/recover
+//! windows, timed partitions, per-link fault phases, and per-replica
+//! Byzantine [`Behavior`] assignments that can change over time — plus
+//! a *quiet point* after which the schedule stops interfering and a
+//! *horizon* by which liveness must have resumed. [`run_scenario`]
+//! executes one (protocol, scenario, seed) cell under the global
+//! [`Invariants`] checker and returns a [`ScenarioOutcome`] verdict.
+//!
+//! Identical `(protocol, scenario, seed)` cells are bit-for-bit
+//! reproducible: outcomes carry a fingerprint the test matrix compares
+//! across repeated runs.
+
+use crate::byzantine::{Behavior, ByzantineReplica};
+use crate::invariants::{Invariants, Violation};
+use crate::sim::{LinkFault, Partition, SimConfig, SimNet};
+use crate::MsgClass;
+use marlin_core::harness::build_protocol;
+use marlin_core::{Config, Protocol, ProtocolKind};
+use marlin_types::{ReplicaId, View};
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+/// A timed Byzantine behavior assignment: `replica` switches to
+/// `behavior` at `at_ns` (an `at_ns` of 0 means from the start).
+#[derive(Clone, Debug)]
+pub struct BehaviorPhase {
+    /// The replica whose behavior changes.
+    pub replica: ReplicaId,
+    /// When the change takes effect.
+    pub at_ns: u64,
+    /// The behavior from then on.
+    pub behavior: Behavior,
+}
+
+/// A composable deterministic fault schedule for a 4-replica cluster.
+#[derive(Clone, Debug)]
+pub struct Scenario {
+    /// Schedule name (used in verdict reporting).
+    pub name: &'static str,
+    /// `(replica, at_ns)` crash points.
+    pub crashes: Vec<(ReplicaId, u64)>,
+    /// `(replica, at_ns)` recovery points.
+    pub recoveries: Vec<(ReplicaId, u64)>,
+    /// Timed network partitions.
+    pub partitions: Vec<Partition>,
+    /// Timed per-link fault phases.
+    pub link_faults: Vec<LinkFault>,
+    /// Timed Byzantine behavior assignments. Any replica appearing here
+    /// is treated as adversary-controlled by the invariant checker.
+    pub behaviors: Vec<BehaviorPhase>,
+    /// Client batch interval (batches follow the current leader).
+    pub batch_every_ns: u64,
+    /// When the schedule stops interfering; the liveness invariant
+    /// requires commits to resume after this point. Client batches also
+    /// stop here, but heartbeat-driven empty blocks keep committing.
+    pub quiet_ns: u64,
+    /// End of the run; post-quiet liveness is judged at this time.
+    pub horizon_ns: u64,
+}
+
+impl Scenario {
+    fn base(name: &'static str, quiet_ns: u64, horizon_ns: u64) -> Self {
+        Scenario {
+            name,
+            crashes: Vec::new(),
+            recoveries: Vec::new(),
+            partitions: Vec::new(),
+            link_faults: Vec::new(),
+            behaviors: Vec::new(),
+            batch_every_ns: 250_000_000,
+            quiet_ns,
+            horizon_ns,
+        }
+    }
+
+    /// Two leaders crash in turn and recover: p1 down 0.4–1.6 s, p2
+    /// down 2.0–3.2 s.
+    pub fn crash_recover_leaders() -> Self {
+        let mut s = Self::base("crash-recover-leaders", 4_000_000_000, 7_000_000_000);
+        s.crashes = vec![(ReplicaId(1), 400_000_000), (ReplicaId(2), 2_000_000_000)];
+        s.recoveries = vec![(ReplicaId(1), 1_600_000_000), (ReplicaId(2), 3_200_000_000)];
+        s
+    }
+
+    /// A 2/2 split (no quorum on either side) from 0.5 s that heals at
+    /// 2.0 s.
+    pub fn partition_heal() -> Self {
+        let mut s = Self::base("partition-heal", 3_500_000_000, 6_500_000_000);
+        s.partitions = vec![Partition {
+            from_ns: 500_000_000,
+            until_ns: 2_000_000_000,
+            groups: vec![
+                vec![ReplicaId(0), ReplicaId(1)],
+                vec![ReplicaId(2), ReplicaId(3)],
+            ],
+        }];
+        s
+    }
+
+    /// A lossy, laggy window: 15 % loss on every link 0.3–2.3 s, plus
+    /// 2 ms extra delay and duplication on all vote traffic into p0.
+    pub fn lossy_links() -> Self {
+        let mut s = Self::base("lossy-links", 3_500_000_000, 6_500_000_000);
+        s.link_faults = vec![
+            LinkFault {
+                from_ns: 300_000_000,
+                until_ns: 2_300_000_000,
+                src: None,
+                dst: None,
+                classes: None,
+                drop_prob: 0.15,
+                extra_delay_ns: 0,
+                duplicate: false,
+            },
+            LinkFault {
+                from_ns: 300_000_000,
+                until_ns: 2_300_000_000,
+                src: None,
+                dst: Some(ReplicaId(0)),
+                classes: None,
+                drop_prob: 0.0,
+                extra_delay_ns: 2_000_000,
+                duplicate: true,
+            },
+        ];
+        s
+    }
+
+    /// The view-1 leader equivocates every proposal for the whole run.
+    pub fn equivocating_leader() -> Self {
+        let mut s = Self::base("equivocating-leader", 3_000_000_000, 6_000_000_000);
+        s.behaviors = vec![BehaviorPhase {
+            replica: ReplicaId(1),
+            at_ns: 0,
+            behavior: Behavior::Equivocate,
+        }];
+        s
+    }
+
+    /// The view-1 leader equivocates, then goes silent at 2 s —
+    /// exercises runtime behavior switching.
+    pub fn equivocate_then_silent() -> Self {
+        let mut s = Self::base("equivocate-then-silent", 3_500_000_000, 6_500_000_000);
+        s.behaviors = vec![
+            BehaviorPhase {
+                replica: ReplicaId(1),
+                at_ns: 0,
+                behavior: Behavior::Equivocate,
+            },
+            BehaviorPhase {
+                replica: ReplicaId(1),
+                at_ns: 2_000_000_000,
+                behavior: Behavior::Silent,
+            },
+        ];
+        s
+    }
+
+    /// The paper's Figure 2b attack: p1 leads until it can lock p0 on a
+    /// hidden `prepareQC`, then plays dead while `VIEW-CHANGE` traffic
+    /// to and from p0 is suppressed — so no later leader ever learns of
+    /// p0's lock from p0 itself. Two-phase HotStuff without Marlin's
+    /// pre-prepare phase wedges here; Marlin must recover.
+    pub fn unsafe_snapshot() -> Self {
+        let mut s = Self::base("unsafe-snapshot", 3_000_000_000, 9_000_000_000);
+        s.behaviors = vec![BehaviorPhase {
+            replica: ReplicaId(1),
+            at_ns: 0,
+            behavior: Behavior::UnsafeSnapshot {
+                victim: ReplicaId(0),
+            },
+        }];
+        s.link_faults = vec![
+            LinkFault {
+                src: Some(ReplicaId(0)),
+                classes: Some(vec![MsgClass::ViewChange]),
+                ..LinkFault::drop_all(0, u64::MAX)
+            },
+            LinkFault {
+                dst: Some(ReplicaId(0)),
+                classes: Some(vec![MsgClass::ViewChange]),
+                ..LinkFault::drop_all(0, u64::MAX)
+            },
+        ];
+        s
+    }
+
+    /// The leader equivocates its early proposals, then — still inside
+    /// its first view, before anyone times out — mounts the Figure 2b
+    /// snapshot attack. The insecure two-phase baseline must fail the
+    /// checker under this equivocating adversary.
+    pub fn equivocate_unsafe_snapshot() -> Self {
+        let mut s = Self::unsafe_snapshot();
+        s.name = "equivocate-unsafe-snapshot";
+        s.behaviors = vec![
+            BehaviorPhase {
+                replica: ReplicaId(1),
+                at_ns: 0,
+                behavior: Behavior::Equivocate,
+            },
+            BehaviorPhase {
+                replica: ReplicaId(1),
+                at_ns: 400_000_000,
+                behavior: Behavior::UnsafeSnapshot {
+                    victim: ReplicaId(0),
+                },
+            },
+        ];
+        s
+    }
+
+    /// The full preset campaign (every schedule above).
+    pub fn all_presets() -> Vec<Scenario> {
+        vec![
+            Scenario::crash_recover_leaders(),
+            Scenario::partition_heal(),
+            Scenario::lossy_links(),
+            Scenario::equivocating_leader(),
+            Scenario::equivocate_then_silent(),
+            Scenario::unsafe_snapshot(),
+            Scenario::equivocate_unsafe_snapshot(),
+        ]
+    }
+}
+
+/// The verdict of one `(protocol, scenario, seed)` cell.
+#[derive(Clone, Debug)]
+pub struct ScenarioOutcome {
+    /// The protocol under test (its `Debug` rendering).
+    pub protocol: String,
+    /// The scenario name.
+    pub scenario: &'static str,
+    /// The simulation seed.
+    pub seed: u64,
+    /// Canonical committed chain length at the horizon (incl. genesis).
+    pub committed: usize,
+    /// Highest view reached by any honest replica.
+    pub max_view: u64,
+    /// All invariant violations, including any liveness stall.
+    pub violations: Vec<Violation>,
+    /// Deterministic digest of the run (chain, commits, violations).
+    pub fingerprint: u64,
+}
+
+impl ScenarioOutcome {
+    /// Number of *safety* violations (agreement, prefix, lock).
+    pub fn safety_violations(&self) -> usize {
+        self.violations.iter().filter(|v| v.is_safety()).count()
+    }
+
+    /// Whether the run ended in a post-quiet liveness stall.
+    pub fn has_liveness_stall(&self) -> bool {
+        self.violations
+            .iter()
+            .any(|v| matches!(v, Violation::LivenessStall { .. }))
+    }
+
+    /// A one-word verdict for reporting: `SAFETY` beats `STALL` beats
+    /// `OK`.
+    pub fn verdict(&self) -> &'static str {
+        if self.safety_violations() > 0 {
+            "SAFETY"
+        } else if self.has_liveness_stall() {
+            "STALL"
+        } else {
+            "OK"
+        }
+    }
+}
+
+/// Runs one `(protocol, scenario, seed)` cell on a 4-replica LAN
+/// cluster with the global invariant checker attached.
+pub fn run_scenario(kind: ProtocolKind, scenario: &Scenario, seed: u64) -> ScenarioOutcome {
+    let n = 4usize;
+    let mut cfg = Config::for_test(n, 1);
+    cfg.base_timeout_ns = 500_000_000;
+
+    // Shared behavior handles: one per replica that is ever Byzantine,
+    // so the schedule can flip behaviors mid-run.
+    let mut handles: BTreeMap<ReplicaId, Arc<Mutex<Behavior>>> = BTreeMap::new();
+    for phase in &scenario.behaviors {
+        let handle = handles
+            .entry(phase.replica)
+            .or_insert_with(|| Arc::new(Mutex::new(Behavior::Honest)));
+        if phase.at_ns == 0 {
+            *handle.lock().expect("behavior lock") = phase.behavior;
+        }
+    }
+    let byzantine: Vec<ReplicaId> = handles.keys().copied().collect();
+
+    let replicas: Vec<Box<dyn Protocol>> = (0..n)
+        .map(|i| {
+            let id = ReplicaId(i as u32);
+            let inner = build_protocol(kind, cfg.with_id(id));
+            match handles.get(&id) {
+                Some(h) => Box::new(ByzantineReplica::with_shared(inner, Arc::clone(h)))
+                    as Box<dyn Protocol>,
+                None => inner,
+            }
+        })
+        .collect();
+
+    let mut sim_cfg = SimConfig::lan();
+    sim_cfg.seed = seed;
+    let mut sim = SimNet::with_replicas(replicas, sim_cfg);
+    let checker = Invariants::new(&byzantine, scenario.quiet_ns);
+    sim.set_invariant_checker(Box::new(checker.clone()));
+    for p in &scenario.partitions {
+        sim.add_partition(p.clone());
+    }
+    for f in &scenario.link_faults {
+        sim.add_link_fault(f.clone());
+    }
+    for &(replica, at_ns) in &scenario.crashes {
+        sim.schedule_crash(replica, at_ns);
+    }
+    for &(replica, at_ns) in &scenario.recoveries {
+        sim.schedule_recover(replica, at_ns);
+    }
+
+    // Drive client load at the current leader until the quiet point,
+    // applying any pending behavior flips along the way.
+    let mut flips: Vec<&BehaviorPhase> =
+        scenario.behaviors.iter().filter(|p| p.at_ns > 0).collect();
+    flips.sort_by_key(|p| p.at_ns);
+    let mut next_flip = 0usize;
+    let apply_flips = |now: u64, next_flip: &mut usize| {
+        while *next_flip < flips.len() && flips[*next_flip].at_ns <= now {
+            let phase = flips[*next_flip];
+            *handles[&phase.replica].lock().expect("behavior lock") = phase.behavior;
+            *next_flip += 1;
+        }
+    };
+    // Advance to the next batch point *or* behavior flip, whichever
+    // comes first, so flips take effect at their exact schedule time.
+    let mut next_batch = 0u64;
+    let mut now = 0u64;
+    while now < scenario.quiet_ns {
+        let next_flip_at = flips.get(next_flip).map(|p| p.at_ns).unwrap_or(u64::MAX);
+        let target = next_batch.min(next_flip_at).min(scenario.quiet_ns);
+        sim.run_until(target);
+        now = target;
+        apply_flips(now, &mut next_flip);
+        if now == next_batch && now < scenario.quiet_ns {
+            let mut view = View(1);
+            for i in 0..n {
+                view = view.max(sim.replica(ReplicaId(i as u32)).current_view());
+            }
+            sim.schedule_client_batch(ReplicaId::leader_of(view, n), now, 20, 0);
+            next_batch += scenario.batch_every_ns;
+        }
+    }
+    apply_flips(scenario.quiet_ns, &mut next_flip);
+    sim.run_until(scenario.horizon_ns);
+
+    let violations = checker.finish();
+    let mut max_view = View(0);
+    for i in 0..n {
+        let id = ReplicaId(i as u32);
+        if !byzantine.contains(&id) {
+            max_view = max_view.max(sim.replica(id).current_view());
+        }
+    }
+    ScenarioOutcome {
+        protocol: format!("{kind:?}"),
+        scenario: scenario.name,
+        seed,
+        committed: checker.committed_len(),
+        max_view: max_view.0,
+        violations,
+        fingerprint: checker.fingerprint(),
+    }
+}

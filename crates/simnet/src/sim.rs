@@ -1,6 +1,6 @@
 //! The discrete-event simulation core.
 
-use crate::accounting::Accounting;
+use crate::accounting::{Accounting, MsgClass};
 use bytes_len::wire_len_of;
 use marlin_core::harness::build_protocol;
 use marlin_core::{Action, Config, Event, Note, Protocol, ProtocolKind};
@@ -14,6 +14,90 @@ pub trait CommitObserver {
     /// Called after `replica` commits `blocks` at simulated time
     /// `now_ns`.
     fn on_commit(&mut self, replica: ReplicaId, now_ns: u64, blocks: &[Block]);
+}
+
+/// Cross-replica observer invoked after *every* processed event, with
+/// read access to all replica state machines — the hook global
+/// invariant checkers attach to.
+pub trait InvariantChecker {
+    /// Called after each simulation event; `crashed[i]` tells whether
+    /// replica `i` is currently down.
+    fn after_event(&mut self, now_ns: u64, replicas: &[Box<dyn Protocol>], crashed: &[bool]);
+}
+
+/// A network partition active during `[from_ns, until_ns)`: messages
+/// pass only between replicas sharing a group. Replicas absent from
+/// every group are unconstrained (by this partition).
+#[derive(Clone, Debug)]
+pub struct Partition {
+    /// Window start (inclusive), in simulated nanoseconds.
+    pub from_ns: u64,
+    /// Window end (exclusive) — the heal time.
+    pub until_ns: u64,
+    /// The connectivity groups.
+    pub groups: Vec<Vec<ReplicaId>>,
+}
+
+impl Partition {
+    fn blocks(&self, at_ns: u64, from: ReplicaId, to: ReplicaId) -> bool {
+        if !(self.from_ns..self.until_ns).contains(&at_ns) {
+            return false;
+        }
+        let group_of = |id: ReplicaId| self.groups.iter().position(|g| g.contains(&id));
+        match (group_of(from), group_of(to)) {
+            (Some(a), Some(b)) => a != b,
+            _ => false,
+        }
+    }
+}
+
+/// A per-link fault phase active during `[from_ns, until_ns)`:
+/// probabilistic drops, added delay, and/or duplication, optionally
+/// restricted to an endpoint and/or message classes.
+#[derive(Clone, Debug)]
+pub struct LinkFault {
+    /// Window start (inclusive), in simulated nanoseconds.
+    pub from_ns: u64,
+    /// Window end (exclusive).
+    pub until_ns: u64,
+    /// Restrict to this sender (`None` = any).
+    pub src: Option<ReplicaId>,
+    /// Restrict to this recipient (`None` = any).
+    pub dst: Option<ReplicaId>,
+    /// Restrict to these message classes (`None` = all traffic).
+    pub classes: Option<Vec<MsgClass>>,
+    /// Probability of dropping a matching message.
+    pub drop_prob: f64,
+    /// Extra one-way delay added to matching messages.
+    pub extra_delay_ns: u64,
+    /// Deliver matching messages twice (spaced by the extra delay).
+    pub duplicate: bool,
+}
+
+impl LinkFault {
+    /// A fault that deterministically drops all matching traffic.
+    pub fn drop_all(from_ns: u64, until_ns: u64) -> Self {
+        LinkFault {
+            from_ns,
+            until_ns,
+            src: None,
+            dst: None,
+            classes: None,
+            drop_prob: 1.0,
+            extra_delay_ns: 0,
+            duplicate: false,
+        }
+    }
+
+    fn matches(&self, at_ns: u64, from: ReplicaId, to: ReplicaId, msg: &Message) -> bool {
+        (self.from_ns..self.until_ns).contains(&at_ns)
+            && self.src.is_none_or(|s| s == from)
+            && self.dst.is_none_or(|d| d == to)
+            && self
+                .classes
+                .as_ref()
+                .is_none_or(|cs| cs.contains(&MsgClass::of(msg)))
+    }
 }
 
 /// Network and environment parameters.
@@ -98,6 +182,9 @@ enum Ev {
     Crash {
         replica: ReplicaId,
     },
+    Recover {
+        replica: ReplicaId,
+    },
 }
 
 struct Entry {
@@ -173,6 +260,9 @@ pub struct SimNet {
     committed_txs: Vec<u64>,
     notes: Vec<(u64, ReplicaId, Note)>,
     observer: Option<Box<dyn CommitObserver>>,
+    checker: Option<Box<dyn InvariantChecker>>,
+    partitions: Vec<Partition>,
+    link_faults: Vec<LinkFault>,
     filter: Option<FilterFn>,
     next_tx_id: u64,
     events_processed: u64,
@@ -211,6 +301,9 @@ impl SimNet {
             committed_txs: vec![0; n],
             notes: Vec::new(),
             observer: None,
+            checker: None,
+            partitions: Vec::new(),
+            link_faults: Vec::new(),
             filter: None,
             next_tx_id: 0,
             events_processed: 0,
@@ -229,6 +322,27 @@ impl SimNet {
     /// Removes and returns the commit observer.
     pub fn take_observer(&mut self) -> Option<Box<dyn CommitObserver>> {
         self.observer.take()
+    }
+
+    /// Installs an invariant checker, invoked after every processed
+    /// event (replacing any previous one).
+    pub fn set_invariant_checker(&mut self, checker: Box<dyn InvariantChecker>) {
+        self.checker = Some(checker);
+    }
+
+    /// Removes and returns the invariant checker.
+    pub fn take_invariant_checker(&mut self) -> Option<Box<dyn InvariantChecker>> {
+        self.checker.take()
+    }
+
+    /// Adds a timed network partition window.
+    pub fn add_partition(&mut self, partition: Partition) {
+        self.partitions.push(partition);
+    }
+
+    /// Adds a timed per-link fault phase.
+    pub fn add_link_fault(&mut self, fault: LinkFault) {
+        self.link_faults.push(fault);
     }
 
     /// Installs a message filter (partitions / Byzantine suppression).
@@ -286,6 +400,19 @@ impl SimNet {
         self.push(at_ns, Ev::Crash { replica });
     }
 
+    /// Schedules `replica` to come back up at `at_ns`. The recovered
+    /// replica keeps its pre-crash protocol state (crash-recovery with
+    /// durable state, not amnesia) and is nudged with a view timeout so
+    /// its pacemaker re-arms and it rejoins via view change.
+    pub fn schedule_recover(&mut self, replica: ReplicaId, at_ns: u64) {
+        self.push(at_ns, Ev::Recover { replica });
+    }
+
+    /// Whether `id` is currently crashed.
+    pub fn is_crashed(&self, id: ReplicaId) -> bool {
+        self.crashed[id.index()]
+    }
+
     /// Schedules `count` client transactions with `payload_len`-byte
     /// payloads to arrive at `to` at `at_ns`. Client→replica latency is
     /// assumed already included in `at_ns`; transaction timestamps are
@@ -318,6 +445,7 @@ impl SimNet {
             self.now_ns = self.now_ns.max(entry.at_ns);
             self.events_processed += 1;
             self.dispatch_entry(entry);
+            self.run_checker();
         }
         self.now_ns = self.now_ns.max(deadline_ns);
     }
@@ -332,6 +460,7 @@ impl SimNet {
             self.now_ns = self.now_ns.max(entry.at_ns);
             self.events_processed += 1;
             self.dispatch_entry(entry);
+            self.run_checker();
         }
     }
 
@@ -387,6 +516,26 @@ impl SimNet {
             Ev::Crash { replica } => {
                 self.crashed[replica.index()] = true;
             }
+            Ev::Recover { replica } => {
+                if self.crashed[replica.index()] {
+                    self.crashed[replica.index()] = false;
+                    // Any timers armed before the crash have fired into
+                    // the void; kick the pacemaker so the replica times
+                    // out of its stale view and rejoins.
+                    let view = self.replicas[replica.index()].current_view();
+                    self.step_replica(replica, Event::Timeout { view });
+                }
+            }
+        }
+    }
+
+    /// Invokes the invariant checker (if any) against the current
+    /// global state. Take/put-back keeps the borrow checker happy while
+    /// the checker reads `self.replicas`.
+    fn run_checker(&mut self) {
+        if let Some(mut checker) = self.checker.take() {
+            checker.after_event(self.now_ns, &self.replicas, &self.crashed);
+            self.checker = Some(checker);
         }
     }
 
@@ -489,6 +638,32 @@ impl SimNet {
             }
         }
         self.accounting.record(&msg, len);
+        if self.partitions.iter().any(|p| p.blocks(at_ns, from, to)) {
+            return;
+        }
+        // Scheduled link faults: drops consult the seeded rng so runs
+        // stay reproducible; delay and duplication accumulate across
+        // overlapping phases.
+        let mut fault_delay_ns = 0u64;
+        let mut fault_copies = 1u32;
+        {
+            let faults = &self.link_faults;
+            let rng = &mut self.rng;
+            for fault in faults {
+                if !fault.matches(at_ns, from, to, &msg) {
+                    continue;
+                }
+                if fault.drop_prob >= 1.0
+                    || (fault.drop_prob > 0.0 && rng.gen_bool(fault.drop_prob))
+                {
+                    return;
+                }
+                fault_delay_ns += fault.extra_delay_ns;
+                if fault.duplicate {
+                    fault_copies += 1;
+                }
+            }
+        }
         if self.cfg.drop_rate > 0.0 && self.rng.gen_bool(self.cfg.drop_rate) {
             return;
         }
@@ -519,7 +694,16 @@ impl SimNet {
         } else {
             0
         };
-        let arrive = depart + self.cfg.one_way_latency_ns + jitter;
+        let arrive = depart + self.cfg.one_way_latency_ns + jitter + fault_delay_ns;
+        for _ in 1..fault_copies {
+            self.push(
+                arrive,
+                Ev::Deliver {
+                    to,
+                    msg: msg.clone(),
+                },
+            );
+        }
         self.push(arrive, Ev::Deliver { to, msg });
     }
 }

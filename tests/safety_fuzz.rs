@@ -5,6 +5,7 @@
 //! committing (liveness after GST, Theorem 2).
 
 use marlin_bft::core::{harness::Cluster, Config, ProtocolKind};
+use marlin_bft::simnet::{run_scenario, Behavior, BehaviorPhase, LinkFault, Partition, Scenario};
 use marlin_bft::types::{Message, ReplicaId, View};
 use proptest::prelude::*;
 
@@ -75,6 +76,116 @@ fn fuzz_one(kind: ProtocolKind, seed: u64, drop_pct: u64, crash_one: bool, n: us
     cl.assert_consistent();
 }
 
+/// Builds a random-but-healing fault schedule: one fault family
+/// (crash/recover, a 2/2 partition, or a lossy window) plus an optional
+/// Byzantine replica, with everything healed before the quiet point so
+/// post-quiet liveness is a fair demand.
+fn random_schedule(
+    fault_kind: u8,
+    victim: u32,
+    start_ms: u64,
+    dur_ms: u64,
+    drop_pct: u64,
+    byz_kind: u8,
+    byz: u32,
+) -> Scenario {
+    let mut s = Scenario {
+        name: "fuzz-random",
+        crashes: Vec::new(),
+        recoveries: Vec::new(),
+        partitions: Vec::new(),
+        link_faults: Vec::new(),
+        behaviors: Vec::new(),
+        batch_every_ns: 250_000_000,
+        quiet_ns: 3_000_000_000,
+        horizon_ns: 6_000_000_000,
+    };
+    let from_ns = start_ms * 1_000_000;
+    let until_ns = from_ns + dur_ms * 1_000_000;
+    match fault_kind % 3 {
+        0 => {
+            s.crashes = vec![(ReplicaId(victim % 4), from_ns)];
+            s.recoveries = vec![(ReplicaId(victim % 4), until_ns)];
+        }
+        1 => {
+            // A 2/2 split through the victim: no side has a quorum.
+            let a = victim % 4;
+            let b = (victim + 1) % 4;
+            let rest: Vec<ReplicaId> = (0..4u32)
+                .filter(|i| *i != a && *i != b)
+                .map(ReplicaId)
+                .collect();
+            s.partitions = vec![Partition {
+                from_ns,
+                until_ns,
+                groups: vec![vec![ReplicaId(a), ReplicaId(b)], rest],
+            }];
+        }
+        _ => {
+            s.link_faults = vec![LinkFault {
+                from_ns,
+                until_ns,
+                src: None,
+                dst: None,
+                classes: None,
+                drop_prob: (drop_pct % 40) as f64 / 100.0,
+                extra_delay_ns: (drop_pct % 5) * 1_000_000,
+                duplicate: drop_pct.is_multiple_of(2),
+            }];
+        }
+    }
+    let behavior = match byz_kind % 5 {
+        0 => None,
+        1 => Some(Behavior::Silent),
+        2 => Some(Behavior::HideQc),
+        3 => Some(Behavior::Equivocate),
+        _ => Some(Behavior::Duplicate),
+    };
+    if let Some(behavior) = behavior {
+        s.behaviors = vec![BehaviorPhase {
+            replica: ReplicaId(byz % 4),
+            at_ns: 0,
+            behavior,
+        }];
+    }
+    s
+}
+
+/// Unpacks one `knobs` draw into the remaining schedule parameters
+/// (victim, fault window, loss rate, Byzantine replica) via independent
+/// moduli, keeping the proptest strategy tuple small.
+fn schedule_from_knobs(fault_kind: u8, knobs: u64, byz_kind: u8) -> Scenario {
+    let victim = (knobs % 4) as u32;
+    let start_ms = 100 + (knobs / 4) % 1_400;
+    let dur_ms = 200 + (knobs / 5_600) % 1_000;
+    let drop_pct = (knobs / 7) % 40;
+    let byz = ((knobs / 11) % 4) as u32;
+    random_schedule(
+        fault_kind, victim, start_ms, dur_ms, drop_pct, byz_kind, byz,
+    )
+}
+
+/// Runs one random schedule through the scenario runner with the global
+/// invariant checker attached; safety must hold unconditionally and
+/// (for the healing schedules generated here) commits must resume after
+/// the quiet point.
+fn fuzz_schedule(kind: ProtocolKind, scenario: &Scenario, seed: u64, demand_liveness: bool) {
+    let out = run_scenario(kind, scenario, seed);
+    assert_eq!(
+        out.safety_violations(),
+        0,
+        "{kind:?} seed={seed}: {:?}",
+        out.violations
+    );
+    if demand_liveness {
+        assert!(
+            !out.has_liveness_stall(),
+            "{kind:?} seed={seed}: no commits after the schedule went quiet: {:?}",
+            out.violations
+        );
+    }
+}
+
 /// The first replica that is never crashed in this harness run (we only
 /// crash at most one, chosen away from low ids indirectly; fall back to
 /// scanning by view activity).
@@ -124,5 +235,40 @@ proptest! {
     #[test]
     fn four_phase_is_safe_and_recovers(seed in 0u64..1_000_000, drop_pct in 0u64..30, crash in any::<bool>()) {
         fuzz_one(ProtocolKind::MarlinFourPhase, seed, drop_pct, crash, 4, 1);
+    }
+
+    /// Random fault schedules (crash/recover, partitions, lossy links,
+    /// optional Byzantine replica) through the scenario runner and the
+    /// global invariant checker: Marlin stays safe under every draw and
+    /// resumes committing once the schedule heals.
+    #[test]
+    fn marlin_survives_random_fault_schedules(
+        seed in 0u64..1_000_000,
+        fault_kind in 0u8..3,
+        knobs in 0u64..1_000_000_000,
+        byz_kind in 0u8..5,
+    ) {
+        let s = schedule_from_knobs(fault_kind, knobs, byz_kind);
+        fuzz_schedule(ProtocolKind::Marlin, &s, seed, true);
+    }
+
+    /// The same random schedules against the baselines: safety must
+    /// hold unconditionally (liveness is only demanded of Marlin — the
+    /// paper's claim under test).
+    #[test]
+    fn baselines_stay_safe_under_random_schedules(
+        seed in 0u64..1_000_000,
+        fault_kind in 0u8..3,
+        knobs in 0u64..1_000_000_000,
+        byz_kind in 0u8..5,
+        which in 0u8..3,
+    ) {
+        let kind = match which {
+            0 => ProtocolKind::MarlinFourPhase,
+            1 => ProtocolKind::HotStuff,
+            _ => ProtocolKind::Jolteon,
+        };
+        let s = schedule_from_knobs(fault_kind, knobs, byz_kind);
+        fuzz_schedule(kind, &s, seed, false);
     }
 }
