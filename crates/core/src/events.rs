@@ -1,6 +1,6 @@
 //! Events consumed and actions produced by the protocol state machines.
 
-use marlin_types::{Block, Height, Message, Phase, ReplicaId, Transaction, View};
+use marlin_types::{Block, BlockId, Height, Message, Phase, ReplicaId, Transaction, View};
 
 /// An input to a replica's state machine.
 ///
@@ -24,6 +24,12 @@ pub enum Event {
     /// A heartbeat armed via [`Action::SetHeartbeat`] fired; idle
     /// leaders use it to pace empty proposals.
     Heartbeat,
+    /// The replica rejoined after a crash (its state either survived in
+    /// memory, was reconstructed from a durable journal, or was lost).
+    /// Handlers re-arm the view timer for the *current* view — any
+    /// pre-crash timer is dead — and may solicit state they missed
+    /// (Marlin broadcasts a `CATCH-UP` request).
+    Recovered,
 }
 
 /// An output of a replica's state machine.
@@ -121,6 +127,20 @@ pub enum Note {
         height: Height,
         /// Number of transactions across the newly committed blocks.
         txs: usize,
+    },
+    /// A `commitQC` certified a block that conflicts with a block this
+    /// replica already committed. Locally observable evidence of a
+    /// safety failure somewhere in the system (e.g. replicas re-voting
+    /// after amnesiac restarts); the replica keeps its original chain.
+    CommitConflict {
+        /// The conflicting certified block.
+        block: BlockId,
+    },
+    /// The replica abstained from a vote because the write-ahead append
+    /// to its safety journal failed (e.g. a torn write at crash time).
+    VoteWithheld {
+        /// The phase of the withheld vote.
+        phase: Phase,
     },
 }
 

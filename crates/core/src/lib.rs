@@ -41,6 +41,7 @@ mod events;
 pub mod harness;
 pub mod hotstuff;
 pub mod jolteon;
+pub mod journal;
 pub mod marlin;
 pub mod marlin_four_phase;
 mod pacemaker;
@@ -51,6 +52,7 @@ mod votes;
 pub use config::{Config, ProtocolKind};
 pub use crypto_ctx::CryptoCtx;
 pub use events::{Action, Event, Note, StepOutput, VcCase};
+pub use journal::{JournalRecord, SafetyJournal, SafetySnapshot};
 pub use pacemaker::Pacemaker;
 pub use util::Protocol;
 pub use votes::VoteCollector;

@@ -27,6 +27,7 @@
 
 use crate::config::Config;
 use crate::events::{Action, Event, Note, StepOutput, VcCase};
+use crate::journal::SafetyJournal;
 use crate::util::{Base, Protocol};
 use crate::votes::VoteCollector;
 use marlin_types::rank::{block_rank_gt, highest_block, qc_rank_cmp, qc_rank_ge};
@@ -84,6 +85,15 @@ pub struct Marlin {
     in_flight: Option<BlockId>,
     /// Leader: view-change rounds by view.
     vc_rounds: HashMap<View, VcRound>,
+    /// Highest view each peer attested in a `CATCH-UP` response. With
+    /// linear view changes a lagging replica never overhears
+    /// `VIEW-CHANGE` traffic (it flows only to the new leader), so
+    /// rejoining after a crash needs explicit view attestations: once
+    /// `f + 1` distinct peers claim views above ours, at least one of
+    /// them is honest and that view is safe to join.
+    peer_views: HashMap<ReplicaId, View>,
+    /// Write-ahead safety journal; `None` runs without durability.
+    journal: Option<SafetyJournal>,
 }
 
 impl Marlin {
@@ -99,7 +109,43 @@ impl Marlin {
             votes: VoteCollector::new(),
             in_flight: None,
             vc_rounds: HashMap::new(),
+            peer_views: HashMap::new(),
+            journal: None,
         }
+    }
+
+    /// Creates a replica that write-ahead journals every safety-state
+    /// transition (view entries, `lb`, lock and `highQC` raises) to
+    /// `journal` *before* the corresponding vote can leave the replica.
+    pub fn with_journal(config: Config, journal: SafetyJournal) -> Self {
+        let mut replica = Marlin::new(config);
+        replica.journal = Some(journal);
+        replica
+    }
+
+    /// Creates a replica whose safety state is reconstructed from a
+    /// durable journal (amnesia-safe restart): it resumes in the
+    /// journaled view with the journaled `lb`, lock and `highQC`, so it
+    /// cannot re-vote in a slot it voted in before the crash. Feed
+    /// [`Event::Recovered`] to re-arm timers and solicit commits formed
+    /// while the replica was down.
+    pub fn recover(config: Config, journal: SafetyJournal) -> Self {
+        let snapshot = *journal.state();
+        let mut replica = Marlin::with_journal(config, journal);
+        replica.lb = snapshot.last_voted;
+        replica.locked_qc = snapshot.locked_qc;
+        if !matches!(snapshot.high_qc, Justify::None) {
+            replica.high_qc = snapshot.high_qc;
+        }
+        if snapshot.view > View::GENESIS {
+            replica.base.cview = snapshot.view;
+        }
+        replica
+    }
+
+    /// The attached safety journal, if any.
+    pub fn journal(&self) -> Option<&SafetyJournal> {
+        self.journal.as_ref()
     }
 
     /// The current lock, if any.
@@ -151,10 +197,34 @@ impl Marlin {
         }
     }
 
+    /// Write-ahead check for votes that change no block-level safety
+    /// state (pre-prepare votes, view-change shares): the current view
+    /// must be durable. Returns `false` — abstain — when the journal
+    /// cannot be written; abstention is always safe.
+    fn journal_view_durable(&mut self, view: View, phase: Phase, out: &mut StepOutput) -> bool {
+        match self.journal.as_mut() {
+            None => true,
+            Some(j) => match j.log_view(view) {
+                Ok(()) => true,
+                Err(_) => {
+                    out.actions.push(Action::Note(Note::VoteWithheld { phase }));
+                    false
+                }
+            },
+        }
+    }
+
     /// Enters `view` and reprocesses any buffered messages.
     fn enter_view(&mut self, view: View, out: &mut StepOutput) {
         self.votes.clear();
         self.in_flight = None;
+        // Durable before actionable: a replica recovering from its
+        // journal must not re-enter an older view. Failure here is
+        // tolerated (view regression costs liveness, not safety — votes
+        // are guarded by the separately-journaled `lb` and lock).
+        if let Some(j) = self.journal.as_mut() {
+            let _ = j.log_view(view);
+        }
         let drained = self.base.enter_view(view, out);
         self.vc_rounds.retain(|v, _| *v >= view);
         for msg in drained {
@@ -184,6 +254,12 @@ impl Marlin {
                 cert: None,
             }),
         );
+        // The happy-path share inside a VIEW-CHANGE is combinable into a
+        // prepareQC for `lb`, so it is write-ahead journaled like any
+        // other vote: the target view must be durable before it is sent.
+        if !self.journal_view_durable(target, Phase::Prepare, out) {
+            return;
+        }
         out.actions.push(Action::Send {
             to: self.cfg().leader_of(target),
             message: msg,
@@ -260,6 +336,39 @@ impl Marlin {
             self.on_decide(*d, msg.from, out);
             return;
         }
+        // Catch-up (crash recovery) messages are likewise
+        // view-independent: a recovering replica may be views behind.
+        if let MsgBody::CatchUpRequest { last_committed } = &msg.body {
+            if msg.from == self.cfg().id {
+                return; // our own broadcast, looped back
+            }
+            // Always answer: even with no newer commit to serve, the
+            // response header carries our current view, which is the
+            // attestation a recovering replica needs to resynchronize
+            // (commits may have stopped precisely because it was down).
+            let commit_qc = self
+                .base
+                .latest_commit_qc
+                .filter(|qc| qc.height() > *last_committed);
+            out.actions.push(Action::Send {
+                to: msg.from,
+                message: Message::new(
+                    self.cfg().id,
+                    self.base.cview,
+                    MsgBody::CatchUpResponse { commit_qc },
+                ),
+            });
+            return;
+        }
+        if let MsgBody::CatchUpResponse { commit_qc } = &msg.body {
+            // A served commit certificate is handled exactly like a
+            // DECIDE: verify, sync views, commit (fetching blocks).
+            if let Some(qc) = commit_qc {
+                self.on_decide(Decide { commit_qc: *qc }, msg.from, out);
+            }
+            self.note_peer_view(msg.from, msg.view, out);
+            return;
+        }
         if msg.view > self.base.cview {
             self.base.buffer_future(msg);
             // f+1 join rule: if a quorum minority is already view
@@ -288,7 +397,11 @@ impl Marlin {
                 Phase::PreCommit => {}
             },
             MsgBody::ViewChange(vc) => self.on_view_change(msg.from, msg.view, vc, out),
-            MsgBody::Decide(_) | MsgBody::FetchRequest { .. } | MsgBody::FetchResponse { .. } => {
+            MsgBody::Decide(_)
+            | MsgBody::FetchRequest { .. }
+            | MsgBody::FetchResponse { .. }
+            | MsgBody::CatchUpRequest { .. }
+            | MsgBody::CatchUpResponse { .. } => {
                 unreachable!("handled above")
             }
         }
@@ -363,6 +476,28 @@ impl Marlin {
                 .store
                 .resolve_virtual_parent(block.id(), vc.block());
         }
+        // Write-ahead voting: every safety delta this vote implies (the
+        // new `lb`, the justify as `highQC`, any lock raise) must be
+        // durable before the vote can reach the wire. On a failed append
+        // the replica abstains, and its in-memory state must not outrun
+        // the journal either.
+        if let Some(j) = self.journal.as_mut() {
+            let mut res = j.log_last_voted(&block.meta());
+            if res.is_ok() {
+                res = j.log_high_qc(&p.justify);
+            }
+            if res.is_ok() {
+                if let (Justify::One(jqc), Phase::Prepare) = (&p.justify, qc.phase()) {
+                    res = j.log_lock(jqc);
+                }
+            }
+            if res.is_err() {
+                out.actions.push(Action::Note(Note::VoteWithheld {
+                    phase: Phase::Prepare,
+                }));
+                return;
+            }
+        }
         let seed = block.vote_seed(Phase::Prepare, view);
         let parsig = self.base.crypto.sign_seed(&seed);
         out.actions.push(Action::Send {
@@ -433,6 +568,20 @@ impl Marlin {
         }
         if !self.base.crypto.verify_qc(&qc) {
             return;
+        }
+        // Write-ahead: the lock raise implied by this commit vote must
+        // be durable before the vote is emitted.
+        if let Some(j) = self.journal.as_mut() {
+            let mut res = j.log_high_qc(&Justify::One(qc));
+            if res.is_ok() {
+                res = j.log_lock(&qc);
+            }
+            if res.is_err() {
+                out.actions.push(Action::Note(Note::VoteWithheld {
+                    phase: Phase::Commit,
+                }));
+                return;
+            }
         }
         let seed = marlin_types::QcSeed {
             phase: Phase::Commit,
@@ -512,6 +661,70 @@ impl Marlin {
             return; // stale timer
         }
         self.start_view_change(view.next(), out);
+    }
+
+    /// Handles rejoin after a crash: re-arms the view timer (any
+    /// pre-crash timer is dead), asks peers for commit certificates
+    /// formed while this replica was down, and — when it leads the
+    /// current view with a snapshot usable without crash-lost blocks —
+    /// re-proposes.
+    fn on_recovered(&mut self, out: &mut StepOutput) {
+        let view = self.base.cview;
+        out.actions.push(Action::SetTimer {
+            view,
+            delay_ns: self.base.pacemaker.delay_for(view),
+        });
+        let last_committed = self
+            .base
+            .store
+            .get(&self.base.store.last_committed())
+            .map(|b| b.height())
+            .unwrap_or_default();
+        out.actions.push(Action::Broadcast {
+            message: Message::new(
+                self.cfg().id,
+                view,
+                MsgBody::CatchUpRequest { last_committed },
+            ),
+        });
+        // Case N1 needs only the QC's metadata; Case N2 would need the
+        // pre-prepared block itself, which did not survive the crash.
+        if self.cfg().is_leader(view)
+            && matches!(&self.high_qc, Justify::One(qc) if qc.phase() == Phase::Prepare)
+        {
+            self.propose(out);
+        }
+    }
+
+    /// Records a peer's attested view and joins the highest view that
+    /// `f + 1` distinct peers have reached, if it is above ours.
+    ///
+    /// Taking the `(f + 1)`-th highest claim bounds the jump to a view
+    /// some *honest* replica actually entered — up to `f` Byzantine
+    /// responders can inflate their own claims but cannot drag us past
+    /// every honest peer. This closes the post-crash resynchronization
+    /// gap: with linear view changes there is no overheard
+    /// `VIEW-CHANGE` traffic to trigger the f+1 join rule, so a
+    /// recovered replica would otherwise trail its peers' timer backoff
+    /// forever.
+    fn note_peer_view(&mut self, from: ReplicaId, view: View, out: &mut StepOutput) {
+        if from == self.cfg().id {
+            return;
+        }
+        let slot = self.peer_views.entry(from).or_default();
+        *slot = (*slot).max(view);
+        let mut above: Vec<View> = self
+            .peer_views
+            .values()
+            .copied()
+            .filter(|v| *v > self.base.cview)
+            .collect();
+        if above.len() <= self.cfg().f {
+            return;
+        }
+        above.sort_unstable_by(|a, b| b.cmp(a));
+        let target = above[self.cfg().f];
+        self.start_view_change(target, out);
     }
 
     /// New leader: collect `VIEW-CHANGE` messages for `view`.
@@ -864,6 +1077,11 @@ impl Marlin {
             if !(r1 || r2 || r3) {
                 continue;
             }
+            // Write-ahead: a pre-prepare vote changes no block-level
+            // safety state, but the view it is cast in must be durable.
+            if !self.journal_view_durable(view, Phase::PrePrepare, out) {
+                continue;
+            }
 
             self.base.store_block(block);
             let seed = block.vote_seed(Phase::PrePrepare, view);
@@ -1025,6 +1243,7 @@ impl Protocol for Marlin {
                     self.propose(&mut out);
                 }
             }
+            Event::Recovered => self.on_recovered(&mut out),
         }
         self.base.finish(out)
     }

@@ -415,6 +415,14 @@ impl Protocol for TwoPhaseInsecure {
                     self.propose(&mut out);
                 }
             }
+            Event::Recovered => {
+                // Pre-crash timers died with the process: re-arm the view
+                // timer so the replica can time out of a stale view.
+                out.actions.push(Action::SetTimer {
+                    view: self.base.cview,
+                    delay_ns: self.base.pacemaker.delay_for(self.base.cview),
+                });
+            }
         }
         self.base.finish(out)
     }

@@ -102,6 +102,9 @@ pub(crate) struct Base {
     /// Outstanding block fetches with an attempt counter: the request is
     /// re-sent periodically so a dropped fetch cannot wedge commits.
     fetching: HashMap<BlockId, u32>,
+    /// The highest commit certificate processed so far; served to
+    /// recovering replicas that ask for a catch-up.
+    pub latest_commit_qc: Option<Qc>,
     commits_since_prune: u64,
 }
 
@@ -119,6 +122,7 @@ impl Base {
             pending_msgs: BTreeMap::new(),
             pending_commits: Vec::new(),
             fetching: HashMap::new(),
+            latest_commit_qc: None,
             commits_since_prune: 0,
         }
     }
@@ -201,6 +205,13 @@ impl Base {
     /// Attempts to commit the chain certified by `qc`, fetching missing
     /// blocks from `from` when necessary.
     pub fn try_commit(&mut self, qc: Qc, from: ReplicaId, out: &mut StepOutput) {
+        if self
+            .latest_commit_qc
+            .as_ref()
+            .is_none_or(|cur| qc.height() > cur.height())
+        {
+            self.latest_commit_qc = Some(qc);
+        }
         let block = qc.block();
         match self.store.commit(&block) {
             Ok(newly) if newly.is_empty() => {}
@@ -235,9 +246,12 @@ impl Base {
                 self.request_block(id, from, out);
             }
             Err(CommitError::ConflictsWithCommitted { block }) => {
-                // Never expected for a correct protocol; surfaced loudly
-                // in debug builds, ignored (not committed) in release.
-                debug_assert!(false, "commit conflict at {block:?} — safety bug");
+                // Locally observable evidence of a safety failure
+                // elsewhere (e.g. amnesiac restarts re-voting): the
+                // replica keeps its original chain and surfaces the
+                // conflict for invariant checkers instead of committing.
+                out.actions
+                    .push(Action::Note(Note::CommitConflict { block }));
             }
         }
     }

@@ -413,3 +413,50 @@ fn lagging_replica_catches_up_via_fetch() {
     // p3 saw only Decide messages, fetched the blocks, and committed.
     assert_eq!(cl.total_committed_txs(P3), 10);
 }
+
+/// Post-crash view resynchronization (the f+1 attestation rule): with
+/// linear view changes a recovered replica never overhears VIEW-CHANGE
+/// traffic, so peers' `CATCH-UP` responses — whose headers carry the
+/// responder's current view — are what pull it forward. One claim must
+/// not move it (a lone Byzantine responder could drag it arbitrarily
+/// far); the (f+1)-th highest claim is attested by at least one honest
+/// replica and is joined immediately.
+#[test]
+fn catch_up_responses_resynchronize_a_lagging_replica() {
+    use marlin_core::marlin::Marlin;
+    use marlin_core::{Action, Event, Protocol};
+
+    let cfg = Config::for_test(4, 1);
+    let mut p3 = Marlin::new(cfg.with_id(P3));
+    p3.step(Event::Start);
+    assert_eq!(p3.current_view(), View(1));
+
+    // A single (possibly Byzantine) claim of a far-future view: no move.
+    let inflated = Message::new(P1, View(99), MsgBody::CatchUpResponse { commit_qc: None });
+    p3.step(Event::Message(inflated));
+    assert_eq!(
+        p3.current_view(),
+        View(1),
+        "one attestation must not move the view"
+    );
+
+    // A second, honest claim: f + 1 = 2 peers are now above view 1, and
+    // the 2nd-highest claim (view 4, the honest one) bounds the jump.
+    let honest = Message::new(P0, View(4), MsgBody::CatchUpResponse { commit_qc: None });
+    let out = p3.step(Event::Message(honest));
+    assert_eq!(
+        p3.current_view(),
+        View(4),
+        "should join the honestly-attested view"
+    );
+    // Joining means a VIEW-CHANGE goes to the view-4 leader (linearity).
+    assert!(
+        out.actions.iter().any(|a| matches!(
+            a,
+            Action::Send { to, message } if *to == ReplicaId::leader_of(View(4), 4)
+                && matches!(&message.body, MsgBody::ViewChange(_))
+        )),
+        "expected a VIEW-CHANGE to the view-4 leader: {:?}",
+        out.actions
+    );
+}

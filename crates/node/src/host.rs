@@ -1,8 +1,9 @@
 //! The replica host: a protocol plus its durable block log.
 
-use marlin_core::{Action, Config, Event, Protocol, StepOutput};
+use marlin_core::marlin::Marlin;
+use marlin_core::{Action, Config, Event, Protocol, SafetyJournal, StepOutput};
 
-use marlin_storage::{KvStore, MemDisk, StoreConfig};
+use marlin_storage::{KvStore, MemDisk, SharedDisk, StoreConfig};
 use marlin_types::{codec, Block, BlockStore, Message, MsgBody, ReplicaId, View};
 
 /// The paper's checkpoint (garbage-collection) interval: every 5000
@@ -34,6 +35,24 @@ impl ReplicaHost {
             blocks_since_checkpoint: 0,
             persist,
         }
+    }
+
+    /// A Marlin replica whose consensus safety state is write-ahead
+    /// journaled on `disk` (DESIGN.md §9): the lock, last vote, and
+    /// view are appended and synced before any vote leaves the host,
+    /// so a crash can never lead to an equivocating restart.
+    pub fn durable(cfg: Config, disk: SharedDisk, persist: bool) -> Self {
+        let journal = SafetyJournal::open(disk).expect("fresh safety journal");
+        ReplicaHost::new(Box::new(Marlin::with_journal(cfg, journal)), persist)
+    }
+
+    /// Rebuilds a crashed [`ReplicaHost::durable`] replica from its
+    /// safety journal: the replayed view, last-voted block, lock, and
+    /// `highQC` (torn final records discarded by CRC) gate every vote
+    /// the restarted replica casts.
+    pub fn recover(cfg: Config, disk: SharedDisk, persist: bool) -> Self {
+        let journal = SafetyJournal::open(disk).expect("safety journal replay");
+        ReplicaHost::new(Box::new(Marlin::recover(cfg, journal)), persist)
     }
 
     /// Read access to the block log database.
@@ -171,6 +190,23 @@ mod tests {
             "block log missing on {} hosts",
             4 - with_block
         );
+    }
+
+    /// A durable host crashed after entering a view comes back
+    /// remembering it — the journal survives, the process state does
+    /// not.
+    #[test]
+    fn durable_host_recovers_its_view_from_disk() {
+        let cfg = Config::for_test(4, 1);
+        let disk = marlin_storage::SharedDisk::new();
+        let mut host = ReplicaHost::durable(cfg.with_id(ReplicaId(0)), disk.clone(), false);
+        host.step(Event::Start);
+        let view = host.current_view();
+        assert!(view >= View(1));
+        drop(host); // process death
+        disk.crash(); // power loss: unsynced bytes are gone
+        let recovered = ReplicaHost::recover(cfg.with_id(ReplicaId(0)), disk, false);
+        assert_eq!(recovered.current_view(), view);
     }
 
     #[test]

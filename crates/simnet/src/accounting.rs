@@ -28,7 +28,10 @@ impl MsgClass {
             MsgBody::Vote(v) => MsgClass::Vote(v.seed.phase),
             MsgBody::ViewChange(_) => MsgClass::ViewChange,
             MsgBody::Decide(_) => MsgClass::Decide,
-            MsgBody::FetchRequest { .. } | MsgBody::FetchResponse { .. } => MsgClass::Fetch,
+            MsgBody::FetchRequest { .. }
+            | MsgBody::FetchResponse { .. }
+            | MsgBody::CatchUpRequest { .. }
+            | MsgBody::CatchUpResponse { .. } => MsgClass::Fetch,
         }
     }
 

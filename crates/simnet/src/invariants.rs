@@ -21,8 +21,8 @@
 
 use crate::sim::InvariantChecker;
 use marlin_core::Protocol;
-use marlin_types::{BlockId, Height, ReplicaId, View};
-use std::collections::{BTreeMap, HashSet};
+use marlin_types::{BlockId, Height, Message, MsgBody, Phase, ReplicaId, View};
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::{Arc, Mutex};
 
 /// A detected invariant violation.
@@ -75,6 +75,23 @@ pub enum Violation {
         /// Committed chain length at the end of the run.
         committed_at_end: usize,
     },
+    /// An honest replica voted for two different blocks in the same
+    /// `(view, phase, height)` slot — the signature of an amnesiac
+    /// restart re-voting a slot it already voted before the crash.
+    DoubleVote {
+        /// The replica that voted twice.
+        replica: ReplicaId,
+        /// The vote's view.
+        view: View,
+        /// The vote's phase.
+        phase: Phase,
+        /// The vote's height.
+        height: Height,
+        /// The block voted first.
+        first: BlockId,
+        /// The conflicting block voted later.
+        second: BlockId,
+    },
 }
 
 impl Violation {
@@ -100,6 +117,12 @@ struct State {
     len_at_quiet: Option<usize>,
     /// Simulated time of the last canonical chain growth.
     last_commit_ns: u64,
+    /// First block voted per `(replica, view, phase, height)` slot, for
+    /// the double-vote detector.
+    votes: HashMap<(ReplicaId, View, Phase, Height), BlockId>,
+    /// Vote slots already reported as double votes (each slot is
+    /// reported once, not once per retransmission).
+    flagged_votes: HashSet<(ReplicaId, View, Phase, Height)>,
     violations: Vec<Violation>,
 }
 
@@ -206,6 +229,13 @@ impl InvariantChecker for Invariants {
             }
             let id = ReplicaId(i as u32);
             let chain = rep.store().committed_chain();
+            // A replica rebuilt after a crash (disk-backed or amnesiac
+            // recovery) starts over with a shorter chain: rewind the
+            // cursor so its re-commits are checked against the
+            // canonical chain instead of silently skipped.
+            if chain.len() < st.seen_len[i] {
+                st.seen_len[i] = 0;
+            }
             for (pos, &bid) in chain.iter().enumerate().skip(st.seen_len[i]) {
                 if pos < st.canonical.len() {
                     if st.canonical[pos] != bid {
@@ -268,6 +298,36 @@ impl InvariantChecker for Invariants {
 
         if now_ns >= self.quiet_ns && st.len_at_quiet.is_none() {
             st.len_at_quiet = Some(st.canonical.len());
+        }
+    }
+
+    /// Double-vote detection over votes crossing the network. (A
+    /// leader's vote for its own proposal never crosses the network —
+    /// `step` resolves it internally — so this watches non-leader votes,
+    /// which is where amnesiac re-voting shows up.)
+    fn on_vote(&mut self, _now_ns: u64, from: ReplicaId, msg: &Message) {
+        if self.byzantine.contains(&from) {
+            return;
+        }
+        let MsgBody::Vote(v) = &msg.body else { return };
+        let key = (from, v.seed.view, v.seed.phase, v.seed.height);
+        let mut st = self.state.lock().expect("single-threaded");
+        match st.votes.get(&key).copied() {
+            None => {
+                st.votes.insert(key, v.seed.block);
+            }
+            Some(first) if first != v.seed.block && !st.flagged_votes.contains(&key) => {
+                st.flagged_votes.insert(key);
+                st.violations.push(Violation::DoubleVote {
+                    replica: from,
+                    view: v.seed.view,
+                    phase: v.seed.phase,
+                    height: v.seed.height,
+                    first,
+                    second: v.seed.block,
+                });
+            }
+            Some(_) => {}
         }
     }
 }

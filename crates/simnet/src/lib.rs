@@ -48,4 +48,7 @@ pub use accounting::{Accounting, MsgClass};
 pub use byzantine::{Behavior, ByzantineReplica};
 pub use invariants::{Invariants, Violation};
 pub use scenario::{run_scenario, BehaviorPhase, Scenario, ScenarioOutcome};
-pub use sim::{CommitObserver, InvariantChecker, LinkFault, Partition, SimConfig, SimNet};
+pub use sim::{
+    CommitObserver, InvariantChecker, LinkFault, Partition, RebuildFn, RecoveryMode, SimConfig,
+    SimNet,
+};

@@ -14,10 +14,12 @@
 
 use crate::byzantine::{Behavior, ByzantineReplica};
 use crate::invariants::{Invariants, Violation};
-use crate::sim::{LinkFault, Partition, SimConfig, SimNet};
+use crate::sim::{LinkFault, Partition, RecoveryMode, SimConfig, SimNet};
 use crate::MsgClass;
 use marlin_core::harness::build_protocol;
-use marlin_core::{Config, Protocol, ProtocolKind};
+use marlin_core::marlin::Marlin;
+use marlin_core::{Config, Protocol, ProtocolKind, SafetyJournal};
+use marlin_storage::SharedDisk;
 use marlin_types::{ReplicaId, View};
 use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex};
@@ -50,6 +52,14 @@ pub struct Scenario {
     /// Timed Byzantine behavior assignments. Any replica appearing here
     /// is treated as adversary-controlled by the invariant checker.
     pub behaviors: Vec<BehaviorPhase>,
+    /// How recovered replicas are reconstituted. Under anything other
+    /// than [`RecoveryMode::WithMemory`] the Marlin replicas run with
+    /// write-ahead safety journals on per-replica durable disks.
+    pub recovery_mode: RecoveryMode,
+    /// `(replica, at_ns, keep_bytes)` torn-write injections: the next
+    /// journal write after `at_ns` keeps only `keep_bytes` bytes and
+    /// fails (a crash-truncated record).
+    pub disk_tears: Vec<(ReplicaId, u64, usize)>,
     /// Client batch interval (batches follow the current leader).
     pub batch_every_ns: u64,
     /// When the schedule stops interfering; the liveness invariant
@@ -69,6 +79,8 @@ impl Scenario {
             partitions: Vec::new(),
             link_faults: Vec::new(),
             behaviors: Vec::new(),
+            recovery_mode: RecoveryMode::WithMemory,
+            disk_tears: Vec::new(),
             batch_every_ns: 250_000_000,
             quiet_ns,
             horizon_ns,
@@ -211,7 +223,83 @@ impl Scenario {
         s
     }
 
-    /// The full preset campaign (every schedule above).
+    /// Crash-restart fork probe, parameterised only by how the crashed
+    /// replicas come back. One schedule, three recovery modes:
+    ///
+    /// * p3 is down from the first nanosecond: it sees neither the
+    ///   empty start block B1 nor the first client block B2, so it
+    ///   rejoins (at 160 ms) with a genesis last-voted block.
+    /// * p0 votes B1 and B2; a torn-write injection then truncates its
+    ///   `LastVoted(B3)` journal append for the ~126 ms heartbeat block
+    ///   B3, so p0 abstains from B3 in every mode.
+    /// * The view-1 leader p1 and p0 crash at 130 ms and recover at
+    ///   200/210 ms. While the pair rejoins, sync traffic into them
+    ///   (catch-up and block-fetch responses) is suppressed — votes and
+    ///   proposals still flow — so recovery rests on what each replica
+    ///   *remembers*, not on what peers re-teach it.
+    ///
+    /// Under [`RecoveryMode::Amnesia`] the recovered pair forgets its
+    /// view-1 votes: p1 re-proposes from genesis, re-certifies B1 (the
+    /// deterministic empty block), and then proposes a conflicting B2'
+    /// from the 250 ms client batch — p0 re-votes height 2 (a double
+    /// vote) and the p0/p1/p3 quorum commits a fork of p2's chain.
+    /// Under [`RecoveryMode::FromDisk`] the replayed journals (p0's
+    /// torn tail discarded by CRC) pin both replicas to their pre-crash
+    /// votes: p1 deterministically re-proposes the same B3, p0's first
+    /// height-3 vote completes it, and the run stays safe and live.
+    /// Under [`RecoveryMode::WithMemory`] nothing is forgotten at all.
+    pub fn restart_fork(mode: RecoveryMode) -> Self {
+        let name = match mode {
+            RecoveryMode::WithMemory => "restart-fork/with-memory",
+            RecoveryMode::FromDisk => "restart-fork/from-disk",
+            RecoveryMode::Amnesia => "restart-fork/amnesia",
+        };
+        let mut s = Self::base(name, 3_000_000_000, 6_000_000_000);
+        s.recovery_mode = mode;
+        s.crashes = vec![
+            (ReplicaId(3), 1),
+            (ReplicaId(0), 130_000_000),
+            (ReplicaId(1), 130_000_000),
+        ];
+        s.recoveries = vec![
+            (ReplicaId(3), 160_000_000),
+            (ReplicaId(0), 200_000_000),
+            (ReplicaId(1), 210_000_000),
+        ];
+        // No catch-up or fetch responses into the rejoining pair during
+        // its recovery window.
+        s.link_faults = [ReplicaId(2), ReplicaId(3)]
+            .into_iter()
+            .flat_map(|src| {
+                [ReplicaId(0), ReplicaId(1)]
+                    .into_iter()
+                    .map(move |dst| LinkFault {
+                        src: Some(src),
+                        dst: Some(dst),
+                        classes: Some(vec![MsgClass::Fetch]),
+                        ..LinkFault::drop_all(150_000_000, 400_000_000)
+                    })
+            })
+            .collect();
+        // The next journal write on p0 after 120 ms (its vote for the
+        // ~126 ms heartbeat block B3) is torn to a 3-byte stub.
+        s.disk_tears = vec![(ReplicaId(0), 120_000_000, 3)];
+        s
+    }
+
+    /// The crash-restart contrast cells (Marlin-only: journal-backed
+    /// recovery is a Marlin feature). Kept out of [`Self::all_presets`]
+    /// because the amnesia cell is *expected* to violate safety.
+    pub fn restart_presets() -> Vec<Scenario> {
+        vec![
+            Scenario::restart_fork(RecoveryMode::WithMemory),
+            Scenario::restart_fork(RecoveryMode::FromDisk),
+            Scenario::restart_fork(RecoveryMode::Amnesia),
+        ]
+    }
+
+    /// The full preset campaign (every schedule above except the
+    /// restart contrast cells).
     pub fn all_presets() -> Vec<Scenario> {
         vec![
             Scenario::crash_recover_leaders(),
@@ -290,10 +378,22 @@ pub fn run_scenario(kind: ProtocolKind, scenario: &Scenario, seed: u64) -> Scena
     }
     let byzantine: Vec<ReplicaId> = handles.keys().copied().collect();
 
+    // Scenarios that exercise durability run every Marlin replica with
+    // a write-ahead safety journal on a per-replica durable disk; all
+    // other scenarios are bit-identical to the journal-free setup.
+    let with_disks =
+        scenario.recovery_mode != RecoveryMode::WithMemory || !scenario.disk_tears.is_empty();
+    let disks: Vec<SharedDisk> = (0..n).map(|_| SharedDisk::new()).collect();
+
     let replicas: Vec<Box<dyn Protocol>> = (0..n)
         .map(|i| {
             let id = ReplicaId(i as u32);
-            let inner = build_protocol(kind, cfg.with_id(id));
+            let inner = if with_disks && matches!(kind, ProtocolKind::Marlin) {
+                let journal = SafetyJournal::open(disks[i].clone()).expect("fresh journal");
+                Box::new(Marlin::with_journal(cfg.with_id(id), journal)) as Box<dyn Protocol>
+            } else {
+                build_protocol(kind, cfg.with_id(id))
+            };
             match handles.get(&id) {
                 Some(h) => Box::new(ByzantineReplica::with_shared(inner, Arc::clone(h)))
                     as Box<dyn Protocol>,
@@ -318,6 +418,32 @@ pub fn run_scenario(kind: ProtocolKind, scenario: &Scenario, seed: u64) -> Scena
     }
     for &(replica, at_ns) in &scenario.recoveries {
         sim.schedule_recover(replica, at_ns);
+    }
+    if with_disks {
+        let rcfg = cfg.clone();
+        let mode = scenario.recovery_mode;
+        sim.configure_recovery(
+            mode,
+            disks.clone(),
+            Box::new(move |id, disk| {
+                // Journal-backed restart is a Marlin feature; other
+                // protocols rejoin with fresh (amnesiac) state.
+                if matches!(kind, ProtocolKind::Marlin) {
+                    let journal = SafetyJournal::open(disk).expect("journal replay");
+                    match mode {
+                        RecoveryMode::FromDisk => {
+                            Box::new(Marlin::recover(rcfg.with_id(id), journal))
+                        }
+                        _ => Box::new(Marlin::with_journal(rcfg.with_id(id), journal)),
+                    }
+                } else {
+                    build_protocol(kind, rcfg.with_id(id))
+                }
+            }),
+        );
+        for &(replica, at_ns, keep_bytes) in &scenario.disk_tears {
+            sim.schedule_disk_tear(replica, at_ns, keep_bytes);
+        }
     }
 
     // Drive client load at the current leader until the quiet point,

@@ -4,7 +4,8 @@ use crate::accounting::{Accounting, MsgClass};
 use bytes_len::wire_len_of;
 use marlin_core::harness::build_protocol;
 use marlin_core::{Action, Config, Event, Note, Protocol, ProtocolKind};
-use marlin_types::{Block, Message, ReplicaId, Transaction, View};
+use marlin_storage::SharedDisk;
+use marlin_types::{Block, Message, MsgBody, ReplicaId, Transaction, View};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::BinaryHeap;
@@ -23,7 +24,36 @@ pub trait InvariantChecker {
     /// Called after each simulation event; `crashed[i]` tells whether
     /// replica `i` is currently down.
     fn after_event(&mut self, now_ns: u64, replicas: &[Box<dyn Protocol>], crashed: &[bool]);
+
+    /// Called for every vote-carrying message a live replica hands to
+    /// the network (before drops/partitions), so checkers can detect
+    /// equivocation that network faults would otherwise hide.
+    fn on_vote(&mut self, now_ns: u64, from: ReplicaId, msg: &Message) {
+        let _ = (now_ns, from, msg);
+    }
 }
+
+/// How a replica's state is reconstituted when a scheduled `Recover`
+/// fires (see [`SimNet::configure_recovery`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum RecoveryMode {
+    /// In-memory protocol state survives the crash (a process pause
+    /// rather than a real crash) — the legacy simulator behaviour.
+    #[default]
+    WithMemory,
+    /// The protocol state machine is rebuilt from the replica's durable
+    /// disk (safety-journal replay); in-memory state is lost.
+    FromDisk,
+    /// Both the state machine and the disk are lost: the replica
+    /// rejoins with genesis state. Unsafe by design — the negative
+    /// control for the durability experiments.
+    Amnesia,
+}
+
+/// Rebuilds a replica's protocol instance from its surviving disk after
+/// a [`RecoveryMode::FromDisk`] or [`RecoveryMode::Amnesia`] recovery
+/// (the disk is wiped first under `Amnesia`).
+pub type RebuildFn = Box<dyn FnMut(ReplicaId, SharedDisk) -> Box<dyn Protocol>>;
 
 /// A network partition active during `[from_ns, until_ns)`: messages
 /// pass only between replicas sharing a group. Replicas absent from
@@ -185,6 +215,10 @@ enum Ev {
     Recover {
         replica: ReplicaId,
     },
+    TearDisk {
+        replica: ReplicaId,
+        keep_bytes: usize,
+    },
 }
 
 struct Entry {
@@ -266,6 +300,10 @@ pub struct SimNet {
     filter: Option<FilterFn>,
     next_tx_id: u64,
     events_processed: u64,
+    recovery_mode: RecoveryMode,
+    /// Per-replica durable disks; empty unless recovery is configured.
+    disks: Vec<SharedDisk>,
+    rebuild: Option<RebuildFn>,
 }
 
 impl SimNet {
@@ -307,6 +345,9 @@ impl SimNet {
             filter: None,
             next_tx_id: 0,
             events_processed: 0,
+            recovery_mode: RecoveryMode::default(),
+            disks: Vec::new(),
+            rebuild: None,
         };
         for i in 0..n {
             net.step_replica(ReplicaId(i as u32), Event::Start);
@@ -395,17 +436,54 @@ impl SimNet {
         self.events_processed
     }
 
-    /// Schedules a crash of `replica` at `at_ns`.
+    /// Schedules a crash of `replica` at `at_ns`. Crashing also loses
+    /// any disk writes not yet synced (the disk reverts to its durable
+    /// image), matching a power failure.
     pub fn schedule_crash(&mut self, replica: ReplicaId, at_ns: u64) {
         self.push(at_ns, Ev::Crash { replica });
     }
 
-    /// Schedules `replica` to come back up at `at_ns`. The recovered
-    /// replica keeps its pre-crash protocol state (crash-recovery with
-    /// durable state, not amnesia) and is nudged with a view timeout so
-    /// its pacemaker re-arms and it rejoins via view change.
+    /// Schedules `replica` to come back up at `at_ns`. How its state is
+    /// reconstituted depends on the configured [`RecoveryMode`]
+    /// (default: in-memory state survives); in every mode the replica
+    /// is handed [`Event::Recovered`] so it re-arms its view timer and
+    /// solicits whatever it missed.
     pub fn schedule_recover(&mut self, replica: ReplicaId, at_ns: u64) {
         self.push(at_ns, Ev::Recover { replica });
+    }
+
+    /// Configures crash recovery: the mode, one durable disk handle per
+    /// replica (the same handles the replicas' journals write to), and
+    /// the factory that rebuilds a replica from its disk under
+    /// [`RecoveryMode::FromDisk`] / [`RecoveryMode::Amnesia`].
+    pub fn configure_recovery(
+        &mut self,
+        mode: RecoveryMode,
+        disks: Vec<SharedDisk>,
+        rebuild: RebuildFn,
+    ) {
+        assert_eq!(disks.len(), self.replicas.len(), "one disk per replica");
+        self.recovery_mode = mode;
+        self.disks = disks;
+        self.rebuild = Some(rebuild);
+    }
+
+    /// Schedules a torn-write injection: the next write `replica`'s
+    /// disk receives after `at_ns` keeps only its first `keep_bytes`
+    /// bytes and fails — the classic torn tail a crash leaves behind.
+    pub fn schedule_disk_tear(&mut self, replica: ReplicaId, at_ns: u64, keep_bytes: usize) {
+        self.push(
+            at_ns,
+            Ev::TearDisk {
+                replica,
+                keep_bytes,
+            },
+        );
+    }
+
+    /// The durable disk of `id`, when recovery is configured.
+    pub fn disk(&self, id: ReplicaId) -> Option<&SharedDisk> {
+        self.disks.get(id.index())
     }
 
     /// Whether `id` is currently crashed.
@@ -515,15 +593,46 @@ impl SimNet {
             }
             Ev::Crash { replica } => {
                 self.crashed[replica.index()] = true;
+                // Unsynced disk writes die with the process.
+                if let Some(disk) = self.disks.get(replica.index()) {
+                    disk.crash();
+                }
             }
             Ev::Recover { replica } => {
                 if self.crashed[replica.index()] {
                     self.crashed[replica.index()] = false;
-                    // Any timers armed before the crash have fired into
-                    // the void; kick the pacemaker so the replica times
-                    // out of its stale view and rejoins.
-                    let view = self.replicas[replica.index()].current_view();
-                    self.step_replica(replica, Event::Timeout { view });
+                    let rebuilt = match self.recovery_mode {
+                        RecoveryMode::WithMemory => None,
+                        RecoveryMode::FromDisk | RecoveryMode::Amnesia => {
+                            match (self.disks.get(replica.index()), self.rebuild.as_mut()) {
+                                (Some(disk), Some(rebuild)) => {
+                                    if self.recovery_mode == RecoveryMode::Amnesia {
+                                        disk.wipe();
+                                    }
+                                    Some(rebuild(replica, disk.clone()))
+                                }
+                                _ => None,
+                            }
+                        }
+                    };
+                    if let Some(fresh) = rebuilt {
+                        self.replicas[replica.index()] = fresh;
+                        // A rebuilt machine needs its bootstrap (a
+                        // journal-recovered one treats Start as a no-op).
+                        self.step_replica(replica, Event::Start);
+                    }
+                    // In every mode the protocol re-arms its own view
+                    // timer (and may solicit missed state) — no
+                    // synthetic timeout injection.
+                    self.step_replica(replica, Event::Recovered);
+                }
+            }
+            Ev::TearDisk {
+                replica,
+                keep_bytes,
+            } => {
+                if let Some(disk) = self.disks.get(replica.index()) {
+                    disk.tear_next_write_after(keep_bytes);
                 }
             }
         }
@@ -552,16 +661,30 @@ impl SimNet {
         }
     }
 
+    /// Surfaces a vote-carrying message to the invariant checker before
+    /// the network model can drop or delay it.
+    fn observe_vote(&mut self, from: ReplicaId, msg: &Message) {
+        if !matches!(msg.body, MsgBody::Vote(_)) || self.crashed[from.index()] {
+            return;
+        }
+        if let Some(mut checker) = self.checker.take() {
+            checker.on_vote(self.now_ns, from, msg);
+            self.checker = Some(checker);
+        }
+    }
+
     fn dispatch_action(&mut self, from: ReplicaId, at_ns: u64, action: Action) {
         match action {
             Action::Send { to, message } => {
                 debug_assert_ne!(to, from, "self-sends are resolved by step()");
+                self.observe_vote(from, &message);
                 self.transmit(from, to, message, at_ns);
             }
             Action::Broadcast { message } => {
                 if self.crashed[from.index()] {
                     return;
                 }
+                self.observe_vote(from, &message);
                 // Per-broadcast work happens once: the wire length (and,
                 // in debug builds, the shared reference encoding) is
                 // computed here, not per recipient. Each recipient then

@@ -3,6 +3,7 @@
 use std::collections::BTreeMap;
 use std::io;
 use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
 
 /// A minimal filesystem interface for the store's files.
 ///
@@ -122,6 +123,80 @@ impl Disk for MemDisk {
     }
 }
 
+/// A cloneable handle to one shared [`MemDisk`]: every clone addresses
+/// the same files. This lets a consensus replica (which owns a durable
+/// journal on the disk) and a fault-injecting harness (which crashes
+/// the disk and tears its writes) hold the *same* per-replica disk —
+/// and, unlike [`MemDisk::crash`] which consumes the disk, crash it in
+/// place so outstanding handles stay valid across the restart.
+#[derive(Clone, Debug, Default)]
+pub struct SharedDisk(Arc<Mutex<MemDisk>>);
+
+impl SharedDisk {
+    /// A handle to a fresh empty disk.
+    pub fn new() -> Self {
+        SharedDisk::default()
+    }
+
+    fn inner(&self) -> std::sync::MutexGuard<'_, MemDisk> {
+        self.0.lock().expect("disk lock")
+    }
+
+    /// Simulates a crash in place: all state reverts to the last synced
+    /// state (see [`MemDisk::crash`]); armed torn writes are cleared.
+    pub fn crash(&self) {
+        let mut disk = self.inner();
+        *disk = std::mem::take(&mut *disk).crash();
+    }
+
+    /// Discards *everything*, durable state included — the "replaced
+    /// hardware" amnesia fault, as opposed to [`SharedDisk::crash`]'s
+    /// power loss.
+    pub fn wipe(&self) {
+        *self.inner() = MemDisk::new();
+    }
+
+    /// Arms fault injection: the next write tears after `bytes` bytes.
+    pub fn tear_next_write_after(&self, bytes: usize) {
+        self.inner().tear_next_write_after(bytes);
+    }
+
+    /// Total live bytes (for size assertions).
+    pub fn total_bytes(&self) -> usize {
+        self.inner().total_bytes()
+    }
+}
+
+impl Disk for SharedDisk {
+    fn write_file(&mut self, name: &str, data: &[u8]) -> io::Result<()> {
+        self.inner().write_file(name, data)
+    }
+
+    fn append(&mut self, name: &str, data: &[u8]) -> io::Result<()> {
+        self.inner().append(name, data)
+    }
+
+    fn read_file(&self, name: &str) -> io::Result<Vec<u8>> {
+        self.inner().read_file(name)
+    }
+
+    fn exists(&self, name: &str) -> bool {
+        self.inner().exists(name)
+    }
+
+    fn remove(&mut self, name: &str) -> io::Result<()> {
+        self.inner().remove(name)
+    }
+
+    fn list(&self) -> io::Result<Vec<String>> {
+        self.inner().list()
+    }
+
+    fn sync(&mut self) -> io::Result<()> {
+        self.inner().sync()
+    }
+}
+
 /// A real directory-backed disk.
 #[derive(Debug)]
 pub struct FileDisk {
@@ -233,6 +308,24 @@ mod tests {
         // Fault injection is one-shot.
         d.append("log", b"!").unwrap();
         assert_eq!(d.read_file("log").unwrap(), b"abcdefgh!");
+    }
+
+    #[test]
+    fn shared_disk_clones_alias_and_crash_in_place() {
+        let a = SharedDisk::new();
+        let mut b = a.clone();
+        b.write_file("j", b"durable").unwrap();
+        b.sync().unwrap();
+        b.append("j", b" volatile").unwrap();
+        assert_eq!(a.read_file("j").unwrap(), b"durable volatile");
+        a.crash();
+        // Both handles still work and see the reverted state.
+        assert_eq!(b.read_file("j").unwrap(), b"durable");
+        a.tear_next_write_after(2);
+        assert!(b.append("j", b"abcd").is_err());
+        assert_eq!(a.read_file("j").unwrap(), b"durableab");
+        a.wipe();
+        assert!(!b.exists("j"));
     }
 
     #[test]

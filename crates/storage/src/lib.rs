@@ -47,7 +47,7 @@ mod wal;
 
 pub use cost::IoCostModel;
 pub use crc::crc32;
-pub use disk::{Disk, FileDisk, MemDisk};
+pub use disk::{Disk, FileDisk, MemDisk, SharedDisk};
 pub use memtable::MemTable;
 pub use segment::Segment;
 pub use store::{KvStore, StoreConfig, StoreError};

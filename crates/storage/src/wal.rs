@@ -23,11 +23,28 @@ impl Wal {
     /// Propagates disk errors; on error the tail may be torn (recovery
     /// will discard it).
     pub fn append<D: Disk>(disk: &mut D, payload: &[u8]) -> io::Result<()> {
+        Self::append_named(disk, WAL_FILE, payload)
+    }
+
+    /// Appends one record to a log under `name` — the same record
+    /// format as [`Wal::append`], but on a caller-chosen file so
+    /// several logs (e.g. the KV store's WAL and a consensus safety
+    /// journal) can share one disk.
+    ///
+    /// # Errors
+    ///
+    /// Propagates disk errors; on error the tail may be torn (recovery
+    /// will discard it).
+    pub fn append_named<D: Disk + ?Sized>(
+        disk: &mut D,
+        name: &str,
+        payload: &[u8],
+    ) -> io::Result<()> {
         let mut rec = Vec::with_capacity(8 + payload.len());
         rec.extend_from_slice(&(payload.len() as u32).to_le_bytes());
         rec.extend_from_slice(&crc32(payload).to_le_bytes());
         rec.extend_from_slice(payload);
-        disk.append(WAL_FILE, &rec)
+        disk.append(name, &rec)
     }
 
     /// Replays all intact records, oldest first. A missing log yields an
@@ -37,9 +54,35 @@ impl Wal {
     ///
     /// Propagates disk read errors other than "not found".
     pub fn replay<D: Disk>(disk: &D) -> io::Result<Vec<Vec<u8>>> {
-        let data = match disk.read_file(WAL_FILE) {
+        Self::replay_named(disk, WAL_FILE)
+    }
+
+    /// Replays the log under `name` (see [`Wal::replay`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates disk read errors other than "not found".
+    pub fn replay_named<D: Disk + ?Sized>(disk: &D, name: &str) -> io::Result<Vec<Vec<u8>>> {
+        Ok(Self::replay_named_checked(disk, name)?.0)
+    }
+
+    /// Replays the log under `name`, additionally reporting whether the
+    /// scan consumed the whole file. `false` means a torn or corrupt
+    /// tail remains on disk *after* the intact prefix — anything
+    /// appended to the raw file after that point would be invisible to
+    /// replay, so callers that keep appending must first truncate or
+    /// switch files.
+    ///
+    /// # Errors
+    ///
+    /// Propagates disk read errors other than "not found".
+    pub fn replay_named_checked<D: Disk + ?Sized>(
+        disk: &D,
+        name: &str,
+    ) -> io::Result<(Vec<Vec<u8>>, bool)> {
+        let data = match disk.read_file(name) {
             Ok(d) => d,
-            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Vec::new()),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok((Vec::new(), true)),
             Err(e) => return Err(e),
         };
         let mut records = Vec::new();
@@ -59,7 +102,7 @@ impl Wal {
             records.push(payload.to_vec());
             pos = end;
         }
-        Ok(records)
+        Ok((records, pos == data.len()))
     }
 
     /// Truncates the log (after a successful memtable flush).
@@ -71,9 +114,23 @@ impl Wal {
         disk.remove(WAL_FILE)
     }
 
+    /// Truncates the log under `name`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates disk errors.
+    pub fn reset_named<D: Disk + ?Sized>(disk: &mut D, name: &str) -> io::Result<()> {
+        disk.remove(name)
+    }
+
     /// Current log size in bytes (0 if absent).
     pub fn size<D: Disk>(disk: &D) -> usize {
         disk.read_file(WAL_FILE).map(|d| d.len()).unwrap_or(0)
+    }
+
+    /// Size in bytes of the log under `name` (0 if absent).
+    pub fn size_named<D: Disk + ?Sized>(disk: &D, name: &str) -> usize {
+        disk.read_file(name).map(|d| d.len()).unwrap_or(0)
     }
 }
 
@@ -119,6 +176,22 @@ mod tests {
         raw[idx] ^= 0xFF;
         d.write_file(WAL_FILE, &raw).unwrap();
         assert_eq!(Wal::replay(&d).unwrap(), vec![b"first".to_vec()]);
+    }
+
+    #[test]
+    fn named_logs_are_independent() {
+        let mut d = MemDisk::new();
+        Wal::append(&mut d, b"kv").unwrap();
+        Wal::append_named(&mut d, "safety", b"lock").unwrap();
+        Wal::append_named(&mut d, "safety", b"vote").unwrap();
+        assert_eq!(Wal::replay(&d).unwrap(), vec![b"kv".to_vec()]);
+        assert_eq!(
+            Wal::replay_named(&d, "safety").unwrap(),
+            vec![b"lock".to_vec(), b"vote".to_vec()]
+        );
+        Wal::reset_named(&mut d, "safety").unwrap();
+        assert_eq!(Wal::size_named(&d, "safety"), 0);
+        assert!(Wal::size(&d) > 0);
     }
 
     #[test]

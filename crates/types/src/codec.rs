@@ -121,6 +121,20 @@ fn put_message(buf: &mut BytesMut, msg: &Message, shadow: bool) {
                 }
             }
         }
+        MsgBody::CatchUpRequest { last_committed } => {
+            buf.put_u8(6);
+            buf.put_u64_le(last_committed.0);
+        }
+        MsgBody::CatchUpResponse { commit_qc } => {
+            buf.put_u8(7);
+            match commit_qc {
+                None => buf.put_u8(0),
+                Some(qc) => {
+                    buf.put_u8(1);
+                    put_qc(buf, qc);
+                }
+            }
+        }
     }
 }
 
@@ -197,7 +211,10 @@ fn put_batch(buf: &mut BytesMut, batch: &Batch) {
     }
 }
 
-fn put_block_meta(buf: &mut BytesMut, m: &BlockMeta) {
+/// Serializes a [`BlockMeta`] (fixed [`BlockMeta::WIRE_LEN`] bytes).
+/// Public so durable-state layers (e.g. the consensus safety journal)
+/// can reuse the wire encoding for their record payloads.
+pub fn put_block_meta(buf: &mut BytesMut, m: &BlockMeta) {
     put_digest(buf, &m.id.digest());
     buf.put_u64_le(m.view.0);
     buf.put_u64_le(m.height.0);
@@ -206,7 +223,9 @@ fn put_block_meta(buf: &mut BytesMut, m: &BlockMeta) {
     buf.put_u8(m.rank_boost as u8);
 }
 
-fn put_justify(buf: &mut BytesMut, j: &Justify) {
+/// Serializes a [`Justify`] (1 tag byte plus its QCs). Public for
+/// durable-state record payloads.
+pub fn put_justify(buf: &mut BytesMut, j: &Justify) {
     match j {
         Justify::None => buf.put_u8(0),
         Justify::One(qc) => {
@@ -221,7 +240,9 @@ fn put_justify(buf: &mut BytesMut, j: &Justify) {
     }
 }
 
-fn put_qc(buf: &mut BytesMut, qc: &Qc) {
+/// Serializes a [`Qc`] in its wire form ([`Qc::wire_len`] bytes).
+/// Public for durable-state record payloads.
+pub fn put_qc(buf: &mut BytesMut, qc: &Qc) {
     put_seed(buf, qc.seed());
     put_combined_sig(buf, qc.sig());
 }
@@ -350,6 +371,21 @@ fn get_message(buf: &mut &[u8]) -> Result<Message> {
                 virtual_parent,
             }
         }
+        6 => MsgBody::CatchUpRequest {
+            last_committed: Height(get_u64(buf)?),
+        },
+        7 => MsgBody::CatchUpResponse {
+            commit_qc: match get_u8(buf)? {
+                0 => None,
+                1 => Some(get_qc(buf)?),
+                t => {
+                    return Err(DecodeError::BadTag {
+                        what: "CatchUpResponse.commit_qc",
+                        tag: t,
+                    })
+                }
+            },
+        },
         t => {
             return Err(DecodeError::BadTag {
                 what: "MsgBody",
@@ -508,7 +544,12 @@ fn get_batch(buf: &mut &[u8]) -> Result<Batch> {
     Ok(Batch::new(txs))
 }
 
-fn get_block_meta(buf: &mut &[u8]) -> Result<BlockMeta> {
+/// Deserializes a [`BlockMeta`] written by [`put_block_meta`].
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] on a truncated or malformed buffer.
+pub fn get_block_meta(buf: &mut &[u8]) -> Result<BlockMeta> {
     Ok(BlockMeta {
         id: BlockId::from_digest(get_digest(buf)?),
         view: View(get_u64(buf)?),
@@ -519,7 +560,12 @@ fn get_block_meta(buf: &mut &[u8]) -> Result<BlockMeta> {
     })
 }
 
-fn get_justify(buf: &mut &[u8]) -> Result<Justify> {
+/// Deserializes a [`Justify`] written by [`put_justify`].
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] on a truncated or malformed buffer.
+pub fn get_justify(buf: &mut &[u8]) -> Result<Justify> {
     match get_u8(buf)? {
         0 => Ok(Justify::None),
         1 => Ok(Justify::One(get_qc(buf)?)),
@@ -531,7 +577,12 @@ fn get_justify(buf: &mut &[u8]) -> Result<Justify> {
     }
 }
 
-fn get_qc(buf: &mut &[u8]) -> Result<Qc> {
+/// Deserializes a [`Qc`] written by [`put_qc`].
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] on a truncated or malformed buffer.
+pub fn get_qc(buf: &mut &[u8]) -> Result<Qc> {
     let seed = get_seed(buf)?;
     let sig = get_combined_sig(buf)?;
     Ok(Qc::new(seed, sig))
@@ -825,6 +876,32 @@ mod tests {
             ),
             false,
         );
+    }
+
+    #[test]
+    fn catch_up_round_trips() {
+        let ks = keys();
+        let qc = make_qc(&ks, Phase::Commit, 6, QcFormat::Threshold);
+        round_trip(
+            Message::new(
+                ReplicaId(2),
+                View(6),
+                MsgBody::CatchUpRequest {
+                    last_committed: Height(17),
+                },
+            ),
+            false,
+        );
+        for commit_qc in [None, Some(qc)] {
+            round_trip(
+                Message::new(
+                    ReplicaId(1),
+                    View(6),
+                    MsgBody::CatchUpResponse { commit_qc },
+                ),
+                false,
+            );
+        }
     }
 
     #[test]

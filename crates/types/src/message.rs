@@ -7,7 +7,7 @@
 //! protocols and the block-synchronisation layer need.
 
 use crate::block::{Block, BlockId, BlockMeta, Justify};
-use crate::ids::{ReplicaId, View};
+use crate::ids::{Height, ReplicaId, View};
 use crate::qc::{Phase, Qc, QcSeed};
 use marlin_crypto::{PartialSig, Sha256, Signature};
 use std::fmt;
@@ -69,6 +69,19 @@ pub enum MsgBody {
         /// (virtual blocks carry no parent link of their own).
         virtual_parent: Option<BlockId>,
     },
+    /// A recovering replica's broadcast: "my committed chain ends at
+    /// `last_committed` — tell me what I missed." Peers answer with
+    /// their latest `commitQC`; the fetch machinery then pulls any
+    /// missing blocks.
+    CatchUpRequest {
+        /// Height of the requester's highest committed block.
+        last_committed: Height,
+    },
+    /// Response to a catch-up request.
+    CatchUpResponse {
+        /// The responder's highest known `commitQC`, if any.
+        commit_qc: Option<Qc>,
+    },
 }
 
 impl MsgBody {
@@ -80,6 +93,10 @@ impl MsgBody {
             MsgBody::Decide(d) => d.wire_len(),
             MsgBody::FetchRequest { .. } => 32,
             MsgBody::FetchResponse { block, .. } => block.wire_len() + 33,
+            MsgBody::CatchUpRequest { .. } => 8,
+            MsgBody::CatchUpResponse { commit_qc } => {
+                1 + commit_qc.as_ref().map_or(0, Qc::wire_len)
+            }
         }
     }
 
@@ -91,6 +108,10 @@ impl MsgBody {
             MsgBody::Decide(d) => d.commit_qc.authenticator_count(),
             MsgBody::FetchRequest { .. } => 0,
             MsgBody::FetchResponse { block, .. } => block.justify().authenticator_count(),
+            MsgBody::CatchUpRequest { .. } => 0,
+            MsgBody::CatchUpResponse { commit_qc } => {
+                commit_qc.as_ref().map_or(0, Qc::authenticator_count)
+            }
         }
     }
 }
@@ -282,6 +303,10 @@ impl fmt::Display for Message {
             MsgBody::Decide(_) => "Decide".to_string(),
             MsgBody::FetchRequest { .. } => "FetchRequest".to_string(),
             MsgBody::FetchResponse { .. } => "FetchResponse".to_string(),
+            MsgBody::CatchUpRequest { last_committed } => {
+                format!("CatchUpRequest(h{})", last_committed.0)
+            }
+            MsgBody::CatchUpResponse { .. } => "CatchUpResponse".to_string(),
         };
         write!(f, "[{} {:?} {}]", self.from, self.view, kind)
     }

@@ -9,11 +9,22 @@
 //! with the global invariant checker attached, and prints the verdict
 //! table.
 //!
+//! A second, Marlin-only grid runs the crash-restart schedule under the
+//! three recovery modes (DESIGN.md §9): `Amnesia` is *expected* to read
+//! `UNSAFE` — a restarting voter that forgot its journal re-votes and
+//! helps certify a conflicting commit — while `FromDisk` (journal
+//! replay, torn tail included) and `WithMemory` must stay clean.
+//!
 //! Expected headline: every honest-quorum protocol row reads `OK`
 //! (zero safety violations, commits resume once the schedule goes
 //! quiet), while `TwoPhaseInsecure` under the unsafe-snapshot schedule
 //! reads `STALL` — the wedge Marlin's pre-prepare phase exists to
 //! break.
+//!
+//! The campaign exits nonzero on any *unexpected* outcome: a safety
+//! violation outside the amnesia demonstration cells, a missed Figure
+//! 2b wedge, or an amnesia cell that fails to reproduce the fork — so
+//! CI can run it as a gate.
 //!
 //! ```sh
 //! cargo run --release --example fault_campaign
@@ -55,4 +66,57 @@ fn main() {
             "NOT reproduced"
         }
     );
+
+    // The durability contrast: one crash-restart schedule, three
+    // recovery modes, Marlin only (the journal is a Marlin feature).
+    let mut restart = CampaignReport::new();
+    for scenario in Scenario::restart_presets() {
+        for seed in seeds {
+            restart.push(run_scenario(ProtocolKind::Marlin, &scenario, seed));
+        }
+    }
+    println!("\nrestart campaign (Marlin, three recovery modes):");
+    print!("{}", restart.render());
+
+    let mut failures = Vec::new();
+    if report.total_safety_violations() > 0 {
+        failures.push(format!(
+            "main campaign recorded {} safety violations (expected 0)",
+            report.total_safety_violations()
+        ));
+    }
+    if !wedged {
+        failures.push("Figure 2b wedge not reproduced on the two-phase strawman".to_string());
+    }
+    for r in restart.rows() {
+        let amnesia_demo = r.scenario == "restart-fork/amnesia";
+        if amnesia_demo && r.safety_violations() == 0 {
+            failures.push(format!(
+                "amnesia cell (seed {}) failed to reproduce the fork — \
+                 the durability demonstration lost its teeth",
+                r.seed
+            ));
+        }
+        if !amnesia_demo && r.safety_violations() > 0 {
+            failures.push(format!(
+                "{} (seed {}) violated safety under recovery: {:?}",
+                r.scenario, r.seed, r.violations
+            ));
+        }
+    }
+    println!(
+        "\nAmnesia forks on all seeds; FromDisk and WithMemory stay clean: {}",
+        if failures.is_empty() {
+            "reproduced"
+        } else {
+            "NOT reproduced"
+        }
+    );
+
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("campaign FAILURE: {f}");
+        }
+        std::process::exit(1);
+    }
 }

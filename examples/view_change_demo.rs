@@ -44,6 +44,12 @@ fn trace(sim: &SimNet, from_ns: u64) {
             Note::Committed { height, txs } => {
                 format!("committed up to height {height} ({txs} txs)")
             }
+            Note::CommitConflict { block } => {
+                format!("COMMIT CONFLICT: certified block {block} contradicts the chain")
+            }
+            Note::VoteWithheld { phase } => {
+                format!("withheld {phase:?} vote (journal append failed)")
+            }
         };
         println!("  {:>8.1} ms  {}  {}", *at as f64 / 1e6, id, what);
     }

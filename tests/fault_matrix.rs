@@ -16,7 +16,7 @@
 //!   snapshot adversary, on every seed.
 
 use marlin_bft::core::ProtocolKind;
-use marlin_bft::simnet::{run_scenario, Scenario, ScenarioOutcome};
+use marlin_bft::simnet::{run_scenario, RecoveryMode, Scenario, ScenarioOutcome, Violation};
 
 const SEEDS: [u64; 3] = [7, 42, 2022];
 const HONEST_QUORUM_PROTOCOLS: [ProtocolKind; 4] = [
@@ -167,6 +167,67 @@ fn insecure_two_phase_fails_the_checker_under_equivocation() {
                 good.violations
             );
         }
+    }
+}
+
+#[test]
+fn restart_amnesia_forks_but_journal_replay_does_not() {
+    // The durability contrast (Issue 3's payoff): one crash-restart
+    // schedule, three recovery modes. An amnesiac restart of the voter
+    // p0 and the leader p1 re-runs view 1 and commits a conflicting
+    // height-1 block — the checker pins the cause on p0's double vote.
+    // Replaying the on-disk safety journals instead (including p0's
+    // crash-truncated final record, discarded by CRC) blocks every
+    // re-vote, and the identical schedule stays safe and live.
+    for seed in SEEDS {
+        let amnesia = run_scenario(
+            ProtocolKind::Marlin,
+            &Scenario::restart_fork(RecoveryMode::Amnesia),
+            seed,
+        );
+        assert_eq!(
+            amnesia.verdict(),
+            "SAFETY",
+            "amnesiac restart should fork (seed {seed}): {:?}",
+            amnesia.violations
+        );
+        assert!(
+            amnesia
+                .violations
+                .iter()
+                .any(|v| matches!(v, Violation::DoubleVote { .. })),
+            "the fork should be pinned on a double vote (seed {seed}): {:?}",
+            amnesia.violations
+        );
+
+        let from_disk = run_scenario(
+            ProtocolKind::Marlin,
+            &Scenario::restart_fork(RecoveryMode::FromDisk),
+            seed,
+        );
+        assert_eq!(
+            from_disk.safety_violations(),
+            0,
+            "journal replay must keep the identical schedule safe (seed {seed}): {:?}",
+            from_disk.violations
+        );
+        assert!(
+            !from_disk.has_liveness_stall(),
+            "journal replay must also stay live (seed {seed}): {:?}",
+            from_disk.violations
+        );
+
+        let with_memory = run_scenario(
+            ProtocolKind::Marlin,
+            &Scenario::restart_fork(RecoveryMode::WithMemory),
+            seed,
+        );
+        assert_eq!(
+            with_memory.verdict(),
+            "OK",
+            "in-memory recovery baseline must be clean (seed {seed}): {:?}",
+            with_memory.violations
+        );
     }
 }
 

@@ -5,7 +5,9 @@
 //! committing (liveness after GST, Theorem 2).
 
 use marlin_bft::core::{harness::Cluster, Config, ProtocolKind};
-use marlin_bft::simnet::{run_scenario, Behavior, BehaviorPhase, LinkFault, Partition, Scenario};
+use marlin_bft::simnet::{
+    run_scenario, Behavior, BehaviorPhase, LinkFault, Partition, RecoveryMode, Scenario,
+};
 use marlin_bft::types::{Message, ReplicaId, View};
 use proptest::prelude::*;
 
@@ -96,6 +98,8 @@ fn random_schedule(
         partitions: Vec::new(),
         link_faults: Vec::new(),
         behaviors: Vec::new(),
+        recovery_mode: RecoveryMode::WithMemory,
+        disk_tears: Vec::new(),
         batch_every_ns: 250_000_000,
         quiet_ns: 3_000_000_000,
         horizon_ns: 6_000_000_000,
