@@ -1,13 +1,15 @@
 //! Regenerates the paper's tables and figures on the simulated testbed.
 //!
 //! ```text
-//! eval [--full] [table1|fig10-tvl|fig10g|fig10h|fig10i|fig10j|ablate-shadow|ablate-sig|ablate-four-phase|all]
+//! eval [--full] [--json[=PATH]] [table1|fig10-tvl|fig10g|fig10h|fig10i|fig10j|ablate-shadow|ablate-sig|ablate-four-phase|all]
 //! ```
 //!
 //! Without `--full` the sweeps run at reduced durations and fewer
 //! points (minutes → seconds); the *shapes* are preserved either way.
+//! With `--json`, every printed table is also written as a
+//! machine-readable mirror to `BENCH_results.json` (or `PATH`).
 
-use marlin_bench::report::{bytes, ktps, ms, Table};
+use marlin_bench::report::{bytes, ktps, ms, JsonReport, Table};
 use marlin_bench::{figures, vc, Effort};
 use marlin_core::ProtocolKind;
 use marlin_crypto::QcFormat;
@@ -17,6 +19,14 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let full = args.iter().any(|a| a == "--full");
     let effort = if full { Effort::Full } else { Effort::Quick };
+    let json_path: Option<std::path::PathBuf> = args
+        .iter()
+        .find(|a| *a == "--json" || a.starts_with("--json="))
+        .map(|a| {
+            a.strip_prefix("--json=")
+                .unwrap_or("BENCH_results.json")
+                .into()
+        });
     let wanted: Vec<&str> = args
         .iter()
         .filter(|a| !a.starts_with("--"))
@@ -32,44 +42,50 @@ fn main() {
 
     println!("# marlin-bft evaluation (effort: {effort:?})\n");
     let t0 = std::time::Instant::now();
+    let mut rep = JsonReport::new(if full { "full" } else { "quick" });
 
     if run("table1") {
-        table1(effort);
+        table1(effort, &mut rep);
     }
     if run("fig10-tvl") {
-        fig10_tvl(effort);
+        fig10_tvl(effort, &mut rep);
     }
     if run("fig10g") {
-        fig10g(effort);
+        fig10g(effort, &mut rep);
     }
     if run("fig10h") {
-        fig10h(effort);
+        fig10h(effort, &mut rep);
     }
     if run("fig10i") {
-        fig10i();
+        fig10i(&mut rep);
     }
     if run("fig10j") {
-        fig10j(effort);
+        fig10j(effort, &mut rep);
     }
     if run("ablate-shadow") {
-        ablate_shadow();
+        ablate_shadow(&mut rep);
     }
     if run("ablate-sig") {
-        ablate_sig(effort);
+        ablate_sig(effort, &mut rep);
     }
     if run("ablate-four-phase") {
-        ablate_four_phase();
+        ablate_four_phase(&mut rep);
     }
 
+    if let Some(path) = json_path {
+        rep.write(&path).expect("write JSON results");
+        println!("\n_wrote {} sections to {}_", rep.len(), path.display());
+    }
     println!("\n_total wall-clock: {:.1}s_", t0.elapsed().as_secs_f64());
 }
 
 /// Table I — measured view-change complexity vs n.
-fn table1(effort: Effort) {
+fn table1(effort: Effort, rep: &mut JsonReport) {
     println!("## Table I — view-change complexity (measured)\n");
     println!(
         "One forced view change per cell; `bytes`/`auths`/`msgs` count all \
-traffic from the leader crash to the first commit of the new view.\n"
+protocol traffic from the leader crash to the first commit of the new view \
+(catch-up recovery traffic is excluded from the measurement window).\n"
     );
     let fs: &[usize] = match effort {
         Effort::Quick => &[1, 5, 10],
@@ -98,7 +114,7 @@ traffic from the leader crash to the first commit of the new view.\n"
                     format,
                     SimConfig::paper_testbed(),
                 );
-                let w = m.window.total();
+                let w = m.window.protocol_total();
                 table.row(vec![
                     protocol.name().to_string(),
                     m.n.to_string(),
@@ -109,12 +125,17 @@ traffic from the leader crash to the first commit of the new view.\n"
                 ]);
             }
         }
+        rep.section(
+            &format!("table1_{}", format!("{format:?}").to_lowercase()),
+            &format!("Table I — view-change complexity ({format:?})"),
+            &table,
+        );
         println!("{}", table.render());
     }
 }
 
 /// Fig. 10a–f — throughput vs latency curves.
-fn fig10_tvl(effort: Effort) {
+fn fig10_tvl(effort: Effort, rep: &mut JsonReport) {
     println!("## Fig. 10a–f — throughput vs latency\n");
     let fs: &[usize] = match effort {
         Effort::Quick => &[1, 2],
@@ -140,12 +161,17 @@ fn fig10_tvl(effort: Effort) {
                 ]);
             }
         }
+        rep.section(
+            &format!("fig10_tvl_f{f}"),
+            &format!("Fig. 10a–f — throughput vs latency (f = {f})"),
+            &table,
+        );
         println!("{}", table.render());
     }
 }
 
 /// Fig. 10g — peak throughput across f.
-fn fig10g(effort: Effort) {
+fn fig10g(effort: Effort, rep: &mut JsonReport) {
     println!("## Fig. 10g — peak throughput (150-byte requests)\n");
     let fs: &[usize] = match effort {
         Effort::Quick => &[1, 2, 3],
@@ -170,11 +196,12 @@ fn fig10g(effort: Effort) {
             format!("{adv:+.1}%"),
         ]);
     }
+    rep.section("fig10g", "Fig. 10g — peak throughput (150-byte)", &table);
     println!("{}", table.render());
 }
 
 /// Fig. 10h — peak throughput for no-op requests.
-fn fig10h(effort: Effort) {
+fn fig10h(effort: Effort, rep: &mut JsonReport) {
     println!("## Fig. 10h — peak throughput (no-op requests)\n");
     let mut table = Table::new(&[
         "f",
@@ -195,11 +222,12 @@ fn fig10h(effort: Effort) {
             format!("{adv:+.1}%"),
         ]);
     }
+    rep.section("fig10h", "Fig. 10h — peak throughput (no-op)", &table);
     println!("{}", table.render());
 }
 
 /// Fig. 10i — view-change latency.
-fn fig10i() {
+fn fig10i(rep: &mut JsonReport) {
     println!("## Fig. 10i — view-change latency\n");
     let mut table = Table::new(&[
         "f",
@@ -241,11 +269,12 @@ fn fig10i() {
             ms(hotstuff.latency_ns),
         ]);
     }
+    rep.section("fig10i", "Fig. 10i — view-change latency", &table);
     println!("{}", table.render());
 }
 
 /// Fig. 10j — rotating leaders under failures (f = 3).
-fn fig10j(effort: Effort) {
+fn fig10j(effort: Effort, rep: &mut JsonReport) {
     println!("## Fig. 10j — rotating leaders under failures (f = 3)\n");
     let rate = 40_000;
     let mut table = Table::new(&[
@@ -265,11 +294,16 @@ fn fig10j(effort: Effort) {
             format!("{adv:+.1}%"),
         ]);
     }
+    rep.section(
+        "fig10j",
+        "Fig. 10j — rotating leaders under failures",
+        &table,
+    );
     println!("{}", table.render());
 }
 
 /// Ablation A1 — shadow blocks.
-fn ablate_shadow() {
+fn ablate_shadow(rep: &mut JsonReport) {
     println!("## Ablation A1 — shadow blocks (unhappy view-change bytes)\n");
     let mut table = Table::new(&["f", "with shadow (bytes)", "without (bytes)", "saved"]);
     for f in [1usize, 5] {
@@ -282,12 +316,13 @@ fn ablate_shadow() {
             format!("{saved:.1}%"),
         ]);
     }
+    rep.section("ablate_shadow", "Ablation A1 — shadow blocks", &table);
     println!("{}", table.render());
 }
 
 /// Ablation A2 — QC wire format (the paper's signature-group vs
 /// threshold-signature instantiation trade, Section I).
-fn ablate_sig(_effort: Effort) {
+fn ablate_sig(_effort: Effort, rep: &mut JsonReport) {
     println!("## Ablation A2 — QC format (signature group vs threshold)\n");
     println!(
         "Unhappy view-change window under each instantiation: groups of conventional signatures avoid pairings but cost n×64 B per certificate.\n"
@@ -301,7 +336,10 @@ fn ablate_sig(_effort: Effort) {
     ]);
     for f in [1usize, 5, 10] {
         let (group, threshold) = figures::ablate_qc_format(f);
-        let (gw, tw) = (group.window.total(), threshold.window.total());
+        let (gw, tw) = (
+            group.window.protocol_total(),
+            threshold.window.protocol_total(),
+        );
         table.row(vec![
             f.to_string(),
             bytes(gw.bytes),
@@ -310,11 +348,12 @@ fn ablate_sig(_effort: Effort) {
             tw.authenticators.to_string(),
         ]);
     }
+    rep.section("ablate_sig", "Ablation A2 — QC format", &table);
     println!("{}", table.render());
 }
 
 /// Ablation A3 — why virtual blocks exist (Section IV-D).
-fn ablate_four_phase() {
+fn ablate_four_phase(rep: &mut JsonReport) {
     println!("## Ablation A3 — virtual blocks vs the four-phase design\n");
     println!(
         "View-change latency of the paper's \"half-baked\" alternative (replica-voted pre-prepare without virtual blocks, then a three-phase commit):\n"
@@ -325,6 +364,7 @@ fn ablate_four_phase() {
     for (row_a, row_b) in a.iter().zip(b.iter()) {
         table.row(vec![row_a.0.clone(), ms(row_a.1), ms(row_b.1)]);
     }
+    rep.section("ablate_four_phase", "Ablation A3 — virtual blocks", &table);
     println!("{}", table.render());
     println!(
         "The four-phase design is linear but *slower than HotStuff* — exactly the trade the paper rejects; the virtual block removes two of its phases.\n"

@@ -116,7 +116,7 @@ pub fn ablate_shadow_blocks(f: usize) -> (u64, u64) {
             !m.took_happy_path,
             "shadow ablation requires the unhappy path"
         );
-        m.window.total().bytes
+        m.window.protocol_total().bytes
     };
     (run(true), run(false))
 }

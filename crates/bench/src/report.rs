@@ -1,5 +1,6 @@
-//! Markdown report rendering for the `eval` binary.
+//! Markdown and JSON report rendering for the `eval` binary.
 
+use marlin_telemetry::json_str;
 use std::fmt::Write as _;
 
 /// A simple markdown table builder.
@@ -29,6 +30,16 @@ impl Table {
         self
     }
 
+    /// Column headers.
+    pub fn header(&self) -> &[String] {
+        &self.header
+    }
+
+    /// Rows, in insertion order.
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
     /// Renders the table as GitHub-flavoured markdown.
     pub fn render(&self) -> String {
         let mut out = String::new();
@@ -46,6 +57,85 @@ impl Table {
             let _ = writeln!(out, "| {} |", row.join(" | "));
         }
         out
+    }
+}
+
+/// Machine-readable mirror of the markdown report: every table the
+/// `eval` binary prints is also registered here, and the collection
+/// serializes to `BENCH_results.json` (rows keyed by column header, so
+/// downstream tooling never parses markdown).
+#[derive(Clone, Debug, Default)]
+pub struct JsonReport {
+    effort: String,
+    sections: Vec<(String, String, Table)>,
+}
+
+impl JsonReport {
+    /// An empty report labeled with the run's effort level.
+    pub fn new(effort: &str) -> Self {
+        JsonReport {
+            effort: effort.to_string(),
+            sections: Vec::new(),
+        }
+    }
+
+    /// Registers one rendered table under a stable section id.
+    pub fn section(&mut self, id: &str, title: &str, table: &Table) {
+        self.sections
+            .push((id.to_string(), title.to_string(), table.clone()));
+    }
+
+    /// Number of registered sections.
+    pub fn len(&self) -> usize {
+        self.sections.len()
+    }
+
+    /// Whether no section has been registered.
+    pub fn is_empty(&self) -> bool {
+        self.sections.is_empty()
+    }
+
+    /// Serializes the whole report to a JSON document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"effort\": {},", json_str(&self.effort));
+        out.push_str("  \"sections\": [\n");
+        for (i, (id, title, table)) in self.sections.iter().enumerate() {
+            out.push_str("    {\n");
+            let _ = writeln!(out, "      \"id\": {},", json_str(id));
+            let _ = writeln!(out, "      \"title\": {},", json_str(title));
+            let cols: Vec<String> = table.header().iter().map(|h| json_str(h)).collect();
+            let _ = writeln!(out, "      \"columns\": [{}],", cols.join(", "));
+            out.push_str("      \"rows\": [\n");
+            for (j, row) in table.rows().iter().enumerate() {
+                let cells: Vec<String> = table
+                    .header()
+                    .iter()
+                    .zip(row.iter())
+                    .map(|(h, c)| format!("{}: {}", json_str(h), json_str(c)))
+                    .collect();
+                let comma = if j + 1 < table.rows().len() { "," } else { "" };
+                let _ = writeln!(out, "        {{{}}}{comma}", cells.join(", "));
+            }
+            out.push_str("      ]\n");
+            let comma = if i + 1 < self.sections.len() { "," } else { "" };
+            let _ = writeln!(out, "    }}{comma}");
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Writes the JSON document to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying filesystem error.
+    pub fn write(&self, path: &std::path::Path) -> std::io::Result<()> {
+        if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+            std::fs::create_dir_all(dir)?;
+        }
+        std::fs::write(path, self.to_json())
     }
 }
 
@@ -90,6 +180,19 @@ mod tests {
     #[should_panic(expected = "column count mismatch")]
     fn table_rejects_ragged_rows() {
         Table::new(&["a"]).row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn json_report_mirrors_tables() {
+        let mut t = Table::new(&["protocol", "n"]);
+        t.row(vec!["marlin".into(), "4".into()]);
+        let mut rep = JsonReport::new("quick");
+        rep.section("table1", "Table I", &t);
+        let json = rep.to_json();
+        assert!(json.contains("\"effort\": \"quick\""));
+        assert!(json.contains("\"id\": \"table1\""));
+        assert!(json.contains("\"columns\": [\"protocol\", \"n\"]"));
+        assert!(json.contains("{\"protocol\": \"marlin\", \"n\": \"4\"}"));
     }
 
     #[test]

@@ -199,6 +199,11 @@ impl Chained {
             Justify::None => return,
         };
         self.outstanding = Some(block.id());
+        out.actions.push(Action::Note(Note::Proposed {
+            view,
+            height: block.height(),
+            phase: Phase::Prepare,
+        }));
         out.actions.push(Action::Broadcast {
             message: Message::new(
                 self.cfg().id,
@@ -410,9 +415,8 @@ impl Chained {
             return;
         }
         let quorum = self.quorum();
-        let Some(qc) = self
-            .votes
-            .add(v.seed, v.parsig, quorum, &mut self.base.crypto)
+        let Some(qc) =
+            crate::votes::add_vote_noted(&mut self.votes, &v, quorum, &mut self.base.crypto, out)
         else {
             return;
         };
@@ -819,9 +823,8 @@ impl Chained {
                 }
             }
         }
-        if let Some(qc) = self
-            .votes
-            .add(v.seed, v.parsig, quorum, &mut self.base.crypto)
+        if let Some(qc) =
+            crate::votes::add_vote_noted(&mut self.votes, &v, quorum, &mut self.base.crypto, out)
         {
             out.actions.push(Action::Note(Note::QcFormed {
                 phase: Phase::PrePrepare,

@@ -1,6 +1,11 @@
 //! Events consumed and actions produced by the protocol state machines.
 
-use marlin_types::{Block, BlockId, Height, Message, Phase, ReplicaId, Transaction, View};
+use marlin_types::{Block, Message, ReplicaId, Transaction, View};
+
+// The structured trace vocabulary lives in `marlin-telemetry` (so the
+// telemetry pipeline can consume it without depending on the protocol
+// crate); re-exported here because protocols *produce* these notes.
+pub use marlin_telemetry::{Note, VcCase};
 
 /// An input to a replica's state machine.
 ///
@@ -68,80 +73,6 @@ pub enum Action {
     },
     /// A trace note for tests, examples, and benchmarks.
     Note(Note),
-}
-
-/// Which leader case of the Marlin view-change pre-prepare phase ran
-/// (Section V-C).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
-pub enum VcCase {
-    /// Case V1: a `prepareQC` plus a higher-ranked reported block — the
-    /// leader proposes a normal and a virtual shadow block.
-    V1,
-    /// Case V2: the leader is certain its snapshot is safe — one block.
-    V2,
-    /// Case V3: two `pre-prepareQC`s of equal rank — two shadow blocks.
-    V3,
-}
-
-/// Structured trace events for observability; they carry no protocol
-/// meaning.
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub enum Note {
-    /// The replica entered a view.
-    EnteredView {
-        /// The new view.
-        view: View,
-        /// Whether this replica leads it.
-        leader: bool,
-    },
-    /// The replica timed out and started a view change.
-    ViewChangeStarted {
-        /// The view being abandoned.
-        from_view: View,
-    },
-    /// The new leader took the happy path: view change in two phases.
-    HappyPathVc {
-        /// The new view.
-        view: View,
-    },
-    /// The new leader ran the pre-prepare phase (three-phase view
-    /// change) under the given case.
-    UnhappyPathVc {
-        /// The new view.
-        view: View,
-        /// Which leader case applied.
-        case: VcCase,
-    },
-    /// A quorum certificate was formed by the leader.
-    QcFormed {
-        /// Certified phase.
-        phase: Phase,
-        /// View of formation.
-        view: View,
-        /// Height of the certified block.
-        height: Height,
-    },
-    /// Blocks were committed.
-    Committed {
-        /// Height of the newest committed block.
-        height: Height,
-        /// Number of transactions across the newly committed blocks.
-        txs: usize,
-    },
-    /// A `commitQC` certified a block that conflicts with a block this
-    /// replica already committed. Locally observable evidence of a
-    /// safety failure somewhere in the system (e.g. replicas re-voting
-    /// after amnesiac restarts); the replica keeps its original chain.
-    CommitConflict {
-        /// The conflicting certified block.
-        block: BlockId,
-    },
-    /// The replica abstained from a vote because the write-ahead append
-    /// to its safety journal failed (e.g. a torn write at crash time).
-    VoteWithheld {
-        /// The phase of the withheld vote.
-        phase: Phase,
-    },
 }
 
 /// The result of one state-machine step.

@@ -16,7 +16,8 @@ use crate::marlin_four_phase::MarlinFourPhase;
 use crate::two_phase_insecure::TwoPhaseInsecure;
 use crate::util::Protocol;
 use bytes::Bytes;
-use marlin_types::{Block, BlockId, Message, ReplicaId, Transaction, View};
+use marlin_telemetry::TelemetrySink;
+use marlin_types::{Block, BlockId, Message, MsgClass, ReplicaId, Transaction, View};
 use std::collections::{BinaryHeap, HashSet, VecDeque};
 
 /// A message filter: return `false` to drop the message on the link
@@ -96,6 +97,9 @@ pub struct Cluster {
     live_view_timer: Vec<u64>,
     /// Latest armed heartbeat seq per replica.
     live_heartbeat: Vec<u64>,
+    /// Telemetry sink: notes and message sends are forwarded here,
+    /// stamped with the virtual clock.
+    telemetry: Option<Box<dyn TelemetrySink>>,
 }
 
 impl Cluster {
@@ -119,6 +123,7 @@ impl Cluster {
             steps: 0,
             live_view_timer: vec![0; n],
             live_heartbeat: vec![0; n],
+            telemetry: None,
         };
         for i in 0..n {
             cluster.step_replica(ReplicaId(i as u32), Event::Start);
@@ -295,6 +300,19 @@ impl Cluster {
         &self.notes
     }
 
+    /// Installs a telemetry sink. Every note and every transmitted
+    /// message is forwarded to it, stamped with the virtual clock.
+    /// Install before driving the cluster: events emitted earlier are
+    /// not replayed.
+    pub fn set_telemetry(&mut self, sink: Box<dyn TelemetrySink>) {
+        self.telemetry = Some(sink);
+    }
+
+    /// Removes and returns the installed telemetry sink, if any.
+    pub fn take_telemetry(&mut self) -> Option<Box<dyn TelemetrySink>> {
+        self.telemetry.take()
+    }
+
     /// Asserts that all correct replicas' committed chains are
     /// prefix-consistent (the safety property of Theorem 1).
     ///
@@ -346,6 +364,7 @@ impl Cluster {
                 Action::Send { to, message } => {
                     debug_assert_ne!(to, from, "self-sends are resolved by step()");
                     if self.allowed(from, to, &message) {
+                        self.record_sent(from, &message);
                         self.enqueue(to, Event::Message(message));
                     }
                 }
@@ -353,6 +372,7 @@ impl Cluster {
                     for i in 0..self.replicas.len() {
                         let to = ReplicaId(i as u32);
                         if to != from && self.allowed(from, to, &message) {
+                            self.record_sent(from, &message);
                             self.enqueue(to, Event::Message(message.clone()));
                         }
                     }
@@ -380,8 +400,28 @@ impl Cluster {
                         kind: TimerKind::Heartbeat,
                     });
                 }
-                Action::Note(note) => self.notes.push((from, note)),
+                Action::Note(note) => {
+                    if let Some(sink) = self.telemetry.as_mut() {
+                        sink.note(self.now_ns, from, &note);
+                    }
+                    self.notes.push((from, note));
+                }
             }
+        }
+    }
+
+    /// Forwards one transmitted message copy to the telemetry sink.
+    /// The harness models instant links, so the full (non-shadow) wire
+    /// length is charged.
+    fn record_sent(&mut self, from: ReplicaId, message: &Message) {
+        if let Some(sink) = self.telemetry.as_mut() {
+            sink.message_sent(
+                self.now_ns,
+                from,
+                MsgClass::of(message),
+                message.wire_len(false) as u64,
+                message.authenticator_count() as u64,
+            );
         }
     }
 

@@ -161,6 +161,11 @@ impl HotStuff {
         );
         self.base.store_block(&block);
         self.in_flight = Some(block.id());
+        out.actions.push(Action::Note(Note::Proposed {
+            view,
+            height: block.height(),
+            phase: Phase::Prepare,
+        }));
         out.actions.push(Action::Broadcast {
             message: Message::new(
                 self.cfg().id,
@@ -303,9 +308,8 @@ impl HotStuff {
             return;
         }
         let quorum = self.cfg().quorum();
-        let Some(qc) = self
-            .votes
-            .add(v.seed, v.parsig, quorum, &mut self.base.crypto)
+        let Some(qc) =
+            crate::votes::add_vote_noted(&mut self.votes, &v, quorum, &mut self.base.crypto, out)
         else {
             return;
         };

@@ -145,6 +145,11 @@ impl Jolteon {
         );
         self.base.store_block(&block);
         self.in_flight = Some(block.id());
+        out.actions.push(Action::Note(Note::Proposed {
+            view,
+            height: block.height(),
+            phase: Phase::Prepare,
+        }));
         let vc_proof = self.proof_for_view.remove(&view).unwrap_or_default();
         out.actions.push(Action::Broadcast {
             message: Message::new(
@@ -298,9 +303,8 @@ impl Jolteon {
             return;
         }
         let quorum = self.cfg().quorum();
-        let Some(qc) = self
-            .votes
-            .add(v.seed, v.parsig, quorum, &mut self.base.crypto)
+        let Some(qc) =
+            crate::votes::add_vote_noted(&mut self.votes, &v, quorum, &mut self.base.crypto, out)
         else {
             return;
         };

@@ -48,7 +48,7 @@
 
 use crate::events::{Action, Note};
 use bytes::{BufMut, BytesMut};
-use marlin_storage::{Disk, SharedDisk, Wal};
+use marlin_storage::{Disk, IoCostModel, SharedDisk, Wal};
 use marlin_types::codec::{
     get_block_meta, get_justify, get_qc, put_block_meta, put_justify, put_qc,
 };
@@ -243,6 +243,31 @@ fn decode_record(payload: &[u8]) -> Option<JournalRecord> {
     }
 }
 
+/// Accumulated write-ahead IO since the last [`SafetyJournal::take_io`]
+/// call: what the journal cost, for telemetry.
+///
+/// The modeled `cost_ns` is **reported, not charged**: folding it into
+/// a step's `cpu_ns` would perturb the deterministic schedules that the
+/// fault-injection campaign pins by fingerprint.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct JournalIo {
+    /// Append operations (including compaction snapshots) that reached
+    /// the disk.
+    pub appends: u64,
+    /// Bytes written, including the WAL's 8-byte length/CRC framing.
+    pub bytes: u64,
+    /// Modeled append + sync latency under [`IoCostModel::ssd`].
+    pub cost_ns: u64,
+}
+
+impl JournalIo {
+    fn charge(&mut self, payload_len: usize, cost: &IoCostModel) {
+        self.appends += 1;
+        self.bytes += payload_len as u64 + 8;
+        self.cost_ns += cost.wal_append(payload_len) + cost.sync_ns;
+    }
+}
+
 /// The write-ahead safety journal (see the module docs).
 #[derive(Clone, Debug)]
 pub struct SafetyJournal {
@@ -256,6 +281,10 @@ pub struct SafetyJournal {
     /// The last append tore; the log tail is unreadable past it, so the
     /// next append must compact to a fresh generation first.
     torn: bool,
+    /// IO cost model used for the telemetry accounting in `io`.
+    cost: IoCostModel,
+    /// IO accumulated since the last [`SafetyJournal::take_io`].
+    io: JournalIo,
 }
 
 impl SafetyJournal {
@@ -329,7 +358,15 @@ impl SafetyJournal {
             // after it would be invisible to the next replay, so the
             // first append must compact to a fresh generation.
             torn: !tail_clean,
+            cost: IoCostModel::ssd(),
+            io: JournalIo::default(),
         })
+    }
+
+    /// Takes (and resets) the IO accumulated since the last call, for
+    /// telemetry reporting.
+    pub fn take_io(&mut self) -> JournalIo {
+        std::mem::take(&mut self.io)
     }
 
     /// The monotone fold of everything durably acknowledged so far.
@@ -395,6 +432,7 @@ impl SafetyJournal {
         match Wal::append_named(&mut self.disk, &file, &payload) {
             Ok(()) => {
                 self.disk.sync()?;
+                self.io.charge(payload.len(), &self.cost);
                 self.state.apply(&rec);
                 self.records_in_gen += 1;
                 if self.records_in_gen >= SNAPSHOT_EVERY {
@@ -423,9 +461,10 @@ impl SafetyJournal {
         // would hide the snapshot from replay (the CRC scan stops at
         // the first bad frame), so truncate the target first.
         self.disk.remove(&target)?;
-        let snap = JournalRecord::Snapshot(self.state);
-        Wal::append_named(&mut self.disk, &target, &encode_record(&snap))?;
+        let snap = encode_record(&JournalRecord::Snapshot(self.state));
+        Wal::append_named(&mut self.disk, &target, &snap)?;
         self.disk.sync()?;
+        self.io.charge(snap.len(), &self.cost);
         let old = gen_file(self.gen);
         self.gen = next;
         self.records_in_gen = 1;
@@ -515,6 +554,28 @@ mod tests {
         }
         assert_eq!(decode_record(&[]), None);
         assert_eq!(decode_record(&[99]), None);
+    }
+
+    #[test]
+    fn take_io_reports_appends_and_drains() {
+        let disk = SharedDisk::new();
+        let mut j = SafetyJournal::open(disk).unwrap();
+        assert_eq!(j.take_io(), JournalIo::default());
+
+        j.log_view(View(1)).unwrap();
+        j.log_last_voted(&meta(1, 1, false)).unwrap();
+        let io = j.take_io();
+        assert_eq!(io.appends, 2);
+        // Each append is charged its payload plus 8 bytes WAL framing.
+        assert!(io.bytes > 16);
+        assert!(io.cost_ns > 0);
+
+        // Drained: a second take reports nothing.
+        assert_eq!(j.take_io(), JournalIo::default());
+
+        // A no-op fold (stale view) skips the disk and is not charged.
+        j.log_view(View(1)).unwrap();
+        assert_eq!(j.take_io(), JournalIo::default());
     }
 
     #[test]

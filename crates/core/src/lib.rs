@@ -52,7 +52,7 @@ mod votes;
 pub use config::{Config, ProtocolKind};
 pub use crypto_ctx::CryptoCtx;
 pub use events::{Action, Event, Note, StepOutput, VcCase};
-pub use journal::{JournalRecord, SafetyJournal, SafetySnapshot};
+pub use journal::{JournalIo, JournalRecord, SafetyJournal, SafetySnapshot};
 pub use pacemaker::Pacemaker;
 pub use util::Protocol;
 pub use votes::VoteCollector;

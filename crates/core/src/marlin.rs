@@ -92,6 +92,9 @@ pub struct Marlin {
     /// `f + 1` distinct peers claim views above ours, at least one of
     /// them is honest and that view is safe to join.
     peer_views: HashMap<ReplicaId, View>,
+    /// A broadcast `CATCH-UP` request is awaiting its first response
+    /// (drives the catch-up round-trip telemetry).
+    catch_up_outstanding: bool,
     /// Write-ahead safety journal; `None` runs without durability.
     journal: Option<SafetyJournal>,
 }
@@ -110,6 +113,7 @@ impl Marlin {
             in_flight: None,
             vc_rounds: HashMap::new(),
             peer_views: HashMap::new(),
+            catch_up_outstanding: false,
             journal: None,
         }
     }
@@ -184,6 +188,18 @@ impl Marlin {
             kind: qc.block_kind(),
             rank_boost: false,
         }
+    }
+
+    /// Adds a vote share, with first-share telemetry
+    /// (see [`crate::votes::add_vote_noted`]).
+    fn add_vote(&mut self, v: &Vote, out: &mut StepOutput) -> Option<Qc> {
+        crate::votes::add_vote_noted(
+            &mut self.votes,
+            v,
+            self.base.cfg.quorum(),
+            &mut self.base.crypto,
+            out,
+        )
     }
 
     /// Raises the lock to `qc` if it outranks the current lock.
@@ -311,6 +327,11 @@ impl Marlin {
             Justify::None => return,
         };
         self.in_flight = Some(block.id());
+        out.actions.push(Action::Note(Note::Proposed {
+            view,
+            height: block.height(),
+            phase: Phase::Prepare,
+        }));
         out.actions.push(Action::Broadcast {
             message: Message::new(
                 self.cfg().id,
@@ -350,6 +371,10 @@ impl Marlin {
                 .base
                 .latest_commit_qc
                 .filter(|qc| qc.height() > *last_committed);
+            out.actions.push(Action::Note(Note::CatchUpServed {
+                view: self.base.cview,
+                newer: commit_qc.is_some(),
+            }));
             out.actions.push(Action::Send {
                 to: msg.from,
                 message: Message::new(
@@ -361,6 +386,13 @@ impl Marlin {
             return;
         }
         if let MsgBody::CatchUpResponse { commit_qc } = &msg.body {
+            // The first response closes the catch-up round trip.
+            if self.catch_up_outstanding {
+                self.catch_up_outstanding = false;
+                out.actions.push(Action::Note(Note::CatchUpCompleted {
+                    view: self.base.cview,
+                }));
+            }
             // A served commit certificate is handled exactly like a
             // DECIDE: verify, sync views, commit (fetching blocks).
             if let Some(qc) = commit_qc {
@@ -526,10 +558,7 @@ impl Marlin {
         if v.seed.view != self.base.cview || Some(v.seed.block) != self.in_flight {
             return;
         }
-        if let Some(qc) = self
-            .votes
-            .add(v.seed, v.parsig, self.quorum(), &mut self.base.crypto)
-        {
+        if let Some(qc) = self.add_vote(&v, out) {
             out.actions.push(Action::Note(Note::QcFormed {
                 phase: Phase::Prepare,
                 view: qc.view(),
@@ -611,10 +640,7 @@ impl Marlin {
         if v.seed.view != self.base.cview || Some(v.seed.block) != self.in_flight {
             return;
         }
-        if let Some(qc) = self
-            .votes
-            .add(v.seed, v.parsig, self.quorum(), &mut self.base.crypto)
-        {
+        if let Some(qc) = self.add_vote(&v, out) {
             out.actions.push(Action::Note(Note::QcFormed {
                 phase: Phase::Commit,
                 view: qc.view(),
@@ -680,6 +706,9 @@ impl Marlin {
             .get(&self.base.store.last_committed())
             .map(|b| b.height())
             .unwrap_or_default();
+        self.catch_up_outstanding = true;
+        out.actions
+            .push(Action::Note(Note::CatchUpRequested { view }));
         out.actions.push(Action::Broadcast {
             message: Message::new(
                 self.cfg().id,
@@ -1112,7 +1141,6 @@ impl Marlin {
         if v.seed.view != view || !self.cfg().is_leader(view) {
             return;
         }
-        let quorum = self.quorum();
         let Some(round) = self.vc_rounds.get_mut(&view) else {
             return;
         };
@@ -1143,10 +1171,7 @@ impl Marlin {
                 }
             }
         }
-        if let Some(qc) = self
-            .votes
-            .add(v.seed, v.parsig, quorum, &mut self.base.crypto)
-        {
+        if let Some(qc) = self.add_vote(&v, out) {
             out.actions.push(Action::Note(Note::QcFormed {
                 phase: Phase::PrePrepare,
                 view: qc.view(),
@@ -1244,6 +1269,20 @@ impl Protocol for Marlin {
                 }
             }
             Event::Recovered => self.on_recovered(&mut out),
+        }
+        // Report the step's write-ahead journal IO (appends, bytes,
+        // modeled latency). Reported, not charged: folding the modeled
+        // cost into `cpu_ns` would perturb the deterministic schedules
+        // the fault-injection campaign pins by fingerprint.
+        if let Some(j) = self.journal.as_mut() {
+            let io = j.take_io();
+            if io.appends > 0 {
+                out.actions.push(Action::Note(Note::JournalWrite {
+                    appends: io.appends,
+                    bytes: io.bytes,
+                    cost_ns: io.cost_ns,
+                }));
+            }
         }
         self.base.finish(out)
     }

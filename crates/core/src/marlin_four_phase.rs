@@ -155,6 +155,11 @@ impl MarlinFourPhase {
         self.base.store_block(&block);
         self.in_flight = Some(block.id());
         self.recovering = false;
+        out.actions.push(Action::Note(Note::Proposed {
+            view,
+            height: block.height(),
+            phase: Phase::Prepare,
+        }));
         out.actions.push(Action::Broadcast {
             message: Message::new(
                 self.cfg().id,
@@ -184,6 +189,11 @@ impl MarlinFourPhase {
         self.base.store_block(&block);
         let round = self.vc_rounds.entry(view).or_default();
         round.candidate = Some(block.id());
+        out.actions.push(Action::Note(Note::Proposed {
+            view,
+            height: block.height(),
+            phase: Phase::PrePrepare,
+        }));
         out.actions.push(Action::Broadcast {
             message: Message::new(
                 self.cfg().id,
@@ -425,9 +435,8 @@ impl MarlinFourPhase {
             return;
         }
         let quorum = self.cfg().quorum();
-        let Some(qc) = self
-            .votes
-            .add(v.seed, v.parsig, quorum, &mut self.base.crypto)
+        let Some(qc) =
+            crate::votes::add_vote_noted(&mut self.votes, &v, quorum, &mut self.base.crypto, out)
         else {
             return;
         };

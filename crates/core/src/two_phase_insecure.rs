@@ -138,6 +138,11 @@ impl TwoPhaseInsecure {
         );
         self.base.store_block(&block);
         self.in_flight = Some(block.id());
+        out.actions.push(Action::Note(Note::Proposed {
+            view,
+            height: block.height(),
+            phase: Phase::Prepare,
+        }));
         out.actions.push(Action::Broadcast {
             message: Message::new(
                 self.cfg().id,
@@ -261,9 +266,8 @@ impl TwoPhaseInsecure {
             return;
         }
         let quorum = self.cfg().quorum();
-        let Some(qc) = self
-            .votes
-            .add(v.seed, v.parsig, quorum, &mut self.base.crypto)
+        let Some(qc) =
+            crate::votes::add_vote_noted(&mut self.votes, &v, quorum, &mut self.base.crypto, out)
         else {
             return;
         };

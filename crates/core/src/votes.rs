@@ -1,8 +1,9 @@
 //! Leader-side vote aggregation.
 
 use crate::crypto_ctx::CryptoCtx;
+use crate::events::{Action, Note, StepOutput};
 use marlin_crypto::{PartialSig, SignerBitmap};
-use marlin_types::{Qc, QcSeed};
+use marlin_types::{Qc, QcSeed, Vote};
 use std::collections::HashMap;
 
 /// Collects partial signatures per vote seed and forms a quorum
@@ -90,6 +91,30 @@ impl VoteCollector {
     pub fn is_empty(&self) -> bool {
         self.pending.is_empty()
     }
+}
+
+/// Adds a vote share to `votes`, emitting a [`Note::FirstVote`] when it
+/// is the first *valid* share for its seed — the start of the vote→QC
+/// aggregation window drivers measure. Returns the freshly formed
+/// certificate, if any; the note always precedes the caller's
+/// `QcFormed` note in the action stream.
+pub fn add_vote_noted(
+    votes: &mut VoteCollector,
+    v: &Vote,
+    quorum: usize,
+    crypto: &mut CryptoCtx,
+    out: &mut StepOutput,
+) -> Option<Qc> {
+    let first_before = votes.count(&v.seed) == 0;
+    let formed = votes.add(v.seed, v.parsig, quorum, crypto);
+    if first_before && votes.count(&v.seed) > 0 {
+        out.actions.push(Action::Note(Note::FirstVote {
+            view: v.seed.view,
+            height: v.seed.height,
+            phase: v.seed.phase,
+        }));
+    }
+    formed
 }
 
 #[cfg(test)]

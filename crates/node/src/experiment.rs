@@ -7,6 +7,7 @@ use marlin_core::{Config, Protocol, ProtocolKind};
 use marlin_crypto::{CostModel, KeyStore, QcFormat};
 use marlin_simnet::CommitObserver;
 use marlin_simnet::{SimConfig, SimNet};
+use marlin_telemetry::TelemetrySink;
 use marlin_types::ReplicaId;
 use std::sync::{Arc, Mutex};
 
@@ -126,7 +127,31 @@ fn reference_replica(cfg: &ExperimentConfig) -> ReplicaId {
 /// the current leader (re-targeted after view changes), measured after
 /// warmup.
 pub fn run_experiment(cfg: &ExperimentConfig) -> Metrics {
+    run_inner(cfg, None).0
+}
+
+/// Like [`run_experiment`], but feeds every protocol note and message
+/// transmission into `sink` (stamped with the simulator clock); the
+/// sink is handed back alongside the metrics.
+pub fn run_experiment_with_telemetry(
+    cfg: &ExperimentConfig,
+    sink: Box<dyn TelemetrySink>,
+) -> (Metrics, Box<dyn TelemetrySink>) {
+    let (metrics, sink) = run_inner(cfg, Some(sink));
+    (
+        metrics,
+        sink.expect("simulation returns the installed sink"),
+    )
+}
+
+fn run_inner(
+    cfg: &ExperimentConfig,
+    telemetry: Option<Box<dyn TelemetrySink>>,
+) -> (Metrics, Option<Box<dyn TelemetrySink>>) {
     let mut sim = cfg.build();
+    if let Some(sink) = telemetry {
+        sim.set_telemetry(sink);
+    }
     let reference = reference_replica(cfg);
     let stats = Arc::new(Mutex::new(Stats::new(
         reference,
@@ -194,11 +219,12 @@ pub fn run_experiment(cfg: &ExperimentConfig) -> Metrics {
 
     let notes = sim.notes().to_vec();
     drop(sim.take_observer());
+    let sink = sim.take_telemetry();
     let stats = Arc::try_unwrap(stats)
         .unwrap_or_else(|_| panic!("simulation retained its observer handle"))
         .into_inner()
         .expect("single-threaded");
-    stats.into_metrics(cfg.duration_ns, &notes)
+    (stats.into_metrics(cfg.duration_ns, &notes), sink)
 }
 
 /// Shares a [`Stats`] collector between the simulation (as observer)

@@ -38,6 +38,9 @@ mod host;
 mod stats;
 
 pub use app::{KvApp, KvCommand};
-pub use experiment::{run_experiment, sweep_peak_throughput, ExperimentConfig, SweepPoint};
+pub use experiment::{
+    run_experiment, run_experiment_with_telemetry, sweep_peak_throughput, ExperimentConfig,
+    SweepPoint,
+};
 pub use host::{ReplicaHost, CHECKPOINT_INTERVAL};
 pub use stats::{CampaignReport, LatencyHistogram, LatencySummary, Metrics, Stats};

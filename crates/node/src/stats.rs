@@ -4,105 +4,10 @@ use marlin_core::Note;
 use marlin_simnet::{CommitObserver, ScenarioOutcome};
 use marlin_types::{Block, ReplicaId};
 
-/// A fixed-bucket log-scale latency histogram (1 µs – ~1000 s).
-#[derive(Clone, Debug)]
-pub struct LatencyHistogram {
-    /// Bucket `i` counts samples in `[2^i, 2^(i+1))` microseconds.
-    buckets: Vec<u64>,
-    count: u64,
-    sum_ns: u128,
-    max_ns: u64,
-}
-
-impl Default for LatencyHistogram {
-    fn default() -> Self {
-        Self::new()
-    }
-}
-
-impl LatencyHistogram {
-    /// An empty histogram.
-    pub fn new() -> Self {
-        LatencyHistogram {
-            buckets: vec![0; 32],
-            count: 0,
-            sum_ns: 0,
-            max_ns: 0,
-        }
-    }
-
-    /// Records one latency sample.
-    pub fn record(&mut self, latency_ns: u64) {
-        let us = (latency_ns / 1_000).max(1);
-        let bucket = (63 - us.leading_zeros() as usize).min(self.buckets.len() - 1);
-        self.buckets[bucket] += 1;
-        self.count += 1;
-        self.sum_ns += latency_ns as u128;
-        self.max_ns = self.max_ns.max(latency_ns);
-    }
-
-    /// Number of samples.
-    pub fn count(&self) -> u64 {
-        self.count
-    }
-
-    /// Mean latency in nanoseconds (0 when empty).
-    pub fn mean_ns(&self) -> u64 {
-        if self.count == 0 {
-            0
-        } else {
-            (self.sum_ns / self.count as u128) as u64
-        }
-    }
-
-    /// Approximate quantile (upper bucket bound), `q ∈ [0, 1]`.
-    pub fn quantile_ns(&self, q: f64) -> u64 {
-        if self.count == 0 {
-            return 0;
-        }
-        let target = ((self.count as f64) * q).ceil() as u64;
-        let mut seen = 0u64;
-        for (i, &c) in self.buckets.iter().enumerate() {
-            seen += c;
-            if seen >= target {
-                // Upper bound of bucket i, in ns.
-                return (1u64 << (i + 1)) * 1_000;
-            }
-        }
-        self.max_ns
-    }
-
-    /// Maximum sample.
-    pub fn max_ns(&self) -> u64 {
-        self.max_ns
-    }
-
-    /// Summarizes into milliseconds.
-    pub fn summary(&self) -> LatencySummary {
-        LatencySummary {
-            mean_ms: self.mean_ns() as f64 / 1e6,
-            p50_ms: self.quantile_ns(0.50) as f64 / 1e6,
-            p95_ms: self.quantile_ns(0.95) as f64 / 1e6,
-            p99_ms: self.quantile_ns(0.99) as f64 / 1e6,
-            max_ms: self.max_ns as f64 / 1e6,
-        }
-    }
-}
-
-/// Millisecond latency summary.
-#[derive(Clone, Copy, Debug, Default)]
-pub struct LatencySummary {
-    /// Mean.
-    pub mean_ms: f64,
-    /// Median (bucket upper bound).
-    pub p50_ms: f64,
-    /// 95th percentile.
-    pub p95_ms: f64,
-    /// 99th percentile.
-    pub p99_ms: f64,
-    /// Maximum.
-    pub max_ms: f64,
-}
+// The histogram lives in `marlin-telemetry` now so every latency-like
+// series in the workspace shares one bucket layout; re-exported under
+// the historical name for existing callers.
+pub use marlin_telemetry::{Histogram as LatencyHistogram, LatencySummary};
 
 /// Commit observer measuring throughput and end-to-end latency at a
 /// reference replica.

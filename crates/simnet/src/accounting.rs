@@ -1,63 +1,10 @@
 //! Byte, message, and authenticator accounting — the paper's complexity
 //! metrics (Section III), measured rather than claimed.
 
-use marlin_types::{Message, MsgBody, Phase};
+use marlin_types::Message;
 use std::collections::BTreeMap;
-use std::fmt;
 
-/// Coarse classification of messages for per-category breakdowns.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
-pub enum MsgClass {
-    /// Leader proposal broadcasts, by phase.
-    Proposal(Phase),
-    /// Replica votes, by phase.
-    Vote(Phase),
-    /// `VIEW-CHANGE` / `NEW-VIEW` messages.
-    ViewChange,
-    /// `commitQC` dissemination.
-    Decide,
-    /// Block synchronisation traffic.
-    Fetch,
-}
-
-impl MsgClass {
-    /// Classifies a message.
-    pub fn of(msg: &Message) -> MsgClass {
-        match &msg.body {
-            MsgBody::Proposal(p) => MsgClass::Proposal(p.phase),
-            MsgBody::Vote(v) => MsgClass::Vote(v.seed.phase),
-            MsgBody::ViewChange(_) => MsgClass::ViewChange,
-            MsgBody::Decide(_) => MsgClass::Decide,
-            MsgBody::FetchRequest { .. }
-            | MsgBody::FetchResponse { .. }
-            | MsgBody::CatchUpRequest { .. }
-            | MsgBody::CatchUpResponse { .. } => MsgClass::Fetch,
-        }
-    }
-
-    /// Whether this class belongs to the view-change protocol (used for
-    /// the Table I measurement window).
-    pub fn is_view_change(&self) -> bool {
-        matches!(
-            self,
-            MsgClass::ViewChange
-                | MsgClass::Proposal(Phase::PrePrepare)
-                | MsgClass::Vote(Phase::PrePrepare)
-        )
-    }
-}
-
-impl fmt::Display for MsgClass {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            MsgClass::Proposal(p) => write!(f, "proposal/{p:?}"),
-            MsgClass::Vote(p) => write!(f, "vote/{p:?}"),
-            MsgClass::ViewChange => write!(f, "view-change"),
-            MsgClass::Decide => write!(f, "decide"),
-            MsgClass::Fetch => write!(f, "fetch"),
-        }
-    }
-}
+pub use marlin_types::MsgClass;
 
 /// Aggregated traffic counters.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -103,6 +50,14 @@ impl Accounting {
         self.fold(MsgClass::is_view_change)
     }
 
+    /// Total counters excluding recovery traffic (catch-up requests and
+    /// responses). This is the Table I measurement-window total: a
+    /// replica rejoining after a crash must not inflate the apparent
+    /// authenticator cost of a view change.
+    pub fn protocol_total(&self) -> Counters {
+        self.fold(|c| !c.is_recovery())
+    }
+
     /// Counters for one class.
     pub fn class(&self, class: MsgClass) -> Counters {
         self.per_class.get(&class).copied().unwrap_or_default()
@@ -134,7 +89,7 @@ impl Accounting {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use marlin_types::{BlockId, ReplicaId, View};
+    use marlin_types::{BlockId, Height, MsgBody, Phase, ReplicaId, View};
 
     fn fetch_msg() -> Message {
         Message::new(
@@ -177,6 +132,44 @@ mod tests {
         acc.record(&fetch_msg(), 10);
         acc.reset();
         assert_eq!(acc.total(), Counters::default());
+    }
+
+    #[test]
+    fn catch_up_traffic_excluded_from_measurement_window() {
+        // S1 regression: recovery traffic (catch-up requests/responses)
+        // classifies as `CatchUp`, not `Fetch`, and never leaks into
+        // either the view-change window or the protocol-total window.
+        let mut acc = Accounting::new();
+        let req = Message::new(
+            ReplicaId(2),
+            View(7),
+            MsgBody::CatchUpRequest {
+                last_committed: Height(0),
+            },
+        );
+        acc.record(&req, 64);
+        assert_eq!(MsgClass::of(&req), MsgClass::CatchUp);
+        assert!(MsgClass::CatchUp.is_recovery());
+        assert!(!MsgClass::CatchUp.is_view_change());
+
+        // A catch-up response carries a commitQC (one threshold
+        // authenticator); simulate the charge directly.
+        acc.per_class
+            .entry(MsgClass::CatchUp)
+            .or_default()
+            .authenticators += 1;
+
+        assert_eq!(acc.view_change_total().authenticators, 0);
+        assert_eq!(acc.protocol_total().authenticators, 0);
+        assert_eq!(acc.protocol_total().messages, 0);
+        assert_eq!(acc.total().authenticators, 1);
+
+        // Plain fetch traffic still counts toward the protocol total.
+        acc.record(&fetch_msg(), 45);
+        assert_eq!(acc.protocol_total().messages, 1);
+        assert_eq!(acc.total().messages, 2);
+        assert_eq!(acc.class(MsgClass::CatchUp).messages, 1);
+        assert_eq!(acc.class(MsgClass::Fetch).messages, 1);
     }
 
     #[test]

@@ -47,7 +47,9 @@ mod sim;
 pub use accounting::{Accounting, MsgClass};
 pub use byzantine::{Behavior, ByzantineReplica};
 pub use invariants::{Invariants, Violation};
-pub use scenario::{run_scenario, BehaviorPhase, Scenario, ScenarioOutcome};
+pub use scenario::{
+    run_scenario, run_scenario_with_telemetry, BehaviorPhase, Scenario, ScenarioOutcome,
+};
 pub use sim::{
     CommitObserver, InvariantChecker, LinkFault, Partition, RebuildFn, RecoveryMode, SimConfig,
     SimNet,

@@ -20,6 +20,7 @@ use marlin_core::harness::build_protocol;
 use marlin_core::marlin::Marlin;
 use marlin_core::{Config, Protocol, ProtocolKind, SafetyJournal};
 use marlin_storage::SharedDisk;
+use marlin_telemetry::TelemetrySink;
 use marlin_types::{ReplicaId, View};
 use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex};
@@ -276,7 +277,7 @@ impl Scenario {
                     .map(move |dst| LinkFault {
                         src: Some(src),
                         dst: Some(dst),
-                        classes: Some(vec![MsgClass::Fetch]),
+                        classes: Some(vec![MsgClass::Fetch, MsgClass::CatchUp]),
                         ..LinkFault::drop_all(150_000_000, 400_000_000)
                     })
             })
@@ -361,6 +362,27 @@ impl ScenarioOutcome {
 /// Runs one `(protocol, scenario, seed)` cell on a 4-replica LAN
 /// cluster with the global invariant checker attached.
 pub fn run_scenario(kind: ProtocolKind, scenario: &Scenario, seed: u64) -> ScenarioOutcome {
+    run_scenario_inner(kind, scenario, seed, None)
+}
+
+/// Like [`run_scenario`], additionally feeding every protocol note and
+/// message transmission into `sink` (use a
+/// [`marlin_telemetry::SharedSink`] to keep a handle across cells).
+pub fn run_scenario_with_telemetry(
+    kind: ProtocolKind,
+    scenario: &Scenario,
+    seed: u64,
+    sink: Box<dyn TelemetrySink>,
+) -> ScenarioOutcome {
+    run_scenario_inner(kind, scenario, seed, Some(sink))
+}
+
+fn run_scenario_inner(
+    kind: ProtocolKind,
+    scenario: &Scenario,
+    seed: u64,
+    telemetry: Option<Box<dyn TelemetrySink>>,
+) -> ScenarioOutcome {
     let n = 4usize;
     let mut cfg = Config::for_test(n, 1);
     cfg.base_timeout_ns = 500_000_000;
@@ -405,6 +427,9 @@ pub fn run_scenario(kind: ProtocolKind, scenario: &Scenario, seed: u64) -> Scena
     let mut sim_cfg = SimConfig::lan();
     sim_cfg.seed = seed;
     let mut sim = SimNet::with_replicas(replicas, sim_cfg);
+    if let Some(sink) = telemetry {
+        sim.set_telemetry(sink);
+    }
     let checker = Invariants::new(&byzantine, scenario.quiet_ns);
     sim.set_invariant_checker(Box::new(checker.clone()));
     for p in &scenario.partitions {

@@ -5,6 +5,7 @@ use bytes_len::wire_len_of;
 use marlin_core::harness::build_protocol;
 use marlin_core::{Action, Config, Event, Note, Protocol, ProtocolKind};
 use marlin_storage::SharedDisk;
+use marlin_telemetry::TelemetrySink;
 use marlin_types::{Block, Message, MsgBody, ReplicaId, Transaction, View};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -304,6 +305,9 @@ pub struct SimNet {
     /// Per-replica durable disks; empty unless recovery is configured.
     disks: Vec<SharedDisk>,
     rebuild: Option<RebuildFn>,
+    /// Telemetry sink: notes and transmitted messages are forwarded
+    /// here, stamped with simulated time.
+    telemetry: Option<Box<dyn TelemetrySink>>,
 }
 
 impl SimNet {
@@ -348,11 +352,25 @@ impl SimNet {
             recovery_mode: RecoveryMode::default(),
             disks: Vec::new(),
             rebuild: None,
+            telemetry: None,
         };
         for i in 0..n {
             net.step_replica(ReplicaId(i as u32), Event::Start);
         }
         net
+    }
+
+    /// Installs a telemetry sink. Every protocol note and every message
+    /// handed to the transport (after link filters, before loss) is
+    /// forwarded, stamped with simulated time. Install before driving
+    /// the simulation: earlier events are not replayed.
+    pub fn set_telemetry(&mut self, sink: Box<dyn TelemetrySink>) {
+        self.telemetry = Some(sink);
+    }
+
+    /// Removes and returns the installed telemetry sink, if any.
+    pub fn take_telemetry(&mut self) -> Option<Box<dyn TelemetrySink>> {
+        self.telemetry.take()
     }
 
     /// Installs a commit observer (replacing any previous one).
@@ -730,7 +748,12 @@ impl SimNet {
                     },
                 );
             }
-            Action::Note(note) => self.notes.push((at_ns, from, note)),
+            Action::Note(note) => {
+                if let Some(sink) = self.telemetry.as_mut() {
+                    sink.note(at_ns, from, &note);
+                }
+                self.notes.push((at_ns, from, note));
+            }
         }
     }
 
@@ -760,7 +783,19 @@ impl SimNet {
                 return;
             }
         }
+        // Single source of truth: telemetry sees exactly what the
+        // traffic accounting charges — same site, same semantics
+        // (counted per destination copy, after filters, before loss).
         self.accounting.record(&msg, len);
+        if let Some(sink) = self.telemetry.as_mut() {
+            sink.message_sent(
+                at_ns,
+                from,
+                MsgClass::of(&msg),
+                len as u64,
+                msg.authenticator_count() as u64,
+            );
+        }
         if self.partitions.iter().any(|p| p.blocks(at_ns, from, to)) {
             return;
         }

@@ -1,0 +1,419 @@
+//! Snapshot exporters: Prometheus text exposition and JSON.
+//!
+//! Both exporters are hand-rolled (the workspace builds with no
+//! external dependencies). The Prometheus format follows the text
+//! exposition format version 0.0.4: `# TYPE` comments, one
+//! `name{labels} value` sample per line, histograms expanded into
+//! cumulative `_bucket{le=...}` series plus `_sum` and `_count`.
+//! [`check_prometheus_text`] is a self-contained line-format validator
+//! used by CI to keep the exporter honest.
+
+use crate::hist::Histogram;
+use std::fmt::Write as _;
+
+/// A point-in-time copy of a registry.
+#[derive(Clone, Debug, Default)]
+pub struct Snapshot {
+    /// Metrics in stable (name, labels) order.
+    pub entries: Vec<SnapshotEntry>,
+}
+
+/// One metric in a snapshot.
+#[derive(Clone, Debug)]
+pub struct SnapshotEntry {
+    /// Metric name.
+    pub name: String,
+    /// Sorted label pairs.
+    pub labels: Vec<(String, String)>,
+    /// The value.
+    pub value: SnapshotValue,
+}
+
+/// A snapshot value.
+#[derive(Clone, Debug)]
+pub enum SnapshotValue {
+    /// Counter value.
+    Counter(u64),
+    /// Gauge value.
+    Gauge(i64),
+    /// Full histogram state (boxed: a histogram is ~30× the size of
+    /// the scalar variants).
+    Histogram(Box<Histogram>),
+}
+
+impl SnapshotValue {
+    fn prom_type(&self) -> &'static str {
+        match self {
+            SnapshotValue::Counter(_) => "counter",
+            SnapshotValue::Gauge(_) => "gauge",
+            SnapshotValue::Histogram(_) => "histogram",
+        }
+    }
+}
+
+impl Snapshot {
+    /// Renders the snapshot in the Prometheus text exposition format.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        let mut last_name: Option<&str> = None;
+        for e in &self.entries {
+            if last_name != Some(e.name.as_str()) {
+                let _ = writeln!(out, "# TYPE {} {}", e.name, e.value.prom_type());
+                last_name = Some(e.name.as_str());
+            }
+            match &e.value {
+                SnapshotValue::Counter(v) => {
+                    let _ = writeln!(out, "{}{} {}", e.name, label_set(&e.labels, None), v);
+                }
+                SnapshotValue::Gauge(v) => {
+                    let _ = writeln!(out, "{}{} {}", e.name, label_set(&e.labels, None), v);
+                }
+                SnapshotValue::Histogram(h) => {
+                    let mut cumulative = 0u64;
+                    for (i, &c) in h.buckets().iter().enumerate() {
+                        cumulative += c;
+                        // Bucket series are cumulative, so empty
+                        // buckets carry no information: skip them
+                        // (the +Inf bound below is always emitted).
+                        if c == 0 {
+                            continue;
+                        }
+                        let le = Histogram::bucket_bounds_ns(i).1.to_string();
+                        let _ = writeln!(
+                            out,
+                            "{}_bucket{} {}",
+                            e.name,
+                            label_set(&e.labels, Some(&le)),
+                            cumulative
+                        );
+                    }
+                    let _ = writeln!(
+                        out,
+                        "{}_bucket{} {}",
+                        e.name,
+                        label_set(&e.labels, Some("+Inf")),
+                        h.count()
+                    );
+                    let _ = writeln!(
+                        out,
+                        "{}_sum{} {}",
+                        e.name,
+                        label_set(&e.labels, None),
+                        h.sum_ns()
+                    );
+                    let _ = writeln!(
+                        out,
+                        "{}_count{} {}",
+                        e.name,
+                        label_set(&e.labels, None),
+                        h.count()
+                    );
+                }
+            }
+        }
+        out
+    }
+
+    /// Renders the snapshot as a JSON document: counters and gauges as
+    /// `{name, labels, value}`, histograms with count/sum and summary
+    /// quantiles.
+    pub fn to_json(&self) -> String {
+        let mut counters = Vec::new();
+        let mut gauges = Vec::new();
+        let mut histograms = Vec::new();
+        for e in &self.entries {
+            let ident = format!(
+                "\"name\":{},\"labels\":{}",
+                json_str(&e.name),
+                json_labels(&e.labels)
+            );
+            match &e.value {
+                SnapshotValue::Counter(v) => counters.push(format!("{{{ident},\"value\":{v}}}")),
+                SnapshotValue::Gauge(v) => gauges.push(format!("{{{ident},\"value\":{v}}}")),
+                SnapshotValue::Histogram(h) => histograms.push(format!(
+                    "{{{ident},\"count\":{},\"sum_ns\":{},\"mean_ns\":{},\"p50_ns\":{},\"p95_ns\":{},\"p99_ns\":{},\"max_ns\":{}}}",
+                    h.count(),
+                    h.sum_ns(),
+                    h.mean_ns(),
+                    h.quantile_ns(0.50),
+                    h.quantile_ns(0.95),
+                    h.quantile_ns(0.99),
+                    h.max_ns(),
+                )),
+            }
+        }
+        format!(
+            "{{\"counters\":[{}],\"gauges\":[{}],\"histograms\":[{}]}}",
+            counters.join(","),
+            gauges.join(","),
+            histograms.join(",")
+        )
+    }
+}
+
+/// Formats a label set (plus optional `le`) as `{k="v",...}`, or
+/// nothing when empty.
+fn label_set(labels: &[(String, String)], le: Option<&str>) -> String {
+    let mut pairs: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", prom_escape(v)))
+        .collect();
+    if let Some(le) = le {
+        pairs.push(format!("le=\"{le}\""));
+    }
+    if pairs.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", pairs.join(","))
+    }
+}
+
+fn prom_escape(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+/// Escapes a string for JSON.
+pub fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_labels(labels: &[(String, String)]) -> String {
+    let body: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{}:{}", json_str(k), json_str(v)))
+        .collect();
+    format!("{{{}}}", body.join(","))
+}
+
+/// Validates Prometheus text exposition line format and returns the
+/// number of sample lines.
+///
+/// Checks, per line: comments are `# TYPE name counter|gauge|histogram`
+/// or `# HELP name ...`; samples are `name value` or
+/// `name{k="v",...} value` with a valid metric name, properly quoted
+/// label values, and a parseable float (`+Inf`/`-Inf`/`NaN` allowed).
+///
+/// # Errors
+///
+/// Returns `Err` with the offending line and reason on the first
+/// malformed line.
+pub fn check_prometheus_text(text: &str) -> Result<usize, String> {
+    let mut samples = 0usize;
+    for (no, line) in text.lines().enumerate() {
+        let err = |why: &str| Err(format!("line {}: {why}: {line:?}", no + 1));
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix('#') {
+            let mut parts = comment.split_whitespace();
+            match parts.next() {
+                Some("TYPE") => {
+                    let Some(name) = parts.next() else {
+                        return err("TYPE without metric name");
+                    };
+                    if !valid_metric_name(name) {
+                        return err("invalid metric name in TYPE");
+                    }
+                    match parts.next() {
+                        Some("counter" | "gauge" | "histogram" | "summary" | "untyped") => {}
+                        _ => return err("invalid TYPE kind"),
+                    }
+                }
+                Some("HELP") => {}
+                _ => return err("unknown comment (expected TYPE or HELP)"),
+            }
+            continue;
+        }
+        // Sample line: name[{labels}] value [timestamp]
+        let (name_part, rest) = match line.find(['{', ' ']) {
+            Some(i) => line.split_at(i),
+            None => return err("sample without value"),
+        };
+        if !valid_metric_name(name_part) {
+            return err("invalid metric name");
+        }
+        let rest = if let Some(after_brace) = rest.strip_prefix('{') {
+            let Some(close) = find_label_close(after_brace) else {
+                return err("unterminated label set");
+            };
+            check_labels(&after_brace[..close])
+                .map_err(|why| format!("line {}: {why}: {line:?}", no + 1))?;
+            &after_brace[close + 1..]
+        } else {
+            rest
+        };
+        let mut fields = rest.split_whitespace();
+        let Some(value) = fields.next() else {
+            return err("missing value");
+        };
+        let numeric = matches!(value, "+Inf" | "-Inf" | "NaN") || value.parse::<f64>().is_ok();
+        if !numeric {
+            return err("unparseable value");
+        }
+        if let Some(ts) = fields.next() {
+            if ts.parse::<i64>().is_err() {
+                return err("unparseable timestamp");
+            }
+        }
+        if fields.next().is_some() {
+            return err("trailing fields");
+        }
+        samples += 1;
+    }
+    Ok(samples)
+}
+
+fn valid_metric_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+/// Finds the index of the closing `}` of a label set, skipping quoted
+/// values (which may contain escaped quotes and braces).
+fn find_label_close(s: &str) -> Option<usize> {
+    let mut in_quotes = false;
+    let mut escaped = false;
+    for (i, c) in s.char_indices() {
+        if escaped {
+            escaped = false;
+            continue;
+        }
+        match c {
+            '\\' if in_quotes => escaped = true,
+            '"' => in_quotes = !in_quotes,
+            '}' if !in_quotes => return Some(i),
+            _ => {}
+        }
+    }
+    None
+}
+
+fn check_labels(body: &str) -> Result<(), String> {
+    let mut rest = body.trim_end_matches(',');
+    if rest.is_empty() {
+        return Ok(());
+    }
+    while !rest.is_empty() {
+        let Some(eq) = rest.find('=') else {
+            return Err("label without '='".into());
+        };
+        let key = &rest[..eq];
+        if key.is_empty()
+            || !key
+                .chars()
+                .enumerate()
+                .all(|(i, c)| c == '_' || c.is_ascii_alphabetic() || (i > 0 && c.is_ascii_digit()))
+        {
+            return Err(format!("invalid label name {key:?}"));
+        }
+        let after = &rest[eq + 1..];
+        if !after.starts_with('"') {
+            return Err("unquoted label value".into());
+        }
+        // Find the closing quote, honoring escapes.
+        let mut escaped = false;
+        let mut close = None;
+        for (i, c) in after[1..].char_indices() {
+            if escaped {
+                escaped = false;
+                continue;
+            }
+            match c {
+                '\\' => escaped = true,
+                '"' => {
+                    close = Some(i + 1);
+                    break;
+                }
+                _ => {}
+            }
+        }
+        let Some(close) = close else {
+            return Err("unterminated label value".into());
+        };
+        rest = &after[close + 1..];
+        if let Some(r) = rest.strip_prefix(',') {
+            rest = r;
+        } else if !rest.is_empty() {
+            return Err("missing ',' between labels".into());
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+
+    fn populated() -> Registry {
+        let reg = Registry::new();
+        reg.counter_with("consensus_msgs_total", &[("class", "vote/Prepare")])
+            .add(12);
+        reg.gauge("consensus_commit_height").set(42);
+        let h = reg.histogram_with("consensus_latency_ns", &[("phase", "Prepare")]);
+        h.record(3_000);
+        h.record(1_500_000);
+        reg
+    }
+
+    #[test]
+    fn prometheus_output_passes_own_checker() {
+        let text = populated().snapshot().to_prometheus();
+        let samples = check_prometheus_text(&text).expect("valid exposition format");
+        // 1 counter + 1 gauge + histogram (>= 2 buckets + Inf + sum + count).
+        assert!(samples >= 7, "{samples} samples:\n{text}");
+        assert!(text.contains("# TYPE consensus_msgs_total counter"));
+        assert!(text.contains("consensus_msgs_total{class=\"vote/Prepare\"} 12"));
+        assert!(text.contains("consensus_latency_ns_bucket{phase=\"Prepare\",le=\"+Inf\"} 2"));
+        assert!(text.contains("consensus_latency_ns_sum{phase=\"Prepare\"} 1503000"));
+    }
+
+    #[test]
+    fn checker_rejects_malformed_lines() {
+        assert!(check_prometheus_text("1bad_name 3").is_err());
+        assert!(check_prometheus_text("name{unterminated=\"x} 3").is_err());
+        assert!(check_prometheus_text("name{k=\"v\"} notanumber").is_err());
+        assert!(check_prometheus_text("# TYPE x flux").is_err());
+        assert!(check_prometheus_text("name").is_err());
+        assert!(check_prometheus_text("# HELP x anything goes\nx 1").is_ok());
+        assert!(check_prometheus_text("x{a=\"q\\\"uote\",b=\"}\"} +Inf 123").is_ok());
+    }
+
+    #[test]
+    fn json_snapshot_has_all_sections() {
+        let json = populated().snapshot().to_json();
+        assert!(json.contains("\"counters\":[{\"name\":\"consensus_msgs_total\""));
+        assert!(json.contains(
+            "\"gauges\":[{\"name\":\"consensus_commit_height\",\"labels\":{},\"value\":42}"
+        ));
+        assert!(json.contains("\"count\":2"));
+        assert!(json.contains("\"sum_ns\":1503000"));
+    }
+
+    #[test]
+    fn json_escapes_special_characters() {
+        assert_eq!(json_str("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+    }
+}

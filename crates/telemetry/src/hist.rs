@@ -1,0 +1,223 @@
+//! Fixed-bucket log-scale histograms.
+//!
+//! One histogram shape serves every latency-like series in the
+//! workspace (end-to-end commit latency, vote→QC formation, journal
+//! append cost, catch-up round trips): 32 power-of-two buckets over
+//! microseconds, covering 1 µs to ~2000 s.
+
+/// Number of buckets.
+pub const BUCKET_COUNT: usize = 32;
+
+/// A fixed-bucket log-scale histogram over nanosecond samples.
+///
+/// # Bucket semantics
+///
+/// [`Histogram::record`] takes a sample in **nanoseconds**. Bucket `i`
+/// counts samples whose value, rounded down to whole microseconds,
+/// falls in `[2^i, 2^(i+1))` **microseconds**; sub-microsecond samples
+/// clamp into bucket 0 and samples at or above `2^31` µs clamp into the
+/// last bucket. The exact nanosecond sum is kept alongside the buckets,
+/// so [`Histogram::mean_ns`] is exact while [`Histogram::quantile_ns`]
+/// is bucketed: it returns the nanosecond upper bound of the bucket the
+/// quantile lands in (`2^(i+1) × 1000` ns), an overestimate by at most
+/// one bucket width.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; BUCKET_COUNT],
+    count: u64,
+    sum_ns: u128,
+    max_ns: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: [0; BUCKET_COUNT],
+            count: 0,
+            sum_ns: 0,
+            max_ns: 0,
+        }
+    }
+
+    /// The bucket a nanosecond sample falls into (see the type docs).
+    pub fn bucket_index(sample_ns: u64) -> usize {
+        let us = (sample_ns / 1_000).max(1);
+        ((63 - us.leading_zeros()) as usize).min(BUCKET_COUNT - 1)
+    }
+
+    /// Nanosecond bounds `[lo, hi)` of bucket `i` (bucket 0's lower
+    /// bound is reported as 0 since it also absorbs sub-µs samples).
+    pub fn bucket_bounds_ns(i: usize) -> (u64, u64) {
+        assert!(i < BUCKET_COUNT);
+        let lo = if i == 0 { 0 } else { (1u64 << i) * 1_000 };
+        (lo, (1u64 << (i + 1)) * 1_000)
+    }
+
+    /// Records one sample, in nanoseconds.
+    pub fn record(&mut self, sample_ns: u64) {
+        self.buckets[Self::bucket_index(sample_ns)] += 1;
+        self.count += 1;
+        self.sum_ns += sample_ns as u128;
+        self.max_ns = self.max_ns.max(sample_ns);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact sum of all samples, in nanoseconds.
+    pub fn sum_ns(&self) -> u128 {
+        self.sum_ns
+    }
+
+    /// Per-bucket counts.
+    pub fn buckets(&self) -> &[u64; BUCKET_COUNT] {
+        &self.buckets
+    }
+
+    /// Exact mean, in nanoseconds (0 when empty).
+    pub fn mean_ns(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            (self.sum_ns / self.count as u128) as u64
+        }
+    }
+
+    /// Approximate quantile for `q ∈ [0, 1]`: the nanosecond upper
+    /// bound of the bucket the quantile lands in.
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = (((self.count as f64) * q).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Self::bucket_bounds_ns(i).1;
+            }
+        }
+        self.max_ns
+    }
+
+    /// Maximum sample, in nanoseconds.
+    pub fn max_ns(&self) -> u64 {
+        self.max_ns
+    }
+
+    /// Merges another histogram's samples into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.sum_ns += other.sum_ns;
+        self.max_ns = self.max_ns.max(other.max_ns);
+    }
+
+    /// Summarizes into milliseconds.
+    pub fn summary(&self) -> LatencySummary {
+        LatencySummary {
+            mean_ms: self.mean_ns() as f64 / 1e6,
+            p50_ms: self.quantile_ns(0.50) as f64 / 1e6,
+            p95_ms: self.quantile_ns(0.95) as f64 / 1e6,
+            p99_ms: self.quantile_ns(0.99) as f64 / 1e6,
+            max_ms: self.max_ns as f64 / 1e6,
+        }
+    }
+}
+
+/// Millisecond latency summary.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LatencySummary {
+    /// Mean (exact).
+    pub mean_ms: f64,
+    /// Median (bucket upper bound).
+    pub p50_ms: f64,
+    /// 95th percentile (bucket upper bound).
+    pub p95_ms: f64,
+    /// 99th percentile (bucket upper bound).
+    pub p99_ms: f64,
+    /// Maximum (exact).
+    pub max_ms: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Pins the documented bucket boundaries: bucket `i` covers
+    /// `[2^i, 2^(i+1))` µs of a nanosecond sample rounded down to whole
+    /// µs, with sub-µs samples clamped into bucket 0 and overflow into
+    /// bucket 31.
+    #[test]
+    fn bucket_boundaries_are_microsecond_powers_of_two() {
+        assert_eq!(Histogram::bucket_index(0), 0); // sub-µs clamps low
+        assert_eq!(Histogram::bucket_index(999), 0);
+        assert_eq!(Histogram::bucket_index(1_000), 0); // 1 µs
+        assert_eq!(Histogram::bucket_index(1_999), 0); // 1.999 µs → 1 µs
+        assert_eq!(Histogram::bucket_index(2_000), 1); // 2 µs
+        assert_eq!(Histogram::bucket_index(3_999), 1);
+        assert_eq!(Histogram::bucket_index(4_000), 2); // 4 µs
+        assert_eq!(Histogram::bucket_index(1_023_999), 9); // < 1024 µs
+        assert_eq!(Histogram::bucket_index(1_024_000), 10); // 1024 µs = ~1 ms
+        assert_eq!(Histogram::bucket_index(u64::MAX), BUCKET_COUNT - 1);
+
+        assert_eq!(Histogram::bucket_bounds_ns(0), (0, 2_000));
+        assert_eq!(Histogram::bucket_bounds_ns(1), (2_000, 4_000));
+        assert_eq!(Histogram::bucket_bounds_ns(10), (1_024_000, 2_048_000));
+    }
+
+    /// Pins the quantile estimate: the ns upper bound of the bucket.
+    #[test]
+    fn quantile_returns_bucket_upper_bound_in_ns() {
+        let mut h = Histogram::new();
+        h.record(3_000); // bucket 1: [2, 4) µs
+        assert_eq!(h.quantile_ns(0.5), 4_000);
+        assert_eq!(h.quantile_ns(1.0), 4_000);
+
+        let mut h = Histogram::new();
+        for ms in [1u64, 2, 4, 8, 100] {
+            h.record(ms * 1_000_000);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.mean_ns(), 23 * 1_000_000); // exact, from sum_ns
+                                                 // 1 ms = 1000 µs → bucket 9 [512, 1024) µs, upper bound
+                                                 // 1024 µs = 1_024_000 ns.
+        assert_eq!(h.quantile_ns(0.0), 1_024_000);
+        // p50 = 3rd of 5 samples = 4 ms = 4000 µs → bucket 11
+        // [2048, 4096) µs, upper bound 4_096_000 ns.
+        assert_eq!(h.quantile_ns(0.5), 4_096_000);
+        assert_eq!(h.max_ns(), 100_000_000);
+    }
+
+    #[test]
+    fn empty_histogram_is_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.mean_ns(), 0);
+        assert_eq!(h.quantile_ns(0.99), 0);
+        assert_eq!(h.max_ns(), 0);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record(1_000);
+        b.record(5_000);
+        b.record(9_000);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.sum_ns(), 15_000);
+        assert_eq!(a.max_ns(), 9_000);
+    }
+}

@@ -1,0 +1,274 @@
+//! A lock-cheap metrics registry.
+//!
+//! Registration (name + label lookup) takes the registry lock once and
+//! hands back a handle; after that, counter and gauge updates are a
+//! single relaxed atomic op and histogram updates lock only their own
+//! cell. Handles and the registry itself are cheaply clonable and share
+//! state, so a driver can keep a [`Registry`] while sinks and observers
+//! hold handles into it.
+
+use crate::export::{Snapshot, SnapshotEntry, SnapshotValue};
+use crate::hist::Histogram;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A monotonically increasing counter.
+#[derive(Clone, Debug, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds 1.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a value that can move both ways.
+#[derive(Clone, Debug, Default)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// Sets the value.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `delta` (may be negative).
+    pub fn add(&self, delta: i64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A handle to a registered histogram.
+#[derive(Clone, Debug, Default)]
+pub struct HistogramHandle(Arc<Mutex<Histogram>>);
+
+impl HistogramHandle {
+    /// Records one nanosecond sample.
+    pub fn record(&self, sample_ns: u64) {
+        self.0.lock().expect("histogram lock").record(sample_ns);
+    }
+
+    /// A copy of the current histogram state.
+    pub fn snapshot(&self) -> Histogram {
+        self.0.lock().expect("histogram lock").clone()
+    }
+}
+
+/// A metric's identity: name plus sorted labels.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+struct MetricKey {
+    name: String,
+    labels: Vec<(String, String)>,
+}
+
+#[derive(Clone, Debug)]
+enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(HistogramHandle),
+}
+
+impl Metric {
+    fn kind(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// The registry: a shared, labeled map of counters, gauges, and
+/// histograms (see the module docs).
+#[derive(Clone, Debug, Default)]
+pub struct Registry {
+    metrics: Arc<Mutex<BTreeMap<MetricKey, Metric>>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Returns (registering on first use) the unlabeled counter `name`.
+    pub fn counter(&self, name: &str) -> Counter {
+        self.counter_with(name, &[])
+    }
+
+    /// Returns (registering on first use) the counter `name{labels}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the same name+labels is already registered as a
+    /// different metric kind.
+    pub fn counter_with(&self, name: &str, labels: &[(&str, &str)]) -> Counter {
+        match self.get_or_insert(name, labels, || Metric::Counter(Counter::default())) {
+            Metric::Counter(c) => c,
+            other => panic!("metric `{name}` is a {}, not a counter", other.kind()),
+        }
+    }
+
+    /// Returns (registering on first use) the unlabeled gauge `name`.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        self.gauge_with(name, &[])
+    }
+
+    /// Returns (registering on first use) the gauge `name{labels}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the same name+labels is already registered as a
+    /// different metric kind.
+    pub fn gauge_with(&self, name: &str, labels: &[(&str, &str)]) -> Gauge {
+        match self.get_or_insert(name, labels, || Metric::Gauge(Gauge::default())) {
+            Metric::Gauge(g) => g,
+            other => panic!("metric `{name}` is a {}, not a gauge", other.kind()),
+        }
+    }
+
+    /// Returns (registering on first use) the unlabeled histogram
+    /// `name`.
+    pub fn histogram(&self, name: &str) -> HistogramHandle {
+        self.histogram_with(name, &[])
+    }
+
+    /// Returns (registering on first use) the histogram `name{labels}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the same name+labels is already registered as a
+    /// different metric kind.
+    pub fn histogram_with(&self, name: &str, labels: &[(&str, &str)]) -> HistogramHandle {
+        match self.get_or_insert(name, labels, || {
+            Metric::Histogram(HistogramHandle::default())
+        }) {
+            Metric::Histogram(h) => h,
+            other => panic!("metric `{name}` is a {}, not a histogram", other.kind()),
+        }
+    }
+
+    fn get_or_insert(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        make: impl FnOnce() -> Metric,
+    ) -> Metric {
+        let mut sorted: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        sorted.sort();
+        let key = MetricKey {
+            name: name.to_string(),
+            labels: sorted,
+        };
+        self.metrics
+            .lock()
+            .expect("registry lock")
+            .entry(key)
+            .or_insert_with(make)
+            .clone()
+    }
+
+    /// A point-in-time copy of every registered metric, in stable
+    /// (name, labels) order — the input to the exporters.
+    pub fn snapshot(&self) -> Snapshot {
+        let metrics = self.metrics.lock().expect("registry lock");
+        let entries = metrics
+            .iter()
+            .map(|(key, metric)| SnapshotEntry {
+                name: key.name.clone(),
+                labels: key.labels.clone(),
+                value: match metric {
+                    Metric::Counter(c) => SnapshotValue::Counter(c.get()),
+                    Metric::Gauge(g) => SnapshotValue::Gauge(g.get()),
+                    Metric::Histogram(h) => SnapshotValue::Histogram(Box::new(h.snapshot())),
+                },
+            })
+            .collect();
+        Snapshot { entries }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_share_state_with_the_registry() {
+        let reg = Registry::new();
+        let c = reg.counter("requests_total");
+        c.inc();
+        reg.counter("requests_total").add(2);
+        assert_eq!(c.get(), 3);
+
+        let g = reg.gauge("depth");
+        g.set(5);
+        g.add(-2);
+        assert_eq!(reg.gauge("depth").get(), 3);
+
+        let h = reg.histogram("latency_ns");
+        h.record(1_000);
+        assert_eq!(reg.histogram("latency_ns").snapshot().count(), 1);
+    }
+
+    #[test]
+    fn labels_distinguish_series_and_order_does_not() {
+        let reg = Registry::new();
+        reg.counter_with("msgs_total", &[("class", "vote"), ("phase", "p")])
+            .inc();
+        reg.counter_with("msgs_total", &[("phase", "p"), ("class", "vote")])
+            .inc();
+        reg.counter_with("msgs_total", &[("class", "decide")])
+            .add(7);
+        assert_eq!(
+            reg.counter_with("msgs_total", &[("class", "vote"), ("phase", "p")])
+                .get(),
+            2
+        );
+        assert_eq!(
+            reg.counter_with("msgs_total", &[("class", "decide")]).get(),
+            7
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "not a gauge")]
+    fn kind_mismatch_panics() {
+        let reg = Registry::new();
+        reg.counter("x").inc();
+        reg.gauge("x");
+    }
+
+    #[test]
+    fn snapshot_is_stable_ordered() {
+        let reg = Registry::new();
+        reg.counter("b").inc();
+        reg.counter("a").inc();
+        let names: Vec<String> = reg
+            .snapshot()
+            .entries
+            .iter()
+            .map(|e| e.name.clone())
+            .collect();
+        assert_eq!(names, vec!["a", "b"]);
+    }
+}

@@ -1,0 +1,419 @@
+//! Cross-replica trace merging and commit-latency decomposition.
+//!
+//! Given a [`Trace`] merged across replicas (the simulator's
+//! deterministic clock stamps every note, so one ordered stream covers
+//! the whole cluster), this module reconstructs a per-committed-block
+//! timeline and splits end-to-end commit latency into its protocol
+//! segments: propose → first vote of each phase → QC of each phase →
+//! delivery. The number of distinct QC phases per block is the
+//! protocol's phase count — 2 for Marlin's happy path, 3 for HotStuff —
+//! measured from the trace rather than claimed.
+
+use crate::event::{phase_label, Note, Trace};
+use crate::export::json_str;
+use crate::hist::Histogram;
+use marlin_types::{Height, Phase};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// When a phase of one block was first voted and certified.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PhasePoint {
+    /// The phase.
+    pub phase: Phase,
+    /// Leader time of the first valid vote share, if observed.
+    pub first_vote_ns: Option<u64>,
+    /// Leader time of QC formation.
+    pub qc_ns: u64,
+}
+
+/// The reconstructed timeline of one block.
+#[derive(Clone, Debug, Default)]
+pub struct BlockTimeline {
+    /// Block height.
+    pub height: Height,
+    /// When the block was proposed (leader broadcast time).
+    pub proposed_ns: Option<u64>,
+    /// Per-phase vote/QC times, ordered by QC formation time.
+    pub phases: Vec<PhasePoint>,
+    /// When the block first committed at any replica.
+    pub committed_ns: Option<u64>,
+}
+
+impl BlockTimeline {
+    /// A timeline is complete when it was proposed, certified in at
+    /// least one phase, and committed — only complete timelines enter
+    /// the decomposition statistics.
+    pub fn is_complete(&self) -> bool {
+        self.proposed_ns.is_some() && !self.phases.is_empty() && self.committed_ns.is_some()
+    }
+}
+
+/// One aggregated latency segment of the decomposition.
+#[derive(Clone, Debug)]
+pub struct SegmentStat {
+    /// Segment label, e.g. `"vote(prepare)"` or `"commitQC"`.
+    pub label: String,
+    /// Per-block durations of this segment.
+    pub hist: Histogram,
+}
+
+/// A per-committed-block commit-latency decomposition built from a
+/// merged trace.
+#[derive(Clone, Debug, Default)]
+pub struct Decomposition {
+    /// All reconstructed block timelines, by height.
+    pub blocks: Vec<BlockTimeline>,
+}
+
+impl Decomposition {
+    /// Reconstructs block timelines from a merged trace.
+    ///
+    /// Events are processed in trace order (drivers append in clock
+    /// order). Per height, the first `Proposed`, per-phase `FirstVote` /
+    /// `QcFormed`, and the earliest `Committed` covering the height are
+    /// kept; re-proposals after view changes keep their original
+    /// propose time, so unhappy-path blocks show up as long segments
+    /// rather than disappearing.
+    pub fn from_trace(trace: &Trace) -> Self {
+        #[derive(Default)]
+        struct Builder {
+            proposed_ns: Option<u64>,
+            first_votes: BTreeMap<Phase, u64>,
+            qcs: BTreeMap<Phase, u64>,
+            committed_ns: Option<u64>,
+        }
+        let mut builders: BTreeMap<Height, Builder> = BTreeMap::new();
+        let mut committed_up_to = Height(0);
+        for ev in &trace.events {
+            match &ev.note {
+                Note::Proposed { height, .. } => {
+                    builders
+                        .entry(*height)
+                        .or_default()
+                        .proposed_ns
+                        .get_or_insert(ev.at_ns);
+                }
+                Note::FirstVote { height, phase, .. } => {
+                    builders
+                        .entry(*height)
+                        .or_default()
+                        .first_votes
+                        .entry(*phase)
+                        .or_insert(ev.at_ns);
+                }
+                Note::QcFormed { height, phase, .. } => {
+                    builders
+                        .entry(*height)
+                        .or_default()
+                        .qcs
+                        .entry(*phase)
+                        .or_insert(ev.at_ns);
+                }
+                Note::Committed { height, .. } => {
+                    // A commit covers every height up to `height`; only
+                    // the first (earliest) commit of a height counts.
+                    while committed_up_to < *height {
+                        committed_up_to = committed_up_to.next();
+                        builders
+                            .entry(committed_up_to)
+                            .or_default()
+                            .committed_ns
+                            .get_or_insert(ev.at_ns);
+                    }
+                }
+                _ => {}
+            }
+        }
+        let blocks = builders
+            .into_iter()
+            .map(|(height, b)| {
+                let mut phases: Vec<PhasePoint> = b
+                    .qcs
+                    .iter()
+                    .map(|(&phase, &qc_ns)| PhasePoint {
+                        phase,
+                        first_vote_ns: b.first_votes.get(&phase).copied(),
+                        qc_ns,
+                    })
+                    .collect();
+                phases.sort_by_key(|p| p.qc_ns);
+                BlockTimeline {
+                    height,
+                    proposed_ns: b.proposed_ns,
+                    phases,
+                    committed_ns: b.committed_ns,
+                }
+            })
+            .collect();
+        Decomposition { blocks }
+    }
+
+    /// Complete timelines only (see [`BlockTimeline::is_complete`]).
+    pub fn complete_blocks(&self) -> impl Iterator<Item = &BlockTimeline> {
+        self.blocks.iter().filter(|b| b.is_complete())
+    }
+
+    /// The modal number of distinct QC phases per complete block — the
+    /// protocol's measured phase count (2 for Marlin's happy path, 3
+    /// for HotStuff). Returns 0 when no block completed.
+    pub fn phase_count(&self) -> usize {
+        let mut freq: BTreeMap<usize, usize> = BTreeMap::new();
+        for b in self.complete_blocks() {
+            *freq.entry(b.phases.len()).or_default() += 1;
+        }
+        freq.into_iter()
+            .max_by_key(|&(count, n)| (n, count))
+            .map(|(count, _)| count)
+            .unwrap_or(0)
+    }
+
+    /// End-to-end commit latency (propose → first commit) over complete
+    /// blocks.
+    pub fn commit_latency(&self) -> Histogram {
+        let mut h = Histogram::new();
+        for b in self.complete_blocks() {
+            if let (Some(p), Some(c)) = (b.proposed_ns, b.committed_ns) {
+                h.record(c.saturating_sub(p));
+            }
+        }
+        h
+    }
+
+    /// Aggregates the per-block segment durations, labeled by segment
+    /// end point: `vote(<phase>)` (propose/previous QC → first vote),
+    /// `<phase>QC` (first vote → QC), and `deliver` (last QC → commit).
+    /// Labels appear in first-encounter order, which for a steady
+    /// protocol is its phase order.
+    pub fn segments(&self) -> Vec<SegmentStat> {
+        let mut order: Vec<String> = Vec::new();
+        let mut by_label: BTreeMap<String, Histogram> = BTreeMap::new();
+        let mut push = |order: &mut Vec<String>, label: String, dur: u64| {
+            if !by_label.contains_key(&label) {
+                order.push(label.clone());
+            }
+            by_label.entry(label).or_default().record(dur);
+        };
+        for b in self.complete_blocks() {
+            let Some(mut cursor) = b.proposed_ns else {
+                continue;
+            };
+            for p in &b.phases {
+                if let Some(fv) = p.first_vote_ns {
+                    if fv >= cursor {
+                        push(
+                            &mut order,
+                            format!("vote({})", phase_label(p.phase)),
+                            fv - cursor,
+                        );
+                        cursor = fv;
+                    }
+                }
+                if p.qc_ns >= cursor {
+                    push(
+                        &mut order,
+                        format!("{}QC", phase_label(p.phase)),
+                        p.qc_ns - cursor,
+                    );
+                    cursor = p.qc_ns;
+                }
+            }
+            if let Some(c) = b.committed_ns {
+                if c >= cursor {
+                    push(&mut order, "deliver".to_string(), c - cursor);
+                }
+            }
+        }
+        order
+            .into_iter()
+            .map(|label| {
+                let hist = by_label.remove(&label).expect("label recorded");
+                SegmentStat { label, hist }
+            })
+            .collect()
+    }
+
+    /// Renders the decomposition as a JSON object (machine-readable
+    /// report for `--telemetry` artifacts).
+    pub fn to_json(&self) -> String {
+        let commit = self.commit_latency();
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\"blocks\":{},\"complete_blocks\":{},\"phase_count\":{},\"commit_latency_ns\":{}",
+            self.blocks.len(),
+            self.complete_blocks().count(),
+            self.phase_count(),
+            hist_json(&commit),
+        );
+        out.push_str(",\"segments\":[");
+        for (i, seg) in self.segments().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"segment\":{},\"stats\":{}}}",
+                json_str(&seg.label),
+                hist_json(&seg.hist)
+            );
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+fn hist_json(h: &Histogram) -> String {
+    format!(
+        "{{\"count\":{},\"mean_ns\":{},\"p50_ns\":{},\"p95_ns\":{},\"max_ns\":{}}}",
+        h.count(),
+        h.mean_ns(),
+        h.quantile_ns(0.50),
+        h.quantile_ns(0.95),
+        h.max_ns(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{TelemetrySink, Trace};
+    use marlin_types::{ReplicaId, View};
+
+    /// Builds a synthetic two-phase (Marlin-shaped) trace: propose at
+    /// t0, prepare vote/QC, commit vote/QC, then delivery.
+    fn two_phase_trace() -> Trace {
+        let mut t = Trace::new();
+        let leader = ReplicaId(1);
+        let v = View(1);
+        let h = Height(1);
+        t.note(
+            100,
+            leader,
+            &Note::Proposed {
+                view: v,
+                height: h,
+                phase: Phase::Prepare,
+            },
+        );
+        t.note(
+            150,
+            leader,
+            &Note::FirstVote {
+                view: v,
+                height: h,
+                phase: Phase::Prepare,
+            },
+        );
+        t.note(
+            300,
+            leader,
+            &Note::QcFormed {
+                phase: Phase::Prepare,
+                view: v,
+                height: h,
+            },
+        );
+        t.note(
+            340,
+            leader,
+            &Note::FirstVote {
+                view: v,
+                height: h,
+                phase: Phase::Commit,
+            },
+        );
+        t.note(
+            500,
+            leader,
+            &Note::QcFormed {
+                phase: Phase::Commit,
+                view: v,
+                height: h,
+            },
+        );
+        t.note(620, ReplicaId(0), &Note::Committed { height: h, txs: 4 });
+        t.note(900, ReplicaId(2), &Note::Committed { height: h, txs: 4 });
+        t
+    }
+
+    #[test]
+    fn reconstructs_two_phase_timeline() {
+        let d = Decomposition::from_trace(&two_phase_trace());
+        assert_eq!(d.blocks.len(), 1);
+        let b = &d.blocks[0];
+        assert!(b.is_complete());
+        assert_eq!(b.proposed_ns, Some(100));
+        assert_eq!(b.phases.len(), 2);
+        assert_eq!(b.phases[0].phase, Phase::Prepare);
+        assert_eq!(b.phases[1].phase, Phase::Commit);
+        // The first commit (any replica) wins.
+        assert_eq!(b.committed_ns, Some(620));
+        assert_eq!(d.phase_count(), 2);
+        assert_eq!(d.commit_latency().mean_ns(), 520);
+    }
+
+    #[test]
+    fn segments_cover_the_full_latency() {
+        let d = Decomposition::from_trace(&two_phase_trace());
+        let segs = d.segments();
+        let labels: Vec<&str> = segs.iter().map(|s| s.label.as_str()).collect();
+        assert_eq!(
+            labels,
+            vec![
+                "vote(prepare)",
+                "prepareQC",
+                "vote(commit)",
+                "commitQC",
+                "deliver"
+            ]
+        );
+        let total: u128 = segs.iter().map(|s| s.hist.sum_ns()).sum();
+        assert_eq!(total, 520); // segments sum to commit latency
+    }
+
+    #[test]
+    fn commit_covers_all_lower_heights() {
+        let mut t = two_phase_trace();
+        // A later batch commit of heights 2..=3 at t=2000.
+        t.note(
+            1_000,
+            ReplicaId(1),
+            &Note::Proposed {
+                view: View(1),
+                height: Height(3),
+                phase: Phase::Prepare,
+            },
+        );
+        t.note(
+            1_500,
+            ReplicaId(1),
+            &Note::QcFormed {
+                phase: Phase::Commit,
+                view: View(1),
+                height: Height(3),
+            },
+        );
+        t.note(
+            2_000,
+            ReplicaId(0),
+            &Note::Committed {
+                height: Height(3),
+                txs: 0,
+            },
+        );
+        let d = Decomposition::from_trace(&t);
+        let h2 = d.blocks.iter().find(|b| b.height == Height(2)).unwrap();
+        assert_eq!(h2.committed_ns, Some(2_000));
+        assert!(!h2.is_complete()); // never proposed in the trace
+        let h3 = d.blocks.iter().find(|b| b.height == Height(3)).unwrap();
+        assert!(h3.is_complete());
+    }
+
+    #[test]
+    fn json_report_carries_phase_count() {
+        let json = Decomposition::from_trace(&two_phase_trace()).to_json();
+        assert!(json.contains("\"phase_count\":2"), "{json}");
+        assert!(json.contains("\"segment\":\"prepareQC\""), "{json}");
+    }
+}

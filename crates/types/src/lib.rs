@@ -42,7 +42,7 @@ mod tree;
 
 pub use block::{Block, BlockId, BlockKind, BlockMeta, Justify, ParentLink};
 pub use ids::{Height, ReplicaId, View};
-pub use message::{Decide, Message, MsgBody, Proposal, VcCert, ViewChange, Vote};
+pub use message::{Decide, Message, MsgBody, MsgClass, Proposal, VcCert, ViewChange, Vote};
 pub use qc::{Phase, Qc, QcSeed};
 pub use transaction::{Batch, Transaction};
 pub use tree::{BlockStore, CommitError};

@@ -247,6 +247,73 @@ impl ViewChange {
 /// Wire length of a conventional signature inside a message.
 pub(crate) const SIGNATURE_WIRE_LEN: usize = marlin_crypto::SIGNATURE_LEN;
 
+/// Coarse classification of messages for per-category traffic
+/// breakdowns (the paper's Section III complexity metrics) and
+/// telemetry labels.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum MsgClass {
+    /// Leader proposal broadcasts, by phase.
+    Proposal(Phase),
+    /// Replica votes, by phase.
+    Vote(Phase),
+    /// `VIEW-CHANGE` / `NEW-VIEW` messages.
+    ViewChange,
+    /// `commitQC` dissemination.
+    Decide,
+    /// Block synchronisation traffic.
+    Fetch,
+    /// Crash-recovery catch-up traffic (`CATCH-UP` request/response,
+    /// wire tags 6/7). Kept distinct from [`MsgClass::Fetch`] so
+    /// recovery traffic can be excluded from protocol-cost measurement
+    /// windows (Table I counts view-change messages, not the recovery
+    /// of a crashed replica's state).
+    CatchUp,
+}
+
+impl MsgClass {
+    /// Classifies a message.
+    pub fn of(msg: &Message) -> MsgClass {
+        match &msg.body {
+            MsgBody::Proposal(p) => MsgClass::Proposal(p.phase),
+            MsgBody::Vote(v) => MsgClass::Vote(v.seed.phase),
+            MsgBody::ViewChange(_) => MsgClass::ViewChange,
+            MsgBody::Decide(_) => MsgClass::Decide,
+            MsgBody::FetchRequest { .. } | MsgBody::FetchResponse { .. } => MsgClass::Fetch,
+            MsgBody::CatchUpRequest { .. } | MsgBody::CatchUpResponse { .. } => MsgClass::CatchUp,
+        }
+    }
+
+    /// Whether this class belongs to the view-change protocol (used for
+    /// the Table I measurement window).
+    pub fn is_view_change(&self) -> bool {
+        matches!(
+            self,
+            MsgClass::ViewChange
+                | MsgClass::Proposal(Phase::PrePrepare)
+                | MsgClass::Vote(Phase::PrePrepare)
+        )
+    }
+
+    /// Whether this class is crash-recovery traffic, excluded from
+    /// protocol-cost measurement windows.
+    pub fn is_recovery(&self) -> bool {
+        matches!(self, MsgClass::CatchUp)
+    }
+}
+
+impl fmt::Display for MsgClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MsgClass::Proposal(p) => write!(f, "proposal/{p:?}"),
+            MsgClass::Vote(p) => write!(f, "vote/{p:?}"),
+            MsgClass::ViewChange => write!(f, "view-change"),
+            MsgClass::Decide => write!(f, "decide"),
+            MsgClass::Fetch => write!(f, "fetch"),
+            MsgClass::CatchUp => write!(f, "catch-up"),
+        }
+    }
+}
+
 /// A `commitQC` broadcast: receivers deliver the certified block and its
 /// ancestors.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]

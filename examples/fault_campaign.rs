@@ -27,14 +27,35 @@
 //! CI can run it as a gate.
 //!
 //! ```sh
-//! cargo run --release --example fault_campaign
+//! cargo run --release --example fault_campaign [-- --telemetry PATH]
 //! ```
+//!
+//! With `--telemetry PATH`, every cell feeds one shared metrics
+//! registry (view-change paths, commit conflicts, journal writes,
+//! catch-up round trips across the whole campaign) and the JSON
+//! snapshot is written to `PATH`.
 
 use marlin_bft::core::ProtocolKind;
 use marlin_bft::node::CampaignReport;
-use marlin_bft::simnet::{run_scenario, Scenario};
+use marlin_bft::simnet::{run_scenario, run_scenario_with_telemetry, Scenario};
+use marlin_bft::telemetry::{Registry, RegistryRecorder, SharedSink};
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let telemetry_path: Option<std::path::PathBuf> = args
+        .iter()
+        .position(|a| a == "--telemetry")
+        .map(|i| args.get(i + 1).expect("--telemetry needs a path").into());
+    let registry = Registry::new();
+    let recorder = SharedSink::new(RegistryRecorder::new(&registry));
+    let run = |kind, scenario: &Scenario, seed| {
+        if telemetry_path.is_some() {
+            run_scenario_with_telemetry(kind, scenario, seed, Box::new(recorder.clone()))
+        } else {
+            run_scenario(kind, scenario, seed)
+        }
+    };
+
     let protocols = [
         ProtocolKind::Marlin,
         ProtocolKind::MarlinFourPhase,
@@ -47,7 +68,7 @@ fn main() {
     for scenario in Scenario::all_presets() {
         for kind in protocols {
             for seed in seeds {
-                report.push(run_scenario(kind, &scenario, seed));
+                report.push(run(kind, &scenario, seed));
             }
         }
     }
@@ -72,7 +93,7 @@ fn main() {
     let mut restart = CampaignReport::new();
     for scenario in Scenario::restart_presets() {
         for seed in seeds {
-            restart.push(run_scenario(ProtocolKind::Marlin, &scenario, seed));
+            restart.push(run(ProtocolKind::Marlin, &scenario, seed));
         }
     }
     println!("\nrestart campaign (Marlin, three recovery modes):");
@@ -112,6 +133,14 @@ fn main() {
             "NOT reproduced"
         }
     );
+
+    if let Some(path) = telemetry_path {
+        if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+            std::fs::create_dir_all(dir).expect("create telemetry output directory");
+        }
+        std::fs::write(&path, registry.snapshot().to_json()).expect("write telemetry snapshot");
+        println!("\nwrote campaign telemetry snapshot to {}", path.display());
+    }
 
     if !failures.is_empty() {
         for f in &failures {

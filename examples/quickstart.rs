@@ -2,16 +2,33 @@
 //! in-process.
 //!
 //! ```text
-//! cargo run --example quickstart
+//! cargo run --example quickstart [-- --telemetry PATH]
 //! ```
+//!
+//! With `--telemetry PATH`, every consensus event and message send is
+//! folded into a metrics registry; the run writes a JSON snapshot to
+//! `PATH` and the Prometheus text exposition to `PATH` with a `.prom`
+//! extension (validated against the line-format checker before it is
+//! written).
 
 use marlin_bft::core::{harness::Cluster, Config, Note, ProtocolKind};
+use marlin_bft::telemetry::{check_prometheus_text, Registry, RegistryRecorder};
 use marlin_bft::types::ReplicaId;
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let telemetry_path: Option<std::path::PathBuf> = args
+        .iter()
+        .position(|a| a == "--telemetry")
+        .map(|i| args.get(i + 1).expect("--telemetry needs a path").into());
+
     // n = 4 replicas tolerating f = 1 Byzantine fault.
     let config = Config::for_test(4, 1);
     let mut cluster = Cluster::new(ProtocolKind::Marlin, config, 42);
+    let registry = Registry::new();
+    if telemetry_path.is_some() {
+        cluster.set_telemetry(Box::new(RegistryRecorder::new(&registry)));
+    }
 
     println!("submitting 3 batches of 100 transactions to the view-1 leader…");
     for round in 1..=3 {
@@ -42,4 +59,22 @@ fn main() {
         .count();
     println!("\n{qcs_formed} quorum certificates were formed — two per block (prepare + commit):");
     println!("Marlin commits in two phases where HotStuff needs three.");
+
+    if let Some(path) = telemetry_path {
+        let snapshot = registry.snapshot();
+        let prom = snapshot.to_prometheus();
+        let samples = check_prometheus_text(&prom).expect("exporter emits valid exposition text");
+        if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+            std::fs::create_dir_all(dir).expect("create telemetry output directory");
+        }
+        std::fs::write(&path, snapshot.to_json()).expect("write JSON snapshot");
+        let prom_path = path.with_extension("prom");
+        std::fs::write(&prom_path, prom).expect("write Prometheus text");
+        println!(
+            "\ntelemetry: {} Prometheus samples validated; wrote {} and {}",
+            samples,
+            path.display(),
+            prom_path.display()
+        );
+    }
 }

@@ -50,6 +50,28 @@ fn trace(sim: &SimNet, from_ns: u64) {
             Note::VoteWithheld { phase } => {
                 format!("withheld {phase:?} vote (journal append failed)")
             }
+            Note::Proposed {
+                view,
+                height,
+                phase,
+            } => {
+                format!("proposed {phase:?} block (view {view}, height {height})")
+            }
+            Note::FirstVote {
+                phase,
+                view,
+                height,
+            } => {
+                format!("first {phase:?} vote received (view {view}, height {height})")
+            }
+            Note::JournalWrite { appends, bytes, .. } => {
+                format!("journaled {appends} records ({bytes} B)")
+            }
+            Note::CatchUpRequested { view } => format!("requested catch-up (view {view})"),
+            Note::CatchUpServed { view, newer } => {
+                format!("served catch-up from view {view} (newer: {newer})")
+            }
+            Note::CatchUpCompleted { view } => format!("caught up (view {view})"),
         };
         println!("  {:>8.1} ms  {}  {}", *at as f64 / 1e6, id, what);
     }

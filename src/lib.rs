@@ -17,7 +17,9 @@
 //! * [`simnet`] — the deterministic discrete-event network simulator;
 //! * [`storage`] — the log-structured KV store (LevelDB stand-in);
 //! * [`node`] — replica runtime, workload generation, and the
-//!   experiment driver.
+//!   experiment driver;
+//! * [`telemetry`] — metrics registry, structured consensus tracing,
+//!   exporters, and the commit-latency decomposition.
 //!
 //! ## Quickstart
 //!
@@ -43,4 +45,5 @@ pub use marlin_crypto as crypto;
 pub use marlin_node as node;
 pub use marlin_simnet as simnet;
 pub use marlin_storage as storage;
+pub use marlin_telemetry as telemetry;
 pub use marlin_types as types;
