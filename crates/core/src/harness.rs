@@ -105,11 +105,25 @@ pub struct Cluster {
 impl Cluster {
     /// Builds and starts a cluster of `config.n` replicas running
     /// `kind`. The seed is reserved for workload generation.
-    pub fn new(kind: ProtocolKind, config: Config, _seed: u64) -> Self {
+    pub fn new(kind: ProtocolKind, config: Config, seed: u64) -> Self {
+        Cluster::from_builder(config, seed, |_, cfg| build_protocol(kind, cfg))
+    }
+
+    /// Builds and starts a cluster from a caller-supplied per-replica
+    /// constructor (e.g. journal-backed replicas on shared disks that
+    /// the test holds onto for later crash/restart).
+    pub fn from_builder(
+        config: Config,
+        _seed: u64,
+        mut build: impl FnMut(ReplicaId, Config) -> Box<dyn Protocol>,
+    ) -> Self {
         let n = config.n;
         let mut cluster = Cluster {
             replicas: (0..n)
-                .map(|i| build_protocol(kind, config.with_id(ReplicaId(i as u32))))
+                .map(|i| {
+                    let id = ReplicaId(i as u32);
+                    build(id, config.with_id(id))
+                })
                 .collect(),
             crashed: HashSet::new(),
             inbox: VecDeque::new(),
@@ -151,6 +165,20 @@ impl Cluster {
     /// Whether `id` has been crashed.
     pub fn is_crashed(&self, id: ReplicaId) -> bool {
         self.crashed.contains(&id)
+    }
+
+    /// Replaces a crashed replica with a rebuilt instance and delivers
+    /// `Event::Start` + `Event::Recovered` — the harness analogue of
+    /// the simulator's `Ev::Recover`. The replica's committed-block
+    /// ledger is reset: a restarted process re-commits from scratch
+    /// (or from its journal), exactly like a real node.
+    pub fn restart(&mut self, id: ReplicaId, replica: Box<dyn Protocol>) {
+        self.crashed.remove(&id);
+        self.replicas[id.index()] = replica;
+        self.committed[id.index()].clear();
+        self.step_replica(id, Event::Start);
+        self.step_replica(id, Event::Recovered);
+        self.drain();
     }
 
     /// Installs a link filter (drop messages for which it returns

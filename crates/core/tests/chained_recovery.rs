@@ -1,0 +1,235 @@
+//! Regression tests for chained (pipelined) durability and recovery —
+//! the deterministic core-level counterpart of the scenario-level
+//! restart-fork contrast in `tests/fault_matrix.rs`.
+//!
+//! Each test drives a single journal-backed replica with hand-crafted
+//! pipeline proposals (one leader broadcast per round, each `justify`
+//! the previous round's `prepareQC`), so the exact failure the journal
+//! exists to prevent can be replayed byte-for-byte:
+//!
+//! * a torn journal append must *withhold* the vote (write-ahead rule)
+//!   and leave the in-memory safety state exactly where the journal is
+//!   — before the fix the vote raced the append onto the wire;
+//! * a replica recovered via journal replay must refuse to re-vote the
+//!   heights it already voted, while an amnesiac restart happily
+//!   re-votes them — the double vote that forks the pipeline (the
+//!   `chained-restart-fork/amnesia` campaign cell);
+//! * a three-chain replica that crashes mid-pipeline — locked on a
+//!   grandparent that is still uncommitted in flight — must come back
+//!   with that lock and its voting edge intact, and keep voting at the
+//!   pipeline tip without re-voting below it.
+
+use marlin_core::chained::{ChainedHotStuff, ChainedMarlin};
+use marlin_core::{Action, Config, Event, Note, Protocol, SafetyJournal, StepOutput};
+use marlin_crypto::QcFormat;
+use marlin_storage::SharedDisk;
+use marlin_types::{
+    Batch, Block, BlockId, Height, Justify, Message, MsgBody, Phase, Qc, ReplicaId, View, Vote,
+};
+
+/// Signs a quorum certificate over `seed` with the first three keys.
+fn craft_qc(cfg: &Config, seed: marlin_types::QcSeed) -> Qc {
+    let partials: Vec<_> = (0..3)
+        .map(|i| cfg.keys.signer(i).sign_partial(&seed.signing_bytes()))
+        .collect();
+    Qc::combine(seed, &partials, &cfg.keys, QcFormat::Threshold).expect("quorum of signers")
+}
+
+/// The chained happy-path pipeline in view 1: `len` blocks, each
+/// justified by its parent's `prepareQC`, plus the certificate chain.
+fn pipeline(cfg: &Config, len: usize) -> (Vec<Block>, Vec<Qc>) {
+    let genesis = Qc::genesis(BlockId::GENESIS);
+    let mut blocks = Vec::new();
+    let mut qcs = Vec::new();
+    let mut justify_qc = genesis;
+    for i in 0..len {
+        let block = Block::new_normal(
+            justify_qc.block(),
+            justify_qc.block_view(),
+            View(1),
+            Height(i as u64 + 1),
+            Batch::empty(),
+            Justify::One(justify_qc),
+        );
+        let qc = craft_qc(cfg, block.vote_seed(Phase::Prepare, View(1)));
+        blocks.push(block);
+        qcs.push(qc);
+        justify_qc = qc;
+    }
+    (blocks, qcs)
+}
+
+/// The leader's one-broadcast proposal carrying `block`.
+fn proposal(leader: ReplicaId, block: &Block) -> Event {
+    Event::Message(Message::new(
+        leader,
+        View(1),
+        MsgBody::Proposal(marlin_types::Proposal {
+            phase: Phase::Prepare,
+            blocks: vec![block.clone()],
+            justify: *block.justify(),
+            vc_proof: Vec::new(),
+        }),
+    ))
+}
+
+fn votes(out: &StepOutput) -> Vec<&Vote> {
+    out.actions
+        .iter()
+        .filter_map(|a| match a {
+            Action::Send {
+                message:
+                    Message {
+                        body: MsgBody::Vote(v),
+                        ..
+                    },
+                ..
+            } => Some(v),
+            _ => None,
+        })
+        .collect()
+}
+
+fn withheld(out: &StepOutput) -> bool {
+    out.actions
+        .iter()
+        .any(|a| matches!(a, Action::Note(Note::VoteWithheld { .. })))
+}
+
+fn voter_config() -> (Config, ReplicaId, ReplicaId) {
+    let base = Config::for_test(4, 1);
+    let leader = base.leader_of(View(1));
+    let voter = ReplicaId((leader.0 + 1) % 4);
+    (base.with_id(voter), leader, voter)
+}
+
+/// Write-ahead voting under a torn append: the vote is withheld, the
+/// in-memory safety state does not outrun the journal, and a clean
+/// re-delivery of the same proposal votes normally (the abstention is
+/// transient, not a wedge). Before the journal wiring, the vote left
+/// on the wire with nothing durable behind it.
+#[test]
+fn torn_append_withholds_the_vote_and_state_stays_with_the_journal() {
+    let (cfg, leader, _) = voter_config();
+    let disk = SharedDisk::new();
+    let journal = SafetyJournal::open(disk.clone()).expect("fresh journal");
+    let mut rep = ChainedMarlin::with_journal(cfg.clone(), journal);
+    rep.on_event(Event::Start);
+
+    let (blocks, _) = pipeline(&cfg, 2);
+    let out = rep.on_event(proposal(leader, &blocks[0]));
+    assert_eq!(votes(&out).len(), 1, "clean append: the vote goes out");
+    assert_eq!(*rep.last_voted(), blocks[0].meta());
+
+    // The next append tears after a few bytes: the height-2 vote must
+    // be withheld and `lb`/`highQC` must still describe height 1.
+    disk.tear_next_write_after(5);
+    let out = rep.on_event(proposal(leader, &blocks[1]));
+    assert!(withheld(&out), "torn append must surface VoteWithheld");
+    assert!(votes(&out).is_empty(), "the vote must not reach the wire");
+    assert_eq!(*rep.last_voted(), blocks[0].meta());
+    assert_eq!(*rep.high_qc(), *blocks[0].justify());
+    assert_eq!(
+        rep.journal().expect("journaled").state().last_voted,
+        blocks[0].meta(),
+        "in-memory state must not outrun the journal"
+    );
+
+    // The disk healed (the tear was consumed): the same proposal,
+    // re-delivered, votes normally.
+    let out = rep.on_event(proposal(leader, &blocks[1]));
+    assert_eq!(votes(&out).len(), 1, "abstention must be transient");
+    assert_eq!(*rep.last_voted(), blocks[1].meta());
+}
+
+/// The restart-fork contrast, replica-local: after a crash, journal
+/// replay refuses to re-vote height 2, and keeps voting at the
+/// pipeline tip (height 3); an amnesiac restart re-votes height 2 —
+/// the exact double vote `tests/fault_matrix.rs` watches fork the
+/// cluster.
+#[test]
+fn journal_replay_refuses_to_re_vote_where_amnesia_forks() {
+    let (cfg, leader, _) = voter_config();
+    let disk = SharedDisk::new();
+    let journal = SafetyJournal::open(disk.clone()).expect("fresh journal");
+    let mut rep = ChainedMarlin::with_journal(cfg.clone(), journal);
+    rep.on_event(Event::Start);
+
+    let (blocks, qcs) = pipeline(&cfg, 3);
+    assert_eq!(votes(&rep.on_event(proposal(leader, &blocks[0]))).len(), 1);
+    assert_eq!(votes(&rep.on_event(proposal(leader, &blocks[1]))).len(), 1);
+
+    // Crash: the disk drops its unsynced tail, the journal replays.
+    disk.crash();
+    let journal = SafetyJournal::open(disk.clone()).expect("reopen after crash");
+    let mut rec = ChainedMarlin::recover(cfg.clone(), journal);
+    assert_eq!(*rec.last_voted(), blocks[1].meta());
+    assert_eq!(rec.locked_qc(), Some(&qcs[0]), "two-chain lock survives");
+    rec.on_event(Event::Start);
+
+    // Re-delivered height-2 proposal: already voted, must stay silent.
+    let out = rec.on_event(proposal(leader, &blocks[1]));
+    assert!(
+        votes(&out).is_empty(),
+        "journal replay re-voted an acknowledged height"
+    );
+    // The pipeline tip is still live: the replica keeps voting there.
+    let out = rec.on_event(proposal(leader, &blocks[2]));
+    assert_eq!(votes(&out).len(), 1, "recovery must not wedge the voter");
+
+    // Amnesia: a fresh replica on the same schedule happily re-votes
+    // height 2 — this is the fork, not a harmless duplicate, because a
+    // different leader block at that height would be voted just the
+    // same.
+    let mut amnesiac = ChainedMarlin::new(cfg);
+    amnesiac.on_event(Event::Start);
+    let out = amnesiac.on_event(proposal(leader, &blocks[1]));
+    assert_eq!(
+        votes(&out).len(),
+        1,
+        "the amnesiac contrast lost its teeth: no re-vote happened"
+    );
+}
+
+/// Three-chain mid-pipeline recovery: the replica crashes after voting
+/// height 3, locked on the still-uncommitted grandparent certificate
+/// (three-chain has nothing committed yet at depth 3). Replay must
+/// restore the lock, `lb`, and `highQC` exactly, refuse to re-vote
+/// height 3, and vote height 4 — rejoining a pipeline whose in-flight
+/// ancestors it never saw commit.
+#[test]
+fn three_chain_recovery_restores_the_mid_pipeline_lock() {
+    let (cfg, leader, _) = voter_config();
+    let disk = SharedDisk::new();
+    let journal = SafetyJournal::open(disk.clone()).expect("fresh journal");
+    let mut rep = ChainedHotStuff::with_journal(cfg.clone(), journal);
+    rep.on_event(Event::Start);
+
+    let (blocks, qcs) = pipeline(&cfg, 4);
+    for b in &blocks[..3] {
+        assert_eq!(votes(&rep.on_event(proposal(leader, b))).len(), 1);
+    }
+    // Voting height 3 locked the grandparent: qc over height 1.
+    assert_eq!(rep.locked_qc(), Some(&qcs[0]));
+
+    disk.crash();
+    let journal = SafetyJournal::open(disk.clone()).expect("reopen after crash");
+    let mut rec = ChainedHotStuff::recover(cfg, journal);
+    assert_eq!(*rec.last_voted(), blocks[2].meta());
+    assert_eq!(
+        rec.locked_qc(),
+        Some(&qcs[0]),
+        "the uncommitted in-flight lock must survive the crash"
+    );
+    assert_eq!(*rec.high_qc(), Justify::One(qcs[1]));
+    rec.on_event(Event::Start);
+
+    let out = rec.on_event(proposal(leader, &blocks[2]));
+    assert!(votes(&out).is_empty(), "height 3 was already voted");
+    let out = rec.on_event(proposal(leader, &blocks[3]));
+    assert_eq!(
+        votes(&out).len(),
+        1,
+        "the recovered replica must keep voting at the pipeline tip"
+    );
+}

@@ -171,16 +171,33 @@ impl ByzantineReplica {
         }
     }
 
-    /// Whether `message` is the commit-phase proposal the
-    /// [`Behavior::UnsafeSnapshot`] adversary hides: it carries a fresh
-    /// `prepareQC` whose certified block is itself justified by a QC
-    /// from the same view, so the victim's resulting lock has the exact
-    /// Case R2 shape of the paper's Figure 2.
+    /// Whether `message` is the proposal the [`Behavior::UnsafeSnapshot`]
+    /// adversary hides: it carries a fresh `prepareQC` whose certified
+    /// block is itself justified by a QC from the same view, so the
+    /// victim's resulting lock has the exact Case R2 shape of the
+    /// paper's Figure 2.
+    ///
+    /// For the basic protocols that moment is the commit-phase
+    /// broadcast. Chained protocols never broadcast a commit phase —
+    /// every round is a single prepare-phase proposal whose justify is
+    /// the previous round's `prepareQC` — so there the trigger is the
+    /// first prepare proposal deep enough in the pipeline that its
+    /// justify locks the victim on an in-flight chain (the one-broadcast
+    /// analogue of the same attack). The chained trigger is gated on the
+    /// wrapped protocol's name so basic-Marlin campaign fingerprints are
+    /// untouched (basic Marlin's prepare proposals also carry same-view
+    /// justify chains, which would otherwise fire the moment early).
     fn hidden_qc_moment(&self, message: &Message) -> bool {
         let MsgBody::Proposal(p) = &message.body else {
             return false;
         };
-        if p.phase != Phase::Commit {
+        let chained = self.inner.name().starts_with("chained");
+        let trigger_phase = if chained {
+            Phase::Prepare
+        } else {
+            Phase::Commit
+        };
+        if p.phase != trigger_phase {
             return false;
         }
         let Some(qc) = p.justify.qc() else {
@@ -190,7 +207,7 @@ impl ByzantineReplica {
             .store()
             .get(&qc.block())
             .and_then(|b| b.justify().qc().copied())
-            .is_some_and(|under| under.view() == qc.view())
+            .is_some_and(|under| !under.is_genesis() && under.view() == qc.view())
     }
 }
 

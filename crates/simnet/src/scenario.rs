@@ -16,6 +16,7 @@ use crate::byzantine::{Behavior, ByzantineReplica};
 use crate::invariants::{Invariants, Violation};
 use crate::sim::{LinkFault, Partition, RecoveryMode, SimConfig, SimNet};
 use crate::MsgClass;
+use marlin_core::chained::{ChainedHotStuff, ChainedMarlin};
 use marlin_core::harness::build_protocol;
 use marlin_core::marlin::Marlin;
 use marlin_core::{Config, Protocol, ProtocolKind, SafetyJournal};
@@ -288,14 +289,41 @@ impl Scenario {
         s
     }
 
-    /// The crash-restart contrast cells (Marlin-only: journal-backed
-    /// recovery is a Marlin feature). Kept out of [`Self::all_presets`]
-    /// because the amnesia cell is *expected* to violate safety.
+    /// The chained (pipelined) variant of [`Self::restart_fork`]: the
+    /// same crash/recovery/tear/suppression schedule, renamed so the
+    /// campaign can tell the grids apart. The fork mechanics transfer:
+    /// under `Amnesia` the restarted leader re-certifies the
+    /// deterministic empty start block from genesis and then pipelines
+    /// a conflicting client block at an already-voted height, which the
+    /// amnesiac voter double-votes; under `FromDisk` the replayed
+    /// journals (torn tail included) pin every pre-crash vote.
+    pub fn chained_restart_fork(mode: RecoveryMode) -> Self {
+        let mut s = Self::restart_fork(mode);
+        s.name = match mode {
+            RecoveryMode::WithMemory => "chained-restart-fork/with-memory",
+            RecoveryMode::FromDisk => "chained-restart-fork/from-disk",
+            RecoveryMode::Amnesia => "chained-restart-fork/amnesia",
+        };
+        s
+    }
+
+    /// The crash-restart contrast cells (for the journal-backed
+    /// protocols). Kept out of [`Self::all_presets`] because the
+    /// amnesia cell is *expected* to violate safety.
     pub fn restart_presets() -> Vec<Scenario> {
         vec![
             Scenario::restart_fork(RecoveryMode::WithMemory),
             Scenario::restart_fork(RecoveryMode::FromDisk),
             Scenario::restart_fork(RecoveryMode::Amnesia),
+        ]
+    }
+
+    /// The chained analogue of [`Self::restart_presets`].
+    pub fn chained_restart_presets() -> Vec<Scenario> {
+        vec![
+            Scenario::chained_restart_fork(RecoveryMode::WithMemory),
+            Scenario::chained_restart_fork(RecoveryMode::FromDisk),
+            Scenario::chained_restart_fork(RecoveryMode::Amnesia),
         ]
     }
 
@@ -359,6 +387,36 @@ impl ScenarioOutcome {
     }
 }
 
+/// Whether `kind` supports write-ahead journaling and journal-replay
+/// recovery.
+fn journaled_kind(kind: ProtocolKind) -> bool {
+    matches!(
+        kind,
+        ProtocolKind::Marlin | ProtocolKind::ChainedMarlin | ProtocolKind::ChainedHotStuff
+    )
+}
+
+/// Constructs a journal-backed replica of `kind`; with `replay`, safety
+/// state is reconstructed from the journal (`FromDisk` recovery).
+fn build_journaled(
+    kind: ProtocolKind,
+    cfg: Config,
+    journal: SafetyJournal,
+    replay: bool,
+) -> Box<dyn Protocol> {
+    match (kind, replay) {
+        (ProtocolKind::Marlin, false) => Box::new(Marlin::with_journal(cfg, journal)),
+        (ProtocolKind::Marlin, true) => Box::new(Marlin::recover(cfg, journal)),
+        (ProtocolKind::ChainedMarlin, false) => Box::new(ChainedMarlin::with_journal(cfg, journal)),
+        (ProtocolKind::ChainedMarlin, true) => Box::new(ChainedMarlin::recover(cfg, journal)),
+        (ProtocolKind::ChainedHotStuff, false) => {
+            Box::new(ChainedHotStuff::with_journal(cfg, journal))
+        }
+        (ProtocolKind::ChainedHotStuff, true) => Box::new(ChainedHotStuff::recover(cfg, journal)),
+        _ => unreachable!("journaled_kind gated"),
+    }
+}
+
 /// Runs one `(protocol, scenario, seed)` cell on a 4-replica LAN
 /// cluster with the global invariant checker attached.
 pub fn run_scenario(kind: ProtocolKind, scenario: &Scenario, seed: u64) -> ScenarioOutcome {
@@ -400,9 +458,10 @@ fn run_scenario_inner(
     }
     let byzantine: Vec<ReplicaId> = handles.keys().copied().collect();
 
-    // Scenarios that exercise durability run every Marlin replica with
-    // a write-ahead safety journal on a per-replica durable disk; all
-    // other scenarios are bit-identical to the journal-free setup.
+    // Scenarios that exercise durability run every journal-capable
+    // replica with a write-ahead safety journal on a per-replica
+    // durable disk; all other scenarios are bit-identical to the
+    // journal-free setup.
     let with_disks =
         scenario.recovery_mode != RecoveryMode::WithMemory || !scenario.disk_tears.is_empty();
     let disks: Vec<SharedDisk> = (0..n).map(|_| SharedDisk::new()).collect();
@@ -410,9 +469,9 @@ fn run_scenario_inner(
     let replicas: Vec<Box<dyn Protocol>> = (0..n)
         .map(|i| {
             let id = ReplicaId(i as u32);
-            let inner = if with_disks && matches!(kind, ProtocolKind::Marlin) {
+            let inner = if with_disks && journaled_kind(kind) {
                 let journal = SafetyJournal::open(disks[i].clone()).expect("fresh journal");
-                Box::new(Marlin::with_journal(cfg.with_id(id), journal)) as Box<dyn Protocol>
+                build_journaled(kind, cfg.with_id(id), journal, false)
             } else {
                 build_protocol(kind, cfg.with_id(id))
             };
@@ -451,16 +510,13 @@ fn run_scenario_inner(
             mode,
             disks.clone(),
             Box::new(move |id, disk| {
-                // Journal-backed restart is a Marlin feature; other
-                // protocols rejoin with fresh (amnesiac) state.
-                if matches!(kind, ProtocolKind::Marlin) {
+                // Journal-backed restart is a feature of Marlin and the
+                // chained protocols; other protocols rejoin with fresh
+                // (amnesiac) state.
+                if journaled_kind(kind) {
                     let journal = SafetyJournal::open(disk).expect("journal replay");
-                    match mode {
-                        RecoveryMode::FromDisk => {
-                            Box::new(Marlin::recover(rcfg.with_id(id), journal))
-                        }
-                        _ => Box::new(Marlin::with_journal(rcfg.with_id(id), journal)),
-                    }
+                    let replay = mode == RecoveryMode::FromDisk;
+                    build_journaled(kind, rcfg.with_id(id), journal, replay)
                 } else {
                     build_protocol(kind, rcfg.with_id(id))
                 }

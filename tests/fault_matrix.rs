@@ -1,6 +1,8 @@
 //! The deterministic fault-injection matrix: every preset fault
 //! schedule × {Marlin, MarlinFourPhase, HotStuff, Jolteon} × 3 seeds,
-//! under the global invariant checker.
+//! under the global invariant checker — plus the chained (pipelined)
+//! protocols across the same presets and their own restart-fork
+//! durability contrast.
 //!
 //! Requirements proved here:
 //!
@@ -25,6 +27,8 @@ const HONEST_QUORUM_PROTOCOLS: [ProtocolKind; 4] = [
     ProtocolKind::HotStuff,
     ProtocolKind::Jolteon,
 ];
+const CHAINED_PROTOCOLS: [ProtocolKind; 2] =
+    [ProtocolKind::ChainedMarlin, ProtocolKind::ChainedHotStuff];
 
 /// Runs one schedule across the protocol × seed grid and asserts the
 /// safety and Marlin-liveness requirements on every cell.
@@ -171,6 +175,46 @@ fn insecure_two_phase_fails_the_checker_under_equivocation() {
 }
 
 #[test]
+fn matrix_chained_protocols_all_presets() {
+    // The pipelined protocols run the full preset campaign: every
+    // schedule, both commit rules, every seed — zero safety violations,
+    // no post-quiet stall, bounded view consumption, and real progress.
+    // (Note this includes the Figure 2b snapshot schedules, whose
+    // adversary understands one-broadcast-per-round pipelines.)
+    for scenario in Scenario::all_presets() {
+        for kind in CHAINED_PROTOCOLS {
+            for seed in SEEDS {
+                let out = run_scenario(kind, &scenario, seed);
+                assert_eq!(
+                    out.safety_violations(),
+                    0,
+                    "{kind:?} under {} (seed {seed}): safety violations {:?}",
+                    scenario.name,
+                    out.violations
+                );
+                assert!(
+                    !out.has_liveness_stall(),
+                    "{kind:?} failed to recover after {} went quiet (seed {seed}): {:?}",
+                    scenario.name,
+                    out.violations
+                );
+                assert!(
+                    out.max_view <= 16,
+                    "{kind:?} consumed {} views recovering from {}",
+                    out.max_view,
+                    scenario.name
+                );
+                assert!(
+                    out.committed > 1,
+                    "{kind:?} under {} (seed {seed}) never committed anything",
+                    scenario.name
+                );
+            }
+        }
+    }
+}
+
+#[test]
 fn restart_amnesia_forks_but_journal_replay_does_not() {
     // The durability contrast (Issue 3's payoff): one crash-restart
     // schedule, three recovery modes. An amnesiac restart of the voter
@@ -232,6 +276,71 @@ fn restart_amnesia_forks_but_journal_replay_does_not() {
 }
 
 #[test]
+fn chained_restart_amnesia_forks_but_journal_replay_does_not() {
+    // The same durability contrast for the pipelined protocols: an
+    // amnesiac restart of voter p0 and leader p1 re-runs the pipeline
+    // from genesis — p1 re-certifies the deterministic empty start
+    // block, then pipelines a conflicting client block at an
+    // already-voted height, which p0 double-votes into a committed
+    // fork. Journal replay (p0's crash-truncated final record
+    // discarded by CRC) pins every pre-crash vote and the identical
+    // schedule stays safe and live, for both commit rules.
+    for kind in CHAINED_PROTOCOLS {
+        for seed in SEEDS {
+            let amnesia = run_scenario(
+                kind,
+                &Scenario::chained_restart_fork(RecoveryMode::Amnesia),
+                seed,
+            );
+            assert_eq!(
+                amnesia.verdict(),
+                "SAFETY",
+                "{kind:?}: amnesiac restart should fork (seed {seed}): {:?}",
+                amnesia.violations
+            );
+            assert!(
+                amnesia
+                    .violations
+                    .iter()
+                    .any(|v| matches!(v, Violation::DoubleVote { .. })),
+                "{kind:?}: the fork should be pinned on a double vote (seed {seed}): {:?}",
+                amnesia.violations
+            );
+
+            let from_disk = run_scenario(
+                kind,
+                &Scenario::chained_restart_fork(RecoveryMode::FromDisk),
+                seed,
+            );
+            assert_eq!(
+                from_disk.safety_violations(),
+                0,
+                "{kind:?}: journal replay must keep the identical schedule safe \
+                 (seed {seed}): {:?}",
+                from_disk.violations
+            );
+            assert!(
+                !from_disk.has_liveness_stall(),
+                "{kind:?}: journal replay must also stay live (seed {seed}): {:?}",
+                from_disk.violations
+            );
+
+            let with_memory = run_scenario(
+                kind,
+                &Scenario::chained_restart_fork(RecoveryMode::WithMemory),
+                seed,
+            );
+            assert_eq!(
+                with_memory.verdict(),
+                "OK",
+                "{kind:?}: in-memory recovery baseline must be clean (seed {seed}): {:?}",
+                with_memory.violations
+            );
+        }
+    }
+}
+
+#[test]
 fn identical_seeds_give_identical_verdicts() {
     // Determinism across repeated runs: same cell, same fingerprint,
     // same verdict — for a safety-clean cell and for a wedged one.
@@ -242,6 +351,11 @@ fn identical_seeds_give_identical_verdicts() {
             ProtocolKind::TwoPhaseInsecure,
             Scenario::equivocate_unsafe_snapshot(),
         ),
+        (
+            ProtocolKind::ChainedMarlin,
+            Scenario::chained_restart_fork(RecoveryMode::Amnesia),
+        ),
+        (ProtocolKind::ChainedHotStuff, Scenario::lossy_links()),
     ];
     for (kind, scenario) in cells {
         for seed in SEEDS {

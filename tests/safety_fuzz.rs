@@ -256,6 +256,34 @@ proptest! {
         fuzz_schedule(ProtocolKind::Marlin, &s, seed, true);
     }
 
+    /// Chained (pipelined) protocols under the same random schedules —
+    /// crucially including the crash+recover family, which the
+    /// per-message fuzz above cannot express (`fuzz_one` crashes a
+    /// replica but never restarts it). A recovery-mode knob alternates
+    /// plain in-memory restarts with journal replay from disk; Amnesia
+    /// is deliberately excluded because forgetting the journal is
+    /// *expected* to fork the pipeline (see `tests/fault_matrix.rs`).
+    #[test]
+    fn chained_protocols_survive_random_fault_schedules(
+        seed in 0u64..1_000_000,
+        fault_kind in 0u8..3,
+        knobs in 0u64..1_000_000_000,
+        byz_kind in 0u8..5,
+        which in 0u8..2,
+        from_disk in any::<bool>(),
+    ) {
+        let kind = if which == 0 {
+            ProtocolKind::ChainedMarlin
+        } else {
+            ProtocolKind::ChainedHotStuff
+        };
+        let mut s = schedule_from_knobs(fault_kind, knobs, byz_kind);
+        if from_disk {
+            s.recovery_mode = RecoveryMode::FromDisk;
+        }
+        fuzz_schedule(kind, &s, seed, true);
+    }
+
     /// The same random schedules against the baselines: safety must
     /// hold unconditionally (liveness is only demanded of Marlin — the
     /// paper's claim under test).

@@ -41,3 +41,35 @@ fn hotstuff_commits_in_three_phases() {
     assert!(d.complete_blocks().count() > 0);
     assert_eq!(d.phase_count(), 3, "HotStuff needs three phases");
 }
+
+// In chained mode every round broadcasts one prepare-phase proposal,
+// but each certificate doubles as a phase of the in-flight ancestors:
+// the leader reports those ancestor phase points (`chained.rs`,
+// `note_ancestor_phases`), so the decomposition measures the commit
+// rule's true depth rather than 1 QC per height.
+
+#[test]
+fn chained_marlin_commits_in_two_phases() {
+    let d = decompose(ProtocolKind::ChainedMarlin);
+    assert!(d.complete_blocks().count() > 0);
+    assert_eq!(d.phase_count(), 2, "the two-chain rule is two-phase");
+    let labels: Vec<String> = d.segments().iter().map(|s| s.label.clone()).collect();
+    assert!(
+        labels.contains(&"prepareQC".to_string()) && labels.contains(&"commitQC".to_string()),
+        "expected prepare and commit QC segments, got {labels:?}"
+    );
+    let seg_sum: u128 = d.segments().iter().map(|s| s.hist.sum_ns()).sum();
+    assert_eq!(seg_sum, d.commit_latency().sum_ns());
+}
+
+#[test]
+fn chained_hotstuff_commits_in_three_phases() {
+    let d = decompose(ProtocolKind::ChainedHotStuff);
+    assert!(d.complete_blocks().count() > 0);
+    assert_eq!(d.phase_count(), 3, "the three-chain rule is three-phase");
+    let labels: Vec<String> = d.segments().iter().map(|s| s.label.clone()).collect();
+    assert!(
+        labels.contains(&"pre-commitQC".to_string()),
+        "expected the intermediate pre-commit QC segment, got {labels:?}"
+    );
+}
