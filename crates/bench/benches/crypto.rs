@@ -31,6 +31,38 @@ fn bench_sign_verify(c: &mut Criterion) {
     });
 }
 
+fn bench_batch_verify(c: &mut Criterion) {
+    let mut g = c.benchmark_group("batch_verify");
+    for f in [1usize, 5, 10] {
+        let n = 3 * f + 1;
+        let keys = KeyStore::generate(n, f, 11);
+        let msg = b"qc seed";
+        let partials: Vec<_> = (0..n - f)
+            .map(|i| keys.signer(i).sign_partial(msg))
+            .collect();
+        g.throughput(Throughput::Elements((n - f) as u64));
+        // The amortized one-pass aggregate check over a full quorum …
+        g.bench_with_input(BenchmarkId::new("batch", n), &partials, |b, partials| {
+            b.iter(|| keys.verify_partial_batch(msg, partials).unwrap());
+        });
+        // … against the per-share loop it replaces.
+        g.bench_with_input(BenchmarkId::new("serial", n), &partials, |b, partials| {
+            b.iter(|| partials.iter().all(|p| keys.verify_partial(msg, p)));
+        });
+        // Worst case: one bad share forces the identifying fallback scan.
+        let mut corrupted = partials.clone();
+        corrupted[1] = keys.signer(1).sign_partial(b"wrong message");
+        g.bench_with_input(
+            BenchmarkId::new("batch_fallback", n),
+            &corrupted,
+            |b, corrupted| {
+                b.iter(|| keys.verify_partial_batch(msg, corrupted).unwrap_err());
+            },
+        );
+    }
+    g.finish();
+}
+
 fn bench_combine_verify_qc(c: &mut Criterion) {
     let mut g = c.benchmark_group("qc");
     for f in [1usize, 5, 10] {
@@ -65,6 +97,7 @@ criterion_group!(
     benches,
     bench_sha256,
     bench_sign_verify,
+    bench_batch_verify,
     bench_combine_verify_qc
 );
 criterion_main!(benches);

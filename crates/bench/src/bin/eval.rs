@@ -1,7 +1,7 @@
 //! Regenerates the paper's tables and figures on the simulated testbed.
 //!
 //! ```text
-//! eval [--full] [--json[=PATH]] [table1|fig10-tvl|fig10g|fig10h|fig10i|fig10j|ablate-shadow|ablate-sig|ablate-four-phase|all]
+//! eval [--full] [--json[=PATH]] [table1|fig10-tvl|fig10g|fig10h|fig10i|fig10j|ablate-shadow|ablate-sig|ablate-four-phase|ablate-batch|all]
 //! ```
 //!
 //! Without `--full` the sweeps run at reduced durations and fewer
@@ -70,6 +70,9 @@ fn main() {
     }
     if run("ablate-four-phase") {
         ablate_four_phase(&mut rep);
+    }
+    if run("ablate-batch") {
+        ablate_batch(effort, &mut rep);
     }
 
     if let Some(path) = json_path {
@@ -369,4 +372,36 @@ fn ablate_four_phase(rep: &mut JsonReport) {
     println!(
         "The four-phase design is linear but *slower than HotStuff* — exactly the trade the paper rejects; the virtual block removes two of its phases.\n"
     );
+}
+
+/// Ablation A4 — the verification stack (DESIGN.md §12): serial
+/// per-share verification on one inline worker vs staged batch
+/// verification on a 4-worker pool, measured where crypto is the
+/// bottleneck.
+fn ablate_batch(effort: Effort, rep: &mut JsonReport) {
+    println!("## Ablation A4 — batch verification + crypto worker pool\n");
+    println!(
+        "Crypto-bound peak (Marlin, f = 2, LAN links, 32-tx blocks, ECDSA-like costs): the legacy serial verification stack vs batch verification with 4 crypto workers.\n"
+    );
+    let (serial, batched) = figures::ablate_batch_crypto(2, effort);
+    let speedup = (batched.throughput_tps / serial.throughput_tps - 1.0) * 100.0;
+    let mut table = Table::new(&["stack", "peak (ktx/s)", "mean latency (ms)", "vs serial"]);
+    table.row(vec![
+        "serial verify, 1 worker".to_string(),
+        ktps(serial.throughput_tps),
+        ms((serial.latency.mean_ms * 1e6) as u64),
+        "—".to_string(),
+    ]);
+    table.row(vec![
+        "batch verify, 4 workers".to_string(),
+        ktps(batched.throughput_tps),
+        ms((batched.latency.mean_ms * 1e6) as u64),
+        format!("{speedup:+.1}%"),
+    ]);
+    rep.section(
+        "ablate_batch",
+        "Ablation A4 — batch verification stack",
+        &table,
+    );
+    println!("{}", table.render());
 }

@@ -168,3 +168,38 @@ pub fn ablate_qc_format(f: usize) -> (crate::vc::VcMeasurement, crate::vc::VcMea
     };
     (run(QcFormat::SigGroup), run(QcFormat::Threshold))
 }
+
+/// Ablation A4: the verification stack. The paper testbed's 40 ms WAN
+/// links hide CPU — verification is never the bottleneck there — so
+/// this ablation measures where it is: LAN links, small (32-tx)
+/// blocks, ECDSA-like costs. Contrasts the legacy serial stack
+/// (per-share verification on one inline worker) against staged batch
+/// verification on a 4-worker pool; returns `(serial, batched)` peak
+/// metrics over the same offered-load ladder.
+pub fn ablate_batch_crypto(f: usize, effort: Effort) -> (Metrics, Metrics) {
+    let mut cfg = ExperimentConfig::paper(ProtocolKind::Marlin, f);
+    cfg.net = SimConfig::lan();
+    cfg.batch_size = 32;
+    cfg.duration_ns = effort.duration_ns();
+    cfg.warmup_ns = effort.warmup_ns();
+    let rates: Vec<u64> = match effort {
+        Effort::Quick => vec![24_000, 48_000, 72_000, 96_000],
+        Effort::Full => vec![
+            16_000, 32_000, 48_000, 64_000, 80_000, 96_000, 112_000, 128_000,
+        ],
+    };
+    let peak = |cfg: &ExperimentConfig| {
+        marlin_node::sweep_peak_throughput(cfg, &rates)
+            .into_iter()
+            .map(|p| p.metrics)
+            .max_by(|a, b| a.throughput_tps.total_cmp(&b.throughput_tps))
+            .expect("sweep is nonempty")
+    };
+    let mut serial = cfg.clone();
+    serial.batch_verify = false;
+    serial.crypto_workers = 1;
+    let mut batched = cfg;
+    batched.batch_verify = true;
+    batched.crypto_workers = 4;
+    (peak(&serial), peak(&batched))
+}

@@ -1223,12 +1223,17 @@ impl Chained {
             Event::Recovered => self.on_recovered(&mut out),
         }
         // Report the step's write-ahead journal IO (appends, bytes,
-        // modeled latency). Reported, not charged: folding the modeled
-        // cost into `cpu_ns` would perturb the deterministic schedules
-        // the fault-injection campaign pins by fingerprint.
+        // modeled latency). Reported, and charged to the journal lane
+        // only when `charge_journal` opts in: folding the modeled cost
+        // into the default schedule would perturb the deterministic
+        // timings the fault-injection campaign pins by fingerprint.
         if let Some(j) = self.journal.as_mut() {
             let io = j.take_io();
             if io.appends > 0 {
+                if self.base.cfg.charge_journal {
+                    out.cpu_ns += io.cost_ns;
+                    out.journal_ns += io.cost_ns;
+                }
                 out.actions.push(Action::Note(Note::JournalWrite {
                     appends: io.appends,
                     bytes: io.bytes,
@@ -1308,6 +1313,10 @@ impl Protocol for ChainedMarlin {
 
     fn store(&self) -> &BlockStore {
         &self.0.base.store
+    }
+
+    fn maintain_crypto(&mut self, max_verified: usize) -> crate::CryptoCacheStats {
+        self.0.base.maintain_crypto(max_verified)
     }
 
     fn locked_qc(&self) -> Option<&Qc> {
@@ -1395,6 +1404,10 @@ impl Protocol for ChainedHotStuff {
 
     fn store(&self) -> &BlockStore {
         &self.0.base.store
+    }
+
+    fn maintain_crypto(&mut self, max_verified: usize) -> crate::CryptoCacheStats {
+        self.0.base.maintain_crypto(max_verified)
     }
 
     fn locked_qc(&self) -> Option<&Qc> {

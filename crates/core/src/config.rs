@@ -75,6 +75,19 @@ pub struct Config {
     /// failures" experiment): when set, a leader voluntarily hands over
     /// after this many simulated nanoseconds even without failures.
     pub rotation_interval_ns: Option<u64>,
+    /// Verify vote shares in amortized batches at quorum-trigger points
+    /// instead of one stand-alone verification per arriving share.
+    pub batch_verify: bool,
+    /// Size of the simulated crypto worker pool. Combine/assembly
+    /// charges divide across workers, and multi-lane drivers spread
+    /// independent crypto charges over this many lanes. `1` reproduces
+    /// the historical single-lane timing exactly.
+    pub crypto_workers: usize,
+    /// Charge the write-ahead journal's modeled IO latency to the step
+    /// (on the journal lane) instead of only reporting it as a note.
+    /// Off by default: folding IO into the schedule perturbs the
+    /// deterministic timings the fault campaign pins.
+    pub charge_journal: bool,
 }
 
 impl Config {
@@ -92,6 +105,9 @@ impl Config {
             base_timeout_ns: 100_000_000,
             max_backoff_exp: 6,
             rotation_interval_ns: None,
+            batch_verify: false,
+            crypto_workers: 1,
+            charge_journal: false,
         }
     }
 

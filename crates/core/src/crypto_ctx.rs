@@ -6,6 +6,22 @@ use marlin_types::{Justify, Qc, QcSeed, VcCert};
 use std::collections::{HashSet, VecDeque};
 use std::sync::Arc;
 
+/// Capacity of the seed signing-bytes memo. Chained pipelines interleave
+/// a handful of in-flight heights (plus the odd view-change seed), so a
+/// small fixed LRU absorbs the working set without unbounded growth.
+const SEED_MEMO_CAPACITY: usize = 8;
+
+/// Snapshot of a [`CryptoCtx`]'s cache health, for telemetry.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CryptoCacheStats {
+    /// Seed-memo lookups answered from the LRU.
+    pub seed_hits: u64,
+    /// Seed-memo lookups that recomputed the signing bytes.
+    pub seed_misses: u64,
+    /// Verified-QC cache entries currently held.
+    pub verified_qcs: usize,
+}
+
 /// Performs signing/verification through the [`KeyStore`] while charging
 /// simulated CPU time per the replica's [`CostModel`].
 ///
@@ -18,15 +34,20 @@ pub struct CryptoCtx {
     signer: Signer,
     cost: CostModel,
     format: QcFormat,
+    batch_verify: bool,
+    crypto_workers: usize,
     charged_ns: u64,
     verified_qcs: HashSet<[u8; 32]>,
     /// Insertion order of `verified_qcs`, for bounded FIFO eviction.
     verified_order: VecDeque<[u8; 32]>,
-    /// Last seed whose signing bytes were computed. Vote handling asks
-    /// for the same seed's bytes `n − f` times back-to-back (once per
-    /// share), so a single-entry memo absorbs nearly every repeat
+    /// Recently computed seed signing bytes, most recent first. Vote
+    /// handling asks for the same few seeds' bytes over and over (once
+    /// per share, interleaved across in-flight heights in chained
+    /// mode), so a small move-to-front LRU absorbs nearly every repeat
     /// without unbounded growth.
-    last_seed: Option<(QcSeed, [u8; 32])>,
+    seed_memo: VecDeque<(QcSeed, [u8; 32])>,
+    seed_hits: u64,
+    seed_misses: u64,
 }
 
 impl CryptoCtx {
@@ -37,24 +58,32 @@ impl CryptoCtx {
             signer: config.keys.signer(config.id.index()),
             cost: config.cost,
             format: config.qc_format,
+            batch_verify: config.batch_verify,
+            crypto_workers: config.crypto_workers.max(1),
             charged_ns: 0,
             verified_qcs: HashSet::new(),
             verified_order: VecDeque::new(),
-            last_seed: None,
+            seed_memo: VecDeque::new(),
+            seed_hits: 0,
+            seed_misses: 0,
         }
     }
 
-    /// Canonical signing bytes of `seed`, memoized for consecutive calls
-    /// with the same seed (the common case while collecting one round's
-    /// votes).
+    /// Canonical signing bytes of `seed`, served from a small
+    /// move-to-front LRU (the working set is the handful of seeds whose
+    /// votes are currently being collected).
     pub fn seed_bytes(&mut self, seed: &QcSeed) -> [u8; 32] {
-        if let Some((cached, bytes)) = &self.last_seed {
-            if cached == seed {
-                return *bytes;
-            }
+        if let Some(pos) = self.seed_memo.iter().position(|(s, _)| s == seed) {
+            self.seed_hits += 1;
+            let entry = self.seed_memo.remove(pos).expect("position is in range");
+            let bytes = entry.1;
+            self.seed_memo.push_front(entry);
+            return bytes;
         }
+        self.seed_misses += 1;
         let bytes = seed.signing_bytes();
-        self.last_seed = Some((*seed, bytes));
+        self.seed_memo.push_front((*seed, bytes));
+        self.seed_memo.truncate(SEED_MEMO_CAPACITY);
         bytes
     }
 
@@ -69,6 +98,32 @@ impl CryptoCtx {
     /// The QC wire format in use.
     pub fn format(&self) -> QcFormat {
         self.format
+    }
+
+    /// Whether vote shares should be staged and batch-verified at
+    /// quorum-trigger points instead of verified one-at-a-time.
+    pub fn batch_verify(&self) -> bool {
+        self.batch_verify
+    }
+
+    /// Size of the simulated crypto worker pool.
+    pub fn crypto_workers(&self) -> usize {
+        self.crypto_workers
+    }
+
+    /// Number of replicas in the key universe.
+    pub fn n(&self) -> usize {
+        self.keys.n()
+    }
+
+    /// Current cache counters (seed-memo hits/misses, verified-QC
+    /// cache size).
+    pub fn cache_stats(&self) -> CryptoCacheStats {
+        CryptoCacheStats {
+            seed_hits: self.seed_hits,
+            seed_misses: self.seed_misses,
+            verified_qcs: self.verified_qcs.len(),
+        }
     }
 
     /// Takes and resets the accumulated CPU charge.
@@ -97,7 +152,34 @@ impl CryptoCtx {
         self.keys.verify_partial(&bytes, parsig)
     }
 
+    /// Verifies a batch of vote shares over one seed in a single
+    /// amortized pass, charging [`CryptoOp::VerifyBatch`]. When the
+    /// batch check fails, the per-signature fallback is charged on top
+    /// (one stand-alone verify per share — the price of identifying the
+    /// culprits) and `Err` names exactly the bad indices.
+    pub fn verify_partial_batch(
+        &mut self,
+        seed: &QcSeed,
+        partials: &[PartialSig],
+    ) -> Result<(), Vec<usize>> {
+        self.charged_ns += self.cost.cost(CryptoOp::VerifyBatch {
+            sigs: partials.len(),
+        });
+        let bytes = self.seed_bytes(seed);
+        let result = self.keys.verify_partial_batch(&bytes, partials);
+        if result.is_err() {
+            self.charged_ns += partials.len() as u64 * self.cost.cost(CryptoOp::Verify);
+        }
+        result
+    }
+
     /// Verifies a quorum certificate, charging per its format; cached.
+    ///
+    /// A `SigGroup` certificate is a bag of partial signatures over one
+    /// seed — exactly the shape batch verification amortizes — so when
+    /// batching is enabled its check is charged as one
+    /// [`CryptoOp::VerifyBatch`] pass instead of per-signer verifies.
+    /// `Threshold` certificates are a single pairing either way.
     pub fn verify_qc(&mut self, qc: &Qc) -> bool {
         if qc.is_genesis() {
             return true;
@@ -106,10 +188,14 @@ impl CryptoCtx {
         if self.verified_qcs.contains(&key) {
             return true;
         }
-        self.charged_ns += self.cost.cost(CryptoOp::VerifyCombined {
-            format: qc.sig().format(),
-            signers: qc.sig().signers().count(),
-        });
+        let format = qc.sig().format();
+        let signers = qc.sig().signers().count();
+        let op = if self.batch_verify && format == QcFormat::SigGroup {
+            CryptoOp::VerifyBatch { sigs: signers }
+        } else {
+            CryptoOp::VerifyCombined { format, signers }
+        };
+        self.charged_ns += self.cost.cost(op);
         let ok = qc.verify(&self.keys);
         if ok {
             self.cache_verified(key);
@@ -136,9 +222,13 @@ impl CryptoCtx {
     /// cost. Returns `None` below threshold (should not happen if the
     /// caller gates on quorum size).
     pub fn combine(&mut self, seed: QcSeed, partials: &[PartialSig]) -> Option<Qc> {
-        self.charged_ns += self.cost.cost(CryptoOp::Combine {
+        // Per-share combine work is embarrassingly parallel, so a
+        // worker pool divides the wall-clock charge (ceiling division:
+        // a lone share still costs one share).
+        let combine_ns = self.cost.cost(CryptoOp::Combine {
             shares: partials.len(),
         });
+        self.charged_ns += combine_ns.div_ceil(self.crypto_workers as u64);
         let qc = Qc::combine(seed, partials, &self.keys, self.format).ok()?;
         self.cache_verified(*qc.signing_bytes());
         Some(qc)
@@ -295,5 +385,87 @@ mod tests {
         let (mut ctx, _cfg) = ctx_with_cost();
         assert!(ctx.verify_qc(&Qc::genesis(BlockId::GENESIS)));
         assert_eq!(ctx.take_charge(), 0);
+    }
+
+    #[test]
+    fn seed_memo_survives_interleaving() {
+        // The chained pipeline's access pattern: a few seeds queried
+        // round-robin. The single-entry memo of old thrashed here; the
+        // LRU must answer every repeat from cache.
+        let (mut ctx, _cfg) = ctx_with_cost();
+        for v in 1..=4 {
+            ctx.seed_bytes(&seed(v));
+        }
+        let misses_after_warmup = ctx.cache_stats().seed_misses;
+        for _ in 0..5 {
+            for v in 1..=4 {
+                ctx.seed_bytes(&seed(v));
+            }
+        }
+        let stats = ctx.cache_stats();
+        assert_eq!(stats.seed_misses, misses_after_warmup, "LRU thrashed");
+        assert_eq!(stats.seed_hits, 20);
+    }
+
+    #[test]
+    fn seed_memo_stays_bounded() {
+        let (mut ctx, _cfg) = ctx_with_cost();
+        for v in 1..=100 {
+            ctx.seed_bytes(&seed(v));
+        }
+        assert!(ctx.seed_memo.len() <= SEED_MEMO_CAPACITY);
+        // The most recent seed is still memoized …
+        let before = ctx.cache_stats().seed_hits;
+        ctx.seed_bytes(&seed(100));
+        assert_eq!(ctx.cache_stats().seed_hits, before + 1);
+        // … and the long-evicted one is not.
+        let misses = ctx.cache_stats().seed_misses;
+        ctx.seed_bytes(&seed(1));
+        assert_eq!(ctx.cache_stats().seed_misses, misses + 1);
+    }
+
+    #[test]
+    fn batch_verification_charges_amortized_cost() {
+        let (mut ctx, cfg) = ctx_with_cost();
+        let s = seed(5);
+        let partials: Vec<_> = (0..3)
+            .map(|i| cfg.keys.signer(i).sign_partial(&s.signing_bytes()))
+            .collect();
+        assert_eq!(ctx.verify_partial_batch(&s, &partials), Ok(()));
+        let m = CostModel::ecdsa_like();
+        let charged = ctx.take_charge();
+        assert_eq!(charged, m.cost(CryptoOp::VerifyBatch { sigs: 3 }));
+        assert!(charged < 3 * m.cost(CryptoOp::Verify));
+    }
+
+    #[test]
+    fn failed_batch_charges_fallback_scan() {
+        let (mut ctx, cfg) = ctx_with_cost();
+        let s = seed(6);
+        let mut partials: Vec<_> = (0..3)
+            .map(|i| cfg.keys.signer(i).sign_partial(&s.signing_bytes()))
+            .collect();
+        partials[1] = cfg.keys.signer(1).sign_partial(b"wrong message");
+        assert_eq!(ctx.verify_partial_batch(&s, &partials), Err(vec![1]));
+        let m = CostModel::ecdsa_like();
+        assert_eq!(
+            ctx.take_charge(),
+            m.cost(CryptoOp::VerifyBatch { sigs: 3 }) + 3 * m.cost(CryptoOp::Verify)
+        );
+    }
+
+    #[test]
+    fn worker_pool_divides_combine_charge() {
+        let mut cfg = Config::for_test(16, 5);
+        cfg.cost = CostModel::bls_like();
+        cfg.crypto_workers = 4;
+        let mut ctx = CryptoCtx::new(&cfg);
+        let s = seed(7);
+        let partials: Vec<_> = (0..11)
+            .map(|i| cfg.keys.signer(i).sign_partial(&s.signing_bytes()))
+            .collect();
+        ctx.combine(s, &partials).unwrap();
+        let serial = CostModel::bls_like().cost(CryptoOp::Combine { shares: 11 });
+        assert_eq!(ctx.take_charge(), serial.div_ceil(4));
     }
 }

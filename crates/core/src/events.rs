@@ -80,9 +80,16 @@ pub enum Action {
 pub struct StepOutput {
     /// Actions for the driver, in order.
     pub actions: Vec<Action>,
-    /// Simulated CPU nanoseconds consumed (crypto and hashing, per the
-    /// replica's cost model).
+    /// Total simulated CPU nanoseconds consumed. Always the sum of the
+    /// per-lane charges below plus any uncategorized consensus work, so
+    /// drivers that model a single CPU can keep using this scalar.
     pub cpu_ns: u64,
+    /// Portion of `cpu_ns` spent in cryptographic operations; drivers
+    /// with a multi-lane CPU model run it on the crypto worker lanes.
+    pub crypto_ns: u64,
+    /// Portion of `cpu_ns` spent on journal / storage IO; drivers with
+    /// a multi-lane CPU model run it on the IO lane.
+    pub journal_ns: u64,
 }
 
 impl StepOutput {
@@ -95,6 +102,16 @@ impl StepOutput {
     pub fn merge(&mut self, other: StepOutput) {
         self.actions.extend(other.actions);
         self.cpu_ns += other.cpu_ns;
+        self.crypto_ns += other.crypto_ns;
+        self.journal_ns += other.journal_ns;
+    }
+
+    /// CPU nanoseconds not attributed to the crypto or journal lanes
+    /// (protocol bookkeeping that must run on the consensus lane).
+    pub fn consensus_ns(&self) -> u64 {
+        self.cpu_ns
+            .saturating_sub(self.crypto_ns)
+            .saturating_sub(self.journal_ns)
     }
 
     /// Iterates over the blocks committed in this step, oldest first.
@@ -123,6 +140,8 @@ mod tests {
         let mut a = StepOutput {
             actions: vec![Action::Note(Note::HappyPathVc { view: View(1) })],
             cpu_ns: 5,
+            crypto_ns: 4,
+            journal_ns: 0,
         };
         let b = StepOutput {
             actions: vec![Action::SetTimer {
@@ -130,10 +149,26 @@ mod tests {
                 delay_ns: 7,
             }],
             cpu_ns: 3,
+            crypto_ns: 1,
+            journal_ns: 2,
         };
         a.merge(b);
         assert_eq!(a.actions.len(), 2);
         assert_eq!(a.cpu_ns, 8);
+        assert_eq!(a.crypto_ns, 5);
+        assert_eq!(a.journal_ns, 2);
+        assert_eq!(a.consensus_ns(), 1);
+    }
+
+    #[test]
+    fn consensus_lane_never_underflows() {
+        let out = StepOutput {
+            actions: vec![],
+            cpu_ns: 3,
+            crypto_ns: 2,
+            journal_ns: 2,
+        };
+        assert_eq!(out.consensus_ns(), 0);
     }
 
     #[test]
@@ -145,7 +180,7 @@ mod tests {
                     blocks: vec![Block::genesis()],
                 },
             ],
-            cpu_ns: 0,
+            ..StepOutput::default()
         };
         assert_eq!(out.committed_blocks().count(), 1);
         assert_eq!(out.notes().count(), 1);

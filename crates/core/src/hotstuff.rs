@@ -433,6 +433,10 @@ impl Protocol for HotStuff {
         &self.base.store
     }
 
+    fn maintain_crypto(&mut self, max_verified: usize) -> crate::CryptoCacheStats {
+        self.base.maintain_crypto(max_verified)
+    }
+
     fn locked_qc(&self) -> Option<&Qc> {
         self.locked_qc.as_ref()
     }

@@ -50,7 +50,7 @@ mod util;
 mod votes;
 
 pub use config::{Config, ProtocolKind};
-pub use crypto_ctx::CryptoCtx;
+pub use crypto_ctx::{CryptoCacheStats, CryptoCtx};
 pub use events::{Action, Event, Note, StepOutput, VcCase};
 pub use journal::{JournalIo, JournalRecord, SafetyJournal, SafetySnapshot};
 pub use pacemaker::Pacemaker;

@@ -593,6 +593,10 @@ impl Protocol for MarlinFourPhase {
         &self.base.store
     }
 
+    fn maintain_crypto(&mut self, max_verified: usize) -> crate::CryptoCacheStats {
+        self.base.maintain_crypto(max_verified)
+    }
+
     fn locked_qc(&self) -> Option<&Qc> {
         self.locked_qc.as_ref()
     }

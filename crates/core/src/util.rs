@@ -2,7 +2,7 @@
 //! implementation (message buffering, mempool, commits, block fetch).
 
 use crate::config::Config;
-use crate::crypto_ctx::CryptoCtx;
+use crate::crypto_ctx::{CryptoCacheStats, CryptoCtx};
 use crate::events::{Action, Event, Note, StepOutput};
 use crate::pacemaker::Pacemaker;
 use marlin_types::{
@@ -40,6 +40,15 @@ pub trait Protocol {
     /// Protocol name, e.g. `"marlin"`.
     fn name(&self) -> &'static str;
 
+    /// Bounds the replica's crypto caches (verified-QC set trimmed to
+    /// at most `max_verified` entries, oldest first) and reports their
+    /// health. Long-running drivers call this periodically so the
+    /// caches cannot grow without bound; the default is a no-op for
+    /// protocol shims without a crypto context.
+    fn maintain_crypto(&mut self, _max_verified: usize) -> CryptoCacheStats {
+        CryptoCacheStats::default()
+    }
+
     /// This replica's id.
     fn id(&self) -> ReplicaId {
         self.config().id
@@ -64,6 +73,8 @@ pub trait Protocol {
             );
             let out = self.on_event(ev);
             result.cpu_ns += out.cpu_ns;
+            result.crypto_ns += out.crypto_ns;
+            result.journal_ns += out.journal_ns;
             for action in out.actions {
                 match action {
                     Action::Send { to, message } if to == self.id() => {
@@ -142,10 +153,20 @@ impl Base {
         });
     }
 
-    /// Finishes a step: moves the crypto charge into `out`.
+    /// Finishes a step: moves the crypto charge into `out`, attributed
+    /// to the crypto lane (everything a `CryptoCtx` charges is
+    /// cryptographic work).
     pub fn finish(&mut self, mut out: StepOutput) -> StepOutput {
-        out.cpu_ns += self.crypto.take_charge();
+        let crypto_ns = self.crypto.take_charge();
+        out.cpu_ns += crypto_ns;
+        out.crypto_ns += crypto_ns;
         out
+    }
+
+    /// Shared implementation of [`Protocol::maintain_crypto`].
+    pub fn maintain_crypto(&mut self, max_verified: usize) -> CryptoCacheStats {
+        self.crypto.trim_cache(max_verified);
+        self.crypto.cache_stats()
     }
 
     /// Enters `view`: arms its timer, emits a note, and returns any

@@ -11,6 +11,18 @@ use std::collections::HashMap;
 ///
 /// Duplicate shares from one replica, shares failing verification, and
 /// shares for already-certified seeds are dropped.
+///
+/// Two verification disciplines, selected by
+/// [`CryptoCtx::batch_verify`]:
+///
+/// * **serial** (historical): each arriving share is verified
+///   stand-alone before it counts;
+/// * **batched**: shares are *staged* unverified and the whole stage is
+///   verified in one amortized pass at the quorum-trigger point. A
+///   failed batch falls back to per-signature identification, evicts
+///   exactly the bad signers (they may retry with a correct share), and
+///   keeps the good shares — so the formed certificate is identical to
+///   the serial one, at a fraction of the verification cost.
 #[derive(Clone, Debug, Default)]
 pub struct VoteCollector {
     pending: HashMap<[u8; 32], Slot>,
@@ -20,8 +32,35 @@ pub struct VoteCollector {
 struct Slot {
     seed: QcSeed,
     partials: Vec<PartialSig>,
+    /// Shares accepted for staging but not yet verified (batch mode
+    /// only; always empty in serial mode).
+    staged: Vec<PartialSig>,
+    /// Signers contributing to `partials` or `staged`.
     seen: SignerBitmap,
     done: bool,
+}
+
+impl Slot {
+    /// Verifies every staged share in one amortized batch. Good shares
+    /// graduate to `partials`; bad signers are evicted from `seen` so a
+    /// later correct share from them still counts.
+    fn flush(&mut self, crypto: &mut CryptoCtx) {
+        if self.staged.is_empty() {
+            return;
+        }
+        match crypto.verify_partial_batch(&self.seed, &self.staged) {
+            Ok(()) => self.partials.append(&mut self.staged),
+            Err(bad) => {
+                for (i, p) in self.staged.drain(..).enumerate() {
+                    if bad.binary_search(&i).is_ok() {
+                        self.seen.remove(p.signer());
+                    } else {
+                        self.partials.push(p);
+                    }
+                }
+            }
+        }
+    }
 }
 
 impl VoteCollector {
@@ -43,17 +82,32 @@ impl VoteCollector {
         let slot = self.pending.entry(key).or_insert_with(|| Slot {
             seed,
             partials: Vec::new(),
+            staged: Vec::new(),
             seen: SignerBitmap::empty(),
             done: false,
         });
         if slot.done || slot.seen.contains(parsig.signer()) {
             return None;
         }
-        if !crypto.verify_partial(&seed, &parsig) {
-            return None;
+        if crypto.batch_verify() {
+            // A share naming an out-of-range signer can never verify;
+            // reject it before it reaches the signer bitmap. (Serial
+            // mode rejects these through verification itself.)
+            if parsig.signer() >= crypto.n() {
+                return None;
+            }
+            slot.seen.insert(parsig.signer());
+            slot.staged.push(parsig);
+            if slot.seen.count() >= quorum {
+                slot.flush(crypto);
+            }
+        } else {
+            if !crypto.verify_partial(&seed, &parsig) {
+                return None;
+            }
+            slot.seen.insert(parsig.signer());
+            slot.partials.push(parsig);
         }
-        slot.seen.insert(parsig.signer());
-        slot.partials.push(parsig);
         if slot.partials.len() >= quorum {
             slot.done = true;
             let qc = crypto.combine(slot.seed, &slot.partials);
@@ -141,6 +195,13 @@ mod tests {
         (cfg, ctx, VoteCollector::new())
     }
 
+    fn setup_batched() -> (Config, CryptoCtx, VoteCollector) {
+        let mut cfg = Config::for_test(4, 1);
+        cfg.batch_verify = true;
+        let ctx = CryptoCtx::new(&cfg);
+        (cfg, ctx, VoteCollector::new())
+    }
+
     #[test]
     fn quorum_forms_exactly_once() {
         let (cfg, mut ctx, mut col) = setup();
@@ -191,6 +252,87 @@ mod tests {
         assert_eq!(col.len(), 2);
         col.clear();
         assert!(col.is_empty());
+    }
+
+    #[test]
+    fn batched_quorum_forms_on_same_share_as_serial() {
+        let (cfg, mut ctx, mut col) = setup_batched();
+        let s = seed(7);
+        for i in 0..2 {
+            let p = cfg.keys.signer(i).sign_partial(&s.signing_bytes());
+            assert!(col.add(s, p, cfg.quorum(), &mut ctx).is_none());
+        }
+        let p = cfg.keys.signer(2).sign_partial(&s.signing_bytes());
+        let qc = col
+            .add(s, p, cfg.quorum(), &mut ctx)
+            .expect("third share completes the quorum, as in serial mode");
+        assert!(qc.verify(&cfg.keys));
+        assert!(col.is_done(&s));
+    }
+
+    #[test]
+    fn batched_mode_charges_one_amortized_pass() {
+        use marlin_crypto::{CostModel, CryptoOp};
+        let (cfg, _, mut col) = setup_batched();
+        let mut costed = cfg.clone();
+        costed.cost = CostModel::ecdsa_like();
+        let mut ctx = CryptoCtx::new(&costed);
+        let s = seed(8);
+        for i in 0..3 {
+            let p = cfg.keys.signer(i).sign_partial(&s.signing_bytes());
+            col.add(s, p, cfg.quorum(), &mut ctx);
+        }
+        let m = CostModel::ecdsa_like();
+        let expected =
+            m.cost(CryptoOp::VerifyBatch { sigs: 3 }) + m.cost(CryptoOp::Combine { shares: 3 });
+        assert_eq!(ctx.take_charge(), expected);
+        assert!(expected < 3 * m.cost(CryptoOp::Verify) + m.cost(CryptoOp::Combine { shares: 3 }));
+    }
+
+    #[test]
+    fn batched_mode_evicts_bad_shares_and_recovers() {
+        let (cfg, mut ctx, mut col) = setup_batched();
+        let s = seed(9);
+        // Signer 0 submits garbage; the batch at the quorum trigger
+        // must identify and evict it without poisoning signers 1–2.
+        let bad = cfg.keys.signer(0).sign_partial(b"wrong message");
+        assert!(col.add(s, bad, cfg.quorum(), &mut ctx).is_none());
+        for i in 1..3 {
+            let p = cfg.keys.signer(i).sign_partial(&s.signing_bytes());
+            assert!(col.add(s, p, cfg.quorum(), &mut ctx).is_none());
+        }
+        // After the failed flush only the two good shares count …
+        assert_eq!(col.count(&s), 2);
+        // … signer 0 may retry with a correct share …
+        let retry = cfg.keys.signer(0).sign_partial(&s.signing_bytes());
+        let qc = col
+            .add(s, retry, cfg.quorum(), &mut ctx)
+            .expect("retried share completes the quorum");
+        assert!(qc.verify(&cfg.keys));
+    }
+
+    #[test]
+    fn batched_mode_ignores_out_of_range_signers() {
+        let (cfg, mut ctx, mut col) = setup_batched();
+        let s = seed(10);
+        let forged = PartialSig::from_parts(200, cfg.keys.signer(0).sign_partial(b"x").tag());
+        assert!(col.add(s, forged, cfg.quorum(), &mut ctx).is_none());
+        assert_eq!(col.count(&s), 0);
+    }
+
+    #[test]
+    fn batched_and_serial_form_identical_certificates() {
+        let (cfg, mut serial_ctx, mut serial_col) = setup();
+        let (_, mut batch_ctx, mut batch_col) = setup_batched();
+        let s = seed(11);
+        let mut serial_qc = None;
+        let mut batch_qc = None;
+        for i in 0..3 {
+            let p = cfg.keys.signer(i).sign_partial(&s.signing_bytes());
+            serial_qc = serial_qc.or(serial_col.add(s, p, cfg.quorum(), &mut serial_ctx));
+            batch_qc = batch_qc.or(batch_col.add(s, p, cfg.quorum(), &mut batch_ctx));
+        }
+        assert_eq!(serial_qc.unwrap(), batch_qc.unwrap());
     }
 
     #[test]

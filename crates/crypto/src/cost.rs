@@ -35,6 +35,15 @@ pub enum CryptoOp {
         /// Number of signers in the certificate.
         signers: usize,
     },
+    /// Verifying `sigs` partial signatures in one batched pass.
+    ///
+    /// Models randomized batch verification (small per-signature
+    /// multiply plus one shared final check), so the amortized
+    /// per-signature cost is well below a stand-alone `Verify`.
+    VerifyBatch {
+        /// Number of signatures in the batch.
+        sigs: usize,
+    },
 }
 
 /// Simulated nanosecond costs for [`CryptoOp`]s.
@@ -61,6 +70,11 @@ pub struct CostModel {
     pub pairing_ns: u64,
     /// Hash throughput, in nanoseconds per 64-byte block.
     pub hash_per_block_ns: u64,
+    /// Fixed setup cost of one batched verification pass.
+    pub batch_verify_base_ns: u64,
+    /// Marginal per-signature cost inside a batched verification pass.
+    /// Kept well below `verify_ns` so batching amortizes.
+    pub batch_verify_per_sig_ns: u64,
 }
 
 impl CostModel {
@@ -73,6 +87,8 @@ impl CostModel {
             combine_per_share_ns: 0,
             pairing_ns: 0,
             hash_per_block_ns: 0,
+            batch_verify_base_ns: 0,
+            batch_verify_per_sig_ns: 0,
         }
     }
 
@@ -85,6 +101,10 @@ impl CostModel {
             combine_per_share_ns: 1_000,
             pairing_ns: 600_000,
             hash_per_block_ns: 50,
+            // One shared final check amortized over ~4x-cheaper
+            // per-signature multiplies (ECDSA* batch verification).
+            batch_verify_base_ns: 60_000,
+            batch_verify_per_sig_ns: 15_000,
         }
     }
 
@@ -97,6 +117,10 @@ impl CostModel {
             combine_per_share_ns: 120_000,
             pairing_ns: 600_000,
             hash_per_block_ns: 50,
+            // Pairing-based batches share the two final pairings and
+            // pay one extra G1 multiply per signature.
+            batch_verify_base_ns: 400_000,
+            batch_verify_per_sig_ns: 100_000,
         }
     }
 
@@ -117,6 +141,9 @@ impl CostModel {
                 // constant number of pairings (we charge two, as in BLS).
                 QcFormat::Threshold => 2 * self.pairing_ns,
             },
+            CryptoOp::VerifyBatch { sigs } => {
+                self.batch_verify_base_ns + sigs as u64 * self.batch_verify_per_sig_ns
+            }
         }
     }
 }
@@ -197,5 +224,33 @@ mod tests {
     #[test]
     fn default_is_ecdsa() {
         assert_eq!(CostModel::default(), CostModel::ecdsa_like());
+    }
+
+    #[test]
+    fn batch_verification_is_sublinear_in_serial_verifies() {
+        for m in [CostModel::ecdsa_like(), CostModel::bls_like()] {
+            let n = 10;
+            let batch = m.cost(CryptoOp::VerifyBatch { sigs: n });
+            let serial = n as u64 * m.cost(CryptoOp::Verify);
+            assert!(
+                batch < serial,
+                "batch {batch} should beat {n} serial verifies ({serial})"
+            );
+        }
+    }
+
+    #[test]
+    fn batch_cost_is_affine_in_batch_size() {
+        let m = CostModel::ecdsa_like();
+        let c1 = m.cost(CryptoOp::VerifyBatch { sigs: 1 });
+        let c5 = m.cost(CryptoOp::VerifyBatch { sigs: 5 });
+        assert_eq!(c1, m.batch_verify_base_ns + m.batch_verify_per_sig_ns);
+        assert_eq!(c5 - c1, 4 * m.batch_verify_per_sig_ns);
+    }
+
+    #[test]
+    fn zero_model_batches_for_free() {
+        let m = CostModel::zero();
+        assert_eq!(m.cost(CryptoOp::VerifyBatch { sigs: 100 }), 0);
     }
 }

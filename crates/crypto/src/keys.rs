@@ -1,6 +1,7 @@
 //! Key generation and the trusted key store used by the simulation.
 
 use crate::hmac::hmac_sha256;
+use crate::sha256::Sha256;
 use crate::sig::{SigError, Signature};
 use crate::threshold::{CombinedSig, PartialSig, QcFormat, SignerBitmap};
 use rand::rngs::StdRng;
@@ -156,6 +157,64 @@ impl KeyStore {
         }
     }
 
+    /// Verifies a batch of partial threshold signatures over `message`
+    /// in a single pass.
+    ///
+    /// Mirrors randomized batch verification: every share's actual tag
+    /// and its expected tag (recomputed under the claimed signer's key)
+    /// are folded, in input order, into one SHA-256 accumulator each,
+    /// and the two accumulators are compared once. When the aggregate
+    /// check fails — or any share names an out-of-range signer — the
+    /// batch falls back to per-signature verification and reports the
+    /// indices (into `partials`) of exactly the shares that fail it.
+    ///
+    /// The verdict therefore agrees bit-for-bit with calling
+    /// [`KeyStore::verify_partial`] on every share. The order-sensitive
+    /// fold (rather than an XOR of tags) matters: colluding signers
+    /// offsetting their tags by cancelling deltas must not slip through
+    /// the one-pass check.
+    ///
+    /// # Errors
+    ///
+    /// `Err` carries the indices of the bad shares, ascending.
+    pub fn verify_partial_batch(
+        &self,
+        message: &[u8],
+        partials: &[PartialSig],
+    ) -> Result<(), Vec<usize>> {
+        let mut actual = Sha256::new();
+        let mut expected = Sha256::new();
+        actual.update(b"marlin.batch.v1");
+        expected.update(b"marlin.batch.v1");
+        let mut in_range = true;
+        for p in partials {
+            match self.keys.get(p.signer()) {
+                Some(key) => {
+                    actual.update(p.tag().as_bytes());
+                    expected.update(key.tag(message).as_bytes());
+                }
+                None => {
+                    in_range = false;
+                    break;
+                }
+            }
+        }
+        if in_range && actual.finalize() == expected.finalize() {
+            return Ok(());
+        }
+        let bad: Vec<usize> = partials
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| !self.verify_partial(message, p))
+            .map(|(i, _)| i)
+            .collect();
+        debug_assert!(
+            !bad.is_empty(),
+            "aggregate mismatch but every share verified individually"
+        );
+        Err(bad)
+    }
+
     /// Combines at least `t = n - f` valid partial signatures over
     /// `message` into a quorum certificate signature (`tcombine`).
     ///
@@ -286,6 +345,65 @@ mod tests {
             let sig = s.combine(msg, &partials, format).unwrap();
             assert!(s.verify_combined(msg, &sig), "{format:?}");
         }
+    }
+
+    #[test]
+    fn batch_accepts_all_valid_shares() {
+        let s = store();
+        let msg = b"batch";
+        let partials: Vec<_> = (0..4).map(|i| s.signer(i).sign_partial(msg)).collect();
+        assert_eq!(s.verify_partial_batch(msg, &partials), Ok(()));
+    }
+
+    #[test]
+    fn batch_accepts_empty_input() {
+        assert_eq!(store().verify_partial_batch(b"m", &[]), Ok(()));
+    }
+
+    #[test]
+    fn batch_flags_exactly_the_bad_shares() {
+        let s = store();
+        let msg = b"batch";
+        let mut partials: Vec<_> = (0..4).map(|i| s.signer(i).sign_partial(msg)).collect();
+        // Shares 1 and 3 are over the wrong message.
+        partials[1] = s.signer(1).sign_partial(b"other");
+        partials[3] = s.signer(3).sign_partial(b"other");
+        assert_eq!(s.verify_partial_batch(msg, &partials), Err(vec![1, 3]));
+    }
+
+    #[test]
+    fn batch_flags_wrong_signer_claim() {
+        let s = store();
+        let msg = b"batch";
+        let mut partials: Vec<_> = (0..3).map(|i| s.signer(i).sign_partial(msg)).collect();
+        // A valid tag relabeled with another replica's index.
+        partials[2] = PartialSig::from_parts(2, s.signer(0).sign_partial(msg).tag());
+        assert_eq!(s.verify_partial_batch(msg, &partials), Err(vec![2]));
+    }
+
+    #[test]
+    fn batch_flags_out_of_range_signer() {
+        let s = store();
+        let msg = b"batch";
+        let mut partials: Vec<_> = (0..3).map(|i| s.signer(i).sign_partial(msg)).collect();
+        partials.push(PartialSig::from_parts(99, partials[0].tag()));
+        assert_eq!(s.verify_partial_batch(msg, &partials), Err(vec![3]));
+    }
+
+    #[test]
+    fn batch_resists_cancelling_tag_deltas() {
+        // Two colluding shares whose tags are swapped would cancel in
+        // an XOR fold; the order-sensitive fold must reject them.
+        let s = store();
+        let msg = b"batch";
+        let t0 = s.signer(0).sign_partial(msg).tag();
+        let t1 = s.signer(1).sign_partial(msg).tag();
+        let partials = vec![
+            PartialSig::from_parts(0, t1),
+            PartialSig::from_parts(1, t0),
+            s.signer(2).sign_partial(msg),
+        ];
+        assert_eq!(s.verify_partial_batch(msg, &partials), Err(vec![0, 1]));
     }
 
     #[test]

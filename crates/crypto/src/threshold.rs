@@ -76,6 +76,13 @@ impl SignerBitmap {
         self.0 |= 1u128 << index;
     }
 
+    /// Removes replica `index` from the set (no-op if absent).
+    pub fn remove(&mut self, index: ReplicaIndex) {
+        if index < MAX_REPLICAS {
+            self.0 &= !(1u128 << index);
+        }
+    }
+
     /// Whether replica `index` is in the set.
     pub fn contains(&self, index: ReplicaIndex) -> bool {
         index < MAX_REPLICAS && self.0 & (1u128 << index) != 0
@@ -314,6 +321,19 @@ mod tests {
         assert!(!bm.contains(1));
         assert_eq!(bm.count(), 3);
         assert_eq!(bm.iter().collect::<Vec<_>>(), vec![0, 64, 127]);
+    }
+
+    #[test]
+    fn bitmap_remove_clears_membership() {
+        let mut bm = SignerBitmap::empty();
+        bm.insert(2);
+        bm.insert(7);
+        bm.remove(2);
+        bm.remove(50); // absent: no-op
+        bm.remove(200); // out of range: no-op
+        assert!(!bm.contains(2));
+        assert!(bm.contains(7));
+        assert_eq!(bm.count(), 1);
     }
 
     #[test]

@@ -1,0 +1,117 @@
+//! Property tests for batched partial-signature verification: the batch
+//! verdict must agree bit-for-bit with per-signature verification on
+//! arbitrary vote sets — including corrupted, relabeled, duplicated, and
+//! out-of-range shares — and the fallback must flag exactly the bad
+//! indices.
+
+use marlin_crypto::{Digest, KeyStore, PartialSig};
+use proptest::prelude::*;
+
+/// How a generated share deviates from an honest one.
+#[derive(Clone, Copy, Debug)]
+enum Corruption {
+    Honest,
+    WrongMessage,
+    FlippedTagByte(u8),
+    WrongSigner,
+    OutOfRange,
+}
+
+fn arb_corruption() -> impl Strategy<Value = Corruption> {
+    prop_oneof![
+        4 => Just(Corruption::Honest),
+        1 => Just(Corruption::WrongMessage),
+        1 => any::<u8>().prop_map(Corruption::FlippedTagByte),
+        1 => Just(Corruption::WrongSigner),
+        1 => Just(Corruption::OutOfRange),
+    ]
+}
+
+fn make_share(keys: &KeyStore, signer: usize, msg: &[u8], c: Corruption) -> PartialSig {
+    let honest = keys.signer(signer).sign_partial(msg);
+    match c {
+        Corruption::Honest => honest,
+        Corruption::WrongMessage => {
+            let mut other = msg.to_vec();
+            other.push(0x5A);
+            keys.signer(signer).sign_partial(&other)
+        }
+        Corruption::FlippedTagByte(b) => {
+            let mut tag = *honest.tag().as_bytes();
+            tag[b as usize % 32] ^= 1 << (b % 8).max(1);
+            PartialSig::from_parts(signer, Digest::from_bytes(tag))
+        }
+        Corruption::WrongSigner => {
+            let other = (signer + 1) % keys.n();
+            PartialSig::from_parts(signer, keys.signer(other).sign_partial(msg).tag())
+        }
+        Corruption::OutOfRange => PartialSig::from_parts(keys.n() + signer, honest.tag()),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// The batch verdict equals the per-signature verdict on every input,
+    /// and the fallback reports exactly the per-signature failures.
+    #[test]
+    fn batch_agrees_with_serial_verification(
+        f in 1usize..=4,
+        seed in any::<u64>(),
+        plan in prop::collection::vec((0usize..16, arb_corruption()), 0..24),
+        msg in prop::collection::vec(any::<u8>(), 0..48),
+    ) {
+        let n = 3 * f + 1;
+        let keys = KeyStore::generate(n, f, seed);
+        let shares: Vec<PartialSig> = plan
+            .iter()
+            .map(|&(s, c)| make_share(&keys, s % n, &msg, c))
+            .collect();
+        let serial_bad: Vec<usize> = shares
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| !keys.verify_partial(&msg, p))
+            .map(|(i, _)| i)
+            .collect();
+        match keys.verify_partial_batch(&msg, &shares) {
+            Ok(()) => prop_assert!(
+                serial_bad.is_empty(),
+                "batch accepted but serial rejects {serial_bad:?}"
+            ),
+            Err(bad) => {
+                prop_assert!(!bad.is_empty(), "batch rejected without naming shares");
+                prop_assert_eq!(bad, serial_bad, "fallback must flag exactly the bad shares");
+            }
+        }
+    }
+
+    /// Byzantine bad-share identification: however many shares an
+    /// adversary corrupts inside an otherwise-honest quorum, the fallback
+    /// names precisely the corrupted positions.
+    #[test]
+    fn byzantine_shares_are_identified_exactly(
+        f in 1usize..=4,
+        seed in any::<u64>(),
+        bad_mask in 1u32..15,
+    ) {
+        let n = 3 * f + 1;
+        let keys = KeyStore::generate(n, f, seed);
+        let msg = b"qc-seed";
+        let mut shares: Vec<PartialSig> =
+            (0..keys.quorum()).map(|i| keys.signer(i).sign_partial(msg)).collect();
+        let mut expected_bad = Vec::new();
+        for i in 0..shares.len().min(4) {
+            if bad_mask >> i & 1 == 1 {
+                shares[i] = make_share(&keys, i, msg, Corruption::WrongMessage);
+                expected_bad.push(i);
+            }
+        }
+        if expected_bad.is_empty() {
+            // The mask fell outside a small quorum; corrupt one share so
+            // the scenario stays Byzantine.
+            shares[0] = make_share(&keys, 0, msg, Corruption::WrongMessage);
+            expected_bad.push(0);
+        }
+        prop_assert_eq!(keys.verify_partial_batch(msg, &shares), Err(expected_bad));
+    }
+}

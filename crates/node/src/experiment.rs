@@ -48,6 +48,12 @@ pub struct ExperimentConfig {
     /// `rate_tps` is ignored. This is the workload shape BFT
     /// evaluations typically sweep to draw throughput/latency curves.
     pub closed_loop_clients: Option<usize>,
+    /// Stage vote shares and verify them in one amortized batch pass
+    /// at quorum time instead of per-arrival.
+    pub batch_verify: bool,
+    /// Size of each replica's simulated crypto worker pool; `1` means
+    /// inline synchronous verification (the legacy CPU model).
+    pub crypto_workers: usize,
 }
 
 impl ExperimentConfig {
@@ -71,6 +77,8 @@ impl ExperimentConfig {
             crashes: Vec::new(),
             base_timeout_ns: 1_000_000_000,
             closed_loop_clients: None,
+            batch_verify: true,
+            crypto_workers: 4,
         }
     }
 
@@ -93,6 +101,12 @@ impl ExperimentConfig {
             base_timeout_ns: self.base_timeout_ns,
             max_backoff_exp: 6,
             rotation_interval_ns: self.rotation_interval_ns,
+            batch_verify: self.batch_verify,
+            crypto_workers: self.crypto_workers,
+            // The storage host charges persisted-commit IO to the
+            // journal lane itself; the protocol's own journal notes
+            // stay report-only, as before.
+            charge_journal: false,
         }
     }
 

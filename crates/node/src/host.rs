@@ -116,9 +116,16 @@ impl Protocol for ReplicaHost {
                     io_ns += self.persist_blocks(&blocks);
                 }
             }
+            // Durable writes run on the journal/IO lane; keep the
+            // scalar total consistent with the lane split.
             out.cpu_ns += io_ns;
+            out.journal_ns += io_ns;
         }
         out
+    }
+
+    fn maintain_crypto(&mut self, max_verified: usize) -> marlin_core::CryptoCacheStats {
+        self.inner.maintain_crypto(max_verified)
     }
 }
 

@@ -321,7 +321,13 @@ impl Protocol for ByzantineReplica {
         StepOutput {
             actions: self.corrupt(out.actions),
             cpu_ns: out.cpu_ns,
+            crypto_ns: out.crypto_ns,
+            journal_ns: out.journal_ns,
         }
+    }
+
+    fn maintain_crypto(&mut self, max_verified: usize) -> marlin_core::CryptoCacheStats {
+        self.inner.maintain_crypto(max_verified)
     }
 }
 

@@ -272,6 +272,37 @@ mod bytes_len {
 /// Message filter: return `false` to drop `msg` on the `from → to` link.
 pub type FilterFn = Box<dyn FnMut(ReplicaId, ReplicaId, &Message) -> bool>;
 
+/// How often (in processed events) the run loops trim each replica's
+/// crypto caches and report cache health to telemetry.
+const MAINTAIN_EVERY_EVENTS: u64 = 8192;
+
+/// Verified-QC cache bound applied at each maintenance tick.
+const MAX_VERIFIED_QC_CACHE: usize = 4096;
+
+/// One replica's simulated CPU: a consensus event loop, a pool of
+/// crypto worker lanes (sized by `Config::crypto_workers`), and a
+/// journal/IO lane. Each lane is a busy horizon — the time until which
+/// that lane is occupied.
+#[derive(Clone, Debug)]
+struct CpuLanes {
+    /// When the consensus event loop can pick up the next event.
+    consensus_free: u64,
+    /// Per-worker crypto lane horizons.
+    workers_free: Vec<u64>,
+    /// Journal/IO lane horizon.
+    journal_free: u64,
+}
+
+impl CpuLanes {
+    fn new(workers: usize) -> Self {
+        CpuLanes {
+            consensus_free: 0,
+            workers_free: vec![0; workers.max(1)],
+            journal_free: 0,
+        }
+    }
+}
+
 /// A deterministic discrete-event simulation of a BFT cluster.
 pub struct SimNet {
     cfg: SimConfig,
@@ -279,8 +310,10 @@ pub struct SimNet {
     heap: BinaryHeap<Entry>,
     tie: u64,
     now_ns: u64,
-    /// Per-replica: simulated time until which the CPU is busy.
-    busy_until: Vec<u64>,
+    /// Per-replica CPU lanes (consensus loop + crypto workers +
+    /// journal). With one worker this degenerates to the old single
+    /// `busy_until` horizon, bit for bit.
+    lanes: Vec<CpuLanes>,
     /// Per-replica: egress NIC free time.
     nic_free: Vec<u64>,
     /// Per-(from, to) link-pipe free time (flattened n×n).
@@ -324,13 +357,17 @@ impl SimNet {
     pub fn with_replicas(replicas: Vec<Box<dyn Protocol>>, sim: SimConfig) -> Self {
         let n = replicas.len();
         let rng = StdRng::seed_from_u64(sim.seed);
+        let lanes = replicas
+            .iter()
+            .map(|r| CpuLanes::new(r.config().crypto_workers))
+            .collect();
         let mut net = SimNet {
             cfg: sim,
             replicas,
             heap: BinaryHeap::new(),
             tie: 0,
             now_ns: 0,
-            busy_until: vec![0; n],
+            lanes,
             nic_free: vec![0; n],
             link_free: vec![0; n * n],
             crashed: vec![false; n],
@@ -542,6 +579,7 @@ impl SimNet {
             self.events_processed += 1;
             self.dispatch_entry(entry);
             self.run_checker();
+            self.maybe_maintain_crypto();
         }
         self.now_ns = self.now_ns.max(deadline_ns);
     }
@@ -557,6 +595,34 @@ impl SimNet {
             self.events_processed += 1;
             self.dispatch_entry(entry);
             self.run_checker();
+            self.maybe_maintain_crypto();
+        }
+    }
+
+    /// Bounded crypto-cache maintenance: every
+    /// [`MAINTAIN_EVERY_EVENTS`] processed events, trims each live
+    /// replica's verified-QC cache to [`MAX_VERIFIED_QC_CACHE`]
+    /// entries and forwards cache health to telemetry. Keeps
+    /// arbitrarily long runs at bounded memory without perturbing the
+    /// protocols (the caches are pure memoization).
+    fn maybe_maintain_crypto(&mut self) {
+        if !self.events_processed.is_multiple_of(MAINTAIN_EVERY_EVENTS) {
+            return;
+        }
+        for i in 0..self.replicas.len() {
+            if self.crashed[i] {
+                continue;
+            }
+            let stats = self.replicas[i].maintain_crypto(MAX_VERIFIED_QC_CACHE);
+            if let Some(sink) = self.telemetry.as_mut() {
+                sink.crypto_cache(
+                    self.now_ns,
+                    ReplicaId(i as u32),
+                    stats.seed_hits,
+                    stats.seed_misses,
+                    stats.verified_qcs as u64,
+                );
+            }
         }
     }
 
@@ -667,13 +733,62 @@ impl SimNet {
     }
 
     fn step_replica(&mut self, id: ReplicaId, event: Event) {
-        // CPU model: the replica processes events sequentially; account
-        // the handling cost by pushing its busy horizon forward, and
-        // emit outputs only once the CPU has "finished".
-        let start = self.now_ns.max(self.busy_until[id.index()]);
-        let out = self.replicas[id.index()].step(event);
-        let done = start + out.cpu_ns;
-        self.busy_until[id.index()] = done;
+        // CPU model: each replica runs a consensus event loop plus a
+        // pool of crypto worker lanes and a journal/IO lane. The loop
+        // picks the event up once free and runs the protocol logic;
+        // the step's crypto lump is handed to the least-busy worker
+        // and its journal lump to the IO lane (both overlap each
+        // other), and outputs dispatch once every lump has finished —
+        // a vote cannot be counted before it verifies, a commit
+        // cannot be acked before it is durable.
+        //
+        // With a single worker the loop performs verification and IO
+        // inline (synchronous verify): that is exactly the legacy
+        // scalar `busy_until` model, bit for bit. With
+        // `crypto_workers > 1` the loop frees up after the protocol
+        // logic, so later steps' verification overlaps earlier ones.
+        let idx = id.index();
+        let start = self.now_ns.max(self.lanes[idx].consensus_free);
+        let out = self.replicas[idx].step(event);
+        let consensus_ns = out.consensus_ns();
+        let done = {
+            let lanes = &mut self.lanes[idx];
+            if lanes.workers_free.len() == 1 {
+                let done = start + out.cpu_ns;
+                lanes.consensus_free = done;
+                lanes.workers_free[0] = done;
+                lanes.journal_free = lanes.journal_free.max(done);
+                done
+            } else {
+                let consensus_done = start + consensus_ns;
+                lanes.consensus_free = consensus_done;
+                let mut done = consensus_done;
+                if out.crypto_ns > 0 {
+                    let w = lanes
+                        .workers_free
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|&(_, &free)| free)
+                        .map(|(i, _)| i)
+                        .expect("at least one crypto worker");
+                    let begin = consensus_done.max(lanes.workers_free[w]);
+                    lanes.workers_free[w] = begin + out.crypto_ns;
+                    done = done.max(lanes.workers_free[w]);
+                }
+                if out.journal_ns > 0 {
+                    let begin = consensus_done.max(lanes.journal_free);
+                    lanes.journal_free = begin + out.journal_ns;
+                    done = done.max(lanes.journal_free);
+                }
+                done
+            }
+        };
+        if let Some(sink) = self.telemetry.as_mut() {
+            // Stamped at `done`, like the step's notes: the charge for
+            // the verification that formed a QC carries the same
+            // timestamp as the QcFormed note it produced.
+            sink.step_charged(done, id, out.crypto_ns, out.journal_ns, consensus_ns);
+        }
         for action in out.actions {
             self.dispatch_action(id, done, action);
         }

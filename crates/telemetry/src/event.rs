@@ -183,6 +183,38 @@ pub trait TelemetrySink {
     ) {
         let _ = (at_ns, from, class, wire_bytes, authenticators);
     }
+
+    /// Per-lane CPU charges of one replica step under the multi-lane
+    /// CPU model: `crypto_ns` ran on the crypto worker lanes,
+    /// `journal_ns` on the journal/IO lane, `consensus_ns` on the
+    /// consensus lane. Stamped at the time the step began executing.
+    /// Like `message_sent`, this is driver-side measurement, not
+    /// protocol vocabulary, so it is a sink method rather than a
+    /// [`Note`].
+    fn step_charged(
+        &mut self,
+        at_ns: u64,
+        replica: ReplicaId,
+        crypto_ns: u64,
+        journal_ns: u64,
+        consensus_ns: u64,
+    ) {
+        let _ = (at_ns, replica, crypto_ns, journal_ns, consensus_ns);
+    }
+
+    /// Periodic crypto-cache health report: cumulative seed-memo
+    /// hits/misses since replica start and the current verified-QC
+    /// cache size (after the driver's bounded trim).
+    fn crypto_cache(
+        &mut self,
+        at_ns: u64,
+        replica: ReplicaId,
+        seed_hits: u64,
+        seed_misses: u64,
+        verified_qcs: u64,
+    ) {
+        let _ = (at_ns, replica, seed_hits, seed_misses, verified_qcs);
+    }
 }
 
 /// Fan-out: a pair of sinks both receive every event.
@@ -205,6 +237,34 @@ impl<A: TelemetrySink, B: TelemetrySink> TelemetrySink for (A, B) {
         self.1
             .message_sent(at_ns, from, class, wire_bytes, authenticators);
     }
+
+    fn step_charged(
+        &mut self,
+        at_ns: u64,
+        replica: ReplicaId,
+        crypto_ns: u64,
+        journal_ns: u64,
+        consensus_ns: u64,
+    ) {
+        self.0
+            .step_charged(at_ns, replica, crypto_ns, journal_ns, consensus_ns);
+        self.1
+            .step_charged(at_ns, replica, crypto_ns, journal_ns, consensus_ns);
+    }
+
+    fn crypto_cache(
+        &mut self,
+        at_ns: u64,
+        replica: ReplicaId,
+        seed_hits: u64,
+        seed_misses: u64,
+        verified_qcs: u64,
+    ) {
+        self.0
+            .crypto_cache(at_ns, replica, seed_hits, seed_misses, verified_qcs);
+        self.1
+            .crypto_cache(at_ns, replica, seed_hits, seed_misses, verified_qcs);
+    }
 }
 
 /// One timestamped note in a [`Trace`].
@@ -218,12 +278,30 @@ pub struct TraceEvent {
     pub note: Note,
 }
 
+/// One per-step lane-charge record in a [`Trace`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ChargeEvent {
+    /// Time the step began executing.
+    pub at_ns: u64,
+    /// The charged replica.
+    pub replica: ReplicaId,
+    /// Nanoseconds charged to the crypto worker lanes.
+    pub crypto_ns: u64,
+    /// Nanoseconds charged to the journal/IO lane.
+    pub journal_ns: u64,
+    /// Nanoseconds charged to the consensus lane.
+    pub consensus_ns: u64,
+}
+
 /// A sink that records every note in order — the input to
 /// [`crate::timeline::Decomposition`].
 #[derive(Clone, Debug, Default)]
 pub struct Trace {
     /// Events in arrival (driver-time) order.
     pub events: Vec<TraceEvent>,
+    /// Per-step lane charges in arrival order (only steps that charged
+    /// a nonzero amount are recorded).
+    pub charges: Vec<ChargeEvent>,
 }
 
 impl Trace {
@@ -250,6 +328,25 @@ impl TelemetrySink for Trace {
             replica,
             note: note.clone(),
         });
+    }
+
+    fn step_charged(
+        &mut self,
+        at_ns: u64,
+        replica: ReplicaId,
+        crypto_ns: u64,
+        journal_ns: u64,
+        consensus_ns: u64,
+    ) {
+        if crypto_ns | journal_ns | consensus_ns != 0 {
+            self.charges.push(ChargeEvent {
+                at_ns,
+                replica,
+                crypto_ns,
+                journal_ns,
+                consensus_ns,
+            });
+        }
     }
 }
 
@@ -298,6 +395,40 @@ impl<S: TelemetrySink> TelemetrySink for SharedSink<S> {
             authenticators,
         );
     }
+
+    fn step_charged(
+        &mut self,
+        at_ns: u64,
+        replica: ReplicaId,
+        crypto_ns: u64,
+        journal_ns: u64,
+        consensus_ns: u64,
+    ) {
+        self.0.lock().expect("sink lock").step_charged(
+            at_ns,
+            replica,
+            crypto_ns,
+            journal_ns,
+            consensus_ns,
+        );
+    }
+
+    fn crypto_cache(
+        &mut self,
+        at_ns: u64,
+        replica: ReplicaId,
+        seed_hits: u64,
+        seed_misses: u64,
+        verified_qcs: u64,
+    ) {
+        self.0.lock().expect("sink lock").crypto_cache(
+            at_ns,
+            replica,
+            seed_hits,
+            seed_misses,
+            verified_qcs,
+        );
+    }
 }
 
 /// A sink that folds every event into [`Registry`] metrics.
@@ -324,6 +455,8 @@ impl<S: TelemetrySink> TelemetrySink for SharedSink<S> {
 /// | `CatchUpServed` | `consensus_catch_up_served_total{newer}` |
 /// | `CatchUpCompleted` | `consensus_catch_up_completed_total` + `consensus_catch_up_rtt_ns` |
 /// | `message_sent` | `net_{messages,bytes,authenticators}_total{class}` |
+/// | `step_charged` | `consensus_cpu_ns_total{lane="crypto"\|"journal"\|"consensus"}` |
+/// | `crypto_cache` | `crypto_seed_memo_{hits,misses}_total` + `crypto_verified_qc_cache_entries` (gauge) |
 #[derive(Clone, Debug)]
 pub struct RegistryRecorder {
     registry: Registry,
@@ -331,6 +464,9 @@ pub struct RegistryRecorder {
     first_votes: HashMap<(ReplicaId, View, Height, Phase), u64>,
     /// Outstanding catch-up request time per recovering replica.
     catch_up_requested: HashMap<ReplicaId, u64>,
+    /// Last cumulative seed-memo counters per replica, so the
+    /// cumulative `crypto_cache` reports fold into counters as deltas.
+    cache_seen: HashMap<ReplicaId, (u64, u64)>,
 }
 
 impl RegistryRecorder {
@@ -340,6 +476,7 @@ impl RegistryRecorder {
             registry: registry.clone(),
             first_votes: HashMap::new(),
             catch_up_requested: HashMap::new(),
+            cache_seen: HashMap::new(),
         }
     }
 
@@ -476,6 +613,48 @@ impl TelemetrySink for RegistryRecorder {
         self.counter("net_bytes_total", labels).add(wire_bytes);
         self.counter("net_authenticators_total", labels)
             .add(authenticators);
+    }
+
+    fn step_charged(
+        &mut self,
+        _at_ns: u64,
+        _replica: ReplicaId,
+        crypto_ns: u64,
+        journal_ns: u64,
+        consensus_ns: u64,
+    ) {
+        for (lane, ns) in [
+            ("crypto", crypto_ns),
+            ("journal", journal_ns),
+            ("consensus", consensus_ns),
+        ] {
+            if ns > 0 {
+                self.counter("consensus_cpu_ns_total", &[("lane", lane)])
+                    .add(ns);
+            }
+        }
+    }
+
+    fn crypto_cache(
+        &mut self,
+        _at_ns: u64,
+        replica: ReplicaId,
+        seed_hits: u64,
+        seed_misses: u64,
+        verified_qcs: u64,
+    ) {
+        let (last_hits, last_misses) = self
+            .cache_seen
+            .insert(replica, (seed_hits, seed_misses))
+            .unwrap_or((0, 0));
+        self.counter("crypto_seed_memo_hits_total", &[])
+            .add(seed_hits.saturating_sub(last_hits));
+        self.counter("crypto_seed_memo_misses_total", &[])
+            .add(seed_misses.saturating_sub(last_misses));
+        let id = replica.0.to_string();
+        self.registry
+            .gauge_with("crypto_verified_qc_cache_entries", &[("replica", &id)])
+            .set(verified_qcs as i64);
     }
 }
 
@@ -654,6 +833,48 @@ mod tests {
                 .sum();
             assert!(touched > 0, "{note:?} created metrics but recorded nothing");
         }
+    }
+
+    #[test]
+    fn trace_records_nonzero_step_charges() {
+        let mut t = Trace::new();
+        t.step_charged(10, ReplicaId(1), 300, 0, 5);
+        t.step_charged(20, ReplicaId(2), 0, 0, 0); // all-zero: skipped
+        t.step_charged(30, ReplicaId(0), 0, 70, 0);
+        assert_eq!(t.charges.len(), 2);
+        assert_eq!(t.charges[0].crypto_ns, 300);
+        assert_eq!(t.charges[1].journal_ns, 70);
+    }
+
+    #[test]
+    fn recorder_folds_lane_charges_into_counters() {
+        let reg = Registry::new();
+        let mut rec = RegistryRecorder::new(&reg);
+        rec.step_charged(10, ReplicaId(0), 300, 40, 5);
+        rec.step_charged(20, ReplicaId(1), 100, 0, 0);
+        let lane = |l: &str| {
+            reg.counter_with("consensus_cpu_ns_total", &[("lane", l)])
+                .get()
+        };
+        assert_eq!(lane("crypto"), 400);
+        assert_eq!(lane("journal"), 40);
+        assert_eq!(lane("consensus"), 5);
+    }
+
+    #[test]
+    fn recorder_folds_cumulative_cache_reports_as_deltas() {
+        let reg = Registry::new();
+        let mut rec = RegistryRecorder::new(&reg);
+        rec.crypto_cache(10, ReplicaId(0), 100, 10, 7);
+        rec.crypto_cache(20, ReplicaId(1), 50, 5, 3);
+        rec.crypto_cache(30, ReplicaId(0), 180, 12, 4);
+        assert_eq!(reg.counter("crypto_seed_memo_hits_total").get(), 230);
+        assert_eq!(reg.counter("crypto_seed_memo_misses_total").get(), 17);
+        assert_eq!(
+            reg.gauge_with("crypto_verified_qc_cache_entries", &[("replica", "0")])
+                .get(),
+            4
+        );
     }
 
     #[test]

@@ -34,9 +34,10 @@ pub mod registry;
 pub mod timeline;
 
 pub use event::{
-    phase_label, Note, RegistryRecorder, SharedSink, TelemetrySink, Trace, TraceEvent, VcCase,
+    phase_label, ChargeEvent, Note, RegistryRecorder, SharedSink, TelemetrySink, Trace, TraceEvent,
+    VcCase,
 };
 pub use export::{check_prometheus_text, json_str, Snapshot, SnapshotEntry, SnapshotValue};
 pub use hist::{Histogram, LatencySummary, BUCKET_COUNT};
 pub use registry::{Counter, Gauge, HistogramHandle, Registry};
-pub use timeline::{BlockTimeline, Decomposition, PhasePoint, SegmentStat};
+pub use timeline::{BlockTimeline, Decomposition, LaneBreakdown, PhasePoint, SegmentStat};

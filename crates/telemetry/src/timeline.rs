@@ -9,7 +9,7 @@
 //! protocol's phase count — 2 for Marlin's happy path, 3 for HotStuff —
 //! measured from the trace rather than claimed.
 
-use crate::event::{phase_label, Note, Trace};
+use crate::event::{phase_label, ChargeEvent, Note, Trace};
 use crate::export::json_str;
 use crate::hist::Histogram;
 use marlin_types::{Height, Phase};
@@ -58,12 +58,39 @@ pub struct SegmentStat {
     pub hist: Histogram,
 }
 
+/// Where one latency segment's wall-clock time went, summed across
+/// replicas and complete blocks: the simulated CPU lanes (crypto
+/// workers, journal/IO, consensus logic) plus the remainder, which is
+/// wire/queueing time no lane accounts for.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct LaneBreakdown {
+    /// Segment label, matching [`Decomposition::segments`].
+    pub label: String,
+    /// Total wall-clock span of this segment across complete blocks.
+    pub window_ns: u64,
+    /// CPU charged to the crypto worker lanes inside the window.
+    pub crypto_ns: u64,
+    /// CPU charged to the journal/IO lane inside the window.
+    pub journal_ns: u64,
+    /// CPU charged to the consensus lane inside the window.
+    pub consensus_ns: u64,
+    /// `window_ns` minus all lane charges, clamped at zero — the share
+    /// of the segment spent on the wire or queued rather than
+    /// computing. Approximate under pipelining: lane charges from
+    /// overlapping work on *other* blocks also land in the window, so
+    /// treat this as an attribution of cluster time, not a per-block
+    /// critical path.
+    pub wire_ns: u64,
+}
+
 /// A per-committed-block commit-latency decomposition built from a
 /// merged trace.
 #[derive(Clone, Debug, Default)]
 pub struct Decomposition {
     /// All reconstructed block timelines, by height.
     pub blocks: Vec<BlockTimeline>,
+    /// Per-step lane charges copied from the trace, in arrival order.
+    pub charges: Vec<ChargeEvent>,
 }
 
 impl Decomposition {
@@ -146,7 +173,10 @@ impl Decomposition {
                 }
             })
             .collect();
-        Decomposition { blocks }
+        Decomposition {
+            blocks,
+            charges: trace.charges.clone(),
+        }
     }
 
     /// Complete timelines only (see [`BlockTimeline::is_complete`]).
@@ -188,40 +218,12 @@ impl Decomposition {
     pub fn segments(&self) -> Vec<SegmentStat> {
         let mut order: Vec<String> = Vec::new();
         let mut by_label: BTreeMap<String, Histogram> = BTreeMap::new();
-        let mut push = |order: &mut Vec<String>, label: String, dur: u64| {
-            if !by_label.contains_key(&label) {
-                order.push(label.clone());
-            }
-            by_label.entry(label).or_default().record(dur);
-        };
         for b in self.complete_blocks() {
-            let Some(mut cursor) = b.proposed_ns else {
-                continue;
-            };
-            for p in &b.phases {
-                if let Some(fv) = p.first_vote_ns {
-                    if fv >= cursor {
-                        push(
-                            &mut order,
-                            format!("vote({})", phase_label(p.phase)),
-                            fv - cursor,
-                        );
-                        cursor = fv;
-                    }
+            for (label, start, end) in segment_windows(b) {
+                if !by_label.contains_key(&label) {
+                    order.push(label.clone());
                 }
-                if p.qc_ns >= cursor {
-                    push(
-                        &mut order,
-                        format!("{}QC", phase_label(p.phase)),
-                        p.qc_ns - cursor,
-                    );
-                    cursor = p.qc_ns;
-                }
-            }
-            if let Some(c) = b.committed_ns {
-                if c >= cursor {
-                    push(&mut order, "deliver".to_string(), c - cursor);
-                }
+                by_label.entry(label).or_default().record(end - start);
             }
         }
         order
@@ -229,6 +231,50 @@ impl Decomposition {
             .map(|label| {
                 let hist = by_label.remove(&label).expect("label recorded");
                 SegmentStat { label, hist }
+            })
+            .collect()
+    }
+
+    /// Attributes cluster CPU time to each latency segment by lane.
+    ///
+    /// For every complete block's segment window `(start, end]`, sums
+    /// the [`ChargeEvent`]s (across all replicas) whose timestamp falls
+    /// inside the window; charges stamped at the exact instant an event
+    /// fires belong to the segment that event closes — e.g. the batch
+    /// verification that forms a QC lands in that phase's `…QC`
+    /// segment. `wire_ns` is the unclaimed remainder, clamped at zero.
+    /// Labels appear in the same first-encounter order as
+    /// [`Decomposition::segments`].
+    pub fn lane_breakdown(&self) -> Vec<LaneBreakdown> {
+        let mut order: Vec<String> = Vec::new();
+        let mut by_label: BTreeMap<String, LaneBreakdown> = BTreeMap::new();
+        for b in self.complete_blocks() {
+            for (label, start, end) in segment_windows(b) {
+                if !by_label.contains_key(&label) {
+                    order.push(label.clone());
+                }
+                let entry = by_label.entry(label.clone()).or_default();
+                entry.label = label;
+                entry.window_ns += end - start;
+                for c in &self.charges {
+                    if c.at_ns > start && c.at_ns <= end {
+                        entry.crypto_ns += c.crypto_ns;
+                        entry.journal_ns += c.journal_ns;
+                        entry.consensus_ns += c.consensus_ns;
+                    }
+                }
+            }
+        }
+        order
+            .into_iter()
+            .map(|label| {
+                let mut lb = by_label.remove(&label).expect("label recorded");
+                lb.wire_ns = lb
+                    .window_ns
+                    .saturating_sub(lb.crypto_ns)
+                    .saturating_sub(lb.journal_ns)
+                    .saturating_sub(lb.consensus_ns);
+                lb
             })
             .collect()
     }
@@ -258,9 +304,56 @@ impl Decomposition {
                 hist_json(&seg.hist)
             );
         }
+        out.push_str("],\"lanes\":[");
+        for (i, lb) in self.lane_breakdown().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"segment\":{},\"window_ns\":{},\"crypto_ns\":{},\"journal_ns\":{},\
+                 \"consensus_ns\":{},\"wire_ns\":{}}}",
+                json_str(&lb.label),
+                lb.window_ns,
+                lb.crypto_ns,
+                lb.journal_ns,
+                lb.consensus_ns,
+                lb.wire_ns,
+            );
+        }
         out.push_str("]}");
         out
     }
+}
+
+/// The cursor walk shared by [`Decomposition::segments`] and
+/// [`Decomposition::lane_breakdown`]: yields `(label, start, end)`
+/// windows covering propose → …votes/QCs… → commit. Out-of-order
+/// points (e.g. a first vote recorded after its QC under reordering)
+/// are skipped, exactly as the original segment aggregation did.
+fn segment_windows(b: &BlockTimeline) -> Vec<(String, u64, u64)> {
+    let mut out = Vec::new();
+    let Some(mut cursor) = b.proposed_ns else {
+        return out;
+    };
+    for p in &b.phases {
+        if let Some(fv) = p.first_vote_ns {
+            if fv >= cursor {
+                out.push((format!("vote({})", phase_label(p.phase)), cursor, fv));
+                cursor = fv;
+            }
+        }
+        if p.qc_ns >= cursor {
+            out.push((format!("{}QC", phase_label(p.phase)), cursor, p.qc_ns));
+            cursor = p.qc_ns;
+        }
+    }
+    if let Some(c) = b.committed_ns {
+        if c >= cursor {
+            out.push(("deliver".to_string(), cursor, c));
+        }
+    }
+    out
 }
 
 fn hist_json(h: &Histogram) -> String {
@@ -415,5 +508,90 @@ mod tests {
         let json = Decomposition::from_trace(&two_phase_trace()).to_json();
         assert!(json.contains("\"phase_count\":2"), "{json}");
         assert!(json.contains("\"segment\":\"prepareQC\""), "{json}");
+    }
+
+    /// The two-phase trace plus lane charges: verification work landing
+    /// exactly when each QC forms, journal work mid-deliver, and one
+    /// charge before the propose (outside every window).
+    fn charged_trace() -> Trace {
+        let mut t = two_phase_trace();
+        // Before propose: belongs to no segment.
+        t.step_charged(50, ReplicaId(1), 999, 999, 999);
+        // Batch verification that formed the prepare QC at t=300.
+        t.step_charged(300, ReplicaId(1), 80, 0, 5);
+        // Verification + combine forming the commit QC at t=500.
+        t.step_charged(500, ReplicaId(1), 60, 0, 0);
+        // Journal append during delivery (window (500, 620]).
+        t.step_charged(610, ReplicaId(0), 0, 40, 0);
+        t
+    }
+
+    #[test]
+    fn lane_breakdown_attributes_charges_to_segment_windows() {
+        let d = Decomposition::from_trace(&charged_trace());
+        let lanes = d.lane_breakdown();
+        let labels: Vec<&str> = lanes.iter().map(|l| l.label.as_str()).collect();
+        assert_eq!(
+            labels,
+            vec![
+                "vote(prepare)",
+                "prepareQC",
+                "vote(commit)",
+                "commitQC",
+                "deliver"
+            ]
+        );
+        let get = |label: &str| lanes.iter().find(|l| l.label == label).unwrap();
+
+        // The pre-propose charge (t=50) lands nowhere.
+        let total_crypto: u64 = lanes.iter().map(|l| l.crypto_ns).sum();
+        assert_eq!(total_crypto, 80 + 60);
+
+        // A charge at the exact QC instant belongs to the QC segment.
+        let prep = get("prepareQC");
+        assert_eq!((prep.crypto_ns, prep.consensus_ns), (80, 5));
+        assert_eq!(prep.window_ns, 150); // 150 → 300
+        assert_eq!(prep.wire_ns, 150 - 80 - 5);
+
+        let commit = get("commitQC");
+        assert_eq!(commit.crypto_ns, 60);
+
+        let deliver = get("deliver");
+        assert_eq!(deliver.journal_ns, 40);
+        assert_eq!(deliver.window_ns, 120); // 500 → 620
+        assert_eq!(deliver.wire_ns, 120 - 40);
+
+        // Unclaimed windows are pure wire time.
+        let vp = get("vote(prepare)");
+        assert_eq!((vp.crypto_ns, vp.journal_ns, vp.consensus_ns), (0, 0, 0));
+        assert_eq!(vp.wire_ns, vp.window_ns);
+    }
+
+    #[test]
+    fn lane_breakdown_clamps_oversubscribed_windows() {
+        let mut t = two_phase_trace();
+        // More CPU than the window holds (parallel lanes / other-block
+        // pipelining): wire clamps to zero instead of underflowing.
+        t.step_charged(300, ReplicaId(0), 100_000, 0, 0);
+        let d = Decomposition::from_trace(&t);
+        let prep = d
+            .lane_breakdown()
+            .into_iter()
+            .find(|l| l.label == "prepareQC")
+            .unwrap();
+        assert_eq!(prep.crypto_ns, 100_000);
+        assert_eq!(prep.wire_ns, 0);
+    }
+
+    #[test]
+    fn json_report_carries_lane_breakdown() {
+        let json = Decomposition::from_trace(&charged_trace()).to_json();
+        assert!(json.contains("\"lanes\":["), "{json}");
+        assert!(
+            json.contains(
+                "\"segment\":\"deliver\",\"window_ns\":120,\"crypto_ns\":0,\"journal_ns\":40"
+            ),
+            "{json}"
+        );
     }
 }
