@@ -89,11 +89,32 @@ impl CryptoCtx {
 
     /// Marks `key` as a verified certificate, tracking insertion order
     /// so [`CryptoCtx::trim_cache`] can evict oldest-first.
+    ///
+    /// The cache bounds *itself*: once it exceeds
+    /// [`CryptoCtx::VERIFIED_CACHE_HIGH_WATER`] it trims back to
+    /// [`CryptoCtx::VERIFIED_CACHE_TARGET`], so every driver — the
+    /// discrete-event simulator with its periodic maintenance tick, a
+    /// threaded runtime with none — inherits boundedness instead of
+    /// depending on an external event loop to call
+    /// [`CryptoCtx::trim_cache`].
     fn cache_verified(&mut self, key: [u8; 32]) {
         if self.verified_qcs.insert(key) {
             self.verified_order.push_back(key);
+            if self.verified_qcs.len() > Self::VERIFIED_CACHE_HIGH_WATER {
+                self.trim_cache(Self::VERIFIED_CACHE_TARGET);
+            }
         }
     }
+
+    /// Size at which [`CryptoCtx`] trims its verified-QC cache on its
+    /// own, with no maintenance tick. Deliberately above the simnet
+    /// maintenance bound (4096 every 8192 events) so deterministic
+    /// simulations keep their externally-driven eviction schedule and
+    /// the self-trim only engages where no tick exists.
+    pub const VERIFIED_CACHE_HIGH_WATER: usize = 8192;
+
+    /// What the self-trim trims down to.
+    pub const VERIFIED_CACHE_TARGET: usize = 4096;
 
     /// The QC wire format in use.
     pub fn format(&self) -> QcFormat {
@@ -378,6 +399,29 @@ mod tests {
         );
         assert!(ctx.verify_qc(&qcs[3]));
         assert_eq!(ctx.take_charge(), 0, "newest entry should have survived");
+    }
+
+    #[test]
+    fn cache_self_bounds_without_maintenance_tick() {
+        // A long-lived node that never gets an external maintenance
+        // tick (the threaded runtime path) must still keep the
+        // verified-QC cache bounded.
+        let (mut ctx, cfg) = ctx_with_cost();
+        let total = CryptoCtx::VERIFIED_CACHE_HIGH_WATER + 200;
+        for v in 1..=total as u64 {
+            let s = seed(v);
+            let partials: Vec<_> = (0..3)
+                .map(|i| cfg.keys.signer(i).sign_partial(&s.signing_bytes()))
+                .collect();
+            ctx.combine(s, &partials).unwrap();
+            assert!(
+                ctx.cache_stats().verified_qcs <= CryptoCtx::VERIFIED_CACHE_HIGH_WATER,
+                "cache exceeded high water at {v}"
+            );
+        }
+        // The trim went to the target, not to empty: recent QCs stay.
+        let stats = ctx.cache_stats();
+        assert!(stats.verified_qcs > CryptoCtx::VERIFIED_CACHE_TARGET / 2);
     }
 
     #[test]

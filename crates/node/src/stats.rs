@@ -14,7 +14,16 @@ pub use marlin_telemetry::{Histogram as LatencyHistogram, LatencySummary};
 ///
 /// Latency per transaction is `commit_time − submit_time + 2 ×
 /// client_leg_ns` (the client→leader and replica→client hops the paper's
-/// end-to-end numbers include).
+/// end-to-end numbers include). Two real-clock corrections:
+///
+/// - Transactions submitted locally at a replica
+///   ([`marlin_types::Transaction::is_local`]) never crossed a client
+///   link, so no client legs are added for them.
+/// - Under per-thread wall clocks the commit timestamp can read
+///   *earlier* than the submit timestamp (clock skew). Such samples are
+///   clamped to the client legs alone — but counted and surfaced in
+///   [`Metrics::skew_clamped`] rather than silently swallowed, so a
+///   wall-clock run reports how trustworthy its latency tail is.
 #[derive(Debug)]
 pub struct Stats {
     reference: ReplicaId,
@@ -24,6 +33,7 @@ pub struct Stats {
     committed_txs: u64,
     total_observed_txs: u64,
     committed_blocks: u64,
+    skew_clamped: u64,
     first_commit_ns: Option<u64>,
     last_commit_ns: u64,
 }
@@ -40,6 +50,7 @@ impl Stats {
             committed_txs: 0,
             total_observed_txs: 0,
             committed_blocks: 0,
+            skew_clamped: 0,
             first_commit_ns: None,
             last_commit_ns: 0,
         }
@@ -84,6 +95,7 @@ impl Stats {
                 self.committed_txs as f64 * 1e9 / duration_ns as f64
             },
             latency: self.histogram.summary(),
+            skew_clamped: self.skew_clamped,
             view_changes,
             happy_path_vcs: happy,
             unhappy_path_vcs: unhappy,
@@ -106,8 +118,20 @@ impl CommitObserver for Stats {
                     continue;
                 }
                 self.committed_txs += 1;
-                let latency = now_ns.saturating_sub(tx.submitted_at_ns) + 2 * self.client_leg_ns;
-                self.histogram.record(latency);
+                let legs = if tx.is_local() {
+                    0
+                } else {
+                    2 * self.client_leg_ns
+                };
+                if now_ns < tx.submitted_at_ns {
+                    // Clock skew: commit stamped before submit. Record
+                    // the clamp instead of pretending the sample was a
+                    // clean zero.
+                    self.skew_clamped += 1;
+                    self.histogram.record(legs);
+                } else {
+                    self.histogram.record(now_ns - tx.submitted_at_ns + legs);
+                }
             }
         }
     }
@@ -126,6 +150,11 @@ pub struct Metrics {
     pub throughput_tps: f64,
     /// End-to-end latency summary.
     pub latency: LatencySummary,
+    /// Latency samples whose commit timestamp read earlier than their
+    /// submit timestamp (wall-clock skew) and were clamped. Nonzero
+    /// values mean the latency floor is not trustworthy at that
+    /// resolution.
+    pub skew_clamped: u64,
     /// View changes started at the reference replica.
     pub view_changes: usize,
     /// Happy-path view changes observed anywhere.
@@ -281,6 +310,48 @@ mod tests {
         let block = block_with_txs(&[500, 1_500]);
         stats.on_commit(ReplicaId(0), 2_000, &[block]);
         assert_eq!(stats.committed_txs(), 1);
+    }
+
+    #[test]
+    fn skewed_samples_are_counted_not_swallowed() {
+        let mut stats = Stats::new(ReplicaId(0), 40_000_000, 0);
+        // Submitted "in the future" relative to the commit stamp: a
+        // skewed per-thread clock, not a real negative latency.
+        let block = block_with_txs(&[5_000_000, 100]);
+        stats.on_commit(ReplicaId(0), 1_000_000, &[block]);
+        let m = stats.into_metrics(1_000_000_000, &[]);
+        assert_eq!(m.committed_txs, 2);
+        assert_eq!(m.skew_clamped, 1, "one clamped sample must be surfaced");
+        // The clamped sample still carries the client legs (80ms).
+        assert!(m.latency.max_ms >= 80.0);
+    }
+
+    #[test]
+    fn local_transactions_skip_client_legs() {
+        let mut stats = Stats::new(ReplicaId(0), 40_000_000, 0);
+        let g = Block::genesis();
+        let txs = vec![
+            // Locally submitted: no client network legs.
+            Transaction::new(0, Transaction::LOCAL_CLIENT, Bytes::new(), 100),
+            // Remote client: two 40ms legs.
+            Transaction::new(1, 7, Bytes::new(), 100),
+        ];
+        let block = Block::new_normal(
+            g.id(),
+            g.view(),
+            View(1),
+            g.height().next(),
+            Batch::new(txs),
+            Justify::One(Qc::genesis(g.id())),
+        );
+        stats.on_commit(ReplicaId(0), 1_000_100, &[block]);
+        let m = stats.into_metrics(1_000_000_000, &[]);
+        assert_eq!(m.skew_clamped, 0);
+        // Local: 1ms exactly. Remote: 1ms + 80ms of legs. Were the legs
+        // double-counted onto the local sample too, the mean would be
+        // 81ms; with the fix it is 41ms.
+        assert!(m.latency.mean_ms < 50.0, "{}", m.latency.mean_ms);
+        assert!(m.latency.max_ms >= 81.0 - 1e-6, "{}", m.latency.max_ms);
     }
 
     #[test]

@@ -1,0 +1,399 @@
+//! A whole-cluster driver over real threads: launch n replicas on a
+//! mesh, feed load, watch commits, kill and recover nodes, and check
+//! that every replica commits the same chain.
+//!
+//! This is the wall-clock twin of `marlin_simnet::SimNet`: same state
+//! machines, same telemetry vocabulary, but actual concurrency — so it
+//! measures, where simnet models.
+
+use crate::journal::JournalWriter;
+use crate::node::{
+    spawn_node, Bootstrap, Clock, CommitObserverFn, NodeConfig, NodeHandle, NodeStatus,
+};
+use crate::transport::{ChannelMesh, TcpMesh, Transport};
+use bytes::Bytes;
+use marlin_core::{Config, ProtocolKind};
+use marlin_storage::{FileDisk, SharedDisk};
+use marlin_telemetry::{SharedSink, TelemetrySink, Trace};
+use marlin_types::{BlockId, ReplicaId, Transaction, View};
+use std::io;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Which mesh carries frames.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TransportKind {
+    /// In-process bounded channels.
+    Channel,
+    /// Localhost TCP with streaming frame reassembly.
+    Tcp,
+}
+
+/// Where safety journals live.
+#[derive(Clone, Debug)]
+pub enum JournalMode {
+    /// No journaling (protocols without journal support, throughput
+    /// ceilings).
+    None,
+    /// Shared in-memory disks (fast, survives kill/recover within the
+    /// process).
+    Memory,
+    /// Real files under `<dir>/node-<i>/`, written by a dedicated
+    /// journal-writer thread per replica.
+    Files(PathBuf),
+}
+
+/// Cluster-wide launch parameters.
+#[derive(Clone, Debug)]
+pub struct ClusterConfig {
+    /// Protocol to run on every replica.
+    pub kind: ProtocolKind,
+    /// Replica count.
+    pub n: usize,
+    /// Fault tolerance.
+    pub f: usize,
+    /// Mesh implementation.
+    pub transport: TransportKind,
+    /// Journal placement.
+    pub journal: JournalMode,
+    /// Max transactions per block.
+    pub batch_size: usize,
+    /// Base view timeout (real time).
+    pub base_timeout: Duration,
+    /// Decode worker threads per replica.
+    pub decode_workers: usize,
+    /// Shadow-block wire optimisation.
+    pub shadow_blocks: bool,
+}
+
+impl ClusterConfig {
+    /// Defaults: channel transport, in-memory journals, batch 64, 1 s
+    /// base timeout (loopback rounds are microseconds; a healthy run
+    /// should never time out).
+    pub fn new(kind: ProtocolKind, n: usize, f: usize) -> Self {
+        ClusterConfig {
+            kind,
+            n,
+            f,
+            transport: TransportKind::Channel,
+            journal: JournalMode::Memory,
+            batch_size: 64,
+            base_timeout: Duration::from_secs(1),
+            decode_workers: 2,
+            shadow_blocks: true,
+        }
+    }
+}
+
+enum MeshControl {
+    Channel(ChannelMesh),
+    Tcp(TcpMesh),
+}
+
+/// A running cluster.
+pub struct RuntimeCluster {
+    cfg: ClusterConfig,
+    base: Config,
+    clock: Clock,
+    trace: SharedSink<Trace>,
+    mesh: MeshControl,
+    nodes: Vec<Option<NodeHandle>>,
+    statuses: Vec<Arc<NodeStatus>>,
+    disks: Vec<Option<SharedDisk>>,
+    writers: Vec<Option<JournalWriter>>,
+    next_tx_id: u64,
+}
+
+impl RuntimeCluster {
+    /// Launches `cfg.n` replicas; `observer` (if any) sees commits at
+    /// replica 0, the measurement reference.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket/filesystem errors from mesh and journal setup.
+    pub fn launch(cfg: ClusterConfig, observer: Option<CommitObserverFn>) -> io::Result<Self> {
+        let clock = Clock::start();
+        let trace = SharedSink::new(Trace::new());
+        let base = {
+            let mut c = Config::for_test(cfg.n, cfg.f);
+            c.batch_size = cfg.batch_size;
+            c.base_timeout_ns = cfg.base_timeout.as_nanos() as u64;
+            c
+        };
+
+        let mut disks: Vec<Option<SharedDisk>> = Vec::with_capacity(cfg.n);
+        let mut writers: Vec<Option<JournalWriter>> = Vec::with_capacity(cfg.n);
+        for i in 0..cfg.n {
+            match &cfg.journal {
+                JournalMode::None => {
+                    disks.push(None);
+                    writers.push(None);
+                }
+                JournalMode::Memory => {
+                    disks.push(Some(SharedDisk::new()));
+                    writers.push(None);
+                }
+                JournalMode::Files(dir) => {
+                    let disk = FileDisk::open(dir.join(format!("node-{i}")))?;
+                    let (proxy, writer) = JournalWriter::spawn(Box::new(disk), &format!("{i}"));
+                    disks.push(Some(proxy));
+                    writers.push(Some(writer));
+                }
+            }
+        }
+
+        let (mesh, transports): (MeshControl, Vec<Arc<dyn Transport>>) = match cfg.transport {
+            TransportKind::Channel => {
+                let (mesh, ts) = ChannelMesh::new(cfg.n);
+                (
+                    MeshControl::Channel(mesh),
+                    ts.into_iter().map(|t| Arc::new(t) as _).collect(),
+                )
+            }
+            TransportKind::Tcp => {
+                let (mesh, ts) = TcpMesh::new(cfg.n)?;
+                (
+                    MeshControl::Tcp(mesh),
+                    ts.into_iter().map(|t| Arc::new(t) as _).collect(),
+                )
+            }
+        };
+
+        let mut cluster = RuntimeCluster {
+            base,
+            clock,
+            trace,
+            mesh,
+            nodes: Vec::with_capacity(cfg.n),
+            statuses: Vec::with_capacity(cfg.n),
+            disks,
+            writers,
+            next_tx_id: 0,
+            cfg,
+        };
+        let mut observer = observer;
+        for (i, transport) in transports.into_iter().enumerate() {
+            let handle = cluster.spawn_one(
+                ReplicaId(i as u32),
+                transport,
+                Bootstrap::Fresh,
+                if i == 0 { observer.take() } else { None },
+            );
+            cluster.statuses.push(handle.status());
+            cluster.nodes.push(Some(handle));
+        }
+        Ok(cluster)
+    }
+
+    fn spawn_one(
+        &self,
+        id: ReplicaId,
+        transport: Arc<dyn Transport>,
+        bootstrap: Bootstrap,
+        observer: Option<CommitObserverFn>,
+    ) -> NodeHandle {
+        let mut node_cfg = NodeConfig::new(self.base.with_id(id), self.cfg.kind);
+        node_cfg.bootstrap = bootstrap;
+        node_cfg.journal_disk = self.disks[id.index()].clone();
+        node_cfg.decode_workers = self.cfg.decode_workers;
+        node_cfg.shadow_blocks = self.cfg.shadow_blocks;
+        let sink: Box<dyn TelemetrySink + Send> = Box::new(self.trace.clone());
+        spawn_node(node_cfg, transport, self.clock, Some(sink), observer)
+    }
+
+    /// The shared run clock.
+    pub fn clock(&self) -> Clock {
+        self.clock
+    }
+
+    /// Live counters of replica `i` (valid even after kill/stop).
+    pub fn status(&self, i: usize) -> &NodeStatus {
+        &self.statuses[i]
+    }
+
+    /// Submits `count` locally-originated transactions of `payload_len`
+    /// bytes to the current leader's mempool (falling back to the first
+    /// live replica if the leader is down).
+    pub fn submit(&mut self, count: usize, payload_len: usize) {
+        let view = self.max_view();
+        let leader = self.base.leader_of(view);
+        let target = if self.nodes[leader.index()].is_some() {
+            leader.index()
+        } else {
+            match self.nodes.iter().position(Option::is_some) {
+                Some(i) => i,
+                None => return,
+            }
+        };
+        let now = self.clock.now_ns();
+        let txs: Vec<Transaction> = (0..count)
+            .map(|_| {
+                let id = self.next_tx_id;
+                self.next_tx_id += 1;
+                Transaction::new(
+                    id,
+                    Transaction::LOCAL_CLIENT,
+                    Bytes::from(vec![0u8; payload_len]),
+                    now,
+                )
+            })
+            .collect();
+        if let Some(node) = &self.nodes[target] {
+            node.submit(txs);
+        }
+    }
+
+    /// Highest view any live replica has reached.
+    pub fn max_view(&self) -> View {
+        View(
+            self.nodes
+                .iter()
+                .enumerate()
+                .filter(|(_, n)| n.is_some())
+                .map(|(i, _)| self.statuses[i].view().0)
+                .max()
+                .unwrap_or(0),
+        )
+    }
+
+    /// Polls until every live replica has committed at least
+    /// `min_blocks` blocks, or `timeout` elapses. Returns whether the
+    /// target was reached.
+    pub fn wait_for_blocks(&self, min_blocks: u64, timeout: Duration) -> bool {
+        self.wait(timeout, |c| {
+            c.nodes
+                .iter()
+                .enumerate()
+                .filter(|(_, n)| n.is_some())
+                .all(|(i, _)| c.statuses[i].committed_blocks() >= min_blocks)
+        })
+    }
+
+    /// Polls `pred` every few milliseconds until it holds or `timeout`
+    /// elapses.
+    pub fn wait(&self, timeout: Duration, pred: impl Fn(&Self) -> bool) -> bool {
+        let deadline = Instant::now() + timeout;
+        while Instant::now() < deadline {
+            if pred(self) {
+                return true;
+            }
+            std::thread::sleep(Duration::from_millis(3));
+        }
+        pred(self)
+    }
+
+    /// Abruptly stops replica `i` (threads joined, transport torn
+    /// down). Its journal disk survives for recovery.
+    pub fn kill(&mut self, i: usize) {
+        if let Some(node) = self.nodes[i].take() {
+            node.stop();
+        }
+    }
+
+    /// Restarts replica `i` from its on-disk journal (`FromDisk`): a
+    /// fresh endpoint rejoins the mesh and the core replays its journal
+    /// before announcing recovery.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors from rebinding the replica's address.
+    pub fn recover_from_disk(&mut self, i: usize) -> io::Result<()> {
+        assert!(self.nodes[i].is_none(), "kill replica {i} before recovery");
+        let id = ReplicaId(i as u32);
+        let transport: Arc<dyn Transport> = match &self.mesh {
+            MeshControl::Channel(mesh) => Arc::new(mesh.endpoint(id)),
+            MeshControl::Tcp(mesh) => {
+                // The dead endpoint's acceptor releases its listener
+                // asynchronously; retry the rebind briefly.
+                let deadline = Instant::now() + Duration::from_secs(2);
+                loop {
+                    match mesh.rejoin(id) {
+                        Ok(t) => break Arc::new(t) as _,
+                        Err(e) if Instant::now() >= deadline => return Err(e),
+                        Err(_) => std::thread::sleep(Duration::from_millis(10)),
+                    }
+                }
+            }
+        };
+        let handle = self.spawn_one(id, transport, Bootstrap::Recovered, None);
+        self.statuses[i] = handle.status();
+        self.nodes[i] = Some(handle);
+        Ok(())
+    }
+
+    /// Checks cross-replica safety: within each commit log heights must
+    /// be strictly increasing (no double commits), and any height
+    /// committed by two replicas must carry the same block id. For
+    /// replicas started fresh this is exactly the identical-committed-
+    /// prefix property; for a `FromDisk`-recovered replica (whose new
+    /// log begins mid-chain) it checks agreement over the overlap.
+    /// Returns the shortest log length on success.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first divergence or
+    /// ordering violation found.
+    pub fn check_prefix_consistency(&self) -> Result<usize, String> {
+        let logs: Vec<Vec<(u64, BlockId)>> = self.statuses.iter().map(|s| s.commit_log()).collect();
+        let mut by_height: Vec<std::collections::HashMap<u64, BlockId>> = Vec::new();
+        for (i, log) in logs.iter().enumerate() {
+            let mut map = std::collections::HashMap::with_capacity(log.len());
+            let mut last = None;
+            for &(h, id) in log {
+                if last.is_some_and(|prev| h <= prev) {
+                    return Err(format!(
+                        "replica {i} committed height {h} out of order (after {last:?})"
+                    ));
+                }
+                last = Some(h);
+                map.insert(h, id);
+            }
+            by_height.push(map);
+        }
+        for i in 0..by_height.len() {
+            for j in i + 1..by_height.len() {
+                for (h, id_i) in &by_height[i] {
+                    if let Some(id_j) = by_height[j].get(h) {
+                        if id_i != id_j {
+                            return Err(format!(
+                                "commit divergence at height {h}: replica {i} has {id_i:?}, replica {j} has {id_j:?}"
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        Ok(logs.iter().map(Vec::len).min().unwrap_or(0))
+    }
+
+    /// Stops every replica and returns the final report.
+    pub fn shutdown(mut self) -> ClusterReport {
+        for node in self.nodes.iter_mut() {
+            if let Some(node) = node.take() {
+                node.stop();
+            }
+        }
+        // Journal writers exit once their proxy disks drop.
+        self.disks.clear();
+        for writer in self.writers.drain(..).flatten() {
+            writer.join();
+        }
+        let trace = self.trace.with(std::mem::take);
+        ClusterReport {
+            trace,
+            statuses: self.statuses,
+            duration_ns: self.clock.now_ns(),
+        }
+    }
+}
+
+/// What a finished cluster run leaves behind.
+pub struct ClusterReport {
+    /// Every telemetry note/charge/traffic record, wall-clock stamped.
+    pub trace: Trace,
+    /// Final per-replica counters.
+    pub statuses: Vec<Arc<NodeStatus>>,
+    /// Total run duration on the shared clock.
+    pub duration_ns: u64,
+}

@@ -1,0 +1,43 @@
+//! Threaded replica runtime for the Marlin protocol family.
+//!
+//! `marlin-simnet` answers "is it correct?" with deterministic
+//! single-threaded simulation; this crate answers "how fast is it,
+//! really?" by running the *same* sans-io state machines from
+//! `marlin-core` — byte-for-byte, no protocol logic duplicated — on
+//! real threads, real clocks, and (optionally) real sockets and files.
+//!
+//! Each replica is a small constellation of threads over bounded
+//! channels:
+//!
+//! - **ingress** pulls length-framed messages off the transport,
+//! - **decode workers** verify framing and deserialize in parallel,
+//! - **timer** arms view/heartbeat deadlines (latest-wins, like simnet),
+//! - **consensus** owns the protocol state machine and steps it,
+//! - **journal writer** (per replica, optional) owns the real disk;
+//!   vote emission blocks on its ack, preserving write-before-vote.
+//!
+//! [`transport::Transport`] abstracts the wire: an in-process channel
+//! mesh for soak tests and a localhost-TCP mesh whose streaming frame
+//! reader tolerates arbitrarily split reads. [`cluster::RuntimeCluster`]
+//! wires n replicas together, feeds load, kills and recovers nodes, and
+//! checks committed-prefix agreement. Telemetry sinks plug in unchanged,
+//! so the commit-latency decomposition works on wall-clock runs exactly
+//! as it does on simulated ones.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod journal;
+pub mod node;
+pub mod transport;
+
+pub use cluster::{ClusterConfig, ClusterReport, JournalMode, RuntimeCluster, TransportKind};
+pub use journal::JournalWriter;
+pub use node::{
+    spawn_node, Bootstrap, Clock, CommitObserverFn, NodeConfig, NodeHandle, NodeStatus,
+};
+pub use transport::{
+    frame, ChannelMesh, ChannelTransport, FrameBuffer, TcpMesh, TcpTransport, Transport,
+    TransportClosed, MAX_FRAME_LEN,
+};

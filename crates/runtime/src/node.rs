@@ -1,0 +1,593 @@
+//! One replica as a set of threads around an unchanged sans-io core.
+//!
+//! Thread topology per replica (all channels bounded):
+//!
+//! ```text
+//!   transport.recv ──► ingress ──raw frames──► decode workers (×k)
+//!                                                    │ Event::Message
+//!   timer thread ──Timeout/Heartbeat──► event channel ┤
+//!   NodeHandle::submit ──NewTransactions──────────────┘
+//!                                                    ▼
+//!                                             consensus driver
+//!                      owns Box<dyn Protocol>, dispatches actions:
+//!    Send/Broadcast → transport   SetTimer/SetHeartbeat → timer thread
+//!    Commit → commit log + observer          Note → telemetry sink
+//!
+//!   journal writes leave the consensus thread synchronously through
+//!   the SafetyJournal → SharedDisk(ProxyDisk) → journal-writer thread
+//!   round trip, so vote emission still blocks on the journal ack.
+//! ```
+//!
+//! The consensus state machine is exactly the one simnet drives: the
+//! runtime only supplies real IO, real clocks, and real threads around
+//! `Protocol::step`. Broadcast actions have already been applied
+//! locally by `step`, so the egress path never loops a frame back to
+//! its sender; the timer thread keeps simnet's latest-wins semantics by
+//! holding a single slot per timer kind.
+
+use crate::transport::Transport;
+use marlin_core::chained::{ChainedHotStuff, ChainedMarlin};
+use marlin_core::harness::build_protocol;
+use marlin_core::marlin::Marlin;
+use marlin_core::{
+    Action, Config, CryptoCtx, Event, Protocol, ProtocolKind, SafetyJournal, StepOutput,
+};
+use marlin_storage::SharedDisk;
+use marlin_telemetry::TelemetrySink;
+use marlin_types::codec::{decode_message, encode_message};
+use marlin_types::{Block, BlockId, MsgClass, ReplicaId, Transaction, View};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{channel, sync_channel, Receiver, RecvTimeoutError, Sender, SyncSender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Wall-clock time source shared by every thread of a run, so note
+/// timestamps from different replicas land on one comparable axis.
+#[derive(Clone, Copy, Debug)]
+pub struct Clock {
+    epoch: Instant,
+}
+
+impl Clock {
+    /// A clock starting now.
+    pub fn start() -> Self {
+        Clock {
+            epoch: Instant::now(),
+        }
+    }
+
+    /// Monotonic nanoseconds since the clock started.
+    pub fn now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+}
+
+/// How the consensus core comes up.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Bootstrap {
+    /// Fresh state (journal created empty if journaling).
+    Fresh,
+    /// Rebuild from the journal on the given disk (`FromDisk`
+    /// recovery): replay, then announce `Event::Recovered` so the core
+    /// re-attests its view and catches up.
+    Recovered,
+}
+
+/// Everything needed to launch one replica.
+pub struct NodeConfig {
+    /// Consensus configuration, already bound to this replica's id.
+    pub config: Config,
+    /// Which protocol to run.
+    pub kind: ProtocolKind,
+    /// Fresh start or journal recovery.
+    pub bootstrap: Bootstrap,
+    /// Disk to journal on (`None` = run without a safety journal; only
+    /// Marlin and the chained variants support journaling).
+    pub journal_disk: Option<SharedDisk>,
+    /// Ingress decode worker threads.
+    pub decode_workers: usize,
+    /// Encode proposals with the shadow-block wire optimisation.
+    pub shadow_blocks: bool,
+    /// Call `maintain_crypto` (and report cache telemetry) every this
+    /// many consensus events. The crypto cache self-bounds regardless;
+    /// this only controls telemetry cadence.
+    pub maintain_every: u64,
+}
+
+impl NodeConfig {
+    /// Defaults around `config`/`kind`: fresh start, no journal, two
+    /// decode workers, shadow blocks on.
+    pub fn new(config: Config, kind: ProtocolKind) -> Self {
+        NodeConfig {
+            config,
+            kind,
+            bootstrap: Bootstrap::Fresh,
+            journal_disk: None,
+            decode_workers: 2,
+            shadow_blocks: true,
+            maintain_every: 4096,
+        }
+    }
+}
+
+/// Live counters exported by a running node, readable from any thread.
+#[derive(Debug, Default)]
+pub struct NodeStatus {
+    view: AtomicU64,
+    committed_blocks: AtomicU64,
+    committed_txs: AtomicU64,
+    decode_errors: AtomicU64,
+    send_drops: AtomicU64,
+    commit_log: Mutex<Vec<(u64, BlockId)>>,
+}
+
+impl NodeStatus {
+    /// The replica's current view.
+    pub fn view(&self) -> View {
+        View(self.view.load(Ordering::Acquire))
+    }
+
+    /// Blocks committed so far.
+    pub fn committed_blocks(&self) -> u64 {
+        self.committed_blocks.load(Ordering::Acquire)
+    }
+
+    /// Transactions committed so far.
+    pub fn committed_txs(&self) -> u64 {
+        self.committed_txs.load(Ordering::Acquire)
+    }
+
+    /// Frames that failed to decode (malformed/oversized).
+    pub fn decode_errors(&self) -> u64 {
+        self.decode_errors.load(Ordering::Acquire)
+    }
+
+    /// Frames dropped on send (peer down/unreachable).
+    pub fn send_drops(&self) -> u64 {
+        self.send_drops.load(Ordering::Acquire)
+    }
+
+    /// Snapshot of the committed chain as `(height, block id)` pairs,
+    /// in commit order — the safety artifact cross-replica checks
+    /// compare.
+    pub fn commit_log(&self) -> Vec<(u64, BlockId)> {
+        self.commit_log.lock().expect("commit log lock").clone()
+    }
+}
+
+/// Inputs multiplexed into the consensus thread.
+// Event's inline size (the Message payload is Arc-backed) is moved
+// once into the bounded queue and once out; boxing would trade that
+// memcpy for an allocation per message on the hot path.
+#[allow(clippy::large_enum_variant)]
+enum Input {
+    Event(Event),
+    Stop,
+}
+
+enum TimerCmd {
+    ArmView { view: View, delay: Duration },
+    ArmHeartbeat { delay: Duration },
+    Stop,
+}
+
+/// A per-commit callback (reference-replica statistics, tests).
+pub type CommitObserverFn = Box<dyn FnMut(ReplicaId, u64, &[Block]) + Send>;
+
+/// A running replica: threads + channels around one consensus core.
+pub struct NodeHandle {
+    id: ReplicaId,
+    status: Arc<NodeStatus>,
+    event_tx: SyncSender<Input>,
+    timer_tx: Sender<TimerCmd>,
+    transport: Arc<dyn Transport>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl NodeHandle {
+    /// This replica's id.
+    pub fn id(&self) -> ReplicaId {
+        self.id
+    }
+
+    /// Live counters (cheap to clone the `Arc` and keep after stop).
+    pub fn status(&self) -> Arc<NodeStatus> {
+        Arc::clone(&self.status)
+    }
+
+    /// Submits transactions to this replica's mempool.
+    pub fn submit(&self, txs: Vec<Transaction>) {
+        let _ = self
+            .event_tx
+            .send(Input::Event(Event::NewTransactions(txs)));
+    }
+
+    /// Stops the node: closes the transport, halts timers, drains and
+    /// joins every thread. Returns the status handle for post-mortem
+    /// inspection. Abrupt by design — also used to "kill" a replica
+    /// mid-run; durability must come from the journal, not the
+    /// shutdown.
+    pub fn stop(self) -> Arc<NodeStatus> {
+        let NodeHandle {
+            status,
+            event_tx,
+            timer_tx,
+            transport,
+            threads,
+            ..
+        } = self;
+        transport.close();
+        let _ = timer_tx.send(TimerCmd::Stop);
+        let _ = event_tx.send(Input::Stop);
+        // Drop our event sender so the consensus thread's final drain
+        // terminates once the decode workers exit.
+        drop(event_tx);
+        for t in threads {
+            let _ = t.join();
+        }
+        status
+    }
+}
+
+/// Builds the consensus core a node drives — the same constructors the
+/// simnet scenarios use, so runtime and simulation run byte-identical
+/// state machines.
+fn build_replica(
+    kind: ProtocolKind,
+    cfg: Config,
+    journal_disk: Option<SharedDisk>,
+    bootstrap: Bootstrap,
+) -> Box<dyn Protocol> {
+    let journal = journal_disk.map(|disk| SafetyJournal::open(disk).expect("journal opens"));
+    match (kind, journal) {
+        (ProtocolKind::Marlin, Some(j)) => match bootstrap {
+            Bootstrap::Fresh => Box::new(Marlin::with_journal(cfg, j)),
+            Bootstrap::Recovered => Box::new(Marlin::recover(cfg, j)),
+        },
+        (ProtocolKind::ChainedMarlin, Some(j)) => match bootstrap {
+            Bootstrap::Fresh => Box::new(ChainedMarlin::with_journal(cfg, j)),
+            Bootstrap::Recovered => Box::new(ChainedMarlin::recover(cfg, j)),
+        },
+        (ProtocolKind::ChainedHotStuff, Some(j)) => match bootstrap {
+            Bootstrap::Fresh => Box::new(ChainedHotStuff::with_journal(cfg, j)),
+            Bootstrap::Recovered => Box::new(ChainedHotStuff::recover(cfg, j)),
+        },
+        // Protocols without journal support run stateless-restart.
+        (kind, _) => build_protocol(kind, cfg),
+    }
+}
+
+/// Spawns a replica's threads.
+///
+/// `transport` carries frames; `clock` stamps telemetry; `sink` (if
+/// any) receives notes/charges/traffic exactly as simnet would emit
+/// them, but with wall-clock timestamps; `observer` (if any) sees every
+/// commit at this replica.
+pub fn spawn_node(
+    node_cfg: NodeConfig,
+    transport: Arc<dyn Transport>,
+    clock: Clock,
+    sink: Option<Box<dyn TelemetrySink + Send>>,
+    observer: Option<CommitObserverFn>,
+) -> NodeHandle {
+    let id = node_cfg.config.id;
+    let status = Arc::new(NodeStatus::default());
+
+    let (event_tx, event_rx) = sync_channel::<Input>(8192);
+    let (timer_tx, timer_rx) = channel::<TimerCmd>();
+    let (raw_tx, raw_rx) = sync_channel::<Vec<u8>>(8192);
+    let raw_rx = Arc::new(Mutex::new(raw_rx));
+
+    let mut threads = Vec::new();
+
+    // Ingress: socket/channel frames → raw frame queue.
+    {
+        let transport = Arc::clone(&transport);
+        threads.push(
+            std::thread::Builder::new()
+                .name(format!("ingress-{}", id.0))
+                .spawn(move || {
+                    while let Ok(frame) = transport.recv() {
+                        if raw_tx.send(frame).is_err() {
+                            return;
+                        }
+                    }
+                })
+                .expect("spawn ingress"),
+        );
+    }
+
+    // Decode workers: raw frames → events. Decoding (which includes
+    // signature-bearing structures) runs off the consensus thread.
+    for w in 0..node_cfg.decode_workers.max(1) {
+        let raw_rx = Arc::clone(&raw_rx);
+        let event_tx = event_tx.clone();
+        let status = Arc::clone(&status);
+        threads.push(
+            std::thread::Builder::new()
+                .name(format!("decode-{}-{w}", id.0))
+                .spawn(move || loop {
+                    let frame = {
+                        let guard = raw_rx.lock().expect("raw queue lock");
+                        guard.recv()
+                    };
+                    let Ok(frame) = frame else { return };
+                    match decode_message(&frame) {
+                        Ok(msg) => {
+                            if event_tx.send(Input::Event(Event::Message(msg))).is_err() {
+                                return;
+                            }
+                        }
+                        Err(_) => {
+                            status.decode_errors.fetch_add(1, Ordering::AcqRel);
+                        }
+                    }
+                })
+                .expect("spawn decode worker"),
+        );
+    }
+
+    // Timer thread: latest-wins view timer + heartbeat slots.
+    {
+        let event_tx = event_tx.clone();
+        threads.push(
+            std::thread::Builder::new()
+                .name(format!("timer-{}", id.0))
+                .spawn(move || timer_loop(timer_rx, event_tx))
+                .expect("spawn timer"),
+        );
+    }
+
+    // Consensus driver.
+    {
+        let status = Arc::clone(&status);
+        let transport = Arc::clone(&transport);
+        let timer_tx = timer_tx.clone();
+        threads.push(
+            std::thread::Builder::new()
+                .name(format!("consensus-{}", id.0))
+                .spawn(move || {
+                    consensus_loop(
+                        node_cfg, event_rx, timer_tx, transport, clock, sink, observer, status,
+                    )
+                })
+                .expect("spawn consensus"),
+        );
+    }
+
+    NodeHandle {
+        id,
+        status,
+        event_tx,
+        timer_tx,
+        transport,
+        threads,
+    }
+}
+
+fn timer_loop(rx: Receiver<TimerCmd>, event_tx: SyncSender<Input>) {
+    let mut view_slot: Option<(Instant, View)> = None;
+    let mut hb_slot: Option<Instant> = None;
+    loop {
+        let now = Instant::now();
+        // Fire whatever is due. Arming a timer replaced the slot, so a
+        // stale early timer can never fire: exactly simnet's
+        // latest-seq-wins rule, expressed as slot overwrite.
+        if let Some((deadline, view)) = view_slot {
+            if deadline <= now {
+                view_slot = None;
+                if event_tx
+                    .send(Input::Event(Event::Timeout { view }))
+                    .is_err()
+                {
+                    return;
+                }
+                continue;
+            }
+        }
+        if let Some(deadline) = hb_slot {
+            if deadline <= now {
+                hb_slot = None;
+                if event_tx.send(Input::Event(Event::Heartbeat)).is_err() {
+                    return;
+                }
+                continue;
+            }
+        }
+        let next = match (view_slot.map(|(d, _)| d), hb_slot) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (Some(a), None) => Some(a),
+            (None, Some(b)) => Some(b),
+            (None, None) => None,
+        };
+        let cmd = match next {
+            Some(deadline) => match rx.recv_timeout(deadline.saturating_duration_since(now)) {
+                Ok(cmd) => Some(cmd),
+                Err(RecvTimeoutError::Timeout) => continue,
+                Err(RecvTimeoutError::Disconnected) => return,
+            },
+            None => match rx.recv() {
+                Ok(cmd) => Some(cmd),
+                Err(_) => return,
+            },
+        };
+        match cmd {
+            Some(TimerCmd::ArmView { view, delay }) => {
+                view_slot = Some((Instant::now() + delay, view));
+            }
+            Some(TimerCmd::ArmHeartbeat { delay }) => {
+                hb_slot = Some(Instant::now() + delay);
+            }
+            Some(TimerCmd::Stop) | None => return,
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn consensus_loop(
+    node_cfg: NodeConfig,
+    event_rx: Receiver<Input>,
+    timer_tx: Sender<TimerCmd>,
+    transport: Arc<dyn Transport>,
+    clock: Clock,
+    mut sink: Option<Box<dyn TelemetrySink + Send>>,
+    mut observer: Option<CommitObserverFn>,
+    status: Arc<NodeStatus>,
+) {
+    let NodeConfig {
+        config,
+        kind,
+        bootstrap,
+        journal_disk,
+        shadow_blocks,
+        maintain_every,
+        ..
+    } = node_cfg;
+    // The protocol is built *on* the consensus thread and never leaves
+    // it; only frames and events cross thread boundaries.
+    let mut protocol = build_replica(kind, config, journal_disk, bootstrap);
+    let mut ctx = DriverCtx {
+        timer_tx,
+        transport,
+        clock,
+        sink: sink.as_deref_mut(),
+        observer: observer.as_mut(),
+        status: &status,
+        shadow_blocks,
+    };
+
+    let out = protocol.step(Event::Start);
+    ctx.dispatch(protocol.as_ref(), out);
+    if bootstrap == Bootstrap::Recovered {
+        let out = protocol.step(Event::Recovered);
+        ctx.dispatch(protocol.as_ref(), out);
+    }
+
+    let mut events: u64 = 0;
+    let mut stopping = false;
+    while let Ok(input) = event_rx.recv() {
+        match input {
+            Input::Stop => stopping = true,
+            Input::Event(_) if stopping => {}
+            Input::Event(event) => {
+                let out = protocol.step(event);
+                ctx.dispatch(protocol.as_ref(), out);
+                events += 1;
+                if maintain_every > 0 && events.is_multiple_of(maintain_every) {
+                    let stats = protocol.maintain_crypto(CryptoCtx::VERIFIED_CACHE_TARGET);
+                    if let Some(sink) = ctx.sink.as_deref_mut() {
+                        sink.crypto_cache(
+                            ctx.clock.now_ns(),
+                            protocol.id(),
+                            stats.seed_hits,
+                            stats.seed_misses,
+                            stats.verified_qcs as u64,
+                        );
+                    }
+                }
+            }
+        }
+        if stopping {
+            // Keep draining so blocked producers can exit; the loop
+            // ends when every sender is gone.
+            continue;
+        }
+    }
+}
+
+/// Borrowed dispatch context: applies a `StepOutput` to the real world.
+struct DriverCtx<'a> {
+    timer_tx: Sender<TimerCmd>,
+    transport: Arc<dyn Transport>,
+    clock: Clock,
+    sink: Option<&'a mut (dyn TelemetrySink + Send + 'static)>,
+    observer: Option<&'a mut CommitObserverFn>,
+    status: &'a Arc<NodeStatus>,
+    shadow_blocks: bool,
+}
+
+impl DriverCtx<'_> {
+    fn dispatch(&mut self, protocol: &dyn Protocol, out: StepOutput) {
+        let id = protocol.id();
+        let at_ns = self.clock.now_ns();
+        if let Some(sink) = self.sink.as_deref_mut() {
+            let consensus_ns = out.cpu_ns.saturating_sub(out.crypto_ns + out.journal_ns);
+            sink.step_charged(at_ns, id, out.crypto_ns, out.journal_ns, consensus_ns);
+        }
+        for action in out.actions {
+            match action {
+                Action::Send { to, message } => {
+                    debug_assert_ne!(to, id, "self-sends are resolved by step()");
+                    let frame = encode_message(&message, self.shadow_blocks);
+                    if let Some(sink) = self.sink.as_deref_mut() {
+                        sink.message_sent(
+                            at_ns,
+                            id,
+                            MsgClass::of(&message),
+                            frame.len() as u64,
+                            message.authenticator_count() as u64,
+                        );
+                    }
+                    if self.transport.send(to, &frame).is_err() {
+                        self.status.send_drops.fetch_add(1, Ordering::AcqRel);
+                    }
+                }
+                Action::Broadcast { message } => {
+                    // `step` already applied the broadcast locally:
+                    // encode once, fan out to everyone else.
+                    let frame = encode_message(&message, self.shadow_blocks);
+                    let class = MsgClass::of(&message);
+                    let auth = message.authenticator_count() as u64;
+                    for i in 0..self.transport.n() {
+                        let to = ReplicaId(i as u32);
+                        if to == id {
+                            continue;
+                        }
+                        if let Some(sink) = self.sink.as_deref_mut() {
+                            sink.message_sent(at_ns, id, class, frame.len() as u64, auth);
+                        }
+                        if self.transport.send(to, &frame).is_err() {
+                            self.status.send_drops.fetch_add(1, Ordering::AcqRel);
+                        }
+                    }
+                }
+                Action::Commit { blocks } => {
+                    self.status
+                        .committed_blocks
+                        .fetch_add(blocks.len() as u64, Ordering::AcqRel);
+                    let txs: u64 = blocks.iter().map(|b| b.payload().len() as u64).sum();
+                    self.status.committed_txs.fetch_add(txs, Ordering::AcqRel);
+                    {
+                        let mut log = self.status.commit_log.lock().expect("commit log lock");
+                        for b in &blocks {
+                            log.push((b.height().0, b.id()));
+                        }
+                    }
+                    if let Some(obs) = self.observer.as_mut() {
+                        obs(id, at_ns, &blocks);
+                    }
+                }
+                Action::SetTimer { view, delay_ns } => {
+                    let _ = self.timer_tx.send(TimerCmd::ArmView {
+                        view,
+                        delay: Duration::from_nanos(delay_ns),
+                    });
+                }
+                Action::SetHeartbeat { delay_ns } => {
+                    let _ = self.timer_tx.send(TimerCmd::ArmHeartbeat {
+                        delay: Duration::from_nanos(delay_ns),
+                    });
+                }
+                Action::Note(note) => {
+                    if let Some(sink) = self.sink.as_deref_mut() {
+                        sink.note(at_ns, id, &note);
+                    }
+                }
+            }
+        }
+        self.status
+            .view
+            .store(protocol.current_view().0, Ordering::Release);
+    }
+}

@@ -1,0 +1,581 @@
+//! Length-framed replica-to-replica transports.
+//!
+//! A [`Transport`] moves opaque frames — wire-codec bytes produced by
+//! `marlin_types::codec::encode_message` — between replicas. Frames are
+//! prefixed with a little-endian `u32` length on the wire; the
+//! [`FrameBuffer`] reassembles them from an arbitrary byte stream,
+//! tolerating short reads, split frames, and coalesced frames, and
+//! rejecting frames over [`MAX_FRAME_LEN`] before buffering them.
+//!
+//! Two implementations:
+//!
+//! - [`ChannelMesh`]: in-process `std::sync::mpsc` channels. Zero
+//!   syscalls, used by deterministic-ish soak tests and as the fastest
+//!   baseline.
+//! - [`TcpMesh`]: localhost TCP. Each node binds a listener; outbound
+//!   connections are dialed lazily on first send (and re-dialed after
+//!   errors, which is what lets a recovered replica rejoin), inbound
+//!   connections are identified by a 4-byte hello carrying the peer's
+//!   replica id and drained by per-connection reader threads.
+//!
+//! Delivery is best-effort: a frame to a dead or unreachable peer is
+//! dropped, exactly like a lossy network. Consensus tolerates loss by
+//! construction (timeouts, fetch/catch-up retries).
+
+use marlin_types::ReplicaId;
+use std::collections::VecDeque;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+
+/// Hard ceiling on one transport frame; re-exported from the codec so
+/// the reader and the decoder enforce the same bound.
+pub use marlin_types::codec::MAX_FRAME_LEN;
+
+/// Per-node inbox depth. Senders block when a peer's inbox is full
+/// (backpressure), so the bound caps memory, not correctness.
+const INBOX_DEPTH: usize = 8192;
+
+/// A replica's endpoint in a message mesh.
+///
+/// `send` may be called concurrently from any thread; `recv` is
+/// expected to be drained by one ingress thread. Both outlive the
+/// consensus state machine they serve, which never sees this trait —
+/// the runtime translates frames to events at the boundary.
+pub trait Transport: Send + Sync {
+    /// This endpoint's replica id.
+    fn local_id(&self) -> ReplicaId;
+
+    /// Number of replicas in the mesh.
+    fn n(&self) -> usize;
+
+    /// Sends one frame to `to`, best-effort. An `Err` means the frame
+    /// was dropped (peer dead/unreachable); callers treat it as network
+    /// loss, not a fatal condition.
+    fn send(&self, to: ReplicaId, frame: &[u8]) -> io::Result<()>;
+
+    /// Blocks for the next frame from any peer. Returns `Err` once the
+    /// transport is closed and drained.
+    fn recv(&self) -> Result<Vec<u8>, TransportClosed>;
+
+    /// Unblocks receivers and tears down connections. Idempotent.
+    fn close(&self);
+}
+
+/// The transport has shut down; no more frames will arrive.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TransportClosed;
+
+impl std::fmt::Display for TransportClosed {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "transport closed")
+    }
+}
+
+impl std::error::Error for TransportClosed {}
+
+// ------------------------------------------------------------ framing --
+
+/// Encodes `payload` as one wire frame (`u32` LE length + bytes).
+pub fn frame(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(4 + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Streaming frame reassembly over an untrusted byte stream.
+///
+/// Feed it whatever the socket returns — a partial header, half a
+/// frame, three frames glued together — and pull complete payloads out.
+/// A length prefix over [`MAX_FRAME_LEN`] poisons the stream (the peer
+/// is malicious or corrupt; there is no way to resynchronize a
+/// length-framed stream after a bad length).
+#[derive(Debug, Default)]
+pub struct FrameBuffer {
+    buf: VecDeque<u8>,
+    poisoned: bool,
+}
+
+/// A frame length prefix exceeded [`MAX_FRAME_LEN`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FrameTooLarge {
+    /// The claimed payload length.
+    pub len: usize,
+}
+
+impl std::fmt::Display for FrameTooLarge {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "frame length {} exceeds {}", self.len, MAX_FRAME_LEN)
+    }
+}
+
+impl std::error::Error for FrameTooLarge {}
+
+impl FrameBuffer {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        FrameBuffer::default()
+    }
+
+    /// Appends freshly-read bytes.
+    pub fn push(&mut self, chunk: &[u8]) {
+        self.buf.extend(chunk);
+    }
+
+    /// Bytes currently buffered (for backpressure accounting).
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Pops the next complete frame payload, if one is buffered.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameTooLarge`] once a length prefix exceeds the ceiling; the
+    /// stream is poisoned and every later call returns the same error.
+    pub fn next_frame(&mut self) -> Result<Option<Vec<u8>>, FrameTooLarge> {
+        if self.poisoned {
+            return Err(FrameTooLarge { len: 0 });
+        }
+        if self.buf.len() < 4 {
+            return Ok(None);
+        }
+        let mut len_bytes = [0u8; 4];
+        for (i, b) in self.buf.iter().take(4).enumerate() {
+            len_bytes[i] = *b;
+        }
+        let len = u32::from_le_bytes(len_bytes) as usize;
+        if len > MAX_FRAME_LEN {
+            self.poisoned = true;
+            return Err(FrameTooLarge { len });
+        }
+        if self.buf.len() < 4 + len {
+            return Ok(None);
+        }
+        self.buf.drain(..4);
+        let payload: Vec<u8> = self.buf.drain(..len).collect();
+        Ok(Some(payload))
+    }
+}
+
+// ------------------------------------------------------- channel mesh --
+
+/// Sender slots shared by a channel mesh: slot `i` holds the inbox
+/// sender of replica `i` (`None` while that replica is down), so a
+/// recovered replica can reinstall a fresh inbox and peers pick it up
+/// on their next send.
+type ChannelSlots = Arc<Vec<Mutex<Option<SyncSender<Vec<u8>>>>>>;
+
+/// An in-process mesh endpoint (see [`ChannelMesh::new`]).
+pub struct ChannelTransport {
+    id: ReplicaId,
+    slots: ChannelSlots,
+    inbox: Mutex<Receiver<Vec<u8>>>,
+    closed: AtomicBool,
+}
+
+/// Builder/control handle for an in-process channel mesh.
+pub struct ChannelMesh {
+    slots: ChannelSlots,
+}
+
+impl ChannelMesh {
+    /// Creates an `n`-replica mesh, returning one endpoint per replica.
+    pub fn new(n: usize) -> (ChannelMesh, Vec<ChannelTransport>) {
+        let slots: ChannelSlots = Arc::new((0..n).map(|_| Mutex::new(None)).collect::<Vec<_>>());
+        let mesh = ChannelMesh {
+            slots: Arc::clone(&slots),
+        };
+        let transports = (0..n).map(|i| mesh.endpoint(ReplicaId(i as u32))).collect();
+        (mesh, transports)
+    }
+
+    /// (Re)creates the endpoint for `id`, installing a fresh inbox in
+    /// the mesh. Used at construction and when a killed replica
+    /// rejoins.
+    pub fn endpoint(&self, id: ReplicaId) -> ChannelTransport {
+        let (tx, rx) = sync_channel(INBOX_DEPTH);
+        *self.slots[id.index()].lock().expect("slot lock") = Some(tx);
+        ChannelTransport {
+            id,
+            slots: Arc::clone(&self.slots),
+            inbox: Mutex::new(rx),
+            closed: AtomicBool::new(false),
+        }
+    }
+}
+
+impl Transport for ChannelTransport {
+    fn local_id(&self) -> ReplicaId {
+        self.id
+    }
+
+    fn n(&self) -> usize {
+        self.slots.len()
+    }
+
+    fn send(&self, to: ReplicaId, frame: &[u8]) -> io::Result<()> {
+        let sender = self.slots[to.index()]
+            .lock()
+            .expect("slot lock")
+            .as_ref()
+            .cloned();
+        match sender {
+            Some(tx) => tx
+                .send(frame.to_vec())
+                .map_err(|_| io::Error::new(io::ErrorKind::BrokenPipe, "peer inbox gone")),
+            None => Err(io::Error::new(io::ErrorKind::NotConnected, "peer down")),
+        }
+    }
+
+    fn recv(&self) -> Result<Vec<u8>, TransportClosed> {
+        let frame = self
+            .inbox
+            .lock()
+            .expect("inbox lock")
+            .recv()
+            .map_err(|_| TransportClosed)?;
+        // Zero-length frames are the close sentinel (a real frame
+        // always carries at least a message header).
+        if self.closed.load(Ordering::Acquire) || frame.is_empty() {
+            return Err(TransportClosed);
+        }
+        Ok(frame)
+    }
+
+    fn close(&self) {
+        self.closed.store(true, Ordering::Release);
+        // Retire our slot so peers stop sending, then unblock our own
+        // recv with a sentinel (best-effort: a full inbox already has
+        // something for recv to wake on).
+        let tx = self.slots[self.id.index()]
+            .lock()
+            .expect("slot lock")
+            .take();
+        if let Some(tx) = tx {
+            match tx.try_send(Vec::new()) {
+                Ok(()) | Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => {}
+            }
+        }
+    }
+}
+
+// ----------------------------------------------------------- TCP mesh --
+
+/// Socket read granularity. Small enough that multi-frame bursts
+/// regularly split across reads, exercising the reassembly path.
+const READ_CHUNK: usize = 64 * 1024;
+
+/// Shared state of one TCP endpoint.
+struct TcpShared {
+    id: ReplicaId,
+    addrs: Vec<SocketAddr>,
+    /// Outbound connection per peer, dialed lazily.
+    conns: Vec<Mutex<Option<TcpStream>>>,
+    inbox_tx: SyncSender<Vec<u8>>,
+    closed: AtomicBool,
+}
+
+impl TcpShared {
+    fn dial(&self, to: ReplicaId) -> io::Result<TcpStream> {
+        let mut stream = TcpStream::connect(self.addrs[to.index()])?;
+        stream.set_nodelay(true).ok();
+        // Hello: identify ourselves so the acceptor can attribute the
+        // inbound stream.
+        stream.write_all(&self.id.0.to_le_bytes())?;
+        Ok(stream)
+    }
+}
+
+/// A localhost-TCP mesh endpoint (see [`TcpMesh::new`]).
+pub struct TcpTransport {
+    shared: Arc<TcpShared>,
+    inbox: Mutex<Receiver<Vec<u8>>>,
+    local_addr: SocketAddr,
+}
+
+/// Builder/control handle for a loopback TCP mesh: knows every
+/// replica's listen address so killed replicas can rebind and rejoin.
+pub struct TcpMesh {
+    addrs: Vec<SocketAddr>,
+}
+
+impl TcpMesh {
+    /// Binds `n` loopback listeners and returns one endpoint per
+    /// replica.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors from binding.
+    pub fn new(n: usize) -> io::Result<(TcpMesh, Vec<TcpTransport>)> {
+        let listeners: Vec<TcpListener> = (0..n)
+            .map(|_| TcpListener::bind(("127.0.0.1", 0)))
+            .collect::<io::Result<_>>()?;
+        let addrs: Vec<SocketAddr> = listeners
+            .iter()
+            .map(TcpListener::local_addr)
+            .collect::<io::Result<_>>()?;
+        let mesh = TcpMesh {
+            addrs: addrs.clone(),
+        };
+        let transports = listeners
+            .into_iter()
+            .enumerate()
+            .map(|(i, l)| TcpTransport::start(ReplicaId(i as u32), addrs.clone(), l))
+            .collect();
+        Ok((mesh, transports))
+    }
+
+    /// Rebinds `id`'s original address and returns a fresh endpoint for
+    /// a rejoining replica. Peers re-dial it lazily on their next send.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors from rebinding (the old endpoint must
+    /// have been closed first).
+    pub fn rejoin(&self, id: ReplicaId) -> io::Result<TcpTransport> {
+        let listener = TcpListener::bind(self.addrs[id.index()])?;
+        Ok(TcpTransport::start(id, self.addrs.clone(), listener))
+    }
+}
+
+impl TcpTransport {
+    fn start(id: ReplicaId, addrs: Vec<SocketAddr>, listener: TcpListener) -> TcpTransport {
+        let (inbox_tx, inbox_rx) = sync_channel(INBOX_DEPTH);
+        let local_addr = listener.local_addr().expect("listener addr");
+        let shared = Arc::new(TcpShared {
+            id,
+            conns: (0..addrs.len()).map(|_| Mutex::new(None)).collect(),
+            addrs,
+            inbox_tx,
+            closed: AtomicBool::new(false),
+        });
+        let accept_shared = Arc::clone(&shared);
+        std::thread::Builder::new()
+            .name(format!("accept-{}", id.0))
+            .spawn(move || accept_loop(listener, accept_shared))
+            .expect("spawn accept thread");
+        TcpTransport {
+            shared,
+            inbox: Mutex::new(inbox_rx),
+            local_addr,
+        }
+    }
+
+    /// The address this endpoint listens on.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<TcpShared>) {
+    loop {
+        let (stream, _) = match listener.accept() {
+            Ok(conn) => conn,
+            Err(_) => return,
+        };
+        if shared.closed.load(Ordering::Acquire) {
+            return;
+        }
+        stream.set_nodelay(true).ok();
+        let reader_shared = Arc::clone(&shared);
+        let name = format!("read-{}", shared.id.0);
+        std::thread::Builder::new()
+            .name(name)
+            .spawn(move || reader_loop(stream, reader_shared))
+            .expect("spawn reader thread");
+    }
+}
+
+/// Drains one inbound connection: hello, then a frame stream fed
+/// through [`FrameBuffer`]. Exits on EOF, socket error, poisoned
+/// framing, or transport close.
+fn reader_loop(mut stream: TcpStream, shared: Arc<TcpShared>) {
+    let mut hello = [0u8; 4];
+    if stream.read_exact(&mut hello).is_err() {
+        return;
+    }
+    let mut frames = FrameBuffer::new();
+    let mut chunk = vec![0u8; READ_CHUNK];
+    loop {
+        let n = match stream.read(&mut chunk) {
+            Ok(0) | Err(_) => return,
+            Ok(n) => n,
+        };
+        frames.push(&chunk[..n]);
+        loop {
+            match frames.next_frame() {
+                Ok(Some(payload)) => {
+                    if shared.closed.load(Ordering::Acquire)
+                        || shared.inbox_tx.send(payload).is_err()
+                    {
+                        return;
+                    }
+                }
+                Ok(None) => break,
+                // Oversized length prefix: drop the connection; the
+                // peer can re-dial with a well-formed stream.
+                Err(_) => return,
+            }
+        }
+    }
+}
+
+impl Transport for TcpTransport {
+    fn local_id(&self) -> ReplicaId {
+        self.shared.id
+    }
+
+    fn n(&self) -> usize {
+        self.shared.addrs.len()
+    }
+
+    fn send(&self, to: ReplicaId, frame_payload: &[u8]) -> io::Result<()> {
+        if self.shared.closed.load(Ordering::Acquire) {
+            return Err(io::Error::new(io::ErrorKind::NotConnected, "closed"));
+        }
+        let wire = frame(frame_payload);
+        let mut slot = self.shared.conns[to.index()].lock().expect("conn lock");
+        if let Some(conn) = slot.as_mut() {
+            if conn.write_all(&wire).is_ok() {
+                return Ok(());
+            }
+            // Stale connection (peer died and maybe came back): fall
+            // through to a fresh dial.
+            *slot = None;
+        }
+        let mut conn = self.shared.dial(to)?;
+        conn.write_all(&wire)?;
+        *slot = Some(conn);
+        Ok(())
+    }
+
+    fn recv(&self) -> Result<Vec<u8>, TransportClosed> {
+        let frame = self
+            .inbox
+            .lock()
+            .expect("inbox lock")
+            .recv()
+            .map_err(|_| TransportClosed)?;
+        if self.shared.closed.load(Ordering::Acquire) || frame.is_empty() {
+            return Err(TransportClosed);
+        }
+        Ok(frame)
+    }
+
+    fn close(&self) {
+        if self.shared.closed.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        // Unblock the acceptor with a throwaway connection to ourselves
+        // and the receiver with a sentinel frame; drop outbound conns.
+        let _ = TcpStream::connect(self.local_addr);
+        match self.shared.inbox_tx.try_send(Vec::new()) {
+            Ok(()) | Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => {}
+        }
+        for slot in self.shared.conns.iter() {
+            if let Some(conn) = slot.lock().expect("conn lock").take() {
+                let _ = conn.shutdown(std::net::Shutdown::Both);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_buffer_reassembles_adversarial_chunking() {
+        let payloads: Vec<Vec<u8>> = vec![
+            b"first".to_vec(),
+            Vec::new(),
+            vec![0xAB; 3000],
+            b"x".to_vec(),
+        ];
+        let mut stream = Vec::new();
+        for p in &payloads {
+            stream.extend_from_slice(&frame(p));
+        }
+        // Feed the stream in pathological chunk sizes: 1 byte at a
+        // time, then 3, then 7, ... covering splits inside the length
+        // prefix, inside payloads, and across frame boundaries.
+        for step in [1usize, 3, 7, 16, 1024, usize::MAX] {
+            let mut fb = FrameBuffer::new();
+            let mut got = Vec::new();
+            let mut off = 0;
+            while off < stream.len() {
+                let end = off.saturating_add(step).min(stream.len());
+                fb.push(&stream[off..end]);
+                off = end;
+                while let Some(p) = fb.next_frame().expect("well-formed stream") {
+                    got.push(p);
+                }
+            }
+            assert_eq!(got, payloads, "chunk step {step}");
+            assert_eq!(fb.buffered(), 0);
+        }
+    }
+
+    #[test]
+    fn frame_buffer_rejects_oversized_length_and_poisons() {
+        let mut fb = FrameBuffer::new();
+        fb.push(&(MAX_FRAME_LEN as u32 + 1).to_le_bytes());
+        fb.push(b"junk");
+        assert!(fb.next_frame().is_err());
+        // Poisoned: even a now-valid prefix cannot resynchronize.
+        fb.push(&frame(b"valid"));
+        assert!(fb.next_frame().is_err());
+    }
+
+    #[test]
+    fn channel_mesh_round_trip_and_close() {
+        let (_mesh, transports) = ChannelMesh::new(3);
+        transports[0].send(ReplicaId(1), b"hello").unwrap();
+        transports[2].send(ReplicaId(1), b"world").unwrap();
+        let a = transports[1].recv().unwrap();
+        let b = transports[1].recv().unwrap();
+        assert_eq!(
+            {
+                let mut v = vec![a, b];
+                v.sort();
+                v
+            },
+            vec![b"hello".to_vec(), b"world".to_vec()]
+        );
+        transports[1].close();
+        assert_eq!(transports[1].recv(), Err(TransportClosed));
+        // Peers now see the slot as down.
+        assert!(transports[0].send(ReplicaId(1), b"late").is_err());
+    }
+
+    #[test]
+    fn tcp_mesh_round_trip() {
+        let (_mesh, transports) = TcpMesh::new(2).unwrap();
+        transports[0].send(ReplicaId(1), b"over tcp").unwrap();
+        assert_eq!(transports[1].recv().unwrap(), b"over tcp");
+        transports[1].send(ReplicaId(0), b"and back").unwrap();
+        assert_eq!(transports[0].recv().unwrap(), b"and back");
+        for t in &transports {
+            t.close();
+        }
+        assert_eq!(transports[0].recv(), Err(TransportClosed));
+    }
+
+    #[test]
+    fn tcp_mesh_rejoin_rebinds_same_address() {
+        let (mesh, transports) = TcpMesh::new(2).unwrap();
+        transports[1].close();
+        // Give the acceptor a moment to release the listener.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        let revived = mesh.rejoin(ReplicaId(1)).unwrap();
+        // The old outbound conn on node 0 is stale; send() re-dials.
+        transports[0].send(ReplicaId(1), b"welcome back").unwrap();
+        assert_eq!(revived.recv().unwrap(), b"welcome back");
+        transports[0].close();
+        revived.close();
+    }
+}

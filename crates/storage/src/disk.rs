@@ -123,77 +123,159 @@ impl Disk for MemDisk {
     }
 }
 
-/// A cloneable handle to one shared [`MemDisk`]: every clone addresses
-/// the same files. This lets a consensus replica (which owns a durable
+/// The storage behind a [`SharedDisk`] handle: the default in-memory
+/// fault-injectable disk, or any boxed [`Disk`] (a [`FileDisk`], a
+/// runtime journal-writer proxy, ...). Keeping the enum private lets
+/// `SharedDisk` stay the one concrete type the safety journal needs
+/// while the actual backend varies between simulation and deployment.
+enum SharedBackend {
+    Mem(MemDisk),
+    Boxed(Box<dyn Disk + Send>),
+}
+
+impl SharedBackend {
+    fn disk(&mut self) -> &mut (dyn Disk + Send) {
+        match self {
+            SharedBackend::Mem(d) => d,
+            SharedBackend::Boxed(d) => d.as_mut(),
+        }
+    }
+
+    fn disk_ref(&self) -> &dyn Disk {
+        match self {
+            SharedBackend::Mem(d) => d,
+            SharedBackend::Boxed(d) => d.as_ref(),
+        }
+    }
+}
+
+impl std::fmt::Debug for SharedBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SharedBackend::Mem(d) => f.debug_tuple("Mem").field(d).finish(),
+            SharedBackend::Boxed(_) => f.debug_tuple("Boxed").finish(),
+        }
+    }
+}
+
+impl Default for SharedBackend {
+    fn default() -> Self {
+        SharedBackend::Mem(MemDisk::new())
+    }
+}
+
+/// A cloneable handle to one shared disk: every clone addresses the
+/// same files. This lets a consensus replica (which owns a durable
 /// journal on the disk) and a fault-injecting harness (which crashes
 /// the disk and tears its writes) hold the *same* per-replica disk —
 /// and, unlike [`MemDisk::crash`] which consumes the disk, crash it in
 /// place so outstanding handles stay valid across the restart.
+///
+/// By default the backend is a [`MemDisk`]; [`SharedDisk::from_disk`]
+/// wraps any other [`Disk`] (e.g. a [`FileDisk`]) behind the same
+/// handle type, so code written against `SharedDisk` — notably the
+/// safety journal — runs unchanged on real files. Fault injection
+/// ([`crash`](SharedDisk::crash), [`wipe`](SharedDisk::wipe),
+/// [`tear_next_write_after`](SharedDisk::tear_next_write_after)) only
+/// applies to the in-memory backend and is a no-op on boxed backends:
+/// for a real disk, "crash" means killing the process.
 #[derive(Clone, Debug, Default)]
-pub struct SharedDisk(Arc<Mutex<MemDisk>>);
+pub struct SharedDisk(Arc<Mutex<SharedBackend>>);
 
 impl SharedDisk {
-    /// A handle to a fresh empty disk.
+    /// A handle to a fresh empty in-memory disk.
     pub fn new() -> Self {
         SharedDisk::default()
     }
 
-    fn inner(&self) -> std::sync::MutexGuard<'_, MemDisk> {
+    /// Wraps an arbitrary disk (a [`FileDisk`], a writer-thread proxy,
+    /// ...) behind a shared cloneable handle.
+    pub fn from_disk(disk: Box<dyn Disk + Send>) -> Self {
+        SharedDisk(Arc::new(Mutex::new(SharedBackend::Boxed(disk))))
+    }
+
+    /// Opens (creating if necessary) a directory as a shared
+    /// [`FileDisk`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors from directory creation.
+    pub fn open_dir(dir: impl Into<PathBuf>) -> io::Result<Self> {
+        Ok(SharedDisk::from_disk(Box::new(FileDisk::open(dir)?)))
+    }
+
+    fn inner(&self) -> std::sync::MutexGuard<'_, SharedBackend> {
         self.0.lock().expect("disk lock")
     }
 
     /// Simulates a crash in place: all state reverts to the last synced
     /// state (see [`MemDisk::crash`]); armed torn writes are cleared.
+    /// No-op on non-memory backends.
     pub fn crash(&self) {
-        let mut disk = self.inner();
-        *disk = std::mem::take(&mut *disk).crash();
+        if let SharedBackend::Mem(disk) = &mut *self.inner() {
+            *disk = std::mem::take(disk).crash();
+        }
     }
 
     /// Discards *everything*, durable state included — the "replaced
     /// hardware" amnesia fault, as opposed to [`SharedDisk::crash`]'s
-    /// power loss.
+    /// power loss. No-op on non-memory backends.
     pub fn wipe(&self) {
-        *self.inner() = MemDisk::new();
+        if let SharedBackend::Mem(disk) = &mut *self.inner() {
+            *disk = MemDisk::new();
+        }
     }
 
     /// Arms fault injection: the next write tears after `bytes` bytes.
+    /// No-op on non-memory backends.
     pub fn tear_next_write_after(&self, bytes: usize) {
-        self.inner().tear_next_write_after(bytes);
+        if let SharedBackend::Mem(disk) = &mut *self.inner() {
+            disk.tear_next_write_after(bytes);
+        }
     }
 
-    /// Total live bytes (for size assertions).
+    /// Total live bytes (for size assertions). For non-memory backends
+    /// this sums the lengths of the listed files.
     pub fn total_bytes(&self) -> usize {
-        self.inner().total_bytes()
+        match &*self.inner() {
+            SharedBackend::Mem(disk) => disk.total_bytes(),
+            SharedBackend::Boxed(disk) => disk
+                .list()
+                .unwrap_or_default()
+                .iter()
+                .map(|name| disk.read_file(name).map(|d| d.len()).unwrap_or(0))
+                .sum(),
+        }
     }
 }
 
 impl Disk for SharedDisk {
     fn write_file(&mut self, name: &str, data: &[u8]) -> io::Result<()> {
-        self.inner().write_file(name, data)
+        self.inner().disk().write_file(name, data)
     }
 
     fn append(&mut self, name: &str, data: &[u8]) -> io::Result<()> {
-        self.inner().append(name, data)
+        self.inner().disk().append(name, data)
     }
 
     fn read_file(&self, name: &str) -> io::Result<Vec<u8>> {
-        self.inner().read_file(name)
+        self.inner().disk_ref().read_file(name)
     }
 
     fn exists(&self, name: &str) -> bool {
-        self.inner().exists(name)
+        self.inner().disk_ref().exists(name)
     }
 
     fn remove(&mut self, name: &str) -> io::Result<()> {
-        self.inner().remove(name)
+        self.inner().disk().remove(name)
     }
 
     fn list(&self) -> io::Result<Vec<String>> {
-        self.inner().list()
+        self.inner().disk_ref().list()
     }
 
     fn sync(&mut self) -> io::Result<()> {
-        self.inner().sync()
+        self.inner().disk().sync()
     }
 }
 
@@ -326,6 +408,26 @@ mod tests {
         assert_eq!(a.read_file("j").unwrap(), b"durableab");
         a.wipe();
         assert!(!b.exists("j"));
+    }
+
+    #[test]
+    fn shared_disk_over_filedisk() {
+        let dir = std::env::temp_dir().join(format!("marlin-shared-file-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let a = SharedDisk::open_dir(&dir).unwrap();
+        let mut b = a.clone();
+        b.write_file("j", b"on real files").unwrap();
+        b.sync().unwrap();
+        assert_eq!(a.read_file("j").unwrap(), b"on real files");
+        assert!(a.total_bytes() >= b"on real files".len());
+        // Fault injection is memory-only: these must not disturb files.
+        a.crash();
+        a.tear_next_write_after(1);
+        b.append("j", b"!!").unwrap();
+        assert_eq!(a.read_file("j").unwrap(), b"on real files!!");
+        a.wipe();
+        assert!(b.exists("j"));
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -19,6 +19,16 @@ use marlin_crypto::{
 };
 use std::fmt;
 
+/// Hard ceiling on a single wire frame, checked before any decoding.
+///
+/// Bytes are untrusted: a malicious or corrupt peer controls every
+/// length prefix, so no field may size an allocation beyond what the
+/// received buffer can actually back. The ceiling comfortably fits the
+/// paper's largest proposal (two 16k-transaction blocks at ~174 wire
+/// bytes each is ~5.6 MiB un-shadowed) while bounding what one frame
+/// can make a replica allocate.
+pub const MAX_FRAME_LEN: usize = 16 << 20;
+
 /// Errors produced by [`decode_message`].
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum DecodeError {
@@ -33,6 +43,17 @@ pub enum DecodeError {
     },
     /// Trailing bytes remained after the message.
     TrailingBytes(usize),
+    /// A length prefix exceeded its bound (the frame ceiling, or more
+    /// than the remaining buffer could possibly back). Raised *before*
+    /// any allocation is sized from the untrusted value.
+    FieldTooLarge {
+        /// What was being decoded.
+        what: &'static str,
+        /// The claimed length/count.
+        len: usize,
+        /// The largest value the remaining input could support.
+        max: usize,
+    },
 }
 
 impl fmt::Display for DecodeError {
@@ -41,6 +62,9 @@ impl fmt::Display for DecodeError {
             DecodeError::UnexpectedEnd => write!(f, "unexpected end of buffer"),
             DecodeError::BadTag { what, tag } => write!(f, "invalid tag {tag} for {what}"),
             DecodeError::TrailingBytes(n) => write!(f, "{n} trailing bytes after message"),
+            DecodeError::FieldTooLarge { what, len, max } => {
+                write!(f, "{what} length {len} exceeds bound {max}")
+            }
         }
     }
 }
@@ -67,9 +91,18 @@ pub fn encode_message(msg: &Message, shadow: bool) -> Bytes {
 ///
 /// # Errors
 ///
-/// Returns a [`DecodeError`] if the buffer is truncated, malformed, or
-/// has trailing bytes.
+/// Returns a [`DecodeError`] if the buffer is truncated, malformed,
+/// oversized (see [`MAX_FRAME_LEN`]), or has trailing bytes. Never
+/// panics and never allocates more than the input length can back, on
+/// any byte string.
 pub fn decode_message(bytes: &[u8]) -> Result<Message> {
+    if bytes.len() > MAX_FRAME_LEN {
+        return Err(DecodeError::FieldTooLarge {
+            what: "frame",
+            len: bytes.len(),
+            max: MAX_FRAME_LEN,
+        });
+    }
     let mut buf = bytes;
     let msg = get_message(&mut buf)?;
     if !buf.is_empty() {
@@ -298,6 +331,21 @@ fn put_digest(buf: &mut BytesMut, d: &Digest) {
 
 // ---------------------------------------------------------------- get --
 
+/// Validates an untrusted element count before it sizes an allocation:
+/// each element occupies at least `min_item` wire bytes, so any count
+/// whose minimum encoding exceeds the remaining buffer is a lie.
+fn bounded_count(buf: &&[u8], count: usize, min_item: usize, what: &'static str) -> Result<usize> {
+    let max = buf.len() / min_item.max(1);
+    if count > max {
+        return Err(DecodeError::FieldTooLarge {
+            what,
+            len: count,
+            max,
+        });
+    }
+    Ok(count)
+}
+
 fn need(buf: &&[u8], n: usize) -> Result<()> {
     if buf.len() < n {
         Err(DecodeError::UnexpectedEnd)
@@ -421,6 +469,8 @@ fn get_proposal(buf: &mut &[u8]) -> Result<Proposal> {
     }
     let justify = get_justify(buf)?;
     let proof_len = get_u16(buf)? as usize;
+    // Each cert carries at least a replica id and a full signature.
+    let proof_len = bounded_count(buf, proof_len, 4 + SIGNATURE_LEN, "Proposal.vc_proof")?;
     let mut vc_proof = Vec::with_capacity(proof_len);
     for _ in 0..proof_len {
         let from = ReplicaId(get_u32(buf)?);
@@ -530,7 +580,8 @@ fn get_block(buf: &mut &[u8], shared_payload: Option<Batch>) -> Result<Block> {
 
 fn get_batch(buf: &mut &[u8]) -> Result<Batch> {
     let count = get_u32(buf)? as usize;
-    let mut txs = Vec::with_capacity(count.min(1 << 16));
+    let count = bounded_count(buf, count, Transaction::HEADER_LEN, "Batch.count")?;
+    let mut txs = Vec::with_capacity(count);
     for _ in 0..count {
         let id = get_u64(buf)?;
         let client = get_u32(buf)?;

@@ -31,6 +31,18 @@ impl Transaction {
     /// + client timestamp.
     pub const HEADER_LEN: usize = 8 + 4 + 4 + 8;
 
+    /// Sentinel client id for operations submitted *at* a replica (the
+    /// runtime's load generator, an internal reconfiguration op): there
+    /// is no client network round trip, so latency accounting must not
+    /// add modeled client legs for them.
+    pub const LOCAL_CLIENT: u32 = u32::MAX;
+
+    /// Whether this operation was submitted locally at a replica (see
+    /// [`Transaction::LOCAL_CLIENT`]).
+    pub fn is_local(&self) -> bool {
+        self.client == Self::LOCAL_CLIENT
+    }
+
     /// Creates a transaction.
     pub fn new(id: u64, client: u32, payload: Bytes, submitted_at_ns: u64) -> Self {
         Transaction {

@@ -1,0 +1,137 @@
+//! Decode-never-panics fuzzing: `decode_message` must treat its input
+//! as hostile. Arbitrary byte strings, bit-flipped and truncated valid
+//! frames, and hand-crafted length bombs must all return a clean
+//! `DecodeError` — no panic, and no allocation sized beyond what the
+//! received bytes can back ([`MAX_FRAME_LEN`] at the outside).
+
+use bytes::Bytes;
+use marlin_crypto::sha256;
+use marlin_types::codec::{decode_message, encode_message, DecodeError, MAX_FRAME_LEN};
+use marlin_types::{
+    Batch, Block, BlockId, Height, Justify, Message, MsgBody, Phase, Proposal, ReplicaId,
+    Transaction, View,
+};
+use proptest::prelude::*;
+
+/// A small but structurally rich valid frame: a one-block proposal
+/// carrying a three-transaction batch.
+fn sample_frame() -> Vec<u8> {
+    let txs = vec![
+        Transaction::new(1, 7, Bytes::from_static(b"pay alice"), 10),
+        Transaction::new(2, 7, Bytes::from_static(b"pay bob"), 20),
+        Transaction::new(3, 9, Bytes::from_static(b""), 30),
+    ];
+    let block = Block::new_normal(
+        BlockId::from_digest(sha256(b"parent")),
+        View(1),
+        View(2),
+        Height(2),
+        Batch::new(txs),
+        Justify::None,
+    );
+    let msg = Message {
+        from: ReplicaId(1),
+        view: View(2),
+        body: MsgBody::Proposal(Proposal {
+            phase: Phase::Prepare,
+            blocks: vec![block],
+            justify: Justify::None,
+            vc_proof: Vec::new(),
+        }),
+    };
+    encode_message(&msg, false).to_vec()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Arbitrary garbage never panics.
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        let _ = decode_message(&bytes);
+    }
+
+    /// Corrupting any one byte of a valid frame never panics; flipped
+    /// length prefixes must fail cleanly, not over-allocate.
+    #[test]
+    fn flipped_valid_frames_never_panic(pos in any::<usize>(), bit in 0u8..8) {
+        let mut frame = sample_frame();
+        let pos = pos % frame.len();
+        frame[pos] ^= 1 << bit;
+        let _ = decode_message(&frame);
+    }
+
+    /// Truncating a valid frame at any point never panics.
+    #[test]
+    fn truncated_valid_frames_never_panic(cut in any::<usize>()) {
+        let frame = sample_frame();
+        let _ = decode_message(&frame[..cut % (frame.len() + 1)]);
+    }
+}
+
+#[test]
+fn oversized_frame_rejected_before_decoding() {
+    let bytes = vec![0u8; MAX_FRAME_LEN + 1];
+    assert_eq!(
+        decode_message(&bytes),
+        Err(DecodeError::FieldTooLarge {
+            what: "frame",
+            len: MAX_FRAME_LEN + 1,
+            max: MAX_FRAME_LEN,
+        })
+    );
+}
+
+/// A frame whose batch header claims `u32::MAX` transactions with no
+/// bytes behind them: must be rejected by the count bound, not fed to
+/// `Vec::with_capacity`.
+#[test]
+fn batch_count_bomb_rejected() {
+    let mut frame = Vec::new();
+    frame.extend_from_slice(&1u32.to_le_bytes()); // from
+    frame.extend_from_slice(&2u64.to_le_bytes()); // view
+    frame.push(5); // FetchResponse → block → batch
+    frame.push(1); // ParentLink::Normal
+    frame.extend_from_slice(&[0u8; 32]); // parent digest
+    frame.extend_from_slice(&1u64.to_le_bytes()); // pview
+    frame.extend_from_slice(&2u64.to_le_bytes()); // view
+    frame.extend_from_slice(&2u64.to_le_bytes()); // height
+    frame.push(0); // Justify::None
+    frame.extend_from_slice(&u32::MAX.to_le_bytes()); // tx count bomb
+    match decode_message(&frame) {
+        Err(DecodeError::FieldTooLarge { what, len, .. }) => {
+            assert_eq!(what, "Batch.count");
+            assert_eq!(len, u32::MAX as usize);
+        }
+        other => panic!("expected FieldTooLarge, got {other:?}"),
+    }
+}
+
+/// A proposal claiming a `u16::MAX`-certificate view-change proof with
+/// an empty tail: rejected by the per-item lower bound.
+#[test]
+fn vc_proof_count_bomb_rejected() {
+    let mut frame = Vec::new();
+    frame.extend_from_slice(&1u32.to_le_bytes()); // from
+    frame.extend_from_slice(&2u64.to_le_bytes()); // view
+    frame.push(0); // Proposal
+    frame.push(1); // Phase::Prepare
+    frame.push(0); // zero blocks
+    frame.push(0); // Justify::None
+    frame.extend_from_slice(&u16::MAX.to_le_bytes()); // vc_proof bomb
+    match decode_message(&frame) {
+        Err(DecodeError::FieldTooLarge { what, len, .. }) => {
+            assert_eq!(what, "Proposal.vc_proof");
+            assert_eq!(len, u16::MAX as usize);
+        }
+        other => panic!("expected FieldTooLarge, got {other:?}"),
+    }
+}
+
+/// The bounds must not reject honest frames: the sample round-trips.
+#[test]
+fn sample_frame_still_round_trips() {
+    let frame = sample_frame();
+    let msg = decode_message(&frame).expect("valid frame decodes");
+    assert_eq!(encode_message(&msg, false).to_vec(), frame);
+}

@@ -18,6 +18,9 @@
 //! * [`storage`] — the log-structured KV store (LevelDB stand-in);
 //! * [`node`] — replica runtime, workload generation, and the
 //!   experiment driver;
+//! * [`runtime`] — the threaded wall-clock runtime: channel/TCP
+//!   transports, journal-writer threads, and multi-core cluster
+//!   harness driving the same state machines;
 //! * [`telemetry`] — metrics registry, structured consensus tracing,
 //!   exporters, and the commit-latency decomposition.
 //!
@@ -43,6 +46,7 @@
 pub use marlin_core as core;
 pub use marlin_crypto as crypto;
 pub use marlin_node as node;
+pub use marlin_runtime as runtime;
 pub use marlin_simnet as simnet;
 pub use marlin_storage as storage;
 pub use marlin_telemetry as telemetry;
