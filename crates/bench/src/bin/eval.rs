@@ -1,7 +1,7 @@
 //! Regenerates the paper's tables and figures on the simulated testbed.
 //!
 //! ```text
-//! eval [--full] [--json[=PATH]] [table1|fig10-tvl|fig10g|fig10h|fig10i|fig10j|ablate-shadow|ablate-sig|ablate-four-phase|ablate-batch|all]
+//! eval [--full] [--json[=PATH]] [table1|fig10-tvl|fig10g|fig10h|fig10i|fig10j|ablate-shadow|ablate-sig|ablate-four-phase|ablate-batch|sync-rejoin|all]
 //! ```
 //!
 //! Without `--full` the sweeps run at reduced durations and fewer
@@ -13,7 +13,8 @@ use marlin_bench::report::{bytes, ktps, ms, JsonReport, Table};
 use marlin_bench::{figures, vc, Effort};
 use marlin_core::ProtocolKind;
 use marlin_crypto::QcFormat;
-use marlin_simnet::SimConfig;
+use marlin_simnet::{run_scenario_with_telemetry, Scenario, SimConfig};
+use marlin_telemetry::{Note, SharedSink, Trace};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -73,6 +74,9 @@ fn main() {
     }
     if run("ablate-batch") {
         ablate_batch(effort, &mut rep);
+    }
+    if run("sync-rejoin") {
+        sync_rejoin(effort, &mut rep);
     }
 
     if let Some(path) = json_path {
@@ -401,6 +405,88 @@ fn ablate_batch(effort: Effort, rep: &mut JsonReport) {
     rep.section(
         "ablate_batch",
         "Ablation A4 — batch verification stack",
+        &table,
+    );
+    println!("{}", table.render());
+}
+
+/// Robustness R1 — rejoin latency and storage footprint of the block
+/// sync engine (DESIGN.md §14): the long-lag crash/rejoin cell at
+/// increasing lag depths, with sync on vs off.
+fn sync_rejoin(effort: Effort, rep: &mut JsonReport) {
+    println!("## Robustness R1 — crash/rejoin latency and storage footprint\n");
+    println!(
+        "A replica crashes ~50 ms into the run and recovers `FromDisk` deep into \
+the chain. With sync on (snapshot anchors every 64 blocks) it rejoins through a \
+snapshot jump plus pipelined range fetches while every replica prunes its \
+committed prefix; with sync off it must fetch the whole gap block-by-block and \
+nothing prunes. `lagger tip` is the recovered replica's committed height at the \
+horizon; `rejoin` is sim time from `SyncStarted` to `SyncCompleted`.\n"
+    );
+    // The sync-off baseline replays the whole gap through the legacy
+    // per-block fetch path — minutes of wall clock per cell — so quick
+    // runs sweep only the sync engine; `--full` adds the baseline at
+    // depth x1 for the before/after contrast.
+    let cells: &[(u64, bool)] = match effort {
+        Effort::Quick => &[(1, true), (2, true)],
+        Effort::Full => &[(1, true), (1, false), (5, true), (10, true)],
+    };
+    let mut table = Table::new(&[
+        "outage depth",
+        "sync",
+        "committed",
+        "lagger tip",
+        "rejoin (sim ms)",
+        "resident blocks (max)",
+        "verdict",
+    ]);
+    {
+        for &(factor, sync_on) in cells {
+            let mut scenario = if factor == 1 {
+                Scenario::long_lag_rejoin()
+            } else {
+                Scenario::long_lag_rejoin_scaled(factor)
+            };
+            if !sync_on {
+                scenario.sync_snapshot_interval = 0;
+            }
+            let trace = SharedSink::new(Trace::new());
+            let out = run_scenario_with_telemetry(
+                ProtocolKind::Marlin,
+                &scenario,
+                7,
+                Box::new(trace.clone()),
+            );
+            let rejoin_ns = trace.with(|t| {
+                let started = t
+                    .events
+                    .iter()
+                    .find(|e| matches!(e.note, Note::SyncStarted { .. }))
+                    .map(|e| e.at_ns);
+                let done = t
+                    .events
+                    .iter()
+                    .find(|e| matches!(e.note, Note::SyncCompleted { .. }))
+                    .map(|e| e.at_ns);
+                match (started, done) {
+                    (Some(a), Some(b)) if b >= a => Some(b - a),
+                    _ => None,
+                }
+            });
+            table.row(vec![
+                format!("x{factor}"),
+                if sync_on { "on" } else { "off" }.to_string(),
+                out.committed.to_string(),
+                out.min_honest_tip.to_string(),
+                rejoin_ns.map_or("—".to_string(), |ns| format!("{:.1}", ns as f64 / 1e6)),
+                out.max_resident_blocks.to_string(),
+                out.verdict().to_string(),
+            ]);
+        }
+    }
+    rep.section(
+        "sync_rejoin",
+        "Robustness R1 — rejoin latency and storage footprint",
         &table,
     );
     println!("{}", table.render());

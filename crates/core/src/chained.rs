@@ -340,6 +340,9 @@ impl Chained {
         if self.base.handle_fetch(&msg, out) {
             return;
         }
+        if self.base.handle_sync(&msg, out) {
+            return;
+        }
         // Catch-up (crash recovery) messages are view-independent: a
         // recovering replica may be views behind.
         if let MsgBody::CatchUpRequest { last_committed } = &msg.body {

@@ -88,6 +88,17 @@ pub struct Config {
     /// Off by default: folding IO into the schedule perturbs the
     /// deterministic timings the fault campaign pins.
     pub charge_journal: bool,
+    /// Record a self-certifying snapshot anchor (and prune committed
+    /// prefixes one interval behind it) every this many commits.
+    /// `0` disables block sync + snapshots entirely, which keeps every
+    /// pre-existing deterministic fingerprint bit-identical.
+    pub sync_snapshot_interval: u64,
+    /// Blocks per ranged sync request when a lagging replica fetches
+    /// the committed chain from its peers.
+    pub sync_range_size: u64,
+    /// Commit-height gap beyond which a replica stops trying to commit
+    /// block-by-block and starts a ranged sync instead.
+    pub sync_lag_threshold: u64,
 }
 
 impl Config {
@@ -108,6 +119,9 @@ impl Config {
             batch_verify: false,
             crypto_workers: 1,
             charge_journal: false,
+            sync_snapshot_interval: 0,
+            sync_range_size: 16,
+            sync_lag_threshold: 64,
         }
     }
 

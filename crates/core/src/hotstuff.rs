@@ -184,6 +184,9 @@ impl HotStuff {
         if self.base.handle_fetch(&msg, out) {
             return;
         }
+        if self.base.handle_sync(&msg, out) {
+            return;
+        }
         if let MsgBody::Decide(d) = &msg.body {
             self.on_decide(*d, msg.from, out);
             return;

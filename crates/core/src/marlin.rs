@@ -30,6 +30,7 @@ use crate::events::{Action, Event, Note, StepOutput, VcCase};
 use crate::journal::SafetyJournal;
 use crate::util::{Base, Protocol};
 use crate::votes::VoteCollector;
+use marlin_storage::SnapshotStore;
 use marlin_types::rank::{block_rank_gt, highest_block, qc_rank_cmp, qc_rank_ge};
 use marlin_types::{
     Block, BlockId, BlockKind, BlockMeta, BlockStore, Decide, Justify, Message, MsgBody, Phase,
@@ -147,9 +148,26 @@ impl Marlin {
         replica
     }
 
+    /// Attaches durable snapshot-anchor storage: the replica records
+    /// its periodic sync anchors there and, on construction, installs
+    /// the persisted anchor if it is ahead of the journal-rebuilt tip
+    /// (a cold or long-crashed replica rejoins from the anchor instead
+    /// of replaying the whole chain). Chain with [`Marlin::recover`]
+    /// for crash recovery.
+    #[must_use]
+    pub fn with_snapshots(mut self, snapshots: SnapshotStore) -> Self {
+        self.base.attach_snapshot_store(snapshots);
+        self
+    }
+
     /// The attached safety journal, if any.
     pub fn journal(&self) -> Option<&SafetyJournal> {
         self.journal.as_ref()
+    }
+
+    /// Whether a catch-up sync run is currently in progress.
+    pub fn sync_active(&self) -> bool {
+        self.base.sync_active()
     }
 
     /// The current lock, if any.
@@ -352,6 +370,11 @@ impl Marlin {
         if self.base.handle_fetch(&msg, out) {
             return;
         }
+        // Sync traffic (snapshot/range requests and responses) is
+        // view-independent on both the serving and the fetching side.
+        if self.base.handle_sync(&msg, out) {
+            return;
+        }
         // Decides are valid whenever the commitQC verifies.
         if let MsgBody::Decide(d) = &msg.body {
             self.on_decide(*d, msg.from, out);
@@ -433,7 +456,11 @@ impl Marlin {
             | MsgBody::FetchRequest { .. }
             | MsgBody::FetchResponse { .. }
             | MsgBody::CatchUpRequest { .. }
-            | MsgBody::CatchUpResponse { .. } => {
+            | MsgBody::CatchUpResponse { .. }
+            | MsgBody::SnapshotRequest
+            | MsgBody::SnapshotResponse { .. }
+            | MsgBody::BlockRangeRequest { .. }
+            | MsgBody::BlockRangeResponse { .. } => {
                 unreachable!("handled above")
             }
         }
@@ -676,6 +703,11 @@ impl Marlin {
         // signal: join that view (without a VIEW-CHANGE — we missed it).
         if qc.view() > self.base.cview {
             self.enter_view(qc.view(), out);
+        }
+        // Deep lag goes through the sync engine (snapshot + ranged
+        // fetch) rather than the one-block-at-a-time commit path.
+        if self.base.maybe_start_sync(&qc, out) {
+            return;
         }
         self.base.try_commit(qc, from, out);
     }
@@ -1263,6 +1295,9 @@ impl Protocol for Marlin {
                 }
             }
             Event::Heartbeat => {
+                // Drive the sync engine first: deadlines, re-dispatch,
+                // re-arm (no-op without an active run).
+                self.base.sync_tick(&mut out);
                 if self.cfg().is_leader(self.base.cview) && self.in_flight.is_none() {
                     if self.base.mempool.is_empty() {
                         out.actions.push(Action::SetHeartbeat {

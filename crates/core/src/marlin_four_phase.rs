@@ -212,6 +212,9 @@ impl MarlinFourPhase {
         if self.base.handle_fetch(&msg, out) {
             return;
         }
+        if self.base.handle_sync(&msg, out) {
+            return;
+        }
         if let MsgBody::Decide(d) = &msg.body {
             self.on_decide(*d, msg.from, out);
             return;

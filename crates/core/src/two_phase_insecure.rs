@@ -161,6 +161,9 @@ impl TwoPhaseInsecure {
         if self.base.handle_fetch(&msg, out) {
             return;
         }
+        if self.base.handle_sync(&msg, out) {
+            return;
+        }
         if let MsgBody::Decide(d) = &msg.body {
             self.on_decide(*d, msg.from, out);
             return;

@@ -117,6 +117,9 @@ pub(crate) struct Base {
     /// recovering replicas that ask for a catch-up.
     pub latest_commit_qc: Option<Qc>,
     commits_since_prune: u64,
+    /// Block-sync engine state (snapshot anchors, active run, peer
+    /// scores); inert unless `cfg.sync_snapshot_interval > 0`.
+    pub(crate) sync: crate::sync::SyncState,
 }
 
 impl Base {
@@ -135,6 +138,7 @@ impl Base {
             fetching: HashMap::new(),
             latest_commit_qc: None,
             commits_since_prune: 0,
+            sync: Default::default(),
         }
     }
 
@@ -247,6 +251,7 @@ impl Base {
                 // Progress: keep the failure timer fresh (no-op when
                 // rotating — see `progress_timer`).
                 self.progress_timer(out);
+                self.record_anchor_if_due(&qc, out);
                 if self.commits_since_prune >= PRUNE_INTERVAL {
                     self.commits_since_prune = 0;
                     let keep_from = self
@@ -254,7 +259,15 @@ impl Base {
                         .get(&self.store.last_committed())
                         .map(|b| marlin_types::Height(b.height().0.saturating_sub(PRUNE_INTERVAL)))
                         .unwrap_or_default();
-                    self.store.prune(keep_from, 64);
+                    if self.sync_enabled() {
+                        // Committed-prefix GC is owned by the snapshot
+                        // horizon (`record_anchor_if_due`); this pass
+                        // only clears uncommitted fork garbage, so the
+                        // serve horizon stays interval-aligned.
+                        self.store.prune(keep_from, usize::MAX);
+                    } else {
+                        self.store.prune(keep_from, 64);
+                    }
                 }
             }
             Err(CommitError::MissingAncestor { of, parent }) => {

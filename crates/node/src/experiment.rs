@@ -107,6 +107,9 @@ impl ExperimentConfig {
             // journal lane itself; the protocol's own journal notes
             // stay report-only, as before.
             charge_journal: false,
+            sync_snapshot_interval: 0,
+            sync_range_size: 16,
+            sync_lag_threshold: 64,
         }
     }
 

@@ -65,6 +65,11 @@ pub struct ClusterConfig {
     pub decode_workers: usize,
     /// Shadow-block wire optimisation.
     pub shadow_blocks: bool,
+    /// Snapshot anchor cadence in blocks; `0` disables block sync,
+    /// snapshots, and committed-prefix pruning (Marlin only).
+    pub sync_snapshot_interval: u64,
+    /// Committed-height gap that triggers a ranged sync run.
+    pub sync_lag_threshold: u64,
 }
 
 impl ClusterConfig {
@@ -82,6 +87,8 @@ impl ClusterConfig {
             base_timeout: Duration::from_secs(1),
             decode_workers: 2,
             shadow_blocks: true,
+            sync_snapshot_interval: 0,
+            sync_lag_threshold: 64,
         }
     }
 }
@@ -119,6 +126,8 @@ impl RuntimeCluster {
             let mut c = Config::for_test(cfg.n, cfg.f);
             c.batch_size = cfg.batch_size;
             c.base_timeout_ns = cfg.base_timeout.as_nanos() as u64;
+            c.sync_snapshot_interval = cfg.sync_snapshot_interval;
+            c.sync_lag_threshold = cfg.sync_lag_threshold;
             c
         };
 

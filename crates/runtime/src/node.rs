@@ -32,7 +32,7 @@ use marlin_core::marlin::Marlin;
 use marlin_core::{
     Action, Config, CryptoCtx, Event, Protocol, ProtocolKind, SafetyJournal, StepOutput,
 };
-use marlin_storage::SharedDisk;
+use marlin_storage::{SharedDisk, SnapshotStore};
 use marlin_telemetry::TelemetrySink;
 use marlin_types::codec::{decode_message, encode_message};
 use marlin_types::{Block, BlockId, MsgClass, ReplicaId, Transaction, View};
@@ -239,12 +239,25 @@ fn build_replica(
     journal_disk: Option<SharedDisk>,
     bootstrap: Bootstrap,
 ) -> Box<dyn Protocol> {
+    // Block sync persists its snapshot anchors next to the journal on
+    // the same disk.
+    let snapshot_disk = journal_disk
+        .clone()
+        .filter(|_| cfg.sync_snapshot_interval > 0);
     let journal = journal_disk.map(|disk| SafetyJournal::open(disk).expect("journal opens"));
     match (kind, journal) {
-        (ProtocolKind::Marlin, Some(j)) => match bootstrap {
-            Bootstrap::Fresh => Box::new(Marlin::with_journal(cfg, j)),
-            Bootstrap::Recovered => Box::new(Marlin::recover(cfg, j)),
-        },
+        (ProtocolKind::Marlin, Some(j)) => {
+            let core = match bootstrap {
+                Bootstrap::Fresh => Marlin::with_journal(cfg, j),
+                Bootstrap::Recovered => Marlin::recover(cfg, j),
+            };
+            match snapshot_disk {
+                Some(disk) => Box::new(
+                    core.with_snapshots(SnapshotStore::open(disk).expect("snapshot store opens")),
+                ),
+                None => Box::new(core),
+            }
+        }
         (ProtocolKind::ChainedMarlin, Some(j)) => match bootstrap {
             Bootstrap::Fresh => Box::new(ChainedMarlin::with_journal(cfg, j)),
             Bootstrap::Recovered => Box::new(ChainedMarlin::recover(cfg, j)),

@@ -29,6 +29,7 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 /// Hard ceiling on one transport frame; re-exported from the codec so
 /// the reader and the decoder enforce the same bound.
@@ -269,12 +270,34 @@ impl Transport for ChannelTransport {
 /// regularly split across reads, exercising the reassembly path.
 const READ_CHUNK: usize = 64 * 1024;
 
+/// First re-dial delay after a failed dial; doubles per consecutive
+/// failure up to [`DIAL_BACKOFF_CAP`], resets on a successful dial.
+const DIAL_BACKOFF_BASE: Duration = Duration::from_millis(10);
+
+/// Ceiling on the re-dial delay. Low enough that a rejoining peer is
+/// picked up within one view timeout, high enough that a dead peer
+/// costs at most a few connect attempts per second.
+const DIAL_BACKOFF_CAP: Duration = Duration::from_millis(640);
+
+/// One peer's outbound connection slot with reconnect state.
+#[derive(Default)]
+struct PeerConn {
+    /// The live connection, if any.
+    stream: Option<TcpStream>,
+    /// Consecutive dial failures since the last successful dial.
+    failures: u32,
+    /// Earliest instant the next dial may be attempted; sends inside
+    /// the window fail fast without touching the network.
+    retry_at: Option<Instant>,
+}
+
 /// Shared state of one TCP endpoint.
 struct TcpShared {
     id: ReplicaId,
     addrs: Vec<SocketAddr>,
-    /// Outbound connection per peer, dialed lazily.
-    conns: Vec<Mutex<Option<TcpStream>>>,
+    /// Outbound connection per peer, dialed lazily with capped
+    /// exponential backoff after failures.
+    conns: Vec<Mutex<PeerConn>>,
     inbox_tx: SyncSender<Vec<u8>>,
     closed: AtomicBool,
 }
@@ -348,7 +371,9 @@ impl TcpTransport {
         let local_addr = listener.local_addr().expect("listener addr");
         let shared = Arc::new(TcpShared {
             id,
-            conns: (0..addrs.len()).map(|_| Mutex::new(None)).collect(),
+            conns: (0..addrs.len())
+                .map(|_| Mutex::new(PeerConn::default()))
+                .collect(),
             addrs,
             inbox_tx,
             closed: AtomicBool::new(false),
@@ -439,18 +464,36 @@ impl Transport for TcpTransport {
         }
         let wire = frame(frame_payload);
         let mut slot = self.shared.conns[to.index()].lock().expect("conn lock");
-        if let Some(conn) = slot.as_mut() {
+        if let Some(conn) = slot.stream.as_mut() {
             if conn.write_all(&wire).is_ok() {
                 return Ok(());
             }
             // Stale connection (peer died and maybe came back): fall
             // through to a fresh dial.
-            *slot = None;
+            slot.stream = None;
         }
-        let mut conn = self.shared.dial(to)?;
-        conn.write_all(&wire)?;
-        *slot = Some(conn);
-        Ok(())
+        // Capped exponential backoff between dial attempts: a dead peer
+        // costs one connect per window, not one per send.
+        if slot.retry_at.is_some_and(|at| Instant::now() < at) {
+            return Err(io::Error::new(io::ErrorKind::WouldBlock, "dial backoff"));
+        }
+        match self.shared.dial(to) {
+            Ok(mut conn) => {
+                slot.failures = 0;
+                slot.retry_at = None;
+                conn.write_all(&wire)?;
+                slot.stream = Some(conn);
+                Ok(())
+            }
+            Err(e) => {
+                slot.failures = slot.failures.saturating_add(1);
+                let delay = DIAL_BACKOFF_BASE
+                    .saturating_mul(1 << (slot.failures - 1).min(6))
+                    .min(DIAL_BACKOFF_CAP);
+                slot.retry_at = Some(Instant::now() + delay);
+                Err(e)
+            }
+        }
     }
 
     fn recv(&self) -> Result<Vec<u8>, TransportClosed> {
@@ -477,7 +520,7 @@ impl Transport for TcpTransport {
             Ok(()) | Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => {}
         }
         for slot in self.shared.conns.iter() {
-            if let Some(conn) = slot.lock().expect("conn lock").take() {
+            if let Some(conn) = slot.lock().expect("conn lock").stream.take() {
                 let _ = conn.shutdown(std::net::Shutdown::Both);
             }
         }
@@ -563,6 +606,44 @@ mod tests {
             t.close();
         }
         assert_eq!(transports[0].recv(), Err(TransportClosed));
+    }
+
+    #[test]
+    fn tcp_send_backoff_suppresses_redials_and_recovers() {
+        let (mesh, transports) = TcpMesh::new(2).unwrap();
+        transports[1].close();
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        // First send after the peer dies performs a real (failing)
+        // dial and arms the backoff window.
+        assert!(transports[0].send(ReplicaId(1), b"x").is_err());
+        // Sends inside the window are rejected without dialing. The
+        // burst can straddle one window boundary, so allow a couple of
+        // real dial attempts.
+        let mut would_block = 0;
+        for _ in 0..10 {
+            if let Err(e) = transports[0].send(ReplicaId(1), b"x") {
+                if e.kind() == io::ErrorKind::WouldBlock {
+                    would_block += 1;
+                }
+            }
+        }
+        assert!(
+            would_block >= 5,
+            "backoff never suppressed redials ({would_block}/10 fast-failed)"
+        );
+        // Once the peer rebinds, the next dial after the window lands.
+        let revived = mesh.rejoin(ReplicaId(1)).unwrap();
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        while transports[0].send(ReplicaId(1), b"back").is_err() {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "send never recovered after rejoin"
+            );
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        assert_eq!(revived.recv().unwrap(), b"back");
+        transports[0].close();
+        revived.close();
     }
 
     #[test]

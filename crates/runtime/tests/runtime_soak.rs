@@ -4,6 +4,7 @@
 
 use marlin_core::ProtocolKind;
 use marlin_runtime::{ClusterConfig, JournalMode, RuntimeCluster, TransportKind};
+use marlin_telemetry::Note;
 use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
@@ -120,6 +121,60 @@ fn kill_and_recover_from_disk_rejoins_via_catch_up() {
         .check_prefix_consistency()
         .expect("no divergence across recovery");
     cluster.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The wall-clock twin of the simnet rejoin cells: a journaled Marlin
+/// cluster over real TCP with block sync enabled, one replica killed
+/// long enough to fall past the lag threshold, then recovered from
+/// disk. The transport's dial backoff absorbs the dead peer, and the
+/// recovered replica must rejoin through the sync engine (snapshot or
+/// ranged fetch over real sockets), not just timeout-driven fetch.
+#[test]
+fn tcp_kill_and_reconnect_rejoins_via_sync() {
+    let dir = scratch_dir("tcp-rejoin");
+    let mut cfg = ClusterConfig::new(ProtocolKind::Marlin, 4, 1);
+    cfg.transport = TransportKind::Tcp;
+    cfg.journal = JournalMode::Files(dir.clone());
+    cfg.sync_snapshot_interval = 16;
+    cfg.sync_lag_threshold = 8;
+    let mut cluster = RuntimeCluster::launch(cfg, None).expect("launch tcp sync cluster");
+
+    assert!(
+        drive(&mut cluster, 30, Duration::from_secs(20)),
+        "no progress before the kill"
+    );
+
+    // Kill a follower and commit well past the lag threshold while it
+    // is gone; peers' sends to it back off instead of redialing per
+    // frame.
+    cluster.kill(2);
+    let before = cluster.status(0).committed_blocks();
+    assert!(
+        drive(&mut cluster, before + 60, Duration::from_secs(25)),
+        "cluster stalled after losing one replica"
+    );
+
+    cluster.recover_from_disk(2).expect("recovery");
+    let target = cluster.status(0).committed_blocks() + 30;
+    assert!(
+        drive_until(&mut cluster, Duration::from_secs(30), |c| {
+            c.status(0).committed_blocks() >= target && c.status(2).committed_blocks() >= 10
+        }),
+        "recovered replica never caught back up over TCP"
+    );
+    cluster
+        .check_prefix_consistency()
+        .expect("no divergence across TCP recovery");
+    let report = cluster.shutdown();
+    assert!(
+        report
+            .trace
+            .events
+            .iter()
+            .any(|e| matches!(e.note, Note::SyncCompleted { .. })),
+        "rejoin never went through the sync engine"
+    );
     let _ = std::fs::remove_dir_all(&dir);
 }
 

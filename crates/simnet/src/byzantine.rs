@@ -39,6 +39,14 @@ pub enum Behavior {
         /// The one replica that still receives the hidden QC.
         victim: ReplicaId,
     },
+    /// Plays the consensus protocol faithfully but serves *garbage* to
+    /// block sync: every block in its `BlockRangeResponse`s and the
+    /// anchor block in its `SnapshotResponse`s is replaced by a
+    /// conflicting twin (right heights, wrong ids) — a sync peer that
+    /// looks responsive and lies. The fetcher's certified-prefix walk
+    /// must catch the substitution, demote this peer, and finish the
+    /// sync from honest peers.
+    CorruptSync,
 }
 
 /// A protocol wrapper executing one of the [`Behavior`]s.
@@ -131,6 +139,19 @@ impl ByzantineReplica {
                 }
                 out
             }
+            Behavior::CorruptSync => actions
+                .into_iter()
+                .map(|a| match a {
+                    Action::Send { to, message } => Action::Send {
+                        to,
+                        message: corrupt_sync(message),
+                    },
+                    Action::Broadcast { message } => Action::Broadcast {
+                        message: corrupt_sync(message),
+                    },
+                    other => other,
+                })
+                .collect(),
             Behavior::UnsafeSnapshot { victim } => {
                 let mut out = Vec::with_capacity(actions.len());
                 for a in actions {
@@ -209,6 +230,25 @@ impl ByzantineReplica {
             .and_then(|b| b.justify().qc().copied())
             .is_some_and(|under| !under.is_genesis() && under.view() == qc.view())
     }
+}
+
+/// Substitutes conflicting twins into outgoing sync responses (see
+/// [`Behavior::CorruptSync`]); everything else passes untouched.
+fn corrupt_sync(mut message: Message) -> Message {
+    match &mut message.body {
+        MsgBody::BlockRangeResponse { blocks, .. } => {
+            for b in blocks.iter_mut() {
+                *b = twin_of(b);
+            }
+        }
+        MsgBody::SnapshotResponse { snapshot } => {
+            if let Some((block, _qc)) = snapshot.as_mut() {
+                *block = twin_of(block);
+            }
+        }
+        _ => {}
+    }
+    message
 }
 
 /// Replaces the state a `VIEW-CHANGE` reports with genesis state.

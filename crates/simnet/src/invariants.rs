@@ -229,14 +229,20 @@ impl InvariantChecker for Invariants {
             }
             let id = ReplicaId(i as u32);
             let chain = rep.store().committed_chain();
+            // The resident chain is a window of the absolute committed
+            // chain: entry `idx` sits at absolute position `off + idx`.
+            let off = rep.store().committed_offset();
             // A replica rebuilt after a crash (disk-backed or amnesiac
             // recovery) starts over with a shorter chain: rewind the
             // cursor so its re-commits are checked against the
-            // canonical chain instead of silently skipped.
-            if chain.len() < st.seen_len[i] {
-                st.seen_len[i] = 0;
+            // canonical chain instead of silently skipped. (Pruning
+            // never shrinks `off + len`, so a drop means a restart.)
+            if off + chain.len() < st.seen_len[i] {
+                st.seen_len[i] = off;
             }
-            for (pos, &bid) in chain.iter().enumerate().skip(st.seen_len[i]) {
+            let start = st.seen_len[i].saturating_sub(off);
+            for (idx, &bid) in chain.iter().enumerate().skip(start) {
+                let pos = off + idx;
                 if pos < st.canonical.len() {
                     if st.canonical[pos] != bid {
                         let canonical = st.canonical[pos];
@@ -247,10 +253,14 @@ impl InvariantChecker for Invariants {
                             canonical,
                         });
                     }
-                } else {
+                } else if pos == st.canonical.len() {
                     st.canonical.push(bid);
                     st.last_commit_ns = now_ns;
                 }
+                // pos > canonical.len() would mean a window starting
+                // beyond every chain observed so far (an anchor ahead of
+                // all honest tips) — position-agreement is deferred to
+                // the height-indexed check below rather than guessed.
                 if let Some(block) = rep.store().get(&bid) {
                     let height = block.height();
                     match st.by_height.get(&height) {
@@ -269,7 +279,7 @@ impl InvariantChecker for Invariants {
                     }
                 }
             }
-            st.seen_len[i] = chain.len();
+            st.seen_len[i] = off + chain.len();
         }
 
         // Lock safety: a lock formed after a commit at its height must

@@ -20,7 +20,7 @@ use marlin_core::chained::{ChainedHotStuff, ChainedMarlin};
 use marlin_core::harness::build_protocol;
 use marlin_core::marlin::Marlin;
 use marlin_core::{Config, Protocol, ProtocolKind, SafetyJournal};
-use marlin_storage::SharedDisk;
+use marlin_storage::{SharedDisk, SnapshotStore};
 use marlin_telemetry::TelemetrySink;
 use marlin_types::{ReplicaId, View};
 use std::collections::BTreeMap;
@@ -62,6 +62,13 @@ pub struct Scenario {
     /// journal write after `at_ns` keeps only `keep_bytes` bytes and
     /// fails (a crash-truncated record).
     pub disk_tears: Vec<(ReplicaId, u64, usize)>,
+    /// Snapshot-anchor interval in blocks for the sync subsystem
+    /// (`Config::sync_snapshot_interval`); 0 leaves sync disabled and
+    /// the cell bit-identical to the pre-sync campaign.
+    pub sync_snapshot_interval: u64,
+    /// Commit-height lag that triggers a sync run
+    /// (`Config::sync_lag_threshold`); only read when sync is enabled.
+    pub sync_lag_threshold: u64,
     /// Client batch interval (batches follow the current leader).
     pub batch_every_ns: u64,
     /// When the schedule stops interfering; the liveness invariant
@@ -83,6 +90,8 @@ impl Scenario {
             behaviors: Vec::new(),
             recovery_mode: RecoveryMode::WithMemory,
             disk_tears: Vec::new(),
+            sync_snapshot_interval: 0,
+            sync_lag_threshold: 64,
             batch_every_ns: 250_000_000,
             quiet_ns,
             horizon_ns,
@@ -307,6 +316,56 @@ impl Scenario {
         s
     }
 
+    /// The long-lag rejoin cell: p3 crashes 50 ms in and stays down
+    /// while the remaining trio commits at a 2 ms client cadence —
+    /// hundreds of blocks, far past both the sync lag threshold and
+    /// the snapshot interval. At 4 s p3 recovers `FromDisk` (journal
+    /// replay rebuilds only its pre-crash safety state) and must
+    /// rejoin the committed tip through the sync engine: snapshot
+    /// anchor first, then pipelined block ranges from multiple peers.
+    /// Scaled so a debug-build campaign cell stays fast; the release
+    /// 10k-block version lives in the ignored soak test and drives the
+    /// same schedule shape with `scaled_by`.
+    pub fn long_lag_rejoin() -> Self {
+        let mut s = Self::base("long-lag-rejoin", 6_000_000_000, 9_000_000_000);
+        s.recovery_mode = RecoveryMode::FromDisk;
+        s.sync_snapshot_interval = 64;
+        s.sync_lag_threshold = 32;
+        s.batch_every_ns = 2_000_000;
+        s.crashes = vec![(ReplicaId(3), 50_000_000)];
+        s.recoveries = vec![(ReplicaId(3), 4_000_000_000)];
+        s
+    }
+
+    /// [`Self::long_lag_rejoin`] with the client cadence and downtime
+    /// stretched by `factor`: `factor` ≫ 1 pushes the rejoin gap into
+    /// the thousands of blocks (the 10k-block release soak uses this).
+    pub fn long_lag_rejoin_scaled(factor: u64) -> Self {
+        let mut s = Self::long_lag_rejoin();
+        s.name = "long-lag-rejoin/scaled";
+        s.recoveries = vec![(ReplicaId(3), 4_000_000_000 * factor)];
+        s.quiet_ns = 4_000_000_000 * factor + 2_000_000_000;
+        s.horizon_ns = s.quiet_ns + 3_000_000_000;
+        s
+    }
+
+    /// The long-lag rejoin schedule with a *Byzantine sync peer*: p1
+    /// plays consensus honestly but serves conflicting twins in every
+    /// sync response ([`Behavior::CorruptSync`]). The rejoining p3 must
+    /// catch the corruption in its certified-prefix walk, demote p1,
+    /// and complete the sync from the honest peers — no stall, no
+    /// safety violation.
+    pub fn byzantine_sync_peer() -> Self {
+        let mut s = Self::long_lag_rejoin();
+        s.name = "byzantine-sync-peer";
+        s.behaviors = vec![BehaviorPhase {
+            replica: ReplicaId(1),
+            at_ns: 0,
+            behavior: Behavior::CorruptSync,
+        }];
+        s
+    }
+
     /// The crash-restart contrast cells (for the journal-backed
     /// protocols). Kept out of [`Self::all_presets`] because the
     /// amnesia cell is *expected* to violate safety.
@@ -357,6 +416,14 @@ pub struct ScenarioOutcome {
     pub max_view: u64,
     /// All invariant violations, including any liveness stall.
     pub violations: Vec<Violation>,
+    /// Largest number of blocks resident in any honest replica's block
+    /// tree at the horizon — the storage-boundedness measure for the
+    /// sync/pruning cells.
+    pub max_resident_blocks: usize,
+    /// Lowest committed tip height among honest replicas at the
+    /// horizon — a rejoin proof: a long-crashed replica that never
+    /// caught up drags this far below `committed`.
+    pub min_honest_tip: u64,
     /// Deterministic digest of the run (chain, commits, violations).
     pub fingerprint: u64,
 }
@@ -403,10 +470,17 @@ fn build_journaled(
     cfg: Config,
     journal: SafetyJournal,
     replay: bool,
+    snapshots: Option<SnapshotStore>,
 ) -> Box<dyn Protocol> {
     match (kind, replay) {
-        (ProtocolKind::Marlin, false) => Box::new(Marlin::with_journal(cfg, journal)),
-        (ProtocolKind::Marlin, true) => Box::new(Marlin::recover(cfg, journal)),
+        (ProtocolKind::Marlin, false) => Box::new(match snapshots {
+            Some(s) => Marlin::with_journal(cfg, journal).with_snapshots(s),
+            None => Marlin::with_journal(cfg, journal),
+        }),
+        (ProtocolKind::Marlin, true) => Box::new(match snapshots {
+            Some(s) => Marlin::recover(cfg, journal).with_snapshots(s),
+            None => Marlin::recover(cfg, journal),
+        }),
         (ProtocolKind::ChainedMarlin, false) => Box::new(ChainedMarlin::with_journal(cfg, journal)),
         (ProtocolKind::ChainedMarlin, true) => Box::new(ChainedMarlin::recover(cfg, journal)),
         (ProtocolKind::ChainedHotStuff, false) => {
@@ -444,6 +518,14 @@ fn run_scenario_inner(
     let n = 4usize;
     let mut cfg = Config::for_test(n, 1);
     cfg.base_timeout_ns = 500_000_000;
+    cfg.sync_snapshot_interval = scenario.sync_snapshot_interval;
+    cfg.sync_lag_threshold = scenario.sync_lag_threshold;
+    // Snapshot anchors persist on the same per-replica durable disk as
+    // the safety journal; only Marlin initiates sync runs today.
+    let snaps_for = |kind: ProtocolKind, disk: &SharedDisk| {
+        (kind == ProtocolKind::Marlin && scenario.sync_snapshot_interval > 0)
+            .then(|| SnapshotStore::open(disk.clone()).expect("snapshot store"))
+    };
 
     // Shared behavior handles: one per replica that is ever Byzantine,
     // so the schedule can flip behaviors mid-run.
@@ -471,7 +553,13 @@ fn run_scenario_inner(
             let id = ReplicaId(i as u32);
             let inner = if with_disks && journaled_kind(kind) {
                 let journal = SafetyJournal::open(disks[i].clone()).expect("fresh journal");
-                build_journaled(kind, cfg.with_id(id), journal, false)
+                build_journaled(
+                    kind,
+                    cfg.with_id(id),
+                    journal,
+                    false,
+                    snaps_for(kind, &disks[i]),
+                )
             } else {
                 build_protocol(kind, cfg.with_id(id))
             };
@@ -506,6 +594,7 @@ fn run_scenario_inner(
     if with_disks {
         let rcfg = cfg.clone();
         let mode = scenario.recovery_mode;
+        let sync_interval = scenario.sync_snapshot_interval;
         sim.configure_recovery(
             mode,
             disks.clone(),
@@ -514,9 +603,11 @@ fn run_scenario_inner(
                 // chained protocols; other protocols rejoin with fresh
                 // (amnesiac) state.
                 if journaled_kind(kind) {
-                    let journal = SafetyJournal::open(disk).expect("journal replay");
+                    let journal = SafetyJournal::open(disk.clone()).expect("journal replay");
                     let replay = mode == RecoveryMode::FromDisk;
-                    build_journaled(kind, rcfg.with_id(id), journal, replay)
+                    let snaps = (kind == ProtocolKind::Marlin && sync_interval > 0)
+                        .then(|| SnapshotStore::open(disk).expect("snapshot store"));
+                    build_journaled(kind, rcfg.with_id(id), journal, replay, snaps)
                 } else {
                     build_protocol(kind, rcfg.with_id(id))
                 }
@@ -564,10 +655,17 @@ fn run_scenario_inner(
 
     let violations = checker.finish();
     let mut max_view = View(0);
+    let mut max_resident_blocks = 0usize;
+    let mut min_honest_tip = u64::MAX;
     for i in 0..n {
         let id = ReplicaId(i as u32);
         if !byzantine.contains(&id) {
-            max_view = max_view.max(sim.replica(id).current_view());
+            let rep = sim.replica(id);
+            max_view = max_view.max(rep.current_view());
+            let store = rep.store();
+            max_resident_blocks = max_resident_blocks.max(store.len());
+            let tip = (store.committed_offset() + store.committed_chain().len()) as u64 - 1;
+            min_honest_tip = min_honest_tip.min(tip);
         }
     }
     ScenarioOutcome {
@@ -577,6 +675,12 @@ fn run_scenario_inner(
         committed: checker.committed_len(),
         max_view: max_view.0,
         violations,
+        max_resident_blocks,
+        min_honest_tip: if min_honest_tip == u64::MAX {
+            0
+        } else {
+            min_honest_tip
+        },
         fingerprint: checker.fingerprint(),
     }
 }

@@ -42,6 +42,7 @@ mod crc;
 mod disk;
 mod memtable;
 mod segment;
+mod snapshot;
 mod store;
 mod wal;
 
@@ -50,5 +51,6 @@ pub use crc::crc32;
 pub use disk::{Disk, FileDisk, MemDisk, SharedDisk};
 pub use memtable::MemTable;
 pub use segment::Segment;
+pub use snapshot::{SnapshotStore, SNAPSHOT_FILE};
 pub use store::{KvStore, StoreConfig, StoreError};
 pub use wal::Wal;

@@ -148,6 +148,42 @@ pub enum Note {
         /// The requester's view when the response arrived.
         view: View,
     },
+    /// A lagging replica started a ranged block-sync run toward a
+    /// certified target tip. Paired with the matching
+    /// [`Note::SyncCompleted`], this measures rejoin latency.
+    SyncStarted {
+        /// The replica's committed height when the run started.
+        from: Height,
+        /// The certified target height it is syncing toward.
+        target: Height,
+    },
+    /// A sync run verified a peer's snapshot anchor against its commit
+    /// QC and re-rooted the committed chain there.
+    SyncSnapshotInstalled {
+        /// The anchor's height.
+        height: Height,
+        /// Wire bytes of the transferred snapshot anchor.
+        bytes: usize,
+    },
+    /// A sync run accepted one verified range of fetched blocks.
+    SyncRangeFetched {
+        /// First height of the accepted range.
+        from: Height,
+        /// Number of blocks in the accepted range.
+        count: usize,
+    },
+    /// A sync peer was demoted (deadline miss, short or corrupt range,
+    /// bad QC); its outstanding ranges are re-requested elsewhere.
+    SyncPeerDemoted {
+        /// The demoted peer.
+        peer: ReplicaId,
+    },
+    /// A sync run reached its certified target: the replica rejoined
+    /// the committed tip.
+    SyncCompleted {
+        /// The committed height at completion.
+        height: Height,
+    },
 }
 
 /// Stable lower-case label for a phase.
@@ -454,6 +490,11 @@ impl<S: TelemetrySink> TelemetrySink for SharedSink<S> {
 /// | `CatchUpRequested` | `consensus_catch_up_requests_total` |
 /// | `CatchUpServed` | `consensus_catch_up_served_total{newer}` |
 /// | `CatchUpCompleted` | `consensus_catch_up_completed_total` + `consensus_catch_up_rtt_ns` |
+/// | `SyncStarted` | `consensus_sync_started_total` |
+/// | `SyncSnapshotInstalled` | `consensus_sync_snapshots_installed_total` + `consensus_sync_snapshot_bytes_total` |
+/// | `SyncRangeFetched` | `consensus_sync_ranges_fetched_total` + `consensus_sync_blocks_fetched_total` |
+/// | `SyncPeerDemoted` | `consensus_sync_peer_demotions_total{peer}` |
+/// | `SyncCompleted` | `consensus_sync_completed_total` + `consensus_sync_rejoin_ns` |
 /// | `message_sent` | `net_{messages,bytes,authenticators}_total{class}` |
 /// | `step_charged` | `consensus_cpu_ns_total{lane="crypto"\|"journal"\|"consensus"}` |
 /// | `crypto_cache` | `crypto_seed_memo_{hits,misses}_total` + `crypto_verified_qc_cache_entries` (gauge) |
@@ -464,6 +505,8 @@ pub struct RegistryRecorder {
     first_votes: HashMap<(ReplicaId, View, Height, Phase), u64>,
     /// Outstanding catch-up request time per recovering replica.
     catch_up_requested: HashMap<ReplicaId, u64>,
+    /// Outstanding sync-run start time per lagging replica.
+    sync_started: HashMap<ReplicaId, u64>,
     /// Last cumulative seed-memo counters per replica, so the
     /// cumulative `crypto_cache` reports fold into counters as deltas.
     cache_seen: HashMap<ReplicaId, (u64, u64)>,
@@ -476,6 +519,7 @@ impl RegistryRecorder {
             registry: registry.clone(),
             first_votes: HashMap::new(),
             catch_up_requested: HashMap::new(),
+            sync_started: HashMap::new(),
             cache_seen: HashMap::new(),
         }
     }
@@ -593,6 +637,34 @@ impl TelemetrySink for RegistryRecorder {
                     .inc();
                 if let Some(t0) = self.catch_up_requested.remove(&replica) {
                     self.histogram("consensus_catch_up_rtt_ns", &[])
+                        .record(at_ns.saturating_sub(t0));
+                }
+            }
+            Note::SyncStarted { .. } => {
+                self.sync_started.insert(replica, at_ns);
+                self.counter("consensus_sync_started_total", &[]).inc();
+            }
+            Note::SyncSnapshotInstalled { bytes, .. } => {
+                self.counter("consensus_sync_snapshots_installed_total", &[])
+                    .inc();
+                self.counter("consensus_sync_snapshot_bytes_total", &[])
+                    .add(*bytes as u64);
+            }
+            Note::SyncRangeFetched { count, .. } => {
+                self.counter("consensus_sync_ranges_fetched_total", &[])
+                    .inc();
+                self.counter("consensus_sync_blocks_fetched_total", &[])
+                    .add(*count as u64);
+            }
+            Note::SyncPeerDemoted { peer } => {
+                let id = peer.0.to_string();
+                self.counter("consensus_sync_peer_demotions_total", &[("peer", &id)])
+                    .inc();
+            }
+            Note::SyncCompleted { .. } => {
+                self.counter("consensus_sync_completed_total", &[]).inc();
+                if let Some(t0) = self.sync_started.remove(&replica) {
+                    self.histogram("consensus_sync_rejoin_ns", &[])
                         .record(at_ns.saturating_sub(t0));
                 }
             }
@@ -725,6 +797,30 @@ mod tests {
     }
 
     #[test]
+    fn recorder_measures_sync_rejoin_latency() {
+        let reg = Registry::new();
+        let mut rec = RegistryRecorder::new(&reg);
+        rec.note(
+            500,
+            ReplicaId(3),
+            &Note::SyncStarted {
+                from: Height(10),
+                target: Height(400),
+            },
+        );
+        rec.note(
+            120_500,
+            ReplicaId(3),
+            &Note::SyncCompleted {
+                height: Height(400),
+            },
+        );
+        let hist = reg.histogram("consensus_sync_rejoin_ns").snapshot();
+        assert_eq!(hist.count(), 1);
+        assert_eq!(hist.sum_ns(), 120_000);
+    }
+
+    #[test]
     fn paired_sinks_both_receive() {
         let mut pair = (Trace::new(), Trace::new());
         pair.note(
@@ -788,6 +884,22 @@ mod tests {
                 newer: true,
             },
             Note::CatchUpCompleted { view: View(3) },
+            Note::SyncStarted {
+                from: Height(10),
+                target: Height(500),
+            },
+            Note::SyncSnapshotInstalled {
+                height: Height(480),
+                bytes: 256,
+            },
+            Note::SyncRangeFetched {
+                from: Height(481),
+                count: 16,
+            },
+            Note::SyncPeerDemoted { peer: ReplicaId(3) },
+            Note::SyncCompleted {
+                height: Height(500),
+            },
         ];
         for note in &samples {
             match note {
@@ -804,7 +916,12 @@ mod tests {
                 | Note::JournalWrite { .. }
                 | Note::CatchUpRequested { .. }
                 | Note::CatchUpServed { .. }
-                | Note::CatchUpCompleted { .. } => {}
+                | Note::CatchUpCompleted { .. }
+                | Note::SyncStarted { .. }
+                | Note::SyncSnapshotInstalled { .. }
+                | Note::SyncRangeFetched { .. }
+                | Note::SyncPeerDemoted { .. }
+                | Note::SyncCompleted { .. } => {}
             }
         }
         samples

@@ -29,6 +29,11 @@ use std::fmt;
 /// can make a replica allocate.
 pub const MAX_FRAME_LEN: usize = 16 << 20;
 
+/// Minimum wire bytes a serialized [`Block`] can occupy: parent tag +
+/// digest (33), pview/view/height (24), justify tag (1), empty batch
+/// count (4). Used to bound untrusted block counts before allocation.
+const BLOCK_MIN_WIRE_LEN: usize = 33 + 24 + 1 + 4;
+
 /// Errors produced by [`decode_message`].
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum DecodeError {
@@ -168,6 +173,39 @@ fn put_message(buf: &mut BytesMut, msg: &Message, shadow: bool) {
                 }
             }
         }
+        MsgBody::SnapshotRequest => {
+            buf.put_u8(8);
+        }
+        MsgBody::SnapshotResponse { snapshot } => {
+            buf.put_u8(9);
+            match snapshot {
+                None => buf.put_u8(0),
+                Some((block, qc)) => {
+                    buf.put_u8(1);
+                    put_block(buf, block, true);
+                    put_qc(buf, qc);
+                }
+            }
+        }
+        MsgBody::BlockRangeRequest {
+            from_height,
+            to_height,
+        } => {
+            buf.put_u8(10);
+            buf.put_u64_le(from_height.0);
+            buf.put_u64_le(to_height.0);
+        }
+        MsgBody::BlockRangeResponse {
+            from_height,
+            blocks,
+        } => {
+            buf.put_u8(11);
+            buf.put_u64_le(from_height.0);
+            buf.put_u16_le(blocks.len() as u16);
+            for b in blocks {
+                put_block(buf, b, true);
+            }
+        }
     }
 }
 
@@ -278,6 +316,12 @@ pub fn put_justify(buf: &mut BytesMut, j: &Justify) {
 pub fn put_qc(buf: &mut BytesMut, qc: &Qc) {
     put_seed(buf, qc.seed());
     put_combined_sig(buf, qc.sig());
+}
+
+/// Serializes a full [`Block`] (payload included) in its wire form.
+/// Public for durable-state record payloads (snapshot anchors).
+pub fn put_block_full(buf: &mut BytesMut, b: &Block) {
+    put_block(buf, b, true);
 }
 
 fn put_seed(buf: &mut BytesMut, s: &QcSeed) {
@@ -434,6 +478,42 @@ fn get_message(buf: &mut &[u8]) -> Result<Message> {
                 }
             },
         },
+        8 => MsgBody::SnapshotRequest,
+        9 => MsgBody::SnapshotResponse {
+            snapshot: match get_u8(buf)? {
+                0 => None,
+                1 => {
+                    let block = get_block(buf, None)?;
+                    let qc = get_qc(buf)?;
+                    Some((block, qc))
+                }
+                t => {
+                    return Err(DecodeError::BadTag {
+                        what: "SnapshotResponse.snapshot",
+                        tag: t,
+                    })
+                }
+            },
+        },
+        10 => MsgBody::BlockRangeRequest {
+            from_height: Height(get_u64(buf)?),
+            to_height: Height(get_u64(buf)?),
+        },
+        11 => {
+            let from_height = Height(get_u64(buf)?);
+            let count = get_u16(buf)? as usize;
+            // A block occupies at least its fixed header, a justify tag,
+            // and an empty batch count.
+            let count = bounded_count(buf, count, BLOCK_MIN_WIRE_LEN, "BlockRangeResponse.blocks")?;
+            let mut blocks = Vec::with_capacity(count);
+            for _ in 0..count {
+                blocks.push(get_block(buf, None)?);
+            }
+            MsgBody::BlockRangeResponse {
+                from_height,
+                blocks,
+            }
+        }
         t => {
             return Err(DecodeError::BadTag {
                 what: "MsgBody",
@@ -637,6 +717,15 @@ pub fn get_qc(buf: &mut &[u8]) -> Result<Qc> {
     let seed = get_seed(buf)?;
     let sig = get_combined_sig(buf)?;
     Ok(Qc::new(seed, sig))
+}
+
+/// Deserializes a full [`Block`] written by [`put_block_full`].
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] on a truncated or malformed buffer.
+pub fn get_block_full(buf: &mut &[u8]) -> Result<Block> {
+    get_block(buf, None)
 }
 
 fn get_seed(buf: &mut &[u8]) -> Result<QcSeed> {
@@ -953,6 +1042,85 @@ mod tests {
                 false,
             );
         }
+    }
+
+    #[test]
+    fn sync_messages_round_trip() {
+        let ks = keys();
+        let qc = make_qc(&ks, Phase::Commit, 9, QcFormat::Threshold);
+        round_trip(
+            Message::new(ReplicaId(3), View(9), MsgBody::SnapshotRequest),
+            false,
+        );
+        let g = Block::genesis();
+        let anchor = Block::new_normal(
+            g.id(),
+            g.view(),
+            View(9),
+            g.height().next(),
+            Batch::new(vec![tx(1, 40)]),
+            Justify::One(Qc::genesis(g.id())),
+        );
+        for snapshot in [None, Some((anchor.clone(), qc))] {
+            round_trip(
+                Message::new(
+                    ReplicaId(0),
+                    View(9),
+                    MsgBody::SnapshotResponse { snapshot },
+                ),
+                false,
+            );
+        }
+        round_trip(
+            Message::new(
+                ReplicaId(2),
+                View(9),
+                MsgBody::BlockRangeRequest {
+                    from_height: Height(100),
+                    to_height: Height(131),
+                },
+            ),
+            false,
+        );
+        for blocks in [
+            vec![],
+            vec![anchor.clone()],
+            vec![anchor.clone(), g.clone()],
+        ] {
+            round_trip(
+                Message::new(
+                    ReplicaId(1),
+                    View(9),
+                    MsgBody::BlockRangeResponse {
+                        from_height: Height(100),
+                        blocks,
+                    },
+                ),
+                false,
+            );
+        }
+    }
+
+    #[test]
+    fn block_range_response_lying_count_rejected() {
+        // A count prefix claiming more blocks than the buffer can back
+        // must fail before sizing an allocation.
+        let msg = Message::new(
+            ReplicaId(1),
+            View(2),
+            MsgBody::BlockRangeResponse {
+                from_height: Height(5),
+                blocks: Vec::new(),
+            },
+        );
+        let mut enc = encode_message(&msg, false).to_vec();
+        let count_at = enc.len() - 2;
+        enc[count_at] = 0xff;
+        enc[count_at + 1] = 0xff;
+        assert!(matches!(
+            decode_message(&enc),
+            Err(DecodeError::FieldTooLarge { .. })
+        ));
     }
 
     #[test]

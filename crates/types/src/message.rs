@@ -82,6 +82,37 @@ pub enum MsgBody {
         /// The responder's highest known `commitQC`, if any.
         commit_qc: Option<Qc>,
     },
+    /// A cold-starting or deeply lagging replica's request for the
+    /// responder's latest snapshot anchor.
+    SnapshotRequest,
+    /// Response to a snapshot request: a self-certifying anchor — a
+    /// committed block together with the commit-phase QC that certifies
+    /// exactly that block (`qc.block() == block.id()`), so the receiver
+    /// can verify the anchor with one signature check and no chain
+    /// context.
+    SnapshotResponse {
+        /// The responder's latest snapshot anchor, if it has one.
+        snapshot: Option<(Block, Qc)>,
+    },
+    /// Request for a contiguous range of committed blocks,
+    /// `[from_height, to_height]` inclusive (ranged block sync).
+    BlockRangeRequest {
+        /// First height requested.
+        from_height: Height,
+        /// Last height requested (inclusive).
+        to_height: Height,
+    },
+    /// Response to a range request: the responder's committed blocks for
+    /// the range, in ascending height order. May cover a prefix of the
+    /// request if the responder has pruned or never held the rest.
+    BlockRangeResponse {
+        /// First height of the range this response answers (echoed from
+        /// the request so the requester can match it to an outstanding
+        /// chunk even when `blocks` is empty).
+        from_height: Height,
+        /// The blocks, ascending by height.
+        blocks: Vec<Block>,
+    },
 }
 
 impl MsgBody {
@@ -96,6 +127,16 @@ impl MsgBody {
             MsgBody::CatchUpRequest { .. } => 8,
             MsgBody::CatchUpResponse { commit_qc } => {
                 1 + commit_qc.as_ref().map_or(0, Qc::wire_len)
+            }
+            MsgBody::SnapshotRequest => 0,
+            MsgBody::SnapshotResponse { snapshot } => {
+                1 + snapshot
+                    .as_ref()
+                    .map_or(0, |(b, qc)| b.wire_len() + qc.wire_len())
+            }
+            MsgBody::BlockRangeRequest { .. } => 16,
+            MsgBody::BlockRangeResponse { blocks, .. } => {
+                8 + 2 + blocks.iter().map(Block::wire_len).sum::<usize>()
             }
         }
     }
@@ -112,6 +153,15 @@ impl MsgBody {
             MsgBody::CatchUpResponse { commit_qc } => {
                 commit_qc.as_ref().map_or(0, Qc::authenticator_count)
             }
+            MsgBody::SnapshotRequest => 0,
+            MsgBody::SnapshotResponse { snapshot } => snapshot.as_ref().map_or(0, |(b, qc)| {
+                b.justify().authenticator_count() + qc.authenticator_count()
+            }),
+            MsgBody::BlockRangeRequest { .. } => 0,
+            MsgBody::BlockRangeResponse { blocks, .. } => blocks
+                .iter()
+                .map(|b| b.justify().authenticator_count())
+                .sum(),
         }
     }
 }
@@ -268,6 +318,11 @@ pub enum MsgClass {
     /// windows (Table I counts view-change messages, not the recovery
     /// of a crashed replica's state).
     CatchUp,
+    /// Ranged block-sync and snapshot traffic (wire tags 8–11): how a
+    /// deeply lagging or cold-starting replica rejoins. Like
+    /// [`MsgClass::CatchUp`], this is recovery traffic and stays out of
+    /// protocol-cost measurement windows.
+    Sync,
 }
 
 impl MsgClass {
@@ -280,6 +335,10 @@ impl MsgClass {
             MsgBody::Decide(_) => MsgClass::Decide,
             MsgBody::FetchRequest { .. } | MsgBody::FetchResponse { .. } => MsgClass::Fetch,
             MsgBody::CatchUpRequest { .. } | MsgBody::CatchUpResponse { .. } => MsgClass::CatchUp,
+            MsgBody::SnapshotRequest
+            | MsgBody::SnapshotResponse { .. }
+            | MsgBody::BlockRangeRequest { .. }
+            | MsgBody::BlockRangeResponse { .. } => MsgClass::Sync,
         }
     }
 
@@ -297,7 +356,7 @@ impl MsgClass {
     /// Whether this class is crash-recovery traffic, excluded from
     /// protocol-cost measurement windows.
     pub fn is_recovery(&self) -> bool {
-        matches!(self, MsgClass::CatchUp)
+        matches!(self, MsgClass::CatchUp | MsgClass::Sync)
     }
 }
 
@@ -310,6 +369,7 @@ impl fmt::Display for MsgClass {
             MsgClass::Decide => write!(f, "decide"),
             MsgClass::Fetch => write!(f, "fetch"),
             MsgClass::CatchUp => write!(f, "catch-up"),
+            MsgClass::Sync => write!(f, "sync"),
         }
     }
 }
@@ -374,6 +434,17 @@ impl fmt::Display for Message {
                 format!("CatchUpRequest(h{})", last_committed.0)
             }
             MsgBody::CatchUpResponse { .. } => "CatchUpResponse".to_string(),
+            MsgBody::SnapshotRequest => "SnapshotRequest".to_string(),
+            MsgBody::SnapshotResponse { snapshot } => {
+                format!("SnapshotResponse(present={})", snapshot.is_some())
+            }
+            MsgBody::BlockRangeRequest {
+                from_height,
+                to_height,
+            } => format!("BlockRangeRequest(h{}..h{})", from_height.0, to_height.0),
+            MsgBody::BlockRangeResponse { blocks, .. } => {
+                format!("BlockRangeResponse({} blocks)", blocks.len())
+            }
         };
         write!(f, "[{} {:?} {}]", self.from, self.view, kind)
     }

@@ -71,8 +71,14 @@ pub struct BlockStore {
     blocks: HashMap<BlockId, Block>,
     /// Resolved parents of virtual blocks.
     virtual_parents: HashMap<BlockId, BlockId>,
-    /// Committed chain, genesis first.
+    /// Resident suffix of the committed chain. Entry `i` sits at
+    /// absolute chain position `committed_trimmed + i`; along the
+    /// committed chain, absolute position equals block height (genesis
+    /// is position 0).
     committed: Vec<BlockId>,
+    /// Absolute position of `committed[0]`: how many older entries have
+    /// been pruned away.
+    committed_trimmed: usize,
     committed_set: HashSet<BlockId>,
 }
 
@@ -96,6 +102,7 @@ impl BlockStore {
             blocks,
             virtual_parents: HashMap::new(),
             committed: vec![id],
+            committed_trimmed: 0,
             committed_set,
         }
     }
@@ -165,9 +172,24 @@ impl BlockStore {
         !self.is_extension(a, b) && !self.is_extension(b, a)
     }
 
-    /// The committed chain, genesis first.
+    /// The resident suffix of the committed chain, oldest first. Entry
+    /// `i` sits at absolute position [`Self::committed_offset`]` + i`.
     pub fn committed_chain(&self) -> &[BlockId] {
         &self.committed
+    }
+
+    /// Absolute chain position of `committed_chain()[0]` — the number
+    /// of older committed entries pruned away. Along the committed
+    /// chain, absolute position equals block height.
+    pub fn committed_offset(&self) -> usize {
+        self.committed_trimmed
+    }
+
+    /// The committed block at `height`, if it is still resident.
+    pub fn block_at_height(&self, height: Height) -> Option<&Block> {
+        let idx = (height.0 as usize).checked_sub(self.committed_trimmed)?;
+        let id = self.committed.get(idx)?;
+        self.blocks.get(id)
     }
 
     /// The tip of the committed chain.
@@ -233,11 +255,64 @@ impl BlockStore {
         path.reverse();
         let mut newly = Vec::with_capacity(path.len());
         for bid in path {
+            debug_assert_eq!(
+                self.blocks[&bid].height().0 as usize,
+                self.committed_trimmed + self.committed.len(),
+                "committed chain positions must equal heights"
+            );
             self.committed.push(bid);
             self.committed_set.insert(bid);
             newly.push(self.blocks[&bid].clone());
         }
         Ok(newly)
+    }
+
+    /// Re-roots the committed chain at a snapshot `anchor` (a block a
+    /// sync run verified against a commit-phase QC). The anchor becomes
+    /// the committed tip at its own height; everything below it is
+    /// treated as pruned. Subsequent commits must extend the anchor.
+    pub fn install_anchor(&mut self, anchor: Block) {
+        let id = anchor.id();
+        let height = anchor.height().0 as usize;
+        debug_assert!(
+            height >= self.committed_trimmed + self.committed.len(),
+            "anchor must be ahead of the committed tip"
+        );
+        for old in self.committed.drain(..) {
+            if old != BlockId::GENESIS {
+                self.blocks.remove(&old);
+                self.virtual_parents.remove(&old);
+                self.committed_set.remove(&old);
+            }
+        }
+        self.blocks.insert(id, anchor);
+        self.committed.push(id);
+        self.committed_trimmed = height;
+        self.committed_set.insert(id);
+    }
+
+    /// Prunes committed chain entries strictly below `height`: the
+    /// blocks leave the store, the resident committed suffix shrinks,
+    /// and [`Self::committed_offset`] advances. The committed tip and
+    /// the genesis block are always retained. This — unlike
+    /// [`Self::prune`] — also shrinks the committed-id set, so resident
+    /// state stays bounded on arbitrarily long runs.
+    pub fn prune_committed_before(&mut self, height: Height) {
+        let target = height.0 as usize;
+        let drop = target
+            .saturating_sub(self.committed_trimmed)
+            .min(self.committed.len().saturating_sub(1));
+        for id in self.committed.drain(..drop) {
+            self.committed_set.remove(&id);
+            if id != BlockId::GENESIS {
+                self.blocks.remove(&id);
+                self.virtual_parents.remove(&id);
+            }
+        }
+        self.committed_trimmed += drop;
+        // Genesis stays logically committed even once trimmed out of
+        // the resident suffix.
+        self.committed_set.insert(BlockId::GENESIS);
     }
 
     /// Drops uncommitted blocks below `height` and committed chain
@@ -252,11 +327,14 @@ impl BlockStore {
         if self.committed.len() > keep_committed.max(1) {
             let cut = self.committed.len() - keep_committed.max(1);
             for id in self.committed.drain(..cut) {
+                self.committed_set.remove(&id);
                 if id != BlockId::GENESIS {
                     self.blocks.remove(&id);
                     self.virtual_parents.remove(&id);
                 }
             }
+            self.committed_trimmed += cut;
+            self.committed_set.insert(BlockId::GENESIS);
         }
     }
 }
@@ -427,6 +505,63 @@ mod tests {
         assert!(store.contains(&chain[3].id()));
         assert!(store.contains(&chain[4].id()));
         assert!(!store.contains(&chain[1].id()));
+    }
+
+    #[test]
+    fn prune_committed_before_bounds_resident_state() {
+        let (mut store, chain) = store_with_chain(8);
+        store.commit(&chain[8].id()).unwrap();
+        assert_eq!(store.committed_offset(), 0);
+        store.prune_committed_before(Height(5));
+        assert_eq!(store.committed_offset(), 5);
+        assert_eq!(store.committed_chain().len(), 4);
+        assert_eq!(store.last_committed(), chain[8].id());
+        assert!(store.contains(&BlockId::GENESIS));
+        assert!(!store.contains(&chain[2].id()));
+        assert!(!store.is_committed(&chain[2].id()));
+        assert!(store.is_committed(&BlockId::GENESIS));
+        assert_eq!(
+            store.block_at_height(Height(6)).map(Block::id),
+            Some(chain[6].id())
+        );
+        assert!(store.block_at_height(Height(2)).is_none());
+        // Never prunes the tip, even with an absurd horizon.
+        store.prune_committed_before(Height(1_000));
+        assert_eq!(store.committed_chain().len(), 1);
+        assert_eq!(store.last_committed(), chain[8].id());
+        // Committing still extends the (now offset) chain.
+        let next = child(&chain[8], 20);
+        store.insert(next.clone());
+        store.commit(&next.id()).unwrap();
+        assert_eq!(store.last_committed(), next.id());
+    }
+
+    #[test]
+    fn install_anchor_reroots_the_committed_chain() {
+        let (mut store, chain) = store_with_chain(3);
+        store.commit(&chain[2].id()).unwrap();
+        // A far-ahead anchor at height 40, as a sync run would install.
+        let mut parent = chain[3].clone();
+        for v in 4..40 {
+            let b = child(&parent, v);
+            parent = b;
+        }
+        assert_eq!(parent.height(), Height(39));
+        let anchor = child(&parent, 40);
+        store.install_anchor(anchor.clone());
+        assert_eq!(store.last_committed(), anchor.id());
+        assert_eq!(store.committed_offset(), 40);
+        assert_eq!(store.committed_chain().len(), 1);
+        assert!(store.is_committed(&anchor.id()));
+        assert!(!store.is_committed(&chain[2].id()));
+        assert!(store.contains(&BlockId::GENESIS));
+        // Commits above the anchor chain onto it.
+        let next = child(&anchor, 41);
+        store.insert(next.clone());
+        let newly = store.commit(&next.id()).unwrap();
+        assert_eq!(newly.len(), 1);
+        assert_eq!(store.committed_offset(), 40);
+        assert_eq!(store.committed_chain().len(), 2);
     }
 
     #[test]

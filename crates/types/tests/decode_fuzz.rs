@@ -42,6 +42,42 @@ fn sample_frame() -> Vec<u8> {
     encode_message(&msg, false).to_vec()
 }
 
+/// Valid frames for each sync wire message: a populated snapshot
+/// response (block + QC) and a two-block range response, plus the two
+/// request shapes.
+fn sync_frames() -> Vec<Vec<u8>> {
+    let block = |h: u64| {
+        Block::new_normal(
+            BlockId::from_digest(sha256(b"parent")),
+            View(1),
+            View(2),
+            Height(h),
+            Batch::new(vec![Transaction::new(1, 7, Bytes::from_static(b"tx"), 10)]),
+            Justify::None,
+        )
+    };
+    let qc = marlin_types::Qc::genesis(block(4).id());
+    let bodies = vec![
+        MsgBody::SnapshotRequest,
+        MsgBody::SnapshotResponse {
+            snapshot: Some((block(4), qc)),
+        },
+        MsgBody::SnapshotResponse { snapshot: None },
+        MsgBody::BlockRangeRequest {
+            from_height: Height(3),
+            to_height: Height(19),
+        },
+        MsgBody::BlockRangeResponse {
+            from_height: Height(3),
+            blocks: vec![block(3), block(4)],
+        },
+    ];
+    bodies
+        .into_iter()
+        .map(|body| encode_message(&Message::new(ReplicaId(2), View(2), body), false).to_vec())
+        .collect()
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(512))]
 
@@ -49,6 +85,22 @@ proptest! {
     #[test]
     fn arbitrary_bytes_never_panic(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
         let _ = decode_message(&bytes);
+    }
+
+    /// Corrupting any one byte of any sync-message frame never panics;
+    /// truncating it anywhere never panics either.
+    #[test]
+    fn mangled_sync_frames_never_panic(
+        which in 0usize..5,
+        pos in any::<usize>(),
+        bit in 0u8..8,
+        cut in any::<usize>(),
+    ) {
+        let mut frame = sync_frames().swap_remove(which);
+        let _ = decode_message(&frame[..cut % (frame.len() + 1)]);
+        let pos = pos % frame.len();
+        frame[pos] ^= 1 << bit;
+        let _ = decode_message(&frame);
     }
 
     /// Corrupting any one byte of a valid frame never panics; flipped
@@ -128,10 +180,34 @@ fn vc_proof_count_bomb_rejected() {
     }
 }
 
-/// The bounds must not reject honest frames: the sample round-trips.
+/// A `BlockRangeResponse` claiming `u16::MAX` blocks with an empty
+/// tail: the per-block minimum wire length must reject the count
+/// before any allocation happens.
+#[test]
+fn block_range_count_bomb_rejected() {
+    let mut frame = Vec::new();
+    frame.extend_from_slice(&1u32.to_le_bytes()); // from
+    frame.extend_from_slice(&2u64.to_le_bytes()); // view
+    frame.push(11); // BlockRangeResponse
+    frame.extend_from_slice(&3u64.to_le_bytes()); // from_height
+    frame.extend_from_slice(&u16::MAX.to_le_bytes()); // block count bomb
+    match decode_message(&frame) {
+        Err(DecodeError::FieldTooLarge { what, len, .. }) => {
+            assert_eq!(what, "BlockRangeResponse.blocks");
+            assert_eq!(len, u16::MAX as usize);
+        }
+        other => panic!("expected FieldTooLarge, got {other:?}"),
+    }
+}
+
+/// The bounds must not reject honest frames: the samples round-trip.
 #[test]
 fn sample_frame_still_round_trips() {
     let frame = sample_frame();
     let msg = decode_message(&frame).expect("valid frame decodes");
     assert_eq!(encode_message(&msg, false).to_vec(), frame);
+    for frame in sync_frames() {
+        let msg = decode_message(&frame).expect("valid sync frame decodes");
+        assert_eq!(encode_message(&msg, false).to_vec(), frame);
+    }
 }

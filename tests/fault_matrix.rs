@@ -214,6 +214,160 @@ fn matrix_chained_protocols_all_presets() {
     }
 }
 
+/// Asserts the long-lag rejoin contract on one outcome: safe, live,
+/// the crashed replica back at (or within a pipeline's reach of) the
+/// committed tip, and every honest replica's resident block tree
+/// bounded by the snapshot horizon instead of the chain length.
+fn assert_rejoined(out: &ScenarioOutcome, scenario: &Scenario, seed: u64) {
+    assert_eq!(
+        out.safety_violations(),
+        0,
+        "{} (seed {seed}): safety violations {:?}",
+        scenario.name,
+        out.violations
+    );
+    assert!(
+        !out.has_liveness_stall(),
+        "{} (seed {seed}): stalled {:?}",
+        scenario.name,
+        out.violations
+    );
+    // The trio must have committed far past the lag threshold while p3
+    // was down, or the cell is not exercising sync at all.
+    assert!(
+        out.committed > 300,
+        "{} (seed {seed}): only {} blocks committed — the schedule no longer \
+         creates a deep lag",
+        scenario.name,
+        out.committed
+    );
+    // Rejoin: the worst honest tip (p3's) is within one sync pipeline
+    // of the canonical tip, not thousands of blocks behind it.
+    let canonical_tip = out.committed as u64 - 1;
+    assert!(
+        out.min_honest_tip + scenario.sync_lag_threshold + 16 >= canonical_tip,
+        "{} (seed {seed}): a replica is wedged at height {} with the tip at {}",
+        scenario.name,
+        out.min_honest_tip,
+        canonical_tip
+    );
+    // Storage boundedness: the snapshot horizon keeps about two
+    // intervals of committed blocks resident (plus uncommitted
+    // in-flight forks); the chain itself is several times longer.
+    let bound = (3 * scenario.sync_snapshot_interval + 64) as usize;
+    assert!(
+        out.max_resident_blocks < bound,
+        "{} (seed {seed}): {} resident blocks exceeds the horizon bound {bound} \
+         (chain length {})",
+        scenario.name,
+        out.max_resident_blocks,
+        out.committed
+    );
+}
+
+#[test]
+fn long_lag_rejoin_via_snapshot_and_ranged_sync() {
+    // The sync tentpole: p3 is down while ~2k blocks commit, recovers
+    // FromDisk, and must rejoin via snapshot + pipelined ranges with
+    // bounded storage on every replica.
+    let scenario = Scenario::long_lag_rejoin();
+    for seed in SEEDS {
+        let out = run_scenario(ProtocolKind::Marlin, &scenario, seed);
+        assert_rejoined(&out, &scenario, seed);
+    }
+}
+
+#[test]
+fn byzantine_sync_peer_cannot_block_rejoin() {
+    // Same schedule, but p1 serves conflicting twins in every sync
+    // response. The certified-prefix walk must reject them, demote p1,
+    // and complete the rejoin from honest peers.
+    let scenario = Scenario::byzantine_sync_peer();
+    for seed in SEEDS {
+        let out = run_scenario(ProtocolKind::Marlin, &scenario, seed);
+        assert_rejoined(&out, &scenario, seed);
+    }
+}
+
+#[test]
+fn sync_telemetry_proves_the_engine_ran() {
+    // Guard against the rejoin silently happening through some other
+    // path: the telemetry stream must show a sync run starting, a
+    // snapshot anchor installing, ranges arriving, completion — and,
+    // with the corrupt peer, at least one demotion of p1 specifically.
+    use marlin_bft::simnet::run_scenario_with_telemetry;
+    use marlin_bft::telemetry::{Registry, RegistryRecorder, SharedSink};
+
+    let registry = Registry::new();
+    let recorder = SharedSink::new(RegistryRecorder::new(&registry));
+    let scenario = Scenario::byzantine_sync_peer();
+    let out = run_scenario_with_telemetry(
+        ProtocolKind::Marlin,
+        &scenario,
+        SEEDS[0],
+        Box::new(recorder),
+    );
+    assert_rejoined(&out, &scenario, SEEDS[0]);
+    let count = |name| registry.counter_with(name, &[]).get();
+    assert!(
+        count("consensus_sync_started_total") >= 1,
+        "no sync run started"
+    );
+    assert!(
+        count("consensus_sync_snapshots_installed_total") >= 1,
+        "the rejoin never installed a snapshot anchor"
+    );
+    assert!(
+        count("consensus_sync_ranges_fetched_total") >= 2,
+        "ranged fetch barely ran: {} ranges",
+        count("consensus_sync_ranges_fetched_total")
+    );
+    assert!(
+        count("consensus_sync_completed_total") >= 1,
+        "no sync run completed"
+    );
+    assert!(
+        registry
+            .counter_with("consensus_sync_peer_demotions_total", &[("peer", "1")])
+            .get()
+            >= 1,
+        "the corrupt sync peer p1 was never demoted"
+    );
+}
+
+#[test]
+#[ignore = "release soak: a >10k-block rejoin; run with --release --ignored (CI sync job)"]
+fn long_lag_rejoin_10k_blocks() {
+    // The headline cell at full scale: p3 is down while >10k blocks
+    // commit, then rejoins via snapshot + ranged sync with bounded
+    // storage everywhere. (~1.5 s wall in release; far slower in
+    // debug, hence the ignore gate.)
+    let scenario = Scenario::long_lag_rejoin_scaled(5);
+    let out = run_scenario(ProtocolKind::Marlin, &scenario, SEEDS[0]);
+    assert_rejoined(&out, &scenario, SEEDS[0]);
+    assert!(
+        out.committed > 10_000,
+        "only {} blocks committed before the rejoin window",
+        out.committed
+    );
+}
+
+#[test]
+fn sync_cells_are_deterministic() {
+    for scenario in [Scenario::long_lag_rejoin(), Scenario::byzantine_sync_peer()] {
+        let a = run_scenario(ProtocolKind::Marlin, &scenario, SEEDS[0]);
+        let b = run_scenario(ProtocolKind::Marlin, &scenario, SEEDS[0]);
+        assert_eq!(
+            a.fingerprint, b.fingerprint,
+            "{} is nondeterministic",
+            scenario.name
+        );
+        assert_eq!(a.committed, b.committed);
+        assert_eq!(a.max_resident_blocks, b.max_resident_blocks);
+        assert_eq!(a.violations, b.violations);
+    }
+}
+
 #[test]
 fn restart_amnesia_forks_but_journal_replay_does_not() {
     // The durability contrast (Issue 3's payoff): one crash-restart

@@ -100,6 +100,8 @@ fn random_schedule(
         behaviors: Vec::new(),
         recovery_mode: RecoveryMode::WithMemory,
         disk_tears: Vec::new(),
+        sync_snapshot_interval: 0,
+        sync_lag_threshold: 64,
         batch_every_ns: 250_000_000,
         quiet_ns: 3_000_000_000,
         horizon_ns: 6_000_000_000,
