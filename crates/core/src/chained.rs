@@ -1225,6 +1225,14 @@ impl Chained {
             }
             Event::Recovered => self.on_recovered(&mut out),
         }
+        // A new snapshot anchor pruned the committed prefix this step:
+        // let the journal fold away history below the same horizon so
+        // long-lived nodes bound journal disk alongside block residency.
+        if let Some(horizon) = self.base.take_journal_gc() {
+            if let Some(j) = self.journal.as_mut() {
+                let _ = j.gc_below(horizon);
+            }
+        }
         // Report the step's write-ahead journal IO (appends, bytes,
         // modeled latency). Reported, and charged to the journal lane
         // only when `charge_journal` opts in: folding the modeled cost

@@ -53,7 +53,7 @@ use marlin_types::codec::{
     get_block_meta, get_justify, get_qc, put_block_meta, put_justify, put_qc,
 };
 use marlin_types::rank::{block_rank_gt, qc_rank_cmp};
-use marlin_types::{BlockMeta, Justify, Phase, Qc, View};
+use marlin_types::{BlockMeta, Height, Justify, Phase, Qc, View};
 use std::cmp::Ordering;
 use std::io;
 
@@ -281,6 +281,10 @@ pub struct SafetyJournal {
     /// The last append tore; the log tail is unreadable past it, so the
     /// next append must compact to a fresh generation first.
     torn: bool,
+    /// Lowest block height referenced by a non-snapshot record in the
+    /// current generation (None: only view entries / snapshots, which
+    /// carry no prunable history). Drives [`SafetyJournal::gc_below`].
+    gen_low_height: Option<u64>,
     /// IO cost model used for the telemetry accounting in `io`.
     cost: IoCostModel,
     /// IO accumulated since the last [`SafetyJournal::take_io`].
@@ -309,6 +313,7 @@ impl SafetyJournal {
         gens.sort_unstable();
 
         let mut state = SafetySnapshot::genesis();
+        let mut gen_low_height = None;
         let mut chosen: Option<(u64, usize, bool)> = None;
         for &g in gens.iter().rev() {
             let (records, tail_clean) = Wal::replay_named_checked(&disk, &gen_file(g))?;
@@ -316,10 +321,12 @@ impl SafetyJournal {
                 continue;
             }
             let mut applied = 0usize;
+            let mut low = None;
             for payload in &records {
                 match decode_record(payload) {
                     Some(rec) => {
                         state.apply(&rec);
+                        low = min_opt(low, record_low_height(&rec));
                         applied += 1;
                     }
                     // An intact-CRC record that fails to decode means a
@@ -329,6 +336,7 @@ impl SafetyJournal {
                 }
             }
             if applied > 0 {
+                gen_low_height = low;
                 chosen = Some((g, applied, tail_clean && applied == records.len()));
                 break;
             }
@@ -358,9 +366,33 @@ impl SafetyJournal {
             // after it would be invisible to the next replay, so the
             // first append must compact to a fresh generation.
             torn: !tail_clean,
+            gen_low_height,
             cost: IoCostModel::ssd(),
             io: JournalIo::default(),
         })
+    }
+
+    /// Drops journal history wholly below the pruned prefix: when the
+    /// current log generation still references a block below `horizon`
+    /// (the sync snapshot horizon that block storage was pruned to),
+    /// the journal folds its state into a fresh generation and removes
+    /// the old one — so an idle generation cannot pin sub-horizon
+    /// history on disk indefinitely. Returns whether a compaction ran.
+    ///
+    /// # Errors
+    ///
+    /// Propagates disk errors; on error the journal is still intact
+    /// (the same crash discipline as [`SNAPSHOT_EVERY`] compaction).
+    pub fn gc_below(&mut self, horizon: Height) -> io::Result<bool> {
+        // A lone post-compaction snapshot contributes no low height, so
+        // GC naturally quiesces until new prunable records land.
+        match self.gen_low_height {
+            Some(low) if low < horizon.0 => {
+                self.compact()?;
+                Ok(true)
+            }
+            _ => Ok(false),
+        }
     }
 
     /// Takes (and resets) the IO accumulated since the last call, for
@@ -434,6 +466,7 @@ impl SafetyJournal {
                 self.disk.sync()?;
                 self.io.charge(payload.len(), &self.cost);
                 self.state.apply(&rec);
+                self.gen_low_height = min_opt(self.gen_low_height, record_low_height(&rec));
                 self.records_in_gen += 1;
                 if self.records_in_gen >= SNAPSHOT_EVERY {
                     self.compact()?;
@@ -469,8 +502,30 @@ impl SafetyJournal {
         self.gen = next;
         self.records_in_gen = 1;
         self.torn = false;
+        // The fresh generation holds only the snapshot (current state):
+        // no prunable history until new records land.
+        self.gen_low_height = None;
         self.disk.remove(&old)?;
         Ok(())
+    }
+}
+
+/// The lowest block height a record pins on disk, if any. View entries
+/// carry no height; a `Snapshot` is the folded current state, which is
+/// never *history* (it is exactly what survives a GC compaction).
+fn record_low_height(rec: &JournalRecord) -> Option<u64> {
+    match rec {
+        JournalRecord::LastVoted(meta) => Some(meta.height.0),
+        JournalRecord::Lock(qc) => Some(qc.height().0),
+        JournalRecord::HighQc(justify) => justify.qc().map(|qc| qc.height().0),
+        JournalRecord::EnteredView(_) | JournalRecord::Snapshot(_) => None,
+    }
+}
+
+fn min_opt(a: Option<u64>, b: Option<u64>) -> Option<u64> {
+    match (a, b) {
+        (Some(a), Some(b)) => Some(a.min(b)),
+        (x, None) | (None, x) => x,
     }
 }
 
@@ -727,6 +782,54 @@ mod tests {
         let j2 = SafetyJournal::open(disk).unwrap();
         assert_eq!(j2.state().locked_qc.unwrap().view(), View(2));
         assert_eq!(j2.state().view, View(5));
+    }
+
+    #[test]
+    fn gc_below_drops_stale_history_and_preserves_state() {
+        let disk = SharedDisk::new();
+        let mut j = SafetyJournal::open(disk.clone()).unwrap();
+        j.log_view(View(1)).unwrap();
+        j.log_last_voted(&meta(1, 1, false)).unwrap();
+        j.log_lock(&qc(Phase::Prepare, 1, 1)).unwrap();
+        // Horizon at the generation's lowest height: nothing is wholly
+        // below it yet.
+        assert!(!j.gc_below(Height(1)).unwrap());
+        // Horizon above it: history folds into a fresh generation.
+        let before = *j.state();
+        assert!(j.gc_below(Height(10)).unwrap());
+        assert_eq!(*j.state(), before);
+        // Quiesces until new prunable records land.
+        assert!(!j.gc_below(Height(10)).unwrap());
+        j.log_last_voted(&meta(2, 12, false)).unwrap();
+        assert!(!j.gc_below(Height(10)).unwrap()); // 12 >= horizon
+        assert!(j.gc_below(Height(20)).unwrap());
+        disk.crash();
+        let j2 = SafetyJournal::open(disk).unwrap();
+        assert_eq!(j2.state().last_voted.height, Height(12));
+        assert_eq!(j2.state().view, before.view);
+        assert_eq!(j2.state().locked_qc, before.locked_qc);
+    }
+
+    #[test]
+    fn gc_low_height_is_recovered_across_reopen() {
+        let disk = SharedDisk::new();
+        let mut j = SafetyJournal::open(disk.clone()).unwrap();
+        j.log_last_voted(&meta(1, 5, false)).unwrap();
+        disk.crash();
+        let mut j2 = SafetyJournal::open(disk.clone()).unwrap();
+        // The reopened generation still pins height 5; a horizon above
+        // it collects, one at or below it does not.
+        assert!(!j2.gc_below(Height(5)).unwrap());
+        assert!(j2.gc_below(Height(9)).unwrap());
+        assert!(!j2.gc_below(Height(9)).unwrap());
+        // Only one (fresh) generation remains on disk.
+        let journal_files: Vec<String> = disk
+            .list()
+            .unwrap()
+            .into_iter()
+            .filter(|f| f.starts_with(JOURNAL_FILE))
+            .collect();
+        assert_eq!(journal_files.len(), 1, "{journal_files:?}");
     }
 
     #[test]

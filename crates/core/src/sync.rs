@@ -382,6 +382,10 @@ impl Base {
         // and resident state stays bounded to about two intervals.
         self.store
             .prune_committed_before(Height(h.saturating_sub(interval)));
+        // The safety journal bounds its disk to the same horizon: any
+        // generation still referencing pruned history gets folded away
+        // (drained by the protocol's journal plumbing).
+        self.journal_gc_due = Some(Height(h.saturating_sub(interval)));
     }
 
     fn raise_latest_commit_qc(&mut self, qc: &Qc) {

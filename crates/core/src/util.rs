@@ -120,6 +120,10 @@ pub(crate) struct Base {
     /// Block-sync engine state (snapshot anchors, active run, peer
     /// scores); inert unless `cfg.sync_snapshot_interval > 0`.
     pub(crate) sync: crate::sync::SyncState,
+    /// Sync horizon the safety journal should GC below: set when a
+    /// snapshot anchor prunes the committed prefix, drained by the
+    /// protocol's journal plumbing after the step.
+    pub(crate) journal_gc_due: Option<marlin_types::Height>,
 }
 
 impl Base {
@@ -139,7 +143,14 @@ impl Base {
             latest_commit_qc: None,
             commits_since_prune: 0,
             sync: Default::default(),
+            journal_gc_due: None,
         }
+    }
+
+    /// Takes the pending journal-GC horizon, if an anchor set one since
+    /// the last call.
+    pub fn take_journal_gc(&mut self) -> Option<marlin_types::Height> {
+        self.journal_gc_due.take()
     }
 
     /// Re-arms the current view's failure timer after protocol progress.

@@ -6,17 +6,23 @@
 //! machines, same telemetry vocabulary, but actual concurrency — so it
 //! measures, where simnet models.
 
+use crate::channel::LaneMeter;
 use crate::journal::JournalWriter;
 use crate::node::{
-    spawn_node, Bootstrap, Clock, CommitObserverFn, NodeConfig, NodeHandle, NodeStatus,
+    spawn_node, Bootstrap, Clock, CommitObserverFn, NodeConfig, NodeHandle, NodeObservability,
+    NodeStatus, DEFAULT_QUEUE_DEPTH,
 };
 use crate::transport::{ChannelMesh, TcpMesh, Transport};
 use bytes::Bytes;
 use marlin_core::{Config, ProtocolKind};
 use marlin_storage::{FileDisk, SharedDisk};
-use marlin_telemetry::{SharedSink, TelemetrySink, Trace};
+use marlin_telemetry::{
+    install_panic_dump, register_panic_dump, FlightKind, FlightRecorder, Registry, SharedSink,
+    TelemetrySink, Trace, DEFAULT_FLIGHT_CAPACITY,
+};
 use marlin_types::{BlockId, ReplicaId, Transaction, View};
 use std::io;
+use std::net::SocketAddr;
 use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -70,6 +76,37 @@ pub struct ClusterConfig {
     pub sync_snapshot_interval: u64,
     /// Committed-height gap that triggers a ranged sync run.
     pub sync_lag_threshold: u64,
+    /// Depth of each node's decode → consensus event queue.
+    pub event_queue_depth: usize,
+    /// Depth of each node's ingress → decode raw-frame queue.
+    pub raw_queue_depth: usize,
+    /// Live-observability plane (per-node registries, scrape endpoints,
+    /// flight recorders); `None` runs bare.
+    pub observability: Option<ObservabilityConfig>,
+}
+
+/// Cluster-wide observability settings (see [`NodeObservability`] for
+/// what each node does with them).
+#[derive(Clone, Debug)]
+pub struct ObservabilityConfig {
+    /// Serve a loopback HTTP scrape endpoint per node.
+    pub scrape: bool,
+    /// Flight-ring capacity per node (`0` disables flight recording).
+    pub flight_capacity: usize,
+    /// Directory flight rings are dumped to on node stop, invariant
+    /// violation, and panic. `None` keeps rings in memory only
+    /// (`/debug/flight` still serves them).
+    pub flight_dir: Option<PathBuf>,
+}
+
+impl Default for ObservabilityConfig {
+    fn default() -> Self {
+        ObservabilityConfig {
+            scrape: true,
+            flight_capacity: DEFAULT_FLIGHT_CAPACITY,
+            flight_dir: None,
+        }
+    }
 }
 
 impl ClusterConfig {
@@ -89,6 +126,9 @@ impl ClusterConfig {
             shadow_blocks: true,
             sync_snapshot_interval: 0,
             sync_lag_threshold: 64,
+            event_queue_depth: DEFAULT_QUEUE_DEPTH,
+            raw_queue_depth: DEFAULT_QUEUE_DEPTH,
+            observability: None,
         }
     }
 }
@@ -109,6 +149,9 @@ pub struct RuntimeCluster {
     statuses: Vec<Arc<NodeStatus>>,
     disks: Vec<Option<SharedDisk>>,
     writers: Vec<Option<JournalWriter>>,
+    registries: Vec<Registry>,
+    flights: Vec<Option<FlightRecorder>>,
+    journal_meters: Vec<Option<LaneMeter>>,
     next_tx_id: u64,
 }
 
@@ -131,23 +174,61 @@ impl RuntimeCluster {
             c
         };
 
+        // Per-node observability state comes first: the journal-writer
+        // lane meters below register into these registries.
+        let registries: Vec<Registry> = match &cfg.observability {
+            Some(_) => (0..cfg.n).map(|_| Registry::new()).collect(),
+            None => Vec::new(),
+        };
+        let flights: Vec<Option<FlightRecorder>> = (0..cfg.n)
+            .map(|i| {
+                let o = cfg.observability.as_ref()?;
+                if o.flight_capacity == 0 {
+                    return None;
+                }
+                Some(FlightRecorder::new(
+                    format!("node-{i}"),
+                    o.flight_capacity,
+                    Arc::new(move || clock.now_ns()),
+                ))
+            })
+            .collect();
+        if let Some(dir) = cfg
+            .observability
+            .as_ref()
+            .and_then(|o| o.flight_dir.clone())
+        {
+            install_panic_dump(dir);
+            for flight in flights.iter().flatten() {
+                register_panic_dump(flight);
+            }
+        }
+
         let mut disks: Vec<Option<SharedDisk>> = Vec::with_capacity(cfg.n);
         let mut writers: Vec<Option<JournalWriter>> = Vec::with_capacity(cfg.n);
+        let mut journal_meters: Vec<Option<LaneMeter>> = Vec::with_capacity(cfg.n);
         for i in 0..cfg.n {
             match &cfg.journal {
                 JournalMode::None => {
                     disks.push(None);
                     writers.push(None);
+                    journal_meters.push(None);
                 }
                 JournalMode::Memory => {
                     disks.push(Some(SharedDisk::new()));
                     writers.push(None);
+                    journal_meters.push(None);
                 }
                 JournalMode::Files(dir) => {
                     let disk = FileDisk::open(dir.join(format!("node-{i}")))?;
-                    let (proxy, writer) = JournalWriter::spawn(Box::new(disk), &format!("{i}"));
+                    let meter = registries.get(i).map(|r| LaneMeter::new(r, "journal"));
+                    let (proxy, writer) = match meter.clone() {
+                        Some(m) => JournalWriter::spawn_metered(Box::new(disk), &format!("{i}"), m),
+                        None => JournalWriter::spawn(Box::new(disk), &format!("{i}")),
+                    };
                     disks.push(Some(proxy));
                     writers.push(Some(writer));
+                    journal_meters.push(meter);
                 }
             }
         }
@@ -178,6 +259,9 @@ impl RuntimeCluster {
             statuses: Vec::with_capacity(cfg.n),
             disks,
             writers,
+            registries,
+            flights,
+            journal_meters,
             next_tx_id: 0,
             cfg,
         };
@@ -207,8 +291,38 @@ impl RuntimeCluster {
         node_cfg.journal_disk = self.disks[id.index()].clone();
         node_cfg.decode_workers = self.cfg.decode_workers;
         node_cfg.shadow_blocks = self.cfg.shadow_blocks;
+        node_cfg.event_queue_depth = self.cfg.event_queue_depth;
+        node_cfg.raw_queue_depth = self.cfg.raw_queue_depth;
+        if let Some(o) = &self.cfg.observability {
+            // Registries and flight rings persist per slot, so a
+            // recovered replica keeps its pre-kill metrics and autopsy
+            // history.
+            node_cfg.observability = Some(NodeObservability {
+                registry: self.registries[id.index()].clone(),
+                flight: self.flights[id.index()].clone(),
+                scrape: o.scrape,
+                flight_dir: o.flight_dir.clone(),
+                journal_meter: self.journal_meters[id.index()].clone(),
+            });
+        }
         let sink: Box<dyn TelemetrySink + Send> = Box::new(self.trace.clone());
         spawn_node(node_cfg, transport, self.clock, Some(sink), observer)
+    }
+
+    /// Replica `i`'s metrics registry, when observability is on.
+    pub fn registry(&self, i: usize) -> Option<&Registry> {
+        self.registries.get(i)
+    }
+
+    /// Replica `i`'s scrape endpoint, when observability started one
+    /// and the replica is alive.
+    pub fn scrape_addr(&self, i: usize) -> Option<SocketAddr> {
+        self.nodes[i].as_ref()?.scrape_addr()
+    }
+
+    /// Replica `i`'s flight recorder, when observability attached one.
+    pub fn flight(&self, i: usize) -> Option<&FlightRecorder> {
+        self.flights[i].as_ref()
     }
 
     /// The shared run clock.
@@ -342,8 +456,34 @@ impl RuntimeCluster {
     /// # Errors
     ///
     /// Returns a human-readable description of the first divergence or
-    /// ordering violation found.
+    /// ordering violation found. A violation is also stamped as a
+    /// `FATAL` event into every flight ring (and the rings are dumped,
+    /// when a dump directory is configured): a broken safety invariant
+    /// is precisely the autopsy the recorder exists for.
     pub fn check_prefix_consistency(&self) -> Result<usize, String> {
+        let result = self.prefix_consistency_inner();
+        if let Err(why) = &result {
+            let dump_dir = self
+                .cfg
+                .observability
+                .as_ref()
+                .and_then(|o| o.flight_dir.as_ref());
+            for (i, flight) in self.flights.iter().enumerate() {
+                let Some(flight) = flight else { continue };
+                flight.record_now(
+                    ReplicaId(i as u32),
+                    FlightKind::Fatal,
+                    format!("invariant violated: {why}"),
+                );
+                if let Some(dir) = dump_dir {
+                    let _ = flight.dump_to_dir(dir);
+                }
+            }
+        }
+        result
+    }
+
+    fn prefix_consistency_inner(&self) -> Result<usize, String> {
         let logs: Vec<Vec<(u64, BlockId)>> = self.statuses.iter().map(|s| s.commit_log()).collect();
         let mut by_height: Vec<std::collections::HashMap<u64, BlockId>> = Vec::new();
         for (i, log) in logs.iter().enumerate() {

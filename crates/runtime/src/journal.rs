@@ -12,10 +12,12 @@
 //! write — while other replica threads (ingress, decode, timers) keep
 //! running.
 
+use crate::channel::LaneMeter;
 use marlin_storage::{Disk, SharedDisk};
 use std::io;
 use std::sync::mpsc::{channel, sync_channel, Receiver, Sender, SyncSender};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 enum DiskOp {
     WriteFile { name: String, data: Vec<u8> },
@@ -40,6 +42,12 @@ type Request = (DiskOp, SyncSender<DiskReply>);
 /// its acknowledgment.
 struct ProxyDisk {
     tx: Sender<Request>,
+    /// The consensus → journal lane meter. Depth is the journal lag
+    /// (ops shipped but not yet applied); the "stall" histogram here is
+    /// the full ack round trip — on this lane every send blocks by
+    /// design (write-before-vote), so the stall metrics *are* the
+    /// durability-barrier cost, not an anomaly counter.
+    meter: LaneMeter,
 }
 
 impl ProxyDisk {
@@ -48,9 +56,14 @@ impl ProxyDisk {
         if self.tx.send((op, reply_tx)).is_err() {
             return DiskReply::Unit(Err(writer_gone()));
         }
-        reply_rx
+        self.meter.note_enqueue();
+        let blocked_at = Instant::now();
+        let reply = reply_rx
             .recv()
-            .unwrap_or(DiskReply::Unit(Err(writer_gone())))
+            .unwrap_or(DiskReply::Unit(Err(writer_gone())));
+        self.meter
+            .note_stall(blocked_at.elapsed().as_nanos() as u64);
+        reply
     }
 }
 
@@ -132,13 +145,25 @@ impl JournalWriter {
     /// clone of it) funnels all operations through the writer in
     /// arrival order; each call blocks until the writer acks it.
     pub fn spawn(inner: Box<dyn Disk + Send>, label: &str) -> (SharedDisk, JournalWriter) {
+        JournalWriter::spawn_metered(inner, label, LaneMeter::detached())
+    }
+
+    /// Like [`JournalWriter::spawn`], with the consensus → journal lane
+    /// metered: `meter`'s depth is the journal lag, its stall histogram
+    /// the per-op durability-barrier wait.
+    pub fn spawn_metered(
+        inner: Box<dyn Disk + Send>,
+        label: &str,
+        meter: LaneMeter,
+    ) -> (SharedDisk, JournalWriter) {
         let (tx, rx) = channel::<Request>();
+        let writer_meter = meter.clone();
         let handle = std::thread::Builder::new()
             .name(format!("journal-{label}"))
-            .spawn(move || writer_loop(inner, rx))
+            .spawn(move || writer_loop(inner, rx, writer_meter))
             .expect("spawn journal writer");
         (
-            SharedDisk::from_disk(Box::new(ProxyDisk { tx })),
+            SharedDisk::from_disk(Box::new(ProxyDisk { tx, meter })),
             JournalWriter {
                 handle: Some(handle),
             },
@@ -154,7 +179,7 @@ impl JournalWriter {
     }
 }
 
-fn writer_loop(mut disk: Box<dyn Disk + Send>, rx: Receiver<Request>) {
+fn writer_loop(mut disk: Box<dyn Disk + Send>, rx: Receiver<Request>, meter: LaneMeter) {
     while let Ok((op, reply_tx)) = rx.recv() {
         let reply = match op {
             DiskOp::WriteFile { name, data } => DiskReply::Unit(disk.write_file(&name, &data)),
@@ -165,6 +190,7 @@ fn writer_loop(mut disk: Box<dyn Disk + Send>, rx: Receiver<Request>) {
             DiskOp::List => DiskReply::Names(disk.list()),
             DiskOp::Sync => DiskReply::Unit(disk.sync()),
         };
+        meter.note_dequeue();
         // A vanished caller is fine (it was killed mid-call); the op
         // itself already applied.
         let _ = reply_tx.send(reply);
@@ -188,6 +214,28 @@ mod tests {
         assert_eq!(disk.list().unwrap(), vec!["wal".to_string()]);
         disk.remove("wal").unwrap();
         assert!(!disk.exists("wal"));
+        drop(disk);
+        writer.join();
+    }
+
+    #[test]
+    fn metered_writer_accounts_lag_and_ack_wait() {
+        let reg = marlin_telemetry::Registry::new();
+        let meter = LaneMeter::new(&reg, "journal");
+        let (mut disk, writer) =
+            JournalWriter::spawn_metered(Box::new(MemDisk::new()), "metered", meter.clone());
+        disk.append("wal", b"rec").unwrap();
+        disk.sync().unwrap();
+        // Every op is acked before the proxy returns, so lag is back to
+        // zero, and each op recorded one durability-barrier wait.
+        assert_eq!(meter.depth(), 0);
+        assert_eq!(meter.stalls(), 2);
+        assert_eq!(
+            reg.histogram_with("runtime_channel_stall_ns", &[("lane", "journal")])
+                .snapshot()
+                .count(),
+            2
+        );
         drop(disk);
         writer.join();
     }

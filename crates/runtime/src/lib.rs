@@ -27,17 +27,22 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod channel;
 pub mod cluster;
 pub mod journal;
 pub mod node;
 pub mod transport;
 
-pub use cluster::{ClusterConfig, ClusterReport, JournalMode, RuntimeCluster, TransportKind};
+pub use channel::{metered_sync_channel, LaneMeter, MeteredReceiver, MeteredSender};
+pub use cluster::{
+    ClusterConfig, ClusterReport, JournalMode, ObservabilityConfig, RuntimeCluster, TransportKind,
+};
 pub use journal::JournalWriter;
 pub use node::{
-    spawn_node, Bootstrap, Clock, CommitObserverFn, NodeConfig, NodeHandle, NodeStatus,
+    spawn_node, Bootstrap, Clock, CommitObserverFn, NodeConfig, NodeHandle, NodeObservability,
+    NodeStatus, DEFAULT_QUEUE_DEPTH,
 };
 pub use transport::{
     frame, ChannelMesh, ChannelTransport, FrameBuffer, TcpMesh, TcpTransport, Transport,
-    TransportClosed, MAX_FRAME_LEN,
+    TransportClosed, TransportEventFn, MAX_FRAME_LEN,
 };

@@ -25,6 +25,7 @@
 //! its sender; the timer thread keeps simnet's latest-wins semantics by
 //! holding a single slot per timer kind.
 
+use crate::channel::{metered_sync_channel, LaneMeter, MeteredReceiver, MeteredSender};
 use crate::transport::Transport;
 use marlin_core::chained::{ChainedHotStuff, ChainedMarlin};
 use marlin_core::harness::build_protocol;
@@ -33,14 +34,26 @@ use marlin_core::{
     Action, Config, CryptoCtx, Event, Protocol, ProtocolKind, SafetyJournal, StepOutput,
 };
 use marlin_storage::{SharedDisk, SnapshotStore};
-use marlin_telemetry::TelemetrySink;
+use marlin_telemetry::{
+    Counter, FlightKind, FlightRecorder, FlightSink, Gauge, Health, HealthFn, Registry,
+    RegistryRecorder, ScrapeServer, TelemetrySink,
+};
 use marlin_types::codec::{decode_message, encode_message};
 use marlin_types::{Block, BlockId, MsgClass, ReplicaId, Transaction, View};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::mpsc::{channel, sync_channel, Receiver, RecvTimeoutError, Sender, SyncSender};
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// Default depth of the raw-frame and event queues.
+pub const DEFAULT_QUEUE_DEPTH: usize = 8192;
+
+/// Cadence at which the sampler thread copies lane depths into their
+/// exported gauges.
+const DEPTH_SAMPLE_EVERY: Duration = Duration::from_millis(20);
 
 /// Wall-clock time source shared by every thread of a run, so note
 /// timestamps from different replicas land on one comparable axis.
@@ -93,11 +106,18 @@ pub struct NodeConfig {
     /// many consensus events. The crypto cache self-bounds regardless;
     /// this only controls telemetry cadence.
     pub maintain_every: u64,
+    /// Depth of the decode → consensus event queue.
+    pub event_queue_depth: usize,
+    /// Depth of the ingress → decode raw-frame queue.
+    pub raw_queue_depth: usize,
+    /// Live-observability plane (registry, flight recorder, scrape
+    /// endpoint); `None` runs bare.
+    pub observability: Option<NodeObservability>,
 }
 
 impl NodeConfig {
     /// Defaults around `config`/`kind`: fresh start, no journal, two
-    /// decode workers, shadow blocks on.
+    /// decode workers, shadow blocks on, no observability plane.
     pub fn new(config: Config, kind: ProtocolKind) -> Self {
         NodeConfig {
             config,
@@ -107,6 +127,49 @@ impl NodeConfig {
             decode_workers: 2,
             shadow_blocks: true,
             maintain_every: 4096,
+            event_queue_depth: DEFAULT_QUEUE_DEPTH,
+            raw_queue_depth: DEFAULT_QUEUE_DEPTH,
+            observability: None,
+        }
+    }
+}
+
+/// The per-node observability plane handed to [`spawn_node`].
+///
+/// With this attached, the node folds its telemetry into `registry`
+/// (consensus notes via [`RegistryRecorder`], lane backpressure via
+/// [`LaneMeter`], promoted error counters, view/commit gauges), mirrors
+/// notes into `flight` for post-mortem dumps, and — with `scrape` on —
+/// serves `/metrics`, `/metrics.json`, `/health`, and `/debug/flight`
+/// over a loopback HTTP listener that never touches the consensus
+/// thread.
+#[derive(Clone, Debug)]
+pub struct NodeObservability {
+    /// The node's metrics registry.
+    pub registry: Registry,
+    /// Flight ring for crash autopsies (`None` disables recording and
+    /// `/debug/flight`).
+    pub flight: Option<FlightRecorder>,
+    /// Serve the HTTP scrape endpoint.
+    pub scrape: bool,
+    /// Directory the flight ring is dumped to on [`NodeHandle::stop`]
+    /// (and by the panic hook, if installed).
+    pub flight_dir: Option<PathBuf>,
+    /// Meter of the consensus → journal-writer lane, when the journal
+    /// runs on a writer thread; its depth is the `/health` journal lag.
+    pub journal_meter: Option<LaneMeter>,
+}
+
+impl NodeObservability {
+    /// An observability plane on `registry`: scrape on, no flight
+    /// recorder, no journal meter.
+    pub fn new(registry: Registry) -> Self {
+        NodeObservability {
+            registry,
+            flight: None,
+            scrape: true,
+            flight_dir: None,
+            journal_meter: None,
         }
     }
 }
@@ -179,10 +242,15 @@ pub type CommitObserverFn = Box<dyn FnMut(ReplicaId, u64, &[Block]) + Send>;
 pub struct NodeHandle {
     id: ReplicaId,
     status: Arc<NodeStatus>,
-    event_tx: SyncSender<Input>,
+    event_tx: MeteredSender<Input>,
     timer_tx: Sender<TimerCmd>,
+    timer_meter: LaneMeter,
     transport: Arc<dyn Transport>,
     threads: Vec<JoinHandle<()>>,
+    sampler_stop: Arc<AtomicBool>,
+    scrape: Option<ScrapeServer>,
+    flight: Option<FlightRecorder>,
+    flight_dir: Option<PathBuf>,
 }
 
 impl NodeHandle {
@@ -196,6 +264,16 @@ impl NodeHandle {
         Arc::clone(&self.status)
     }
 
+    /// The node's scrape endpoint, if observability started one.
+    pub fn scrape_addr(&self) -> Option<SocketAddr> {
+        self.scrape.as_ref().map(ScrapeServer::addr)
+    }
+
+    /// The node's flight recorder, if observability attached one.
+    pub fn flight(&self) -> Option<&FlightRecorder> {
+        self.flight.as_ref()
+    }
+
     /// Submits transactions to this replica's mempool.
     pub fn submit(&self, txs: Vec<Transaction>) {
         let _ = self
@@ -207,24 +285,44 @@ impl NodeHandle {
     /// joins every thread. Returns the status handle for post-mortem
     /// inspection. Abrupt by design — also used to "kill" a replica
     /// mid-run; durability must come from the journal, not the
-    /// shutdown.
+    /// shutdown. If a flight recorder (and dump directory) is attached,
+    /// the ring — ending in a `FATAL node stopped` marker — is written
+    /// out before the handle is released, so a "killed" node always
+    /// leaves an autopsy.
     pub fn stop(self) -> Arc<NodeStatus> {
         let NodeHandle {
+            id,
             status,
             event_tx,
             timer_tx,
+            timer_meter,
             transport,
             threads,
-            ..
+            sampler_stop,
+            mut scrape,
+            flight,
+            flight_dir,
         } = self;
         transport.close();
-        let _ = timer_tx.send(TimerCmd::Stop);
+        if timer_tx.send(TimerCmd::Stop).is_ok() {
+            timer_meter.note_enqueue();
+        }
         let _ = event_tx.send(Input::Stop);
         // Drop our event sender so the consensus thread's final drain
         // terminates once the decode workers exit.
         drop(event_tx);
+        sampler_stop.store(true, Ordering::Release);
         for t in threads {
             let _ = t.join();
+        }
+        if let Some(server) = scrape.as_mut() {
+            server.stop();
+        }
+        if let Some(flight) = flight {
+            flight.record_now(id, FlightKind::Fatal, "node stopped");
+            if let Some(dir) = flight_dir {
+                let _ = flight.dump_to_dir(&dir);
+            }
         }
         status
     }
@@ -278,7 +376,7 @@ fn build_replica(
 /// them, but with wall-clock timestamps; `observer` (if any) sees every
 /// commit at this replica.
 pub fn spawn_node(
-    node_cfg: NodeConfig,
+    mut node_cfg: NodeConfig,
     transport: Arc<dyn Transport>,
     clock: Clock,
     sink: Option<Box<dyn TelemetrySink + Send>>,
@@ -286,11 +384,70 @@ pub fn spawn_node(
 ) -> NodeHandle {
     let id = node_cfg.config.id;
     let status = Arc::new(NodeStatus::default());
+    let obs = node_cfg.observability.take();
 
-    let (event_tx, event_rx) = sync_channel::<Input>(8192);
+    // One meter per inter-thread lane. Without a registry the meters
+    // still count (detached handles), so the send paths stay uniform.
+    let (ingress_meter, consensus_meter, timer_meter) = match &obs {
+        Some(o) => (
+            LaneMeter::new(&o.registry, "ingress"),
+            LaneMeter::new(&o.registry, "consensus"),
+            LaneMeter::new(&o.registry, "timer"),
+        ),
+        None => (
+            LaneMeter::detached(),
+            LaneMeter::detached(),
+            LaneMeter::detached(),
+        ),
+    };
+
+    let (event_tx, event_rx) =
+        metered_sync_channel::<Input>(node_cfg.event_queue_depth.max(1), consensus_meter.clone());
     let (timer_tx, timer_rx) = channel::<TimerCmd>();
-    let (raw_tx, raw_rx) = sync_channel::<Vec<u8>>(8192);
+    let (raw_tx, raw_rx) =
+        metered_sync_channel::<Vec<u8>>(node_cfg.raw_queue_depth.max(1), ingress_meter.clone());
     let raw_rx = Arc::new(Mutex::new(raw_rx));
+
+    // Transport connection lifecycle lands in the flight ring.
+    if let Some(flight) = obs.as_ref().and_then(|o| o.flight.clone()) {
+        transport.set_event_hook(Arc::new(move |detail: &str| {
+            flight.record_now(id, FlightKind::Transport, detail);
+        }));
+    }
+
+    // Status counters promoted into the registry (detached and inert
+    // without one), plus progress gauges for `/metrics`.
+    let decode_errors_ctr = obs
+        .as_ref()
+        .map(|o| o.registry.counter("runtime_decode_errors_total"))
+        .unwrap_or_default();
+    let meters = DriverMeters {
+        send_drops: obs
+            .as_ref()
+            .map(|o| o.registry.counter("runtime_send_drops_total"))
+            .unwrap_or_default(),
+        view: obs
+            .as_ref()
+            .map(|o| o.registry.gauge("consensus_current_view"))
+            .unwrap_or_default(),
+        commit_height: obs
+            .as_ref()
+            .map(|o| o.registry.gauge("consensus_commit_height"))
+            .unwrap_or_default(),
+        timer: timer_meter.clone(),
+        journal: obs.as_ref().and_then(|o| o.journal_meter.clone()),
+    };
+
+    // Compose the telemetry fan-out: registry fold + flight mirror +
+    // whatever the caller provided. Bare nodes keep the caller's sink
+    // unwrapped.
+    let sink: Option<Box<dyn TelemetrySink + Send>> = match &obs {
+        Some(o) => Some(Box::new((
+            RegistryRecorder::new(&o.registry),
+            (o.flight.clone().map(FlightSink::new), sink),
+        ))),
+        None => sink,
+    };
 
     let mut threads = Vec::new();
 
@@ -317,6 +474,7 @@ pub fn spawn_node(
         let raw_rx = Arc::clone(&raw_rx);
         let event_tx = event_tx.clone();
         let status = Arc::clone(&status);
+        let decode_errors_ctr = decode_errors_ctr.clone();
         threads.push(
             std::thread::Builder::new()
                 .name(format!("decode-{}-{w}", id.0))
@@ -334,6 +492,7 @@ pub fn spawn_node(
                         }
                         Err(_) => {
                             status.decode_errors.fetch_add(1, Ordering::AcqRel);
+                            decode_errors_ctr.inc();
                         }
                     }
                 })
@@ -344,10 +503,11 @@ pub fn spawn_node(
     // Timer thread: latest-wins view timer + heartbeat slots.
     {
         let event_tx = event_tx.clone();
+        let timer_meter = timer_meter.clone();
         threads.push(
             std::thread::Builder::new()
                 .name(format!("timer-{}", id.0))
-                .spawn(move || timer_loop(timer_rx, event_tx))
+                .spawn(move || timer_loop(timer_rx, event_tx, timer_meter))
                 .expect("spawn timer"),
         );
     }
@@ -363,23 +523,107 @@ pub fn spawn_node(
                 .spawn(move || {
                     consensus_loop(
                         node_cfg, event_rx, timer_tx, transport, clock, sink, observer, status,
+                        meters,
                     )
                 })
                 .expect("spawn consensus"),
         );
     }
 
+    // Depth sampler: copies lane depths into their gauges on a fixed
+    // tick, so scrapes see queue state without touching the hot paths.
+    let sampler_stop = Arc::new(AtomicBool::new(false));
+    if obs.is_some() {
+        let stop = Arc::clone(&sampler_stop);
+        let lanes: Vec<LaneMeter> = [
+            Some(ingress_meter),
+            Some(consensus_meter),
+            Some(timer_meter.clone()),
+            obs.as_ref().and_then(|o| o.journal_meter.clone()),
+        ]
+        .into_iter()
+        .flatten()
+        .collect();
+        threads.push(
+            std::thread::Builder::new()
+                .name(format!("sample-{}", id.0))
+                .spawn(move || {
+                    while !stop.load(Ordering::Acquire) {
+                        for lane in &lanes {
+                            lane.sample_depth();
+                        }
+                        std::thread::sleep(DEPTH_SAMPLE_EVERY);
+                    }
+                })
+                .expect("spawn depth sampler"),
+        );
+    }
+
+    // Scrape endpoint: serves registry snapshots and the health
+    // document; assembly reads only atomics and short-lock copies, so
+    // a hammering scraper never blocks the consensus driver.
+    let scrape = obs.as_ref().filter(|o| o.scrape).map(|o| {
+        let health = health_fn(
+            id,
+            Arc::clone(&status),
+            Arc::clone(&transport),
+            clock,
+            &o.registry,
+            o.journal_meter.clone(),
+        );
+        ScrapeServer::start(o.registry.clone(), health, o.flight.clone())
+            .expect("bind scrape server")
+    });
+
     NodeHandle {
         id,
         status,
         event_tx,
         timer_tx,
+        timer_meter,
         transport,
         threads,
+        sampler_stop,
+        scrape,
+        flight: obs.as_ref().and_then(|o| o.flight.clone()),
+        flight_dir: obs.and_then(|o| o.flight_dir),
     }
 }
 
-fn timer_loop(rx: Receiver<TimerCmd>, event_tx: SyncSender<Input>) {
+/// Builds the `/health` assembler: a snapshot of the node's atomics,
+/// sync counters, journal lag, and transport connectivity.
+fn health_fn(
+    id: ReplicaId,
+    status: Arc<NodeStatus>,
+    transport: Arc<dyn Transport>,
+    clock: Clock,
+    registry: &Registry,
+    journal_meter: Option<LaneMeter>,
+) -> HealthFn {
+    // Pre-register the sync counters so reads are handle loads; a node
+    // that never syncs legitimately reports them as zero.
+    let sync_started = registry.counter("consensus_sync_started_total");
+    let sync_completed = registry.counter("consensus_sync_completed_total");
+    Arc::new(move || Health {
+        replica: id.0,
+        view: status.view().0,
+        committed_blocks: status.committed_blocks(),
+        committed_txs: status.committed_txs(),
+        sync_state: if sync_started.get() > sync_completed.get() {
+            "syncing"
+        } else {
+            "idle"
+        },
+        journal_lag: journal_meter.as_ref().map_or(0, LaneMeter::depth),
+        peers_connected: transport.peers_connected() as u64,
+        peers_total: transport.n().saturating_sub(1) as u64,
+        decode_errors: status.decode_errors(),
+        send_drops: status.send_drops(),
+        uptime_ns: clock.now_ns(),
+    })
+}
+
+fn timer_loop(rx: Receiver<TimerCmd>, event_tx: MeteredSender<Input>, meter: LaneMeter) {
     let mut view_slot: Option<(Instant, View)> = None;
     let mut hb_slot: Option<Instant> = None;
     loop {
@@ -425,6 +669,7 @@ fn timer_loop(rx: Receiver<TimerCmd>, event_tx: SyncSender<Input>) {
                 Err(_) => return,
             },
         };
+        meter.note_dequeue();
         match cmd {
             Some(TimerCmd::ArmView { view, delay }) => {
                 view_slot = Some((Instant::now() + delay, view));
@@ -437,16 +682,72 @@ fn timer_loop(rx: Receiver<TimerCmd>, event_tx: SyncSender<Input>) {
     }
 }
 
+/// Registry handles the consensus driver updates inline (all
+/// `Arc`-backed atomics; detached and inert when the node runs without
+/// a registry).
+struct DriverMeters {
+    send_drops: Counter,
+    view: Gauge,
+    commit_height: Gauge,
+    timer: LaneMeter,
+    /// The consensus → journal lane meter, when the journal runs behind
+    /// a metered writer thread. Its cumulative stall time is read
+    /// before/after each protocol step to attribute the step's
+    /// durability-barrier wait to the journal lane.
+    journal: Option<LaneMeter>,
+}
+
+impl DriverMeters {
+    fn journal_wait_ns(&self) -> u64 {
+        self.journal.as_ref().map_or(0, LaneMeter::stall_ns_total)
+    }
+}
+
+/// Measured wall-clock cost of one protocol step, split between the
+/// journal ack wait and everything that ran on the consensus thread.
+#[derive(Clone, Copy)]
+struct StepTiming {
+    wall_ns: u64,
+    journal_ns: u64,
+}
+
+/// Runs one step under the wall clock: total step time comes from a
+/// monotonic stopwatch, and the journal share is the growth of the
+/// journal lane's measured ack wait across the step (the proxy disk is
+/// only ever called from inside `step` on this thread).
+fn timed_step(
+    protocol: &mut Box<dyn Protocol>,
+    meters: &DriverMeters,
+    event: Event,
+) -> (StepOutput, StepTiming) {
+    let journal_before = meters.journal_wait_ns();
+    let started = Instant::now();
+    let out = protocol.step(event);
+    let wall_ns = started.elapsed().as_nanos() as u64;
+    let journal_ns = meters
+        .journal_wait_ns()
+        .saturating_sub(journal_before)
+        .min(wall_ns);
+    (
+        out,
+        StepTiming {
+            wall_ns,
+            journal_ns,
+        },
+    )
+}
+
 #[allow(clippy::too_many_arguments)]
 fn consensus_loop(
     node_cfg: NodeConfig,
-    event_rx: Receiver<Input>,
+    event_rx: MeteredReceiver<Input>,
     timer_tx: Sender<TimerCmd>,
     transport: Arc<dyn Transport>,
     clock: Clock,
     mut sink: Option<Box<dyn TelemetrySink + Send>>,
     mut observer: Option<CommitObserverFn>,
     status: Arc<NodeStatus>,
+    meters: DriverMeters,
 ) {
     let NodeConfig {
         config,
@@ -468,13 +769,14 @@ fn consensus_loop(
         observer: observer.as_mut(),
         status: &status,
         shadow_blocks,
+        meters: &meters,
     };
 
-    let out = protocol.step(Event::Start);
-    ctx.dispatch(protocol.as_ref(), out);
+    let (out, timing) = timed_step(&mut protocol, &meters, Event::Start);
+    ctx.dispatch(protocol.as_ref(), out, timing);
     if bootstrap == Bootstrap::Recovered {
-        let out = protocol.step(Event::Recovered);
-        ctx.dispatch(protocol.as_ref(), out);
+        let (out, timing) = timed_step(&mut protocol, &meters, Event::Recovered);
+        ctx.dispatch(protocol.as_ref(), out, timing);
     }
 
     let mut events: u64 = 0;
@@ -484,8 +786,8 @@ fn consensus_loop(
             Input::Stop => stopping = true,
             Input::Event(_) if stopping => {}
             Input::Event(event) => {
-                let out = protocol.step(event);
-                ctx.dispatch(protocol.as_ref(), out);
+                let (out, timing) = timed_step(&mut protocol, &meters, event);
+                ctx.dispatch(protocol.as_ref(), out, timing);
                 events += 1;
                 if maintain_every > 0 && events.is_multiple_of(maintain_every) {
                     let stats = protocol.maintain_crypto(CryptoCtx::VERIFIED_CACHE_TARGET);
@@ -518,15 +820,22 @@ struct DriverCtx<'a> {
     observer: Option<&'a mut CommitObserverFn>,
     status: &'a Arc<NodeStatus>,
     shadow_blocks: bool,
+    meters: &'a DriverMeters,
 }
 
 impl DriverCtx<'_> {
-    fn dispatch(&mut self, protocol: &dyn Protocol, out: StepOutput) {
+    fn dispatch(&mut self, protocol: &dyn Protocol, out: StepOutput, timing: StepTiming) {
         let id = protocol.id();
         let at_ns = self.clock.now_ns();
         if let Some(sink) = self.sink.as_deref_mut() {
-            let consensus_ns = out.cpu_ns.saturating_sub(out.crypto_ns + out.journal_ns);
-            sink.step_charged(at_ns, id, out.crypto_ns, out.journal_ns, consensus_ns);
+            // Measured lane charges, unlike simnet's modeled ones: the
+            // journal share is the durability-barrier wait the proxy
+            // disk clocked inside this step, and the rest of the step's
+            // wall time ran on the consensus thread (protocol logic
+            // plus its inline crypto). The step's own modeled crypto
+            // charge rides along for runs with a nonzero cost model.
+            let consensus_ns = timing.wall_ns.saturating_sub(timing.journal_ns);
+            sink.step_charged(at_ns, id, out.crypto_ns, timing.journal_ns, consensus_ns);
         }
         for action in out.actions {
             match action {
@@ -544,6 +853,7 @@ impl DriverCtx<'_> {
                     }
                     if self.transport.send(to, &frame).is_err() {
                         self.status.send_drops.fetch_add(1, Ordering::AcqRel);
+                        self.meters.send_drops.inc();
                     }
                 }
                 Action::Broadcast { message } => {
@@ -562,6 +872,7 @@ impl DriverCtx<'_> {
                         }
                         if self.transport.send(to, &frame).is_err() {
                             self.status.send_drops.fetch_add(1, Ordering::AcqRel);
+                            self.meters.send_drops.inc();
                         }
                     }
                 }
@@ -577,20 +888,29 @@ impl DriverCtx<'_> {
                             log.push((b.height().0, b.id()));
                         }
                     }
+                    if let Some(b) = blocks.last() {
+                        self.meters.commit_height.set(b.height().0 as i64);
+                    }
                     if let Some(obs) = self.observer.as_mut() {
                         obs(id, at_ns, &blocks);
                     }
                 }
                 Action::SetTimer { view, delay_ns } => {
-                    let _ = self.timer_tx.send(TimerCmd::ArmView {
+                    let sent = self.timer_tx.send(TimerCmd::ArmView {
                         view,
                         delay: Duration::from_nanos(delay_ns),
                     });
+                    if sent.is_ok() {
+                        self.meters.timer.note_enqueue();
+                    }
                 }
                 Action::SetHeartbeat { delay_ns } => {
-                    let _ = self.timer_tx.send(TimerCmd::ArmHeartbeat {
+                    let sent = self.timer_tx.send(TimerCmd::ArmHeartbeat {
                         delay: Duration::from_nanos(delay_ns),
                     });
+                    if sent.is_ok() {
+                        self.meters.timer.note_enqueue();
+                    }
                 }
                 Action::Note(note) => {
                     if let Some(sink) = self.sink.as_deref_mut() {
@@ -599,8 +919,8 @@ impl DriverCtx<'_> {
                 }
             }
         }
-        self.status
-            .view
-            .store(protocol.current_view().0, Ordering::Release);
+        let view = protocol.current_view().0;
+        self.status.view.store(view, Ordering::Release);
+        self.meters.view.set(view as i64);
     }
 }

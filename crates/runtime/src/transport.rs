@@ -39,6 +39,11 @@ pub use marlin_types::codec::MAX_FRAME_LEN;
 /// (backpressure), so the bound caps memory, not correctness.
 const INBOX_DEPTH: usize = 8192;
 
+/// Observer for connection-lifecycle events (dials, accepts,
+/// teardowns), fed to the node's flight recorder. Human-readable by
+/// design: these are autopsy breadcrumbs, not metrics.
+pub type TransportEventFn = Arc<dyn Fn(&str) + Send + Sync>;
+
 /// A replica's endpoint in a message mesh.
 ///
 /// `send` may be called concurrently from any thread; `recv` is
@@ -63,6 +68,16 @@ pub trait Transport: Send + Sync {
 
     /// Unblocks receivers and tears down connections. Idempotent.
     fn close(&self);
+
+    /// Peers this endpoint could deliver to right now. Meshes without
+    /// per-peer connection state report full connectivity.
+    fn peers_connected(&self) -> usize {
+        self.n().saturating_sub(1)
+    }
+
+    /// Installs a connection-lifecycle observer. Default: dropped
+    /// (meshes without connection state have nothing to report).
+    fn set_event_hook(&self, _hook: TransportEventFn) {}
 }
 
 /// The transport has shut down; no more frames will arrive.
@@ -247,6 +262,14 @@ impl Transport for ChannelTransport {
         Ok(frame)
     }
 
+    fn peers_connected(&self) -> usize {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter(|(i, slot)| *i != self.id.index() && slot.lock().expect("slot lock").is_some())
+            .count()
+    }
+
     fn close(&self) {
         self.closed.store(true, Ordering::Release);
         // Retire our slot so peers stop sending, then unblock our own
@@ -300,6 +323,8 @@ struct TcpShared {
     conns: Vec<Mutex<PeerConn>>,
     inbox_tx: SyncSender<Vec<u8>>,
     closed: AtomicBool,
+    /// Connection-lifecycle observer (flight recorder breadcrumbs).
+    event_hook: Mutex<Option<TransportEventFn>>,
 }
 
 impl TcpShared {
@@ -310,6 +335,13 @@ impl TcpShared {
         // inbound stream.
         stream.write_all(&self.id.0.to_le_bytes())?;
         Ok(stream)
+    }
+
+    fn emit(&self, detail: &str) {
+        let hook = self.event_hook.lock().expect("hook lock").clone();
+        if let Some(hook) = hook {
+            hook(detail);
+        }
     }
 }
 
@@ -377,6 +409,7 @@ impl TcpTransport {
             addrs,
             inbox_tx,
             closed: AtomicBool::new(false),
+            event_hook: Mutex::new(None),
         });
         let accept_shared = Arc::clone(&shared);
         std::thread::Builder::new()
@@ -423,6 +456,17 @@ fn reader_loop(mut stream: TcpStream, shared: Arc<TcpShared>) {
     if stream.read_exact(&mut hello).is_err() {
         return;
     }
+    let peer = u32::from_le_bytes(hello);
+    shared.emit(&format!("accepted inbound stream from replica {peer}"));
+    // Report why the drain ends, whatever the exit path.
+    struct ExitNote<'a>(&'a TcpShared, u32);
+    impl Drop for ExitNote<'_> {
+        fn drop(&mut self) {
+            self.0
+                .emit(&format!("inbound stream from replica {} ended", self.1));
+        }
+    }
+    let _exit = ExitNote(&shared, peer);
     let mut frames = FrameBuffer::new();
     let mut chunk = vec![0u8; READ_CHUNK];
     loop {
@@ -471,6 +515,8 @@ impl Transport for TcpTransport {
             // Stale connection (peer died and maybe came back): fall
             // through to a fresh dial.
             slot.stream = None;
+            self.shared
+                .emit(&format!("outbound to replica {} went stale", to.0));
         }
         // Capped exponential backoff between dial attempts: a dead peer
         // costs one connect per window, not one per send.
@@ -483,9 +529,17 @@ impl Transport for TcpTransport {
                 slot.retry_at = None;
                 conn.write_all(&wire)?;
                 slot.stream = Some(conn);
+                self.shared.emit(&format!("dialed replica {}", to.0));
                 Ok(())
             }
             Err(e) => {
+                // Note only the first failure of a streak: a dead peer
+                // would otherwise flood the flight ring at the backoff
+                // cadence.
+                if slot.failures == 0 {
+                    self.shared
+                        .emit(&format!("dial to replica {} failed: {e}", to.0));
+                }
                 slot.failures = slot.failures.saturating_add(1);
                 let delay = DIAL_BACKOFF_BASE
                     .saturating_mul(1 << (slot.failures - 1).min(6))
@@ -509,10 +563,23 @@ impl Transport for TcpTransport {
         Ok(frame)
     }
 
+    fn peers_connected(&self) -> usize {
+        self.shared
+            .conns
+            .iter()
+            .filter(|slot| slot.lock().expect("conn lock").stream.is_some())
+            .count()
+    }
+
+    fn set_event_hook(&self, hook: TransportEventFn) {
+        *self.shared.event_hook.lock().expect("hook lock") = Some(hook);
+    }
+
     fn close(&self) {
         if self.shared.closed.swap(true, Ordering::AcqRel) {
             return;
         }
+        self.shared.emit("transport closed");
         // Unblock the acceptor with a throwaway connection to ourselves
         // and the receiver with a sentinel frame; drop outbound conns.
         let _ = TcpStream::connect(self.local_addr);

@@ -20,7 +20,7 @@ use marlin_core::chained::{ChainedHotStuff, ChainedMarlin};
 use marlin_core::harness::build_protocol;
 use marlin_core::marlin::Marlin;
 use marlin_core::{Config, Protocol, ProtocolKind, SafetyJournal};
-use marlin_storage::{SharedDisk, SnapshotStore};
+use marlin_storage::{Disk, SharedDisk, SnapshotStore};
 use marlin_telemetry::TelemetrySink;
 use marlin_types::{ReplicaId, View};
 use std::collections::BTreeMap;
@@ -424,6 +424,11 @@ pub struct ScenarioOutcome {
     /// horizon — a rejoin proof: a long-crashed replica that never
     /// caught up drags this far below `committed`.
     pub min_honest_tip: u64,
+    /// Largest on-disk safety-journal footprint (bytes across all
+    /// `safety-journal.*` generations) of any honest replica at the
+    /// horizon — the journal-GC boundedness measure; 0 when the
+    /// scenario runs without durable disks.
+    pub max_journal_bytes: u64,
     /// Deterministic digest of the run (chain, commits, violations).
     pub fingerprint: u64,
 }
@@ -657,7 +662,8 @@ fn run_scenario_inner(
     let mut max_view = View(0);
     let mut max_resident_blocks = 0usize;
     let mut min_honest_tip = u64::MAX;
-    for i in 0..n {
+    let mut max_journal_bytes = 0u64;
+    for (i, disk) in disks.iter().enumerate().take(n) {
         let id = ReplicaId(i as u32);
         if !byzantine.contains(&id) {
             let rep = sim.replica(id);
@@ -666,6 +672,9 @@ fn run_scenario_inner(
             max_resident_blocks = max_resident_blocks.max(store.len());
             let tip = (store.committed_offset() + store.committed_chain().len()) as u64 - 1;
             min_honest_tip = min_honest_tip.min(tip);
+            if with_disks {
+                max_journal_bytes = max_journal_bytes.max(journal_bytes(disk));
+            }
         }
     }
     ScenarioOutcome {
@@ -681,6 +690,17 @@ fn run_scenario_inner(
         } else {
             min_honest_tip
         },
+        max_journal_bytes,
         fingerprint: checker.fingerprint(),
     }
+}
+
+/// Total bytes across every safety-journal generation on `disk`.
+fn journal_bytes(disk: &SharedDisk) -> u64 {
+    let Ok(names) = disk.list() else { return 0 };
+    names
+        .iter()
+        .filter(|name| name.starts_with(marlin_core::journal::JOURNAL_FILE))
+        .map(|name| disk.read_file(name).map(|b| b.len() as u64).unwrap_or(0))
+        .sum()
 }

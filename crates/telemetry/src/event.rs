@@ -303,6 +303,97 @@ impl<A: TelemetrySink, B: TelemetrySink> TelemetrySink for (A, B) {
     }
 }
 
+/// A disabled sink slot: `None` drops every event, so optional stages
+/// (a registry here, a flight ring there) compose into one tuple
+/// without a combinatorial explosion of concrete sink types.
+impl<S: TelemetrySink> TelemetrySink for Option<S> {
+    fn note(&mut self, at_ns: u64, replica: ReplicaId, note: &Note) {
+        if let Some(s) = self {
+            s.note(at_ns, replica, note);
+        }
+    }
+
+    fn message_sent(
+        &mut self,
+        at_ns: u64,
+        from: ReplicaId,
+        class: MsgClass,
+        wire_bytes: u64,
+        authenticators: u64,
+    ) {
+        if let Some(s) = self {
+            s.message_sent(at_ns, from, class, wire_bytes, authenticators);
+        }
+    }
+
+    fn step_charged(
+        &mut self,
+        at_ns: u64,
+        replica: ReplicaId,
+        crypto_ns: u64,
+        journal_ns: u64,
+        consensus_ns: u64,
+    ) {
+        if let Some(s) = self {
+            s.step_charged(at_ns, replica, crypto_ns, journal_ns, consensus_ns);
+        }
+    }
+
+    fn crypto_cache(
+        &mut self,
+        at_ns: u64,
+        replica: ReplicaId,
+        seed_hits: u64,
+        seed_misses: u64,
+        verified_qcs: u64,
+    ) {
+        if let Some(s) = self {
+            s.crypto_cache(at_ns, replica, seed_hits, seed_misses, verified_qcs);
+        }
+    }
+}
+
+/// Forwarding through a boxed sink, so runtimes can compose an owned
+/// `Box<dyn TelemetrySink + Send>` into tuple fan-outs.
+impl TelemetrySink for Box<dyn TelemetrySink + Send> {
+    fn note(&mut self, at_ns: u64, replica: ReplicaId, note: &Note) {
+        (**self).note(at_ns, replica, note);
+    }
+
+    fn message_sent(
+        &mut self,
+        at_ns: u64,
+        from: ReplicaId,
+        class: MsgClass,
+        wire_bytes: u64,
+        authenticators: u64,
+    ) {
+        (**self).message_sent(at_ns, from, class, wire_bytes, authenticators);
+    }
+
+    fn step_charged(
+        &mut self,
+        at_ns: u64,
+        replica: ReplicaId,
+        crypto_ns: u64,
+        journal_ns: u64,
+        consensus_ns: u64,
+    ) {
+        (**self).step_charged(at_ns, replica, crypto_ns, journal_ns, consensus_ns);
+    }
+
+    fn crypto_cache(
+        &mut self,
+        at_ns: u64,
+        replica: ReplicaId,
+        seed_hits: u64,
+        seed_misses: u64,
+        verified_qcs: u64,
+    ) {
+        (**self).crypto_cache(at_ns, replica, seed_hits, seed_misses, verified_qcs);
+    }
+}
+
 /// One timestamped note in a [`Trace`].
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct TraceEvent {

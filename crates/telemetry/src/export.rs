@@ -169,9 +169,20 @@ fn label_set(labels: &[(String, String)], le: Option<&str>) -> String {
 }
 
 fn prom_escape(v: &str) -> String {
-    v.replace('\\', "\\\\")
-        .replace('"', "\\\"")
-        .replace('\n', "\\n")
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            // The exposition format defines no escape for other control
+            // characters, and raw ones would corrupt line parsing:
+            // replace them so exporter output always validates.
+            c if (c as u32) < 0x20 && c != '\t' => out.push('\u{FFFD}'),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 /// Escapes a string for JSON.
@@ -332,11 +343,17 @@ fn check_labels(body: &str) -> Result<(), String> {
         if !after.starts_with('"') {
             return Err("unquoted label value".into());
         }
-        // Find the closing quote, honoring escapes.
+        // Find the closing quote, honoring escapes. Only `\\`, `\"`,
+        // and `\n` are legal escapes in the exposition format; raw
+        // control characters (other than tab) have no representation
+        // and mean the producer failed to escape.
         let mut escaped = false;
         let mut close = None;
         for (i, c) in after[1..].char_indices() {
             if escaped {
+                if !matches!(c, '\\' | '"' | 'n') {
+                    return Err(format!("invalid escape '\\{c}' in label value"));
+                }
                 escaped = false;
                 continue;
             }
@@ -345,6 +362,9 @@ fn check_labels(body: &str) -> Result<(), String> {
                 '"' => {
                     close = Some(i + 1);
                     break;
+                }
+                c if (c as u32) < 0x20 && c != '\t' => {
+                    return Err("raw control character in label value".into());
                 }
                 _ => {}
             }
@@ -399,6 +419,43 @@ mod tests {
         assert!(check_prometheus_text("name").is_err());
         assert!(check_prometheus_text("# HELP x anything goes\nx 1").is_ok());
         assert!(check_prometheus_text("x{a=\"q\\\"uote\",b=\"}\"} +Inf 123").is_ok());
+    }
+
+    #[test]
+    fn checker_rejects_invalid_escapes_and_raw_controls() {
+        // Only \\, \", and \n are legal escapes.
+        assert!(check_prometheus_text("x{a=\"bad\\d\"} 1").is_err());
+        assert!(check_prometheus_text("x{a=\"bad\\t\"} 1").is_err());
+        assert!(check_prometheus_text("x{a=\"ok\\\\really\"} 1").is_ok());
+        assert!(check_prometheus_text("x{a=\"nl\\n\"} 1").is_ok());
+        // Raw control characters mean the producer failed to escape.
+        assert!(check_prometheus_text("x{a=\"bell\u{7}\"} 1").is_err());
+        assert!(check_prometheus_text("x{a=\"cr\r\"} 1").is_err());
+        assert!(check_prometheus_text("x{a=\"tab\tfine\"} 1").is_ok());
+    }
+
+    #[test]
+    fn hostile_label_values_round_trip_through_the_exporter() {
+        let reg = Registry::new();
+        let hostile = [
+            "quote\"brace}comma,",
+            "back\\slash",
+            "line\nbreak",
+            "bell\u{7}cr\rmixed",
+            "tab\tallowed",
+        ];
+        for (i, v) in hostile.iter().enumerate() {
+            let idx = i.to_string();
+            reg.counter_with("hostile_total", &[("v", v), ("i", &idx)])
+                .inc();
+        }
+        let text = reg.snapshot().to_prometheus();
+        let samples =
+            check_prometheus_text(&text).expect("hostile labels must escape validator-clean");
+        assert_eq!(samples, hostile.len());
+        assert!(text.contains("back\\\\slash"));
+        assert!(text.contains("line\\nbreak"));
+        assert!(text.contains("quote\\\"brace}comma,"));
     }
 
     #[test]

@@ -29,8 +29,10 @@
 
 pub mod event;
 pub mod export;
+pub mod flight;
 pub mod hist;
 pub mod registry;
+pub mod serve;
 pub mod timeline;
 
 pub use event::{
@@ -38,6 +40,11 @@ pub use event::{
     VcCase,
 };
 pub use export::{check_prometheus_text, json_str, Snapshot, SnapshotEntry, SnapshotValue};
+pub use flight::{
+    encode_dump, install_panic_dump, merge_dumps, parse_dump, register_panic_dump, FlightEvent,
+    FlightKind, FlightRecorder, FlightSink, DEFAULT_FLIGHT_CAPACITY, FLIGHT_MAGIC,
+};
 pub use hist::{Histogram, LatencySummary, BUCKET_COUNT};
 pub use registry::{Counter, Gauge, HistogramHandle, Registry};
+pub use serve::{Health, HealthFn, ScrapeServer};
 pub use timeline::{BlockTimeline, Decomposition, LaneBreakdown, PhasePoint, SegmentStat};

@@ -263,6 +263,24 @@ fn assert_rejoined(out: &ScenarioOutcome, scenario: &Scenario, seed: u64) {
         out.max_resident_blocks,
         out.committed
     );
+    // Journal boundedness: generation GC is keyed to the same snapshot
+    // horizon, so journal disk must stay flat in chain length — a
+    // generous absolute cap (one generation holds < SNAPSHOT_EVERY + 1
+    // records of ≤ ~200 framed bytes) that unbounded growth at
+    // thousands of committed blocks would blow through immediately.
+    assert!(
+        out.max_journal_bytes > 0,
+        "{} (seed {seed}): journaled scenario reported no journal bytes",
+        scenario.name
+    );
+    assert!(
+        out.max_journal_bytes < 64 * 1024,
+        "{} (seed {seed}): journal footprint {} bytes is unbounded in chain \
+         length {}",
+        scenario.name,
+        out.max_journal_bytes,
+        out.committed
+    );
 }
 
 #[test]
@@ -364,6 +382,7 @@ fn sync_cells_are_deterministic() {
         );
         assert_eq!(a.committed, b.committed);
         assert_eq!(a.max_resident_blocks, b.max_resident_blocks);
+        assert_eq!(a.max_journal_bytes, b.max_journal_bytes);
         assert_eq!(a.violations, b.violations);
     }
 }
