@@ -1,7 +1,7 @@
 //! Regenerates the paper's tables and figures on the simulated testbed.
 //!
 //! ```text
-//! eval [--full] [--json[=PATH]] [table1|fig10-tvl|fig10g|fig10h|fig10i|fig10j|ablate-shadow|ablate-sig|ablate-four-phase|ablate-batch|sync-rejoin|all]
+//! eval [--full] [--json[=PATH]] [table1|fig10-tvl|fig10g|fig10h|fig10i|fig10j|ablate-shadow|ablate-sig|ablate-four-phase|ablate-batch|mempool|sync-rejoin|all]
 //! ```
 //!
 //! Without `--full` the sweeps run at reduced durations and fewer
@@ -74,6 +74,9 @@ fn main() {
     }
     if run("ablate-batch") {
         ablate_batch(effort, &mut rep);
+    }
+    if run("mempool") {
+        mempool(effort, &mut rep);
     }
     if run("sync-rejoin") {
         sync_rejoin(effort, &mut rep);
@@ -405,6 +408,54 @@ fn ablate_batch(effort: Effort, rep: &mut JsonReport) {
     rep.section(
         "ablate_batch",
         "Ablation A4 — batch verification stack",
+        &table,
+    );
+    println!("{}", table.render());
+}
+
+/// Saturation behaviour of the client path: peak goodput, goodput at
+/// twice the peak's offered rate, and leader proposal egress per
+/// committed transaction — legacy inline payloads vs bounded admission
+/// with digest dissemination.
+fn mempool(effort: Effort, rep: &mut JsonReport) {
+    println!("## Mempool — goodput past saturation and proposal egress\n");
+    println!(
+        "Open-loop overload (Marlin, paper testbed, 150-byte transactions): sweep the offered-load ladder for the peak, then offer 2\u{00d7} the peak rate. The legacy path queues without bound and lets the backlog displace fresh transactions; bounded admission + digest dissemination sheds the excess at the door and keeps goodput at the plateau.\n"
+    );
+    let fs: &[usize] = match effort {
+        Effort::Quick => &[1, 5],
+        Effort::Full => &[1, 5, 10],
+    };
+    let mut table = Table::new(&[
+        "n",
+        "client path",
+        "peak (ktx/s)",
+        "@rate",
+        "2\u{00d7} overload (ktx/s)",
+        "retained",
+        "proposal B/tx",
+    ]);
+    for &f in fs {
+        for bounded in [false, true] {
+            let p = figures::overload_contrast(f, effort, bounded);
+            table.row(vec![
+                format!("{}", 3 * f + 1),
+                if bounded {
+                    "bounded + dissemination".to_string()
+                } else {
+                    "legacy inline".to_string()
+                },
+                ktps(p.peak.throughput_tps),
+                format!("{}k", p.peak_rate / 1000),
+                ktps(p.overload.throughput_tps),
+                format!("{:.0}%", p.retention() * 100.0),
+                format!("{:.1}", p.overload.proposal_bytes_per_tx()),
+            ]);
+        }
+    }
+    rep.section(
+        "mempool",
+        "Mempool — goodput past saturation and proposal egress",
         &table,
     );
     println!("{}", table.render());

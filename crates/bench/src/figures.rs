@@ -203,3 +203,68 @@ pub fn ablate_batch_crypto(f: usize, effort: Effort) -> (Metrics, Metrics) {
     batched.crypto_workers = 4;
     (peak(&serial), peak(&batched))
 }
+
+/// One side of the saturation contrast: the peak of the offered-load
+/// sweep and a run at twice the peak's offered rate.
+pub struct OverloadPoint {
+    /// Offered rate at which the sweep peaked.
+    pub peak_rate: u64,
+    /// Metrics at the peak.
+    pub peak: Metrics,
+    /// Offered rate of the overload run (2× the peak rate).
+    pub overload_rate: u64,
+    /// Metrics at 2× the peak rate.
+    pub overload: Metrics,
+}
+
+impl OverloadPoint {
+    /// Overload goodput as a fraction of peak goodput.
+    pub fn retention(&self) -> f64 {
+        if self.peak.throughput_tps == 0.0 {
+            return 0.0;
+        }
+        self.overload.throughput_tps / self.peak.throughput_tps
+    }
+}
+
+/// Applies the client-path knobs: bounded admission (capacity = one
+/// batch) and digest dissemination. The legacy configuration keeps the
+/// unbounded queue and inline payloads.
+pub fn client_path_config(f: usize, effort: Effort) -> ExperimentConfig {
+    let mut cfg = paper_config(ProtocolKind::Marlin, f, effort);
+    cfg.mempool_capacity = cfg.batch_size;
+    cfg.dissemination = true;
+    cfg
+}
+
+/// The saturation experiment behind the mempool section: sweep the
+/// offered-load ladder for the peak, then offer twice the peak rate and
+/// measure what survives. The legacy inline path collapses past
+/// saturation (its unbounded mempool accumulates a backlog that
+/// displaces fresh transactions); bounded admission plus digest
+/// dissemination holds goodput at the plateau.
+pub fn overload_contrast(f: usize, effort: Effort, bounded: bool) -> OverloadPoint {
+    let cfg = if bounded {
+        client_path_config(f, effort)
+    } else {
+        paper_config(ProtocolKind::Marlin, f, effort)
+    };
+    let points = marlin_node::sweep_peak_throughput(&cfg, &rate_ladder(f, effort));
+    let best = points
+        .into_iter()
+        .max_by(|a, b| {
+            a.metrics
+                .throughput_tps
+                .total_cmp(&b.metrics.throughput_tps)
+        })
+        .expect("sweep is nonempty");
+    let overload_rate = best.rate_tps * 2;
+    let mut over_cfg = cfg;
+    over_cfg.rate_tps = overload_rate;
+    OverloadPoint {
+        peak_rate: best.rate_tps,
+        peak: best.metrics,
+        overload_rate,
+        overload: run_experiment(&over_cfg),
+    }
+}

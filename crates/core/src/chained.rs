@@ -73,9 +73,17 @@ struct Chained {
     peer_views: HashMap<ReplicaId, View>,
     /// A broadcast `CATCH-UP` request is awaiting its first response.
     catch_up_outstanding: bool,
+    /// Consecutive heartbeats with nothing to propose (empty mempool,
+    /// closed pipeline). Gates idle empty-block production: the leader
+    /// keeps the heartbeat armed but only emits a keep-alive block
+    /// every [`IDLE_BEATS_PER_BLOCK`]th beat.
+    idle_beats: u32,
     /// Write-ahead safety journal; `None` runs without durability.
     journal: Option<SafetyJournal>,
 }
+
+/// One idle keep-alive block per this many empty heartbeats.
+const IDLE_BEATS_PER_BLOCK: u32 = 4;
 
 impl Chained {
     fn new(config: Config, rule: CommitRule, name: &'static str) -> Self {
@@ -91,6 +99,7 @@ impl Chained {
             vc_rounds: HashMap::new(),
             peer_views: HashMap::new(),
             catch_up_outstanding: false,
+            idle_beats: 0,
             journal: None,
         }
     }
@@ -1208,19 +1217,36 @@ impl Chained {
                 }
             }
             Event::NewTransactions(txs) => {
-                self.base.add_transactions(txs);
+                self.base.add_transactions(txs, &mut out);
                 if self.cfg().is_leader(self.base.cview) && self.outstanding.is_none() {
+                    self.idle_beats = 0;
                     self.propose(&mut out);
                 }
             }
             Event::Heartbeat => {
                 if self.cfg().is_leader(self.base.cview) && self.outstanding.is_none() {
-                    if self.base.mempool.is_empty() {
+                    let tail_open = self.high_qc.qc().is_some_and(|qc| self.tail_open(qc));
+                    if !self.base.mempool.is_empty() || tail_open {
+                        // Real work (or an open pipeline tail): propose
+                        // now. The pipeline drives itself from here, no
+                        // re-arm needed.
+                        self.idle_beats = 0;
+                        self.propose(&mut out);
+                    } else {
+                        // Idle: keep the heartbeat armed so transactions
+                        // arriving later are picked up promptly, but emit
+                        // a keep-alive block only every
+                        // `IDLE_BEATS_PER_BLOCK`th beat instead of on
+                        // every one — sustained quiet periods otherwise
+                        // spam empty blocks 4× per base timeout.
+                        self.idle_beats += 1;
                         out.actions.push(Action::SetHeartbeat {
                             delay_ns: self.base.cfg.base_timeout_ns / 4,
                         });
+                        if self.idle_beats.is_multiple_of(IDLE_BEATS_PER_BLOCK) {
+                            self.propose(&mut out);
+                        }
                     }
-                    self.propose(&mut out);
                 }
             }
             Event::Recovered => self.on_recovered(&mut out),
@@ -1326,6 +1352,10 @@ impl Protocol for ChainedMarlin {
         &self.0.base.store
     }
 
+    fn mempool_len(&self) -> usize {
+        self.0.base.mempool.len()
+    }
+
     fn maintain_crypto(&mut self, max_verified: usize) -> crate::CryptoCacheStats {
         self.0.base.maintain_crypto(max_verified)
     }
@@ -1417,6 +1447,10 @@ impl Protocol for ChainedHotStuff {
         &self.0.base.store
     }
 
+    fn mempool_len(&self) -> usize {
+        self.0.base.mempool.len()
+    }
+
     fn maintain_crypto(&mut self, max_verified: usize) -> crate::CryptoCacheStats {
         self.0.base.maintain_crypto(max_verified)
     }
@@ -1497,6 +1531,78 @@ mod tests {
                 cl.total_committed_txs(P0),
                 120,
                 "{kind:?}: pipeline tail not closed without timers"
+            );
+        }
+    }
+
+    /// Regression (idle empty-block spam): once the pipeline has closed
+    /// and the mempool is empty, the leader used to propose a fresh
+    /// empty block on *every* heartbeat — four keep-alive blocks per
+    /// base timeout, forever. Now it re-arms the heartbeat cheaply and
+    /// emits a keep-alive block only every `IDLE_BEATS_PER_BLOCK`th
+    /// beat, so a sustained quiet period produces a bounded trickle.
+    #[test]
+    fn idle_heartbeats_do_not_spam_empty_blocks() {
+        for kind in [ProtocolKind::ChainedMarlin, ProtocolKind::ChainedHotStuff] {
+            let mut cl = Cluster::new(kind, Config::for_test(4, 1), 11);
+            cl.submit_to(P1, 40, 0);
+            cl.run_until_idle();
+            assert_eq!(cl.total_committed_txs(P0), 40);
+
+            // A long quiet period: every fired timer is a leader
+            // heartbeat (payload commits keep re-arming the view timers
+            // before they can expire).
+            let before = cl.committed_height(P0);
+            let fires = 32;
+            for _ in 0..fires {
+                assert!(cl.fire_next_timer(), "{kind:?}: heartbeat chain broke");
+            }
+            cl.run_until_idle();
+            let idle_blocks = cl.committed_height(P0) - before;
+            // Before the fix every beat proposed, committing ~one empty
+            // block per fire (~32 here). Gated, at most every 4th idle
+            // beat proposes; the commit rule trails by a block or two.
+            assert!(
+                idle_blocks <= fires / 4 + 2,
+                "{kind:?}: {idle_blocks} empty blocks from {fires} idle heartbeats"
+            );
+            // ...but the trickle must not dry up entirely: keep-alive
+            // blocks still flow, so view timers stay quenched.
+            assert!(
+                idle_blocks >= 2,
+                "{kind:?}: idle keep-alive stalled ({idle_blocks} blocks)"
+            );
+            assert_eq!(
+                cl.min_view(),
+                View(1),
+                "{kind:?}: idle period lost the view"
+            );
+        }
+    }
+
+    /// Regression (post-quiet liveness): a burst arriving after a long
+    /// idle stretch must commit from message delivery alone — the
+    /// heartbeat gating above must not strand fresh transactions behind
+    /// the idle-beat counter.
+    #[test]
+    fn load_after_quiet_period_commits_without_timers() {
+        for kind in [ProtocolKind::ChainedMarlin, ProtocolKind::ChainedHotStuff] {
+            let mut cl = Cluster::new(kind, Config::for_test(4, 1), 12);
+            cl.submit_to(P1, 30, 0);
+            cl.run_until_idle();
+            for _ in 0..13 {
+                assert!(cl.fire_next_timer());
+            }
+            cl.run_until_idle();
+            // New load lands while the leader sits in the gated-idle
+            // state: `NewTransactions` proposes immediately.
+            cl.submit_to(P1, 30, 0);
+            cl.run_until_idle();
+            cl.assert_consistent();
+            assert_eq!(
+                cl.total_committed_txs(P0),
+                60,
+                "{kind:?}: post-quiet burst stranded"
             );
         }
     }

@@ -99,6 +99,29 @@ pub struct Config {
     /// Commit-height gap beyond which a replica stops trying to commit
     /// block-by-block and starts a ranged sync instead.
     pub sync_lag_threshold: u64,
+    /// Maximum resident mempool transactions across both lanes. `0`
+    /// keeps the legacy unbounded queue (and every pre-existing
+    /// deterministic fingerprint bit-identical); nonzero turns on
+    /// explicit admission control — an arrival over capacity is
+    /// rejected with a retryable backpressure signal instead of being
+    /// queued, which is what keeps goodput at its peak past saturation.
+    pub mempool_capacity: usize,
+    /// Minimum fee bid (the first payload byte) for the mempool's
+    /// priority lane; `0` disables fee lanes.
+    pub priority_fee_threshold: u8,
+    /// Decouple payload dissemination from proposals: admitted
+    /// transactions are sealed into digest-addressed batches and pushed
+    /// to all replicas ahead of the proposal, and the leader proposes a
+    /// digest (with a fetch-by-digest fallback) only once a quorum has
+    /// acknowledged holding the batch. Off by default; when off, the
+    /// normal case proposes whole blocks exactly as before.
+    pub dissemination: bool,
+    /// Maximum sealed batches in flight (pushed, awaiting their
+    /// availability quorum or proposal) per replica. Two keeps the
+    /// push pipe full without building a deep sealed backlog: batches
+    /// sealed long before their proposal slot age in the payload store
+    /// and inflate end-to-end latency under overload.
+    pub dissemination_window: usize,
 }
 
 impl Config {
@@ -122,7 +145,18 @@ impl Config {
             sync_snapshot_interval: 0,
             sync_range_size: 16,
             sync_lag_threshold: 64,
+            mempool_capacity: 0,
+            priority_fee_threshold: 0,
+            dissemination: false,
+            dissemination_window: 2,
         }
+    }
+
+    /// Whether any mempool/dissemination knob departs from the legacy
+    /// synthetic-workload defaults. Admission telemetry is only emitted
+    /// when this holds, so legacy traces stay byte-identical.
+    pub fn mempool_configured(&self) -> bool {
+        self.mempool_capacity > 0 || self.priority_fee_threshold > 0 || self.dissemination
     }
 
     /// The same configuration bound to replica `id`.

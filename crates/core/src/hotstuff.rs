@@ -436,6 +436,10 @@ impl Protocol for HotStuff {
         &self.base.store
     }
 
+    fn mempool_len(&self) -> usize {
+        self.base.mempool.len()
+    }
+
     fn maintain_crypto(&mut self, max_verified: usize) -> crate::CryptoCacheStats {
         self.base.maintain_crypto(max_verified)
     }
@@ -469,7 +473,7 @@ impl Protocol for HotStuff {
                 }
             }
             Event::NewTransactions(txs) => {
-                self.base.add_transactions(txs);
+                self.base.add_transactions(txs, &mut out);
                 if self.cfg().is_leader(self.base.cview) && self.in_flight.is_none() {
                     self.propose(&mut out);
                 }

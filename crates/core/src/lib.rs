@@ -45,6 +45,7 @@ pub mod journal;
 pub mod marlin;
 pub mod marlin_four_phase;
 mod pacemaker;
+mod payload;
 mod sync;
 pub mod two_phase_insecure;
 mod util;

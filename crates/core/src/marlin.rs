@@ -96,6 +96,9 @@ pub struct Marlin {
     /// A broadcast `CATCH-UP` request is awaiting its first response
     /// (drives the catch-up round-trip telemetry).
     catch_up_outstanding: bool,
+    /// Digest proposals whose batch is still being fetched, replayed
+    /// when the `PAYLOAD-RESPONSE` arrives. Bounded: one per digest.
+    pending_digests: HashMap<marlin_types::BatchId, (ReplicaId, View, Justify)>,
     /// Write-ahead safety journal; `None` runs without durability.
     journal: Option<SafetyJournal>,
 }
@@ -115,6 +118,7 @@ impl Marlin {
             vc_rounds: HashMap::new(),
             peer_views: HashMap::new(),
             catch_up_outstanding: false,
+            pending_digests: HashMap::new(),
             journal: None,
         }
     }
@@ -321,6 +325,21 @@ impl Marlin {
         }
         let (block, justify) = match self.high_qc {
             Justify::One(qc) if qc.phase() == Phase::Prepare => {
+                // Case N1 with dissemination: propose a digest the
+                // availability quorum already holds, not the batch.
+                if self.base.cfg.dissemination {
+                    self.base.seal_payloads(out);
+                    if self.propose_digest(qc, out) {
+                        return;
+                    }
+                    if self.base.payloads.has_work() {
+                        // Sealed batches are still collecting acks;
+                        // proposing their transactions inline now would
+                        // double-spend the batch. The quorum ack (or a
+                        // view change) re-triggers this proposal.
+                        return;
+                    }
+                }
                 // Case N1: extend the block of highQC.
                 let batch = self.base.take_batch();
                 let block = Block::new_normal(
@@ -364,6 +383,93 @@ impl Marlin {
         });
     }
 
+    /// Leader: proposes the next quorum-acked digest (Case N1 with
+    /// dissemination on). The full block is reconstructed and stored
+    /// locally — only the broadcast shrinks to digest size. Returns
+    /// `false` when no digest is ready.
+    fn propose_digest(&mut self, qc: Qc, out: &mut StepOutput) -> bool {
+        let view = self.base.cview;
+        let Some(digest) = self.base.pop_ready_payload() else {
+            return false;
+        };
+        let batch = self
+            .base
+            .payload_batch(&digest)
+            .expect("ready digests are pinned in the payload store");
+        let block = Block::new_normal(
+            qc.block(),
+            qc.block_view(),
+            view,
+            qc.height().next(),
+            batch,
+            Justify::One(qc),
+        );
+        self.base.store_block(&block);
+        self.in_flight = Some(block.id());
+        out.actions.push(Action::Note(Note::Proposed {
+            view,
+            height: block.height(),
+            phase: Phase::Prepare,
+        }));
+        out.actions.push(Action::Broadcast {
+            message: Message::new(
+                self.cfg().id,
+                view,
+                MsgBody::DigestProposal {
+                    digest,
+                    justify: Justify::One(qc),
+                },
+            ),
+        });
+        true
+    }
+
+    /// Replica: resolves a digest proposal into the full block (the
+    /// batch was pushed ahead of the proposal) and runs the normal
+    /// Case N1 validation. A digest we cannot resolve is fetched from
+    /// the proposer and the proposal replayed on response.
+    fn on_digest_proposal(
+        &mut self,
+        from: ReplicaId,
+        view: View,
+        digest: marlin_types::BatchId,
+        justify: Justify,
+        out: &mut StepOutput,
+    ) {
+        if from != self.cfg().leader_of(view) {
+            return;
+        }
+        let Some(batch) = self.base.payload_batch(&digest) else {
+            if self.pending_digests.len() < 32 {
+                self.pending_digests.insert(digest, (from, view, justify));
+                self.base.request_payload(digest, from, out);
+            }
+            return;
+        };
+        let Justify::One(qc) = justify else { return };
+        let block = Block::new_normal(
+            qc.block(),
+            qc.block_view(),
+            view,
+            qc.height().next(),
+            batch,
+            justify,
+        );
+        // The leader loops its own broadcast back through this path;
+        // `on_prepare_proposal` applies the full N1 rank/justify rules.
+        self.on_prepare_proposal(
+            from,
+            view,
+            Proposal {
+                phase: Phase::Prepare,
+                blocks: vec![block],
+                justify,
+                vc_proof: Vec::new(),
+            },
+            out,
+        );
+    }
+
     // ------------------------------------------------- message paths --
 
     fn on_message(&mut self, msg: Message, out: &mut StepOutput) {
@@ -374,6 +480,27 @@ impl Marlin {
         // view-independent on both the serving and the fetching side.
         if self.base.handle_sync(&msg, out) {
             return;
+        }
+        // Payload-plane traffic (push/ack/fetch) is view-independent:
+        // batches outlive the view they were sealed in.
+        match self.base.handle_payload(&msg, out) {
+            crate::payload::PayloadOutcome::NotPayload => {}
+            crate::payload::PayloadOutcome::Consumed => return,
+            crate::payload::PayloadOutcome::QuorumReached => {
+                // A digest became proposable; an idle leader proposes.
+                if self.cfg().is_leader(self.base.cview) && self.in_flight.is_none() {
+                    self.propose(out);
+                }
+                return;
+            }
+            crate::payload::PayloadOutcome::Resolved(digest) => {
+                if let Some((from, view, justify)) = self.pending_digests.remove(&digest) {
+                    if view == self.base.cview {
+                        self.on_digest_proposal(from, view, digest, justify, out);
+                    }
+                }
+                return;
+            }
         }
         // Decides are valid whenever the commitQC verifies.
         if let MsgBody::Decide(d) = &msg.body {
@@ -452,6 +579,9 @@ impl Marlin {
                 Phase::PreCommit => {}
             },
             MsgBody::ViewChange(vc) => self.on_view_change(msg.from, msg.view, vc, out),
+            MsgBody::DigestProposal { digest, justify } => {
+                self.on_digest_proposal(msg.from, msg.view, digest, justify, out)
+            }
             MsgBody::Decide(_)
             | MsgBody::FetchRequest { .. }
             | MsgBody::FetchResponse { .. }
@@ -460,7 +590,11 @@ impl Marlin {
             | MsgBody::SnapshotRequest
             | MsgBody::SnapshotResponse { .. }
             | MsgBody::BlockRangeRequest { .. }
-            | MsgBody::BlockRangeResponse { .. } => {
+            | MsgBody::BlockRangeResponse { .. }
+            | MsgBody::PayloadPush { .. }
+            | MsgBody::PayloadAck { .. }
+            | MsgBody::PayloadRequest { .. }
+            | MsgBody::PayloadResponse { .. } => {
                 unreachable!("handled above")
             }
         }
@@ -683,12 +817,12 @@ impl Marlin {
             });
             // Next proposal: highQC is the prepareQC for the decided
             // block, so Case N1 extends it. Pace empty proposals.
-            if self.base.mempool.is_empty() {
+            if self.base.work_pending() {
+                self.propose(out);
+            } else {
                 out.actions.push(Action::SetHeartbeat {
                     delay_ns: self.base.cfg.base_timeout_ns / 4,
                 });
-            } else {
-                self.propose(out);
             }
         }
     }
@@ -1260,6 +1394,10 @@ impl Protocol for Marlin {
         &self.base.store
     }
 
+    fn mempool_len(&self) -> usize {
+        self.base.mempool.len()
+    }
+
     fn maintain_crypto(&mut self, max_verified: usize) -> crate::CryptoCacheStats {
         self.base.maintain_crypto(max_verified)
     }
@@ -1289,7 +1427,10 @@ impl Protocol for Marlin {
             Event::Message(msg) => self.on_message(msg, &mut out),
             Event::Timeout { view } => self.on_timeout(view, &mut out),
             Event::NewTransactions(txs) => {
-                self.base.add_transactions(txs);
+                self.base.add_transactions(txs, &mut out);
+                // Push freshly admitted payloads ahead of leadership:
+                // dissemination overlaps with whatever is in flight.
+                self.base.seal_payloads(&mut out);
                 if self.cfg().is_leader(self.base.cview) && self.in_flight.is_none() {
                     self.propose(&mut out);
                 }
@@ -1299,7 +1440,7 @@ impl Protocol for Marlin {
                 // re-arm (no-op without an active run).
                 self.base.sync_tick(&mut out);
                 if self.cfg().is_leader(self.base.cview) && self.in_flight.is_none() {
-                    if self.base.mempool.is_empty() {
+                    if !self.base.work_pending() {
                         out.actions.push(Action::SetHeartbeat {
                             delay_ns: self.base.cfg.base_timeout_ns / 4,
                         });

@@ -596,6 +596,10 @@ impl Protocol for MarlinFourPhase {
         &self.base.store
     }
 
+    fn mempool_len(&self) -> usize {
+        self.base.mempool.len()
+    }
+
     fn maintain_crypto(&mut self, max_verified: usize) -> crate::CryptoCacheStats {
         self.base.maintain_crypto(max_verified)
     }
@@ -626,7 +630,7 @@ impl Protocol for MarlinFourPhase {
                 }
             }
             Event::NewTransactions(txs) => {
-                self.base.add_transactions(txs);
+                self.base.add_transactions(txs, &mut out);
                 if self.cfg().is_leader(self.base.cview) && self.in_flight.is_none() {
                     self.propose(&mut out);
                 }

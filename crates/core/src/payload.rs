@@ -1,0 +1,273 @@
+//! The payload plane: Narwhal-style batch dissemination decoupled from
+//! proposals.
+//!
+//! With [`crate::Config::dissemination`] on, a replica seals admitted
+//! transactions into digest-addressed batches, pushes each batch to all
+//! peers (`PAYLOAD-PUSH`), and collects availability acknowledgements
+//! (`PAYLOAD-ACK`). Once `n − f` replicas — the pusher included — hold
+//! a batch, its digest is *ready*: a leader proposes the digest instead
+//! of the batch, shrinking its egress per committed transaction from
+//! O(batch) to O(digest). A replica that receives a digest it cannot
+//! resolve fetches it (`PAYLOAD-REQUEST` / `PAYLOAD-RESPONSE`) — the
+//! fallback that keeps the digest path safe when a push was lost.
+//!
+//! This module tracks only availability bookkeeping; the consensus
+//! protocols decide when to seal and what to propose.
+
+use marlin_types::{Batch, BatchId, Message, MsgBody, ReplicaId};
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// Resolved batches kept around for digest proposals and fetch serving,
+/// beyond the ones still sealed or ready (which are never evicted).
+const STORE_CAP: usize = 128;
+
+/// What [`PayloadPlane::handle`] did with a message.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum PayloadOutcome {
+    /// Not a payload-plane message; the caller keeps dispatching.
+    NotPayload,
+    /// Consumed with no protocol-visible state change.
+    Consumed,
+    /// A fetched batch arrived: digest proposals buffered on this
+    /// digest can now be replayed.
+    Resolved(BatchId),
+    /// One of our sealed batches reached its availability quorum; a
+    /// leader with nothing in flight should propose.
+    QuorumReached,
+}
+
+/// Per-replica payload-plane state. Inert (and empty) unless
+/// dissemination is enabled.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct PayloadPlane {
+    /// Digest-addressed batches this replica holds (own and pushed).
+    store: HashMap<BatchId, Batch>,
+    /// Insertion order of `store`, for FIFO eviction.
+    order: VecDeque<BatchId>,
+    /// Own sealed batches awaiting their availability quorum: which
+    /// replicas acked (the pusher self-acks at seal time).
+    sealed: HashMap<BatchId, HashSet<ReplicaId>>,
+    /// Seal order, so digests are proposed in the order clients
+    /// submitted their transactions.
+    sealed_order: VecDeque<BatchId>,
+    /// Own quorum-acked digests, ready to propose (FIFO).
+    ready: VecDeque<BatchId>,
+}
+
+impl PayloadPlane {
+    /// The batch behind `digest`, if this replica holds it.
+    pub fn batch(&self, digest: &BatchId) -> Option<&Batch> {
+        self.store.get(digest)
+    }
+
+    /// Whether any sealed batch is awaiting its quorum or a ready
+    /// digest is awaiting proposal.
+    pub fn has_work(&self) -> bool {
+        !self.sealed.is_empty() || !self.ready.is_empty()
+    }
+
+    /// Sealed batches in flight (pushed, not yet proposed).
+    pub fn in_flight(&self) -> usize {
+        self.sealed.len() + self.ready.len()
+    }
+
+    /// The next quorum-acked digest to propose, if any.
+    pub fn pop_ready(&mut self) -> Option<BatchId> {
+        self.ready.pop_front()
+    }
+
+    /// Records a locally sealed batch: stores it, self-acks, and
+    /// starts waiting for peer acks. The caller broadcasts the push.
+    pub fn seal(&mut self, digest: BatchId, batch: Batch, me: ReplicaId) {
+        self.insert(digest, batch);
+        self.sealed.entry(digest).or_default().insert(me);
+        self.sealed_order.push_back(digest);
+    }
+
+    /// Stores a batch under its digest, evicting the oldest evictable
+    /// entry over capacity. Sealed and ready digests are pinned: they
+    /// are needed verbatim for an upcoming proposal.
+    fn insert(&mut self, digest: BatchId, batch: Batch) {
+        if self.store.insert(digest, batch).is_none() {
+            self.order.push_back(digest);
+        }
+        while self.order.len() > STORE_CAP {
+            let Some(idx) = self
+                .order
+                .iter()
+                .position(|d| !self.sealed.contains_key(d) && !self.ready.contains(d))
+            else {
+                break;
+            };
+            let evict = self.order.remove(idx).expect("index in range");
+            self.store.remove(&evict);
+        }
+    }
+
+    /// Records `from`'s ack for `digest`; returns `true` when this ack
+    /// completes the availability quorum and moves the digest to ready.
+    pub fn ack(&mut self, digest: BatchId, from: ReplicaId, quorum: usize) -> bool {
+        let Some(acks) = self.sealed.get_mut(&digest) else {
+            return false; // unknown or already-ready digest: stale ack
+        };
+        acks.insert(from);
+        if acks.len() < quorum {
+            return false;
+        }
+        self.sealed.remove(&digest);
+        self.sealed_order.retain(|d| d != &digest);
+        self.ready.push_back(digest);
+        true
+    }
+
+    /// Handles the four payload-plane messages. `me` filters loopback
+    /// copies of our own broadcasts; `quorum` is `n − f`.
+    pub fn handle(
+        &mut self,
+        msg: &Message,
+        me: ReplicaId,
+        quorum: usize,
+        reply: &mut Vec<(ReplicaId, MsgBody)>,
+    ) -> PayloadOutcome {
+        match &msg.body {
+            MsgBody::PayloadPush { digest, batch } => {
+                if msg.from != me && batch.digest() == *digest {
+                    self.insert(*digest, batch.clone());
+                    reply.push((msg.from, MsgBody::PayloadAck { digest: *digest }));
+                }
+                PayloadOutcome::Consumed
+            }
+            MsgBody::PayloadAck { digest } => {
+                if self.ack(*digest, msg.from, quorum) {
+                    PayloadOutcome::QuorumReached
+                } else {
+                    PayloadOutcome::Consumed
+                }
+            }
+            MsgBody::PayloadRequest { digest } => {
+                reply.push((
+                    msg.from,
+                    MsgBody::PayloadResponse {
+                        digest: *digest,
+                        batch: self.store.get(digest).cloned(),
+                    },
+                ));
+                PayloadOutcome::Consumed
+            }
+            MsgBody::PayloadResponse { digest, batch } => match batch {
+                Some(b) if b.digest() == *digest && !self.store.contains_key(digest) => {
+                    self.insert(*digest, b.clone());
+                    PayloadOutcome::Resolved(*digest)
+                }
+                _ => PayloadOutcome::Consumed,
+            },
+            _ => PayloadOutcome::NotPayload,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use marlin_types::{Transaction, View};
+
+    fn batch(tag: u8) -> Batch {
+        (0..3)
+            .map(|i| Transaction::new(u64::from(tag) << 8 | i, 0, Bytes::from(vec![tag; 4]), 0))
+            .collect()
+    }
+
+    fn push(from: u32, b: &Batch) -> Message {
+        Message::new(
+            ReplicaId(from),
+            View(1),
+            MsgBody::PayloadPush {
+                digest: b.digest(),
+                batch: b.clone(),
+            },
+        )
+    }
+
+    #[test]
+    fn push_is_stored_and_acked() {
+        let mut p = PayloadPlane::default();
+        let b = batch(1);
+        let mut reply = Vec::new();
+        let out = p.handle(&push(2, &b), ReplicaId(0), 3, &mut reply);
+        assert_eq!(out, PayloadOutcome::Consumed);
+        assert_eq!(p.batch(&b.digest()), Some(&b));
+        assert!(
+            matches!(reply.as_slice(), [(ReplicaId(2), MsgBody::PayloadAck { digest })] if *digest == b.digest())
+        );
+    }
+
+    #[test]
+    fn lying_digest_is_dropped_without_ack() {
+        let mut p = PayloadPlane::default();
+        let b = batch(1);
+        let lie = Message::new(
+            ReplicaId(2),
+            View(1),
+            MsgBody::PayloadPush {
+                digest: batch(9).digest(),
+                batch: b.clone(),
+            },
+        );
+        let mut reply = Vec::new();
+        p.handle(&lie, ReplicaId(0), 3, &mut reply);
+        assert!(reply.is_empty());
+        assert!(p.batch(&b.digest()).is_none());
+    }
+
+    #[test]
+    fn quorum_of_acks_readies_the_digest() {
+        let mut p = PayloadPlane::default();
+        let b = batch(1);
+        let d = b.digest();
+        p.seal(d, b, ReplicaId(0)); // self-ack = 1
+        assert!(p.has_work());
+        assert!(!p.ack(d, ReplicaId(1), 3));
+        assert!(p.ack(d, ReplicaId(2), 3));
+        assert_eq!(p.pop_ready(), Some(d));
+        assert_eq!(p.pop_ready(), None);
+        assert!(!p.has_work());
+        // Acks after the quorum (or for foreign digests) are stale.
+        assert!(!p.ack(d, ReplicaId(3), 3));
+    }
+
+    #[test]
+    fn request_is_served_and_response_resolves() {
+        let mut holder = PayloadPlane::default();
+        let b = batch(1);
+        let d = b.digest();
+        holder.seal(d, b.clone(), ReplicaId(1));
+        let req = Message::new(ReplicaId(0), View(1), MsgBody::PayloadRequest { digest: d });
+        let mut reply = Vec::new();
+        holder.handle(&req, ReplicaId(1), 3, &mut reply);
+        let (to, body) = reply.pop().expect("served");
+        assert_eq!(to, ReplicaId(0));
+
+        let mut fetcher = PayloadPlane::default();
+        let resp = Message::new(ReplicaId(1), View(1), body);
+        let out = fetcher.handle(&resp, ReplicaId(0), 3, &mut Vec::new());
+        assert_eq!(out, PayloadOutcome::Resolved(d));
+        assert_eq!(fetcher.batch(&d), Some(&b));
+    }
+
+    #[test]
+    fn eviction_spares_sealed_and_ready_batches() {
+        let mut p = PayloadPlane::default();
+        let pinned = batch(0);
+        p.seal(pinned.digest(), pinned.clone(), ReplicaId(0));
+        for tag in 1..=255u8 {
+            let b = batch(tag);
+            let mut reply = Vec::new();
+            p.handle(&push(1, &b), ReplicaId(0), 3, &mut reply);
+        }
+        assert!(p.store.len() <= STORE_CAP + 1);
+        assert_eq!(p.batch(&pinned.digest()), Some(&pinned));
+        // The oldest unpinned batch was evicted.
+        assert!(p.batch(&batch(1).digest()).is_none());
+    }
+}

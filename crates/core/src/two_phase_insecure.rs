@@ -378,6 +378,10 @@ impl Protocol for TwoPhaseInsecure {
         &self.base.store
     }
 
+    fn mempool_len(&self) -> usize {
+        self.base.mempool.len()
+    }
+
     fn maintain_crypto(&mut self, max_verified: usize) -> crate::CryptoCacheStats {
         self.base.maintain_crypto(max_verified)
     }
@@ -411,7 +415,7 @@ impl Protocol for TwoPhaseInsecure {
                 }
             }
             Event::NewTransactions(txs) => {
-                self.base.add_transactions(txs);
+                self.base.add_transactions(txs, &mut out);
                 if self.cfg().is_leader(self.base.cview) && self.in_flight.is_none() {
                     self.propose(&mut out);
                 }

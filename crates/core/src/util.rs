@@ -5,9 +5,11 @@ use crate::config::Config;
 use crate::crypto_ctx::{CryptoCacheStats, CryptoCtx};
 use crate::events::{Action, Event, Note, StepOutput};
 use crate::pacemaker::Pacemaker;
+use crate::payload::{PayloadOutcome, PayloadPlane};
+use marlin_mempool::{Mempool, MempoolConfig};
 use marlin_types::{
-    Batch, Block, BlockId, BlockStore, CommitError, Message, MsgBody, Qc, ReplicaId, Transaction,
-    View,
+    Batch, BatchId, Block, BlockId, BlockStore, CommitError, Message, MsgBody, Qc, ReplicaId,
+    Transaction, View,
 };
 use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 
@@ -32,6 +34,13 @@ pub trait Protocol {
     /// committed chain; the default is lock-free.
     fn locked_qc(&self) -> Option<&Qc> {
         None
+    }
+
+    /// Transactions currently resident in the replica's mempool.
+    /// Exposed so overload campaigns can assert memory boundedness;
+    /// wrapper shims delegate to the wrapped replica.
+    fn mempool_len(&self) -> usize {
+        0
     }
 
     /// Handles one event. Drivers should call [`Protocol::step`] instead.
@@ -105,7 +114,10 @@ pub(crate) struct Base {
     pub store: BlockStore,
     pub pacemaker: Pacemaker,
     pub cview: View,
-    pub mempool: VecDeque<Transaction>,
+    pub mempool: Mempool,
+    /// Payload-dissemination bookkeeping; empty unless
+    /// `cfg.dissemination` (see [`crate::payload`]).
+    pub(crate) payloads: PayloadPlane,
     /// Messages for views we have not entered yet.
     pending_msgs: BTreeMap<View, Vec<Message>>,
     /// Commit certificates whose chains have missing blocks.
@@ -130,13 +142,18 @@ impl Base {
     pub fn new(cfg: Config) -> Self {
         let crypto = CryptoCtx::new(&cfg);
         let pacemaker = Pacemaker::new(&cfg);
+        let mempool = Mempool::new(MempoolConfig {
+            capacity: cfg.mempool_capacity,
+            priority_fee_threshold: cfg.priority_fee_threshold,
+        });
         Base {
             cfg,
             crypto,
             store: BlockStore::new(),
             pacemaker,
             cview: View::GENESIS,
-            mempool: VecDeque::new(),
+            mempool,
+            payloads: PayloadPlane::default(),
             pending_msgs: BTreeMap::new(),
             pending_commits: Vec::new(),
             fetching: HashMap::new(),
@@ -229,13 +246,127 @@ impl Base {
 
     /// Drains up to `batch_size` transactions for a new proposal.
     pub fn take_batch(&mut self) -> Batch {
-        let take = self.mempool.len().min(self.cfg.batch_size);
-        self.mempool.drain(..take).collect()
+        self.mempool.take(self.cfg.batch_size).into_iter().collect()
     }
 
-    /// Adds transactions to the mempool.
-    pub fn add_transactions(&mut self, txs: Vec<Transaction>) {
-        self.mempool.extend(txs);
+    /// Offers transactions to the mempool under its admission rules
+    /// (dedup, capacity, fee lanes). With any mempool knob configured,
+    /// the admission outcome is emitted as a note — legacy
+    /// configurations stay note-free so their deterministic traces are
+    /// byte-identical to before admission control existed.
+    pub fn add_transactions(&mut self, txs: Vec<Transaction>, out: &mut StepOutput) {
+        let before = self.mempool.stats();
+        for tx in txs {
+            self.mempool.admit(tx);
+        }
+        if !self.cfg.mempool_configured() {
+            return;
+        }
+        let after = self.mempool.stats();
+        out.actions.push(Action::Note(Note::MempoolAdmission {
+            admitted: (after.admitted - before.admitted) as usize,
+            duplicates: (after.duplicates - before.duplicates) as usize,
+            rejected: (after.rejected_full - before.rejected_full) as usize,
+            priority: (after.priority_admitted - before.priority_admitted) as usize,
+        }));
+    }
+
+    /// Whether a proposer has anything to propose: resident mempool
+    /// transactions, or payload batches in flight on the dissemination
+    /// plane (sealed awaiting their quorum, or ready digests).
+    pub fn work_pending(&self) -> bool {
+        !self.mempool.is_empty() || self.payloads.has_work()
+    }
+
+    /// Seals mempool transactions into digest-addressed batches and
+    /// pushes them to all replicas, up to the dissemination window.
+    /// No-op unless `cfg.dissemination`.
+    pub fn seal_payloads(&mut self, out: &mut StepOutput) {
+        if !self.cfg.dissemination {
+            return;
+        }
+        while !self.mempool.is_empty() && self.payloads.in_flight() < self.cfg.dissemination_window
+        {
+            let batch = self.take_batch();
+            let digest = batch.digest();
+            self.crypto.charge_hash(batch.wire_len());
+            out.actions.push(Action::Note(Note::PayloadPushed {
+                batch: digest,
+                txs: batch.len(),
+                bytes: batch.wire_len(),
+            }));
+            out.actions.push(Action::Broadcast {
+                message: Message::new(
+                    self.cfg.id,
+                    self.cview,
+                    MsgBody::PayloadPush {
+                        digest,
+                        batch: batch.clone(),
+                    },
+                ),
+            });
+            self.payloads.seal(digest, batch, self.cfg.id);
+        }
+    }
+
+    /// The batch behind a proposed digest, if resident.
+    pub fn payload_batch(&self, digest: &BatchId) -> Option<Batch> {
+        self.payloads.batch(digest).cloned()
+    }
+
+    /// The next quorum-acked digest to propose, if any.
+    pub fn pop_ready_payload(&mut self) -> Option<BatchId> {
+        self.payloads.pop_ready()
+    }
+
+    /// Requests a missing payload batch from `source` (the proposer).
+    pub fn request_payload(&mut self, digest: BatchId, source: ReplicaId, out: &mut StepOutput) {
+        out.actions.push(Action::Send {
+            to: source,
+            message: Message::new(self.cfg.id, self.cview, MsgBody::PayloadRequest { digest }),
+        });
+    }
+
+    /// Handles the payload-plane messages shared by all protocols (push,
+    /// ack, fetch). Returns [`PayloadOutcome::NotPayload`] for anything
+    /// else; see the other variants for the protocol-visible effects.
+    pub(crate) fn handle_payload(&mut self, msg: &Message, out: &mut StepOutput) -> PayloadOutcome {
+        let mut reply = Vec::new();
+        let outcome = self
+            .payloads
+            .handle(msg, self.cfg.id, self.cfg.quorum(), &mut reply);
+        match &msg.body {
+            // Receiving a push costs a digest check over the batch.
+            MsgBody::PayloadPush { batch, .. } if msg.from != self.cfg.id => {
+                self.crypto.charge_hash(batch.wire_len());
+            }
+            MsgBody::PayloadResponse {
+                batch: Some(batch), ..
+            } => {
+                self.crypto.charge_hash(batch.wire_len());
+            }
+            _ => {}
+        }
+        for (to, body) in reply {
+            out.actions.push(Action::Send {
+                to,
+                message: Message::new(self.cfg.id, self.cview, body),
+            });
+        }
+        match outcome {
+            PayloadOutcome::QuorumReached => {
+                if let MsgBody::PayloadAck { digest } = &msg.body {
+                    out.actions
+                        .push(Action::Note(Note::PayloadQuorum { batch: *digest }));
+                }
+            }
+            PayloadOutcome::Resolved(digest) => {
+                out.actions
+                    .push(Action::Note(Note::PayloadFetched { batch: digest }));
+            }
+            _ => {}
+        }
+        outcome
     }
 
     /// Attempts to commit the chain certified by `qc`, fetching missing
@@ -435,10 +566,35 @@ mod tests {
     fn take_batch_respects_batch_size() {
         let mut b = base();
         b.cfg.batch_size = 3;
-        b.add_transactions((0..10).map(tx).collect());
+        let mut out = StepOutput::empty();
+        b.add_transactions((1..=10).map(tx).collect(), &mut out);
+        // Legacy configuration: admission emits no note.
+        assert_eq!(out.notes().count(), 0);
         let batch = b.take_batch();
         assert_eq!(batch.len(), 3);
         assert_eq!(b.mempool.len(), 7);
+    }
+
+    #[test]
+    fn configured_mempool_reports_admission() {
+        let mut b = base();
+        b.cfg.mempool_capacity = 2;
+        b.mempool = Mempool::new(MempoolConfig {
+            capacity: 2,
+            priority_fee_threshold: 0,
+        });
+        let mut out = StepOutput::empty();
+        b.add_transactions(vec![tx(1), tx(1), tx(2), tx(3)], &mut out);
+        let note = out.notes().next().expect("admission note");
+        assert!(matches!(
+            note,
+            Note::MempoolAdmission {
+                admitted: 2,
+                duplicates: 1,
+                rejected: 1,
+                priority: 0,
+            }
+        ));
     }
 
     #[test]

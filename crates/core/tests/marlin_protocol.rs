@@ -460,3 +460,98 @@ fn catch_up_responses_resynchronize_a_lagging_replica() {
         out.actions
     );
 }
+
+/// With decoupled dissemination enabled, the leader pushes batches as
+/// digest-addressed payloads ahead of consensus and the prepare phase
+/// carries only `DIGEST-PROPOSAL` messages — no full-batch `PROPOSAL`
+/// ever crosses the wire, yet every replica commits the payload.
+#[test]
+fn dissemination_commits_via_digest_proposals() {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    let mut cfg = Config::for_test(4, 1);
+    cfg.dissemination = true;
+    let mut cl = Cluster::new(ProtocolKind::Marlin, cfg, 21);
+
+    let digest_proposals = Arc::new(AtomicUsize::new(0));
+    let full_prepare_proposals = Arc::new(AtomicUsize::new(0));
+    let (d, p) = (
+        Arc::clone(&digest_proposals),
+        Arc::clone(&full_prepare_proposals),
+    );
+    cl.set_filter(Box::new(move |_from, _to, msg: &Message| {
+        match &msg.body {
+            MsgBody::DigestProposal { .. } => {
+                d.fetch_add(1, Ordering::Relaxed);
+            }
+            MsgBody::Proposal(prop)
+                if prop.phase == Phase::Prepare
+                    && prop.blocks.iter().any(|b| !b.payload().is_empty()) =>
+            {
+                p.fetch_add(1, Ordering::Relaxed);
+            }
+            _ => {}
+        }
+        true // observe only, drop nothing
+    }));
+
+    cl.submit_to(P1, 60, 150);
+    cl.run_until_idle();
+    cl.assert_consistent();
+    for replica in [P0, P1, P2, P3] {
+        assert_eq!(cl.total_committed_txs(replica), 60, "{replica}");
+    }
+    assert!(
+        digest_proposals.load(Ordering::Relaxed) > 0,
+        "payload batches should be proposed by digest"
+    );
+    assert_eq!(
+        full_prepare_proposals.load(Ordering::Relaxed),
+        0,
+        "no full-batch prepare proposal should cross the wire"
+    );
+    // The payload plane reported its lifecycle: pushes and ack quorums.
+    let pushed = cl
+        .notes()
+        .iter()
+        .filter(|(_, n)| matches!(n, Note::PayloadPushed { .. }))
+        .count();
+    let quorums = cl
+        .notes()
+        .iter()
+        .filter(|(_, n)| matches!(n, Note::PayloadQuorum { .. }))
+        .count();
+    assert!(pushed > 0, "expected PayloadPushed notes");
+    assert!(quorums > 0, "expected PayloadQuorum notes");
+}
+
+/// A replica that missed the payload push still follows the chain: it
+/// buffers the digest proposal, fetches the batch from the proposer by
+/// digest, and commits the same payload as everyone else.
+#[test]
+fn dissemination_fetch_fallback_recovers_missing_payload() {
+    let mut cfg = Config::for_test(4, 1);
+    cfg.dissemination = true;
+    let mut cl = Cluster::new(ProtocolKind::Marlin, cfg, 22);
+
+    // p3 never receives the payload push; acks from p0/p1/p2 (plus the
+    // leader's own) still clear the availability quorum of n - f = 3.
+    cl.set_filter(Box::new(|_from, to, msg: &Message| {
+        !(to == P3 && matches!(&msg.body, MsgBody::PayloadPush { .. }))
+    }));
+    cl.submit_to(P1, 40, 150);
+    cl.run_until_idle();
+    cl.clear_filter();
+    cl.run_until_idle();
+    cl.assert_consistent();
+    for replica in [P0, P1, P2, P3] {
+        assert_eq!(cl.total_committed_txs(replica), 40, "{replica}");
+    }
+    assert!(
+        cl.notes()
+            .iter()
+            .any(|(id, n)| *id == P3 && matches!(n, Note::PayloadFetched { .. })),
+        "p3 should have fetched the missing batch by digest"
+    );
+}

@@ -1,0 +1,178 @@
+//! Property tests for the mempool's three contracts: deduplication,
+//! per-client monotone sequencing, and priority-lane ordering — driven
+//! by randomized multi-client submission schedules with replays,
+//! reorders, and capacity pressure.
+
+use bytes::Bytes;
+use marlin_mempool::{Admission, Mempool, MempoolConfig};
+use marlin_types::Transaction;
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+/// SplitMix64, so one `u64` seed drives a whole schedule (the vendored
+/// proptest draws only flat tuples).
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+fn tx(client: u32, seq: u32, fee: u8) -> Transaction {
+    let id = (u64::from(client) << 32) | u64::from(seq);
+    Transaction::new(id, client, Bytes::from(vec![fee, 0, 0]), 0)
+}
+
+/// Runs a randomized schedule of submissions (fresh, replayed, and
+/// occasionally drained) and checks every invariant after every step.
+fn run_schedule(seed: u64, steps: usize, capacity: usize, threshold: u8) {
+    let mut rng = Rng(seed);
+    let mut mp = Mempool::new(MempoolConfig {
+        capacity,
+        priority_fee_threshold: threshold,
+    });
+    const CLIENTS: u32 = 5;
+    let mut next_seq = [1u32; CLIENTS as usize];
+    let mut ever_admitted: HashSet<u64> = HashSet::new();
+    let mut drained: Vec<Transaction> = Vec::new();
+
+    for _ in 0..steps {
+        let r = rng.next();
+        let client = (r % u64::from(CLIENTS)) as u32;
+        match (r >> 8) % 10 {
+            // Mostly: submit this client's next fresh sequence.
+            0..=5 => {
+                let seq = next_seq[client as usize];
+                let fee = (r >> 16) as u8;
+                let t = tx(client, seq, fee);
+                match mp.admit(t.clone()) {
+                    Admission::Admitted => {
+                        assert!(
+                            ever_admitted.insert(t.id),
+                            "admitted the same id twice: {t:?}"
+                        );
+                        next_seq[client as usize] = seq + 1;
+                    }
+                    Admission::Full => {
+                        assert!(capacity > 0 && mp.len() >= capacity, "spurious Full");
+                        // Full is transient: the id was not burned, so
+                        // the client retries the same seq later.
+                    }
+                    Admission::Duplicate => panic!("fresh seq {seq} rejected as duplicate"),
+                }
+            }
+            // Replay an already-used sequence: must never be admitted.
+            6..=7 => {
+                let used = next_seq[client as usize].saturating_sub(1);
+                if used == 0 {
+                    continue;
+                }
+                let seq = ((r >> 16) % u64::from(used)) as u32 + 1;
+                assert_eq!(
+                    mp.admit(tx(client, seq, (r >> 24) as u8)),
+                    Admission::Duplicate,
+                    "replayed c{client}/s{seq} slipped through"
+                );
+            }
+            // Drain a batch.
+            _ => {
+                let batch = mp.take((r >> 16) as usize % 8 + 1);
+                drained.extend(batch);
+            }
+        }
+        if capacity > 0 {
+            assert!(mp.len() <= capacity, "capacity bound violated");
+        }
+    }
+    drained.extend(mp.take(usize::MAX));
+
+    // Exactly-once: everything drained was admitted exactly once.
+    let mut seen = HashSet::new();
+    for t in &drained {
+        assert!(seen.insert(t.id), "drained {t:?} twice");
+        assert!(ever_admitted.contains(&t.id));
+    }
+    assert_eq!(seen.len(), ever_admitted.len(), "admitted tx lost");
+
+    // Per-client order: sequences appear in strictly increasing order
+    // within each (client, lane) stream. Across lanes a high-fee later
+    // seq may overtake, so compare within the lane classification.
+    for lane_priority in [false, true] {
+        for client in 0..CLIENTS {
+            let seqs: Vec<u32> = drained
+                .iter()
+                .filter(|t| {
+                    t.client_of_id() == client
+                        && (threshold > 0 && t.fee() >= threshold) == lane_priority
+                })
+                .map(Transaction::seq_of_id)
+                .collect();
+            assert!(
+                seqs.windows(2).all(|w| w[0] < w[1]),
+                "client {client} lane order broken: {seqs:?}"
+            );
+        }
+    }
+}
+
+/// Priority-lane ordering on a drained prefix: every priority tx
+/// admitted before a `take` drains ahead of every normal tx.
+fn run_priority_schedule(seed: u64, rounds: usize) {
+    let mut rng = Rng(seed);
+    let threshold = 100u8;
+    let mut mp = Mempool::new(MempoolConfig {
+        capacity: 0,
+        priority_fee_threshold: threshold,
+    });
+    let mut seq = 1u32;
+    for _ in 0..rounds {
+        let n = rng.next() % 12 + 1;
+        for _ in 0..n {
+            let fee = (rng.next() % 256) as u8;
+            mp.admit(tx(1, seq, fee));
+            seq += 1;
+        }
+        let batch = mp.take((rng.next() % 16) as usize);
+        // No normal tx may precede a priority tx in one drain.
+        let first_normal = batch.iter().position(|t| t.fee() < threshold);
+        if let Some(i) = first_normal {
+            assert!(
+                batch[i..].iter().all(|t| t.fee() < threshold),
+                "normal tx drained before priority tx: {batch:?}"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Unbounded pool: dedup + sequencing + exactly-once drain.
+    #[test]
+    fn unbounded_schedules_hold_invariants(seed in 0u64..1_000_000_000, steps in 16usize..400) {
+        run_schedule(seed, steps, 0, 0);
+    }
+
+    /// Bounded pool with fee lanes: the capacity bound holds, Full is
+    /// transient, and lane-local ordering survives overload.
+    #[test]
+    fn bounded_schedules_hold_invariants(
+        seed in 0u64..1_000_000_000,
+        steps in 16usize..400,
+        capacity in 1usize..32,
+        threshold in 0u8..=255,
+    ) {
+        run_schedule(seed, steps, capacity, threshold);
+    }
+
+    /// Priority lane strictly precedes the normal lane in every drain.
+    #[test]
+    fn priority_drains_first(seed in 0u64..1_000_000_000, rounds in 1usize..64) {
+        run_priority_schedule(seed, rounds);
+    }
+}

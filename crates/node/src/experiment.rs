@@ -54,6 +54,18 @@ pub struct ExperimentConfig {
     /// Size of each replica's simulated crypto worker pool; `1` means
     /// inline synchronous verification (the legacy CPU model).
     pub crypto_workers: usize,
+    /// Per-replica mempool capacity; `0` = legacy unbounded queue.
+    pub mempool_capacity: usize,
+    /// Fee threshold for the mempool priority lane; `0` = off.
+    pub priority_fee_threshold: u8,
+    /// Decoupled digest dissemination (batches pushed ahead of
+    /// proposals; proposals carry digests). Marlin only; off = legacy.
+    pub dissemination: bool,
+    /// Max payload batches sealed but not yet proposed (dissemination
+    /// pipelining depth). Two fills the push pipe; deeper windows seal
+    /// batches long before their proposal slot, which only adds queueing
+    /// latency and displaces measured-window capacity under overload.
+    pub dissemination_window: usize,
 }
 
 impl ExperimentConfig {
@@ -79,6 +91,10 @@ impl ExperimentConfig {
             closed_loop_clients: None,
             batch_verify: true,
             crypto_workers: 4,
+            mempool_capacity: 0,
+            priority_fee_threshold: 0,
+            dissemination: false,
+            dissemination_window: 2,
         }
     }
 
@@ -110,6 +126,10 @@ impl ExperimentConfig {
             sync_snapshot_interval: 0,
             sync_range_size: 16,
             sync_lag_threshold: 64,
+            mempool_capacity: self.mempool_capacity,
+            priority_fee_threshold: self.priority_fee_threshold,
+            dissemination: self.dissemination,
+            dissemination_window: self.dissemination_window,
         }
     }
 
@@ -235,13 +255,26 @@ fn run_inner(
     sim.run_until(total_ns + 500_000_000);
 
     let notes = sim.notes().to_vec();
+    let proposal_wire_bytes = sim
+        .accounting()
+        .class(marlin_simnet::MsgClass::Proposal(
+            marlin_types::Phase::Prepare,
+        ))
+        .bytes;
+    let payload_wire_bytes = sim
+        .accounting()
+        .class(marlin_simnet::MsgClass::Payload)
+        .bytes;
     drop(sim.take_observer());
     let sink = sim.take_telemetry();
     let stats = Arc::try_unwrap(stats)
         .unwrap_or_else(|_| panic!("simulation retained its observer handle"))
         .into_inner()
         .expect("single-threaded");
-    (stats.into_metrics(cfg.duration_ns, &notes), sink)
+    let mut metrics = stats.into_metrics(cfg.duration_ns, &notes);
+    metrics.proposal_wire_bytes = proposal_wire_bytes;
+    metrics.payload_wire_bytes = payload_wire_bytes;
+    (metrics, sink)
 }
 
 /// Shares a [`Stats`] collector between the simulation (as observer)

@@ -98,6 +98,10 @@ impl Protocol for ReplicaHost {
         self.inner.store()
     }
 
+    fn mempool_len(&self) -> usize {
+        self.inner.mempool_len()
+    }
+
     fn name(&self) -> &'static str {
         self.inner.name()
     }

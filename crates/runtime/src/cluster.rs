@@ -80,6 +80,13 @@ pub struct ClusterConfig {
     pub event_queue_depth: usize,
     /// Depth of each node's ingress → decode raw-frame queue.
     pub raw_queue_depth: usize,
+    /// Per-replica mempool capacity; `0` = legacy unbounded queue.
+    pub mempool_capacity: usize,
+    /// Fee threshold of the mempool priority lane; `0` = off.
+    pub priority_fee_threshold: u8,
+    /// Decoupled digest dissemination: batches pushed ahead of
+    /// proposals, proposals carry digests (Marlin only).
+    pub dissemination: bool,
     /// Live-observability plane (per-node registries, scrape endpoints,
     /// flight recorders); `None` runs bare.
     pub observability: Option<ObservabilityConfig>,
@@ -128,6 +135,9 @@ impl ClusterConfig {
             sync_lag_threshold: 64,
             event_queue_depth: DEFAULT_QUEUE_DEPTH,
             raw_queue_depth: DEFAULT_QUEUE_DEPTH,
+            mempool_capacity: 0,
+            priority_fee_threshold: 0,
+            dissemination: false,
             observability: None,
         }
     }
@@ -171,6 +181,9 @@ impl RuntimeCluster {
             c.base_timeout_ns = cfg.base_timeout.as_nanos() as u64;
             c.sync_snapshot_interval = cfg.sync_snapshot_interval;
             c.sync_lag_threshold = cfg.sync_lag_threshold;
+            c.mempool_capacity = cfg.mempool_capacity;
+            c.priority_fee_threshold = cfg.priority_fee_threshold;
+            c.dissemination = cfg.dissemination;
             c
         };
 

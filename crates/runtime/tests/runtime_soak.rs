@@ -190,3 +190,57 @@ fn hotstuff_runs_without_journal_support() {
     cluster.check_prefix_consistency().expect("no divergence");
     cluster.shutdown();
 }
+
+#[test]
+fn dissemination_soak_commits_with_bounded_mempool() {
+    // The client path end-to-end on real threads: bounded admission in
+    // front of the core, batches pushed ahead of proposals as
+    // digest-addressed payloads, digest proposals on the wire. The
+    // cluster must commit and agree exactly as with inline batches,
+    // and the observability plane must show the payload plane working
+    // (pushes, ack quorums) and admission accounting for every
+    // submitted transaction.
+    use marlin_runtime::ObservabilityConfig;
+
+    let mut cfg = ClusterConfig::new(ProtocolKind::Marlin, 4, 1);
+    cfg.mempool_capacity = 4096;
+    cfg.dissemination = true;
+    cfg.observability = Some(ObservabilityConfig {
+        scrape: false,
+        flight_capacity: 0,
+        ..ObservabilityConfig::default()
+    });
+    let mut cluster = RuntimeCluster::launch(cfg, None).expect("launch");
+    assert!(
+        drive(&mut cluster, 120, Duration::from_secs(30)),
+        "dissemination cluster failed to commit 120 blocks in time"
+    );
+    let prefix = cluster.check_prefix_consistency().expect("no divergence");
+    assert!(prefix >= 120, "shortest commit log only {prefix} blocks");
+    for i in 0..4 {
+        assert_eq!(cluster.status(i).decode_errors(), 0, "replica {i}");
+        assert!(cluster.status(i).committed_txs() > 0, "replica {i}");
+    }
+    let count = |i: usize, name: &str| {
+        cluster
+            .registry(i)
+            .expect("registry")
+            .counter_with(name, &[])
+            .get()
+    };
+    // Some leader pushed payloads and saw them reach an ack quorum.
+    let pushed: u64 = (0..4)
+        .map(|i| count(i, "consensus_payload_pushed_total"))
+        .sum();
+    let quorums: u64 = (0..4)
+        .map(|i| count(i, "consensus_payload_quorum_total"))
+        .sum();
+    assert!(pushed > 0, "no payload batches were pushed");
+    assert!(quorums > 0, "no payload batch reached an ack quorum");
+    // Every submitted transaction went through admission accounting.
+    let admitted: u64 = (0..4)
+        .map(|i| count(i, "consensus_mempool_admitted_total"))
+        .sum();
+    assert!(admitted > 0, "admission counters never moved");
+    cluster.shutdown();
+}

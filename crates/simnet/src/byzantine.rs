@@ -348,6 +348,10 @@ impl Protocol for ByzantineReplica {
         self.inner.store()
     }
 
+    fn mempool_len(&self) -> usize {
+        self.inner.mempool_len()
+    }
+
     fn name(&self) -> &'static str {
         self.inner.name()
     }

@@ -69,8 +69,16 @@ pub struct Scenario {
     /// Commit-height lag that triggers a sync run
     /// (`Config::sync_lag_threshold`); only read when sync is enabled.
     pub sync_lag_threshold: u64,
+    /// Per-replica mempool capacity (`Config::mempool_capacity`); 0
+    /// keeps the legacy unbounded queue and the cell bit-identical to
+    /// the pre-mempool campaign.
+    pub mempool_capacity: usize,
     /// Client batch interval (batches follow the current leader).
     pub batch_every_ns: u64,
+    /// Transactions per client batch.
+    pub batch_txs: usize,
+    /// Payload bytes per transaction.
+    pub payload_len: usize,
     /// When the schedule stops interfering; the liveness invariant
     /// requires commits to resume after this point. Client batches also
     /// stop here, but heartbeat-driven empty blocks keep committing.
@@ -92,7 +100,10 @@ impl Scenario {
             disk_tears: Vec::new(),
             sync_snapshot_interval: 0,
             sync_lag_threshold: 64,
+            mempool_capacity: 0,
             batch_every_ns: 250_000_000,
+            batch_txs: 20,
+            payload_len: 0,
             quiet_ns,
             horizon_ns,
         }
@@ -366,6 +377,36 @@ impl Scenario {
         s
     }
 
+    /// The overload cell: clients flood the leader at several times the
+    /// cluster's drain rate — every batch alone exceeds the mempool
+    /// capacity — while the view-1 leader crashes mid-flood and never
+    /// returns. Admission control must shed the excess (rejections, not
+    /// queue growth), the cluster must keep committing through the
+    /// view change, and no replica's mempool may ever exceed its
+    /// configured capacity.
+    pub fn overload() -> Self {
+        let mut s = Self::base("overload", 4_000_000_000, 7_000_000_000);
+        s.mempool_capacity = 600;
+        s.batch_every_ns = 50_000_000;
+        s.batch_txs = 2_000; // > capacity: every batch trips admission
+        s.payload_len = 150;
+        s.crashes = vec![(ReplicaId(1), 1_500_000_000)];
+        s
+    }
+
+    /// The cold-start join cell: p3 crashes on the very first
+    /// nanosecond — before voting, journaling, or storing anything — so
+    /// it recovers `FromDisk` with an effectively empty disk while the
+    /// trio has committed hundreds of blocks. The rejoin must go
+    /// through a peer's snapshot anchor (bounded catch-up), not a
+    /// genesis replay of the whole chain.
+    pub fn cold_start_join() -> Self {
+        let mut s = Self::long_lag_rejoin();
+        s.name = "cold-start-join";
+        s.crashes = vec![(ReplicaId(3), 1)];
+        s
+    }
+
     /// The crash-restart contrast cells (for the journal-backed
     /// protocols). Kept out of [`Self::all_presets`] because the
     /// amnesia cell is *expected* to violate safety.
@@ -429,6 +470,9 @@ pub struct ScenarioOutcome {
     /// horizon — the journal-GC boundedness measure; 0 when the
     /// scenario runs without durable disks.
     pub max_journal_bytes: u64,
+    /// Largest mempool residency of any honest replica at the horizon —
+    /// the memory-boundedness measure for the overload cells.
+    pub max_mempool_txs: usize,
     /// Deterministic digest of the run (chain, commits, violations).
     pub fingerprint: u64,
 }
@@ -525,6 +569,7 @@ fn run_scenario_inner(
     cfg.base_timeout_ns = 500_000_000;
     cfg.sync_snapshot_interval = scenario.sync_snapshot_interval;
     cfg.sync_lag_threshold = scenario.sync_lag_threshold;
+    cfg.mempool_capacity = scenario.mempool_capacity;
     // Snapshot anchors persist on the same per-replica durable disk as
     // the safety journal; only Marlin initiates sync runs today.
     let snaps_for = |kind: ProtocolKind, disk: &SharedDisk| {
@@ -640,6 +685,10 @@ fn run_scenario_inner(
     // comes first, so flips take effect at their exact schedule time.
     let mut next_batch = 0u64;
     let mut now = 0u64;
+    // Peak mempool residency is sampled at every batch point — i.e. in
+    // the middle of the flood, where an unbounded queue would show —
+    // and once more at the horizon.
+    let mut max_mempool_txs = 0usize;
     while now < scenario.quiet_ns {
         let next_flip_at = flips.get(next_flip).map(|p| p.at_ns).unwrap_or(u64::MAX);
         let target = next_batch.min(next_flip_at).min(scenario.quiet_ns);
@@ -651,8 +700,23 @@ fn run_scenario_inner(
             for i in 0..n {
                 view = view.max(sim.replica(ReplicaId(i as u32)).current_view());
             }
-            sim.schedule_client_batch(ReplicaId::leader_of(view, n), now, 20, 0);
+            sim.schedule_client_batch(
+                ReplicaId::leader_of(view, n),
+                now,
+                scenario.batch_txs,
+                scenario.payload_len,
+            );
             next_batch += scenario.batch_every_ns;
+            // Sample mempool residency a few network hops after the
+            // batch lands — mid-drain, where an unbounded queue shows —
+            // by stepping the simulation slightly past the batch point.
+            // (A second `run_until` over the same window processes the
+            // identical event sequence, so determinism is unaffected.)
+            sim.run_until((now + 500_000).min(scenario.quiet_ns));
+            for i in 0..n {
+                max_mempool_txs =
+                    max_mempool_txs.max(sim.replica(ReplicaId(i as u32)).mempool_len());
+            }
         }
     }
     apply_flips(scenario.quiet_ns, &mut next_flip);
@@ -672,6 +736,7 @@ fn run_scenario_inner(
             max_resident_blocks = max_resident_blocks.max(store.len());
             let tip = (store.committed_offset() + store.committed_chain().len()) as u64 - 1;
             min_honest_tip = min_honest_tip.min(tip);
+            max_mempool_txs = max_mempool_txs.max(rep.mempool_len());
             if with_disks {
                 max_journal_bytes = max_journal_bytes.max(journal_bytes(disk));
             }
@@ -691,6 +756,7 @@ fn run_scenario_inner(
             min_honest_tip
         },
         max_journal_bytes,
+        max_mempool_txs,
         fingerprint: checker.fingerprint(),
     }
 }

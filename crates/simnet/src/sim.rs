@@ -152,6 +152,13 @@ pub struct SimConfig {
     pub shadow_blocks: bool,
     /// RNG seed (jitter and drops).
     pub seed: u64,
+    /// Number of distinct client processes generating the workload.
+    /// `0` keeps the legacy single anonymous stream (client id 0, one
+    /// global id counter); `> 0` round-robins submissions over that
+    /// many clients, packing ids as `client << 32 | seq` with a
+    /// per-client monotone sequence — the convention the mempool's
+    /// dedup and sequencing rules key on.
+    pub clients: u32,
 }
 
 impl SimConfig {
@@ -167,6 +174,7 @@ impl SimConfig {
             drop_rate: 0.0,
             shadow_blocks: true,
             seed: 2022,
+            clients: 0,
         }
     }
 
@@ -180,6 +188,7 @@ impl SimConfig {
             drop_rate: 0.0,
             shadow_blocks: true,
             seed: 7,
+            clients: 0,
         }
     }
 }
@@ -661,12 +670,24 @@ impl SimNet {
             } => {
                 if !self.crashed[to.index()] {
                     let now = self.now_ns;
+                    let clients = u64::from(self.cfg.clients);
                     let txs: Vec<Transaction> = (0..count)
                         .map(|_| {
                             self.next_tx_id += 1;
+                            let (id, client) = if clients > 0 {
+                                // Round-robin client processes with the
+                                // `client << 32 | seq` packing; both
+                                // halves are 1-based so the mempool's
+                                // zero watermark never eats seq 0.
+                                let client = (self.next_tx_id % clients) as u32 + 1;
+                                let seq = (self.next_tx_id / clients) as u32 + 1;
+                                ((u64::from(client) << 32) | u64::from(seq), client)
+                            } else {
+                                (self.next_tx_id, 0)
+                            };
                             Transaction::new(
-                                self.next_tx_id,
-                                0,
+                                id,
+                                client,
                                 bytes::Bytes::from(vec![0u8; payload_len]),
                                 now,
                             )

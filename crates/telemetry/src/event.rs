@@ -10,7 +10,7 @@
 //! registry metrics).
 
 use crate::registry::{Counter, HistogramHandle, Registry};
-use marlin_types::{BlockId, Height, MsgClass, Phase, ReplicaId, View};
+use marlin_types::{BatchId, BlockId, Height, MsgClass, Phase, ReplicaId, View};
 use std::collections::HashMap;
 
 /// Which leader case of the Marlin view-change pre-prepare phase ran
@@ -183,6 +183,43 @@ pub enum Note {
     SyncCompleted {
         /// The committed height at completion.
         height: Height,
+    },
+    /// Admission outcome of one `NewTransactions` delivery (aggregated
+    /// per event, not per transaction).
+    MempoolAdmission {
+        /// Transactions admitted into the pool.
+        admitted: usize,
+        /// Rejected as duplicates (resident or below the client's
+        /// sequence watermark).
+        duplicates: usize,
+        /// Rejected with the transient pool-full backpressure signal.
+        rejected: usize,
+        /// Of the admitted, how many entered the priority lane.
+        priority: usize,
+    },
+    /// A replica sealed a mempool batch and pushed it to its peers
+    /// ahead of any proposal (digest-addressed pre-dissemination).
+    /// Paired with the matching [`Note::PayloadQuorum`], this measures
+    /// dissemination round-trip time.
+    PayloadPushed {
+        /// The sealed batch's digest.
+        batch: BatchId,
+        /// Transactions in the batch.
+        txs: usize,
+        /// Wire bytes of the batch payload.
+        bytes: usize,
+    },
+    /// A pushed batch collected `n − f` acks (self included): a quorum
+    /// can now resolve the digest, so it is safe to propose.
+    PayloadQuorum {
+        /// The acked batch's digest.
+        batch: BatchId,
+    },
+    /// A replica resolved a digest it was missing via the
+    /// fetch-by-digest fallback (request → response → stored).
+    PayloadFetched {
+        /// The fetched batch's digest.
+        batch: BatchId,
     },
 }
 
@@ -586,6 +623,10 @@ impl<S: TelemetrySink> TelemetrySink for SharedSink<S> {
 /// | `SyncRangeFetched` | `consensus_sync_ranges_fetched_total` + `consensus_sync_blocks_fetched_total` |
 /// | `SyncPeerDemoted` | `consensus_sync_peer_demotions_total{peer}` |
 /// | `SyncCompleted` | `consensus_sync_completed_total` + `consensus_sync_rejoin_ns` |
+/// | `MempoolAdmission` | `consensus_mempool_{admitted,duplicates,rejected,priority}_total` |
+/// | `PayloadPushed` | `consensus_payload_pushed_total` + `consensus_payload_push_bytes_total` |
+/// | `PayloadQuorum` | `consensus_payload_quorum_total` + `consensus_payload_quorum_ns` |
+/// | `PayloadFetched` | `consensus_payload_fetches_total` |
 /// | `message_sent` | `net_{messages,bytes,authenticators}_total{class}` |
 /// | `step_charged` | `consensus_cpu_ns_total{lane="crypto"\|"journal"\|"consensus"}` |
 /// | `crypto_cache` | `crypto_seed_memo_{hits,misses}_total` + `crypto_verified_qc_cache_entries` (gauge) |
@@ -598,6 +639,8 @@ pub struct RegistryRecorder {
     catch_up_requested: HashMap<ReplicaId, u64>,
     /// Outstanding sync-run start time per lagging replica.
     sync_started: HashMap<ReplicaId, u64>,
+    /// Push times of batches awaiting their availability quorum.
+    payload_pushed: HashMap<(ReplicaId, BatchId), u64>,
     /// Last cumulative seed-memo counters per replica, so the
     /// cumulative `crypto_cache` reports fold into counters as deltas.
     cache_seen: HashMap<ReplicaId, (u64, u64)>,
@@ -611,6 +654,7 @@ impl RegistryRecorder {
             first_votes: HashMap::new(),
             catch_up_requested: HashMap::new(),
             sync_started: HashMap::new(),
+            payload_pushed: HashMap::new(),
             cache_seen: HashMap::new(),
         }
     }
@@ -758,6 +802,37 @@ impl TelemetrySink for RegistryRecorder {
                     self.histogram("consensus_sync_rejoin_ns", &[])
                         .record(at_ns.saturating_sub(t0));
                 }
+            }
+            Note::MempoolAdmission {
+                admitted,
+                duplicates,
+                rejected,
+                priority,
+            } => {
+                self.counter("consensus_mempool_admitted_total", &[])
+                    .add(*admitted as u64);
+                self.counter("consensus_mempool_duplicates_total", &[])
+                    .add(*duplicates as u64);
+                self.counter("consensus_mempool_rejected_total", &[])
+                    .add(*rejected as u64);
+                self.counter("consensus_mempool_priority_total", &[])
+                    .add(*priority as u64);
+            }
+            Note::PayloadPushed { batch, bytes, .. } => {
+                self.payload_pushed.insert((replica, *batch), at_ns);
+                self.counter("consensus_payload_pushed_total", &[]).inc();
+                self.counter("consensus_payload_push_bytes_total", &[])
+                    .add(*bytes as u64);
+            }
+            Note::PayloadQuorum { batch } => {
+                self.counter("consensus_payload_quorum_total", &[]).inc();
+                if let Some(t0) = self.payload_pushed.remove(&(replica, *batch)) {
+                    self.histogram("consensus_payload_quorum_ns", &[])
+                        .record(at_ns.saturating_sub(t0));
+                }
+            }
+            Note::PayloadFetched { .. } => {
+                self.counter("consensus_payload_fetches_total", &[]).inc();
             }
         }
     }
@@ -991,6 +1066,23 @@ mod tests {
             Note::SyncCompleted {
                 height: Height(500),
             },
+            Note::MempoolAdmission {
+                admitted: 8,
+                duplicates: 2,
+                rejected: 1,
+                priority: 3,
+            },
+            Note::PayloadPushed {
+                batch: BatchId::default(),
+                txs: 16,
+                bytes: 4_096,
+            },
+            Note::PayloadQuorum {
+                batch: BatchId::default(),
+            },
+            Note::PayloadFetched {
+                batch: BatchId::default(),
+            },
         ];
         for note in &samples {
             match note {
@@ -1012,7 +1104,11 @@ mod tests {
                 | Note::SyncSnapshotInstalled { .. }
                 | Note::SyncRangeFetched { .. }
                 | Note::SyncPeerDemoted { .. }
-                | Note::SyncCompleted { .. } => {}
+                | Note::SyncCompleted { .. }
+                | Note::MempoolAdmission { .. }
+                | Note::PayloadPushed { .. }
+                | Note::PayloadQuorum { .. }
+                | Note::PayloadFetched { .. } => {}
             }
         }
         samples

@@ -12,7 +12,7 @@ use crate::block::{Block, BlockId, BlockKind, BlockMeta, Justify, ParentLink};
 use crate::ids::{Height, ReplicaId, View};
 use crate::message::{Decide, Message, MsgBody, Proposal, VcCert, ViewChange, Vote};
 use crate::qc::{Phase, Qc, QcSeed};
-use crate::transaction::{Batch, Transaction};
+use crate::transaction::{Batch, BatchId, Transaction};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use marlin_crypto::{
     CombinedSig, Digest, PartialSig, QcFormat, Signature, SignerBitmap, SIGNATURE_LEN,
@@ -205,6 +205,35 @@ fn put_message(buf: &mut BytesMut, msg: &Message, shadow: bool) {
             for b in blocks {
                 put_block(buf, b, true);
             }
+        }
+        MsgBody::PayloadPush { digest, batch } => {
+            buf.put_u8(12);
+            put_digest(buf, &digest.digest());
+            put_batch(buf, batch);
+        }
+        MsgBody::PayloadAck { digest } => {
+            buf.put_u8(13);
+            put_digest(buf, &digest.digest());
+        }
+        MsgBody::PayloadRequest { digest } => {
+            buf.put_u8(14);
+            put_digest(buf, &digest.digest());
+        }
+        MsgBody::PayloadResponse { digest, batch } => {
+            buf.put_u8(15);
+            put_digest(buf, &digest.digest());
+            match batch {
+                None => buf.put_u8(0),
+                Some(b) => {
+                    buf.put_u8(1);
+                    put_batch(buf, b);
+                }
+            }
+        }
+        MsgBody::DigestProposal { digest, justify } => {
+            buf.put_u8(16);
+            put_digest(buf, &digest.digest());
+            put_justify(buf, justify);
         }
     }
 }
@@ -514,6 +543,33 @@ fn get_message(buf: &mut &[u8]) -> Result<Message> {
                 blocks,
             }
         }
+        12 => MsgBody::PayloadPush {
+            digest: BatchId::from_digest(get_digest(buf)?),
+            batch: get_batch(buf)?,
+        },
+        13 => MsgBody::PayloadAck {
+            digest: BatchId::from_digest(get_digest(buf)?),
+        },
+        14 => MsgBody::PayloadRequest {
+            digest: BatchId::from_digest(get_digest(buf)?),
+        },
+        15 => MsgBody::PayloadResponse {
+            digest: BatchId::from_digest(get_digest(buf)?),
+            batch: match get_u8(buf)? {
+                0 => None,
+                1 => Some(get_batch(buf)?),
+                t => {
+                    return Err(DecodeError::BadTag {
+                        what: "PayloadResponse.batch",
+                        tag: t,
+                    })
+                }
+            },
+        },
+        16 => MsgBody::DigestProposal {
+            digest: BatchId::from_digest(get_digest(buf)?),
+            justify: get_justify(buf)?,
+        },
         t => {
             return Err(DecodeError::BadTag {
                 what: "MsgBody",
@@ -1098,6 +1154,119 @@ mod tests {
                 ),
                 false,
             );
+        }
+    }
+
+    #[test]
+    fn payload_messages_round_trip() {
+        let ks = keys();
+        let batch = Batch::new(vec![tx(1, 150), tx(2, 0), tx(3, 33)]);
+        let digest = batch.digest();
+        round_trip(
+            Message::new(
+                ReplicaId(2),
+                View(7),
+                MsgBody::PayloadPush {
+                    digest,
+                    batch: batch.clone(),
+                },
+            ),
+            false,
+        );
+        round_trip(
+            Message::new(ReplicaId(0), View(7), MsgBody::PayloadAck { digest }),
+            false,
+        );
+        round_trip(
+            Message::new(ReplicaId(1), View(8), MsgBody::PayloadRequest { digest }),
+            false,
+        );
+        for batch in [None, Some(batch)] {
+            round_trip(
+                Message::new(
+                    ReplicaId(3),
+                    View(8),
+                    MsgBody::PayloadResponse { digest, batch },
+                ),
+                false,
+            );
+        }
+        for justify in [
+            Justify::One(Qc::genesis(BlockId::GENESIS)),
+            Justify::One(make_qc(&ks, Phase::Prepare, 7, QcFormat::Threshold)),
+        ] {
+            round_trip(
+                Message::new(
+                    ReplicaId(2),
+                    View(8),
+                    MsgBody::DigestProposal { digest, justify },
+                ),
+                false,
+            );
+        }
+    }
+
+    #[test]
+    fn payload_push_lying_count_rejected() {
+        // A batch count claiming more transactions than the buffer can
+        // back must fail before sizing an allocation.
+        let batch = Batch::new(vec![tx(1, 10)]);
+        let msg = Message::new(
+            ReplicaId(1),
+            View(2),
+            MsgBody::PayloadPush {
+                digest: batch.digest(),
+                batch,
+            },
+        );
+        let mut enc = encode_message(&msg, false).to_vec();
+        // Batch count sits right after the 13-byte header + 32-byte digest.
+        let count_at = 13 + 32;
+        enc[count_at..count_at + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            decode_message(&enc),
+            Err(DecodeError::FieldTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn payload_message_decode_never_panics() {
+        // Deterministic mutation fuzz over the new wire tags: every
+        // truncation and byte flip must decode to Ok or a clean error.
+        let ks = keys();
+        let batch = Batch::new(vec![tx(1, 150), tx(2, 7)]);
+        let digest = batch.digest();
+        let bodies = vec![
+            MsgBody::PayloadPush {
+                digest,
+                batch: batch.clone(),
+            },
+            MsgBody::PayloadAck { digest },
+            MsgBody::PayloadRequest { digest },
+            MsgBody::PayloadResponse {
+                digest,
+                batch: Some(batch),
+            },
+            MsgBody::DigestProposal {
+                digest,
+                justify: Justify::One(make_qc(&ks, Phase::Prepare, 3, QcFormat::SigGroup)),
+            },
+        ];
+        let mut rng: u64 = 0x9e3779b97f4a7c15;
+        for body in bodies {
+            let enc = encode_message(&Message::new(ReplicaId(1), View(3), body), false);
+            for cut in 0..enc.len() {
+                let _ = decode_message(&enc[..cut]);
+            }
+            for _ in 0..256 {
+                let mut mutated = enc.to_vec();
+                rng = rng
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let at = (rng >> 33) as usize % mutated.len();
+                mutated[at] ^= (rng >> 17) as u8 | 1;
+                let _ = decode_message(&mutated);
+            }
         }
     }
 

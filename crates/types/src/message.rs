@@ -9,6 +9,7 @@
 use crate::block::{Block, BlockId, BlockMeta, Justify};
 use crate::ids::{Height, ReplicaId, View};
 use crate::qc::{Phase, Qc, QcSeed};
+use crate::transaction::{Batch, BatchId};
 use marlin_crypto::{PartialSig, Sha256, Signature};
 use std::fmt;
 
@@ -113,6 +114,46 @@ pub enum MsgBody {
         /// The blocks, ascending by height.
         blocks: Vec<Block>,
     },
+    /// Pre-dissemination of a sealed mempool batch (Narwhal-style push):
+    /// the sender streams the batch to every replica *before* any leader
+    /// proposes it, taking payload bytes off the proposal critical path.
+    PayloadPush {
+        /// Content digest the batch is addressed by.
+        digest: BatchId,
+        /// The batch itself.
+        batch: Batch,
+    },
+    /// Receiver→pusher acknowledgement that the batch is stored and
+    /// resolvable; `n − f` acks make a digest safe to propose.
+    PayloadAck {
+        /// The acknowledged batch.
+        digest: BatchId,
+    },
+    /// Request for a previously pushed batch the sender cannot resolve
+    /// (fallback for replicas that missed the push).
+    PayloadRequest {
+        /// The missing batch.
+        digest: BatchId,
+    },
+    /// Response to a payload request.
+    PayloadResponse {
+        /// The requested digest (echoed even when the batch is gone).
+        digest: BatchId,
+        /// The batch, if the responder still holds it.
+        batch: Option<Batch>,
+    },
+    /// A leader's normal-case `PREPARE` proposal by reference: the block
+    /// extends `justify`'s certified block and carries the payload
+    /// addressed by `digest`, which receivers resolve from their payload
+    /// store (or fetch by digest). Only Case N1 proposals — fully
+    /// derivable from `(digest, justify, view)` — travel this way;
+    /// view-change proposals always ship whole blocks.
+    DigestProposal {
+        /// Payload of the proposed block.
+        digest: BatchId,
+        /// The `highQC` the proposed block extends (`m.justify`).
+        justify: Justify,
+    },
 }
 
 impl MsgBody {
@@ -138,6 +179,12 @@ impl MsgBody {
             MsgBody::BlockRangeResponse { blocks, .. } => {
                 8 + 2 + blocks.iter().map(Block::wire_len).sum::<usize>()
             }
+            MsgBody::PayloadPush { batch, .. } => 32 + batch.wire_len(),
+            MsgBody::PayloadAck { .. } | MsgBody::PayloadRequest { .. } => 32,
+            MsgBody::PayloadResponse { batch, .. } => {
+                32 + 1 + batch.as_ref().map_or(0, Batch::wire_len)
+            }
+            MsgBody::DigestProposal { justify, .. } => 32 + justify.wire_len(),
         }
     }
 
@@ -162,6 +209,11 @@ impl MsgBody {
                 .iter()
                 .map(|b| b.justify().authenticator_count())
                 .sum(),
+            MsgBody::PayloadPush { .. }
+            | MsgBody::PayloadAck { .. }
+            | MsgBody::PayloadRequest { .. }
+            | MsgBody::PayloadResponse { .. } => 0,
+            MsgBody::DigestProposal { justify, .. } => justify.authenticator_count(),
         }
     }
 }
@@ -323,6 +375,13 @@ pub enum MsgClass {
     /// [`MsgClass::CatchUp`], this is recovery traffic and stays out of
     /// protocol-cost measurement windows.
     Sync,
+    /// Batch pre-dissemination traffic (wire tags 12–15): payload
+    /// push/ack and fetch-by-digest. Not recovery traffic — it is the
+    /// steady-state payload plane — but kept out of the proposal class
+    /// so leader-egress measurements see exactly what rides the
+    /// proposal critical path. `DigestProposal` itself classifies as
+    /// [`MsgClass::Proposal`]`(Prepare)`.
+    Payload,
 }
 
 impl MsgClass {
@@ -339,6 +398,11 @@ impl MsgClass {
             | MsgBody::SnapshotResponse { .. }
             | MsgBody::BlockRangeRequest { .. }
             | MsgBody::BlockRangeResponse { .. } => MsgClass::Sync,
+            MsgBody::PayloadPush { .. }
+            | MsgBody::PayloadAck { .. }
+            | MsgBody::PayloadRequest { .. }
+            | MsgBody::PayloadResponse { .. } => MsgClass::Payload,
+            MsgBody::DigestProposal { .. } => MsgClass::Proposal(Phase::Prepare),
         }
     }
 
@@ -370,6 +434,7 @@ impl fmt::Display for MsgClass {
             MsgClass::Fetch => write!(f, "fetch"),
             MsgClass::CatchUp => write!(f, "catch-up"),
             MsgClass::Sync => write!(f, "sync"),
+            MsgClass::Payload => write!(f, "payload"),
         }
     }
 }
@@ -445,6 +510,15 @@ impl fmt::Display for Message {
             MsgBody::BlockRangeResponse { blocks, .. } => {
                 format!("BlockRangeResponse({} blocks)", blocks.len())
             }
+            MsgBody::PayloadPush { digest, batch } => {
+                format!("PayloadPush({digest},{} txs)", batch.len())
+            }
+            MsgBody::PayloadAck { digest } => format!("PayloadAck({digest})"),
+            MsgBody::PayloadRequest { digest } => format!("PayloadRequest({digest})"),
+            MsgBody::PayloadResponse { digest, batch } => {
+                format!("PayloadResponse({digest},present={})", batch.is_some())
+            }
+            MsgBody::DigestProposal { digest, .. } => format!("DigestProposal({digest})"),
         };
         write!(f, "[{} {:?} {}]", self.from, self.view, kind)
     }

@@ -1,6 +1,7 @@
 //! Client operations and batches.
 
 use bytes::Bytes;
+use marlin_crypto::{Digest, Sha256};
 use std::fmt;
 use std::sync::Arc;
 
@@ -67,6 +68,26 @@ impl Transaction {
     pub fn wire_len(&self) -> usize {
         Self::HEADER_LEN + self.payload.len()
     }
+
+    /// The client id packed into the high 32 bits of the transaction id
+    /// (the workload-generator convention).
+    pub fn client_of_id(&self) -> u32 {
+        (self.id >> 32) as u32
+    }
+
+    /// The per-client sequence number packed into the low 32 bits of
+    /// the transaction id.
+    pub fn seq_of_id(&self) -> u32 {
+        self.id as u32
+    }
+
+    /// The transaction's fee bid, by workload convention the first
+    /// payload byte (zero for empty payloads). Fees are a lane-selection
+    /// hint for the mempool, not signed content, so reusing a payload
+    /// byte keeps the wire format and block ids untouched.
+    pub fn fee(&self) -> u8 {
+        self.payload.first().copied().unwrap_or(0)
+    }
 }
 
 impl fmt::Debug for Transaction {
@@ -78,6 +99,41 @@ impl fmt::Debug for Transaction {
             self.client,
             self.payload.len()
         )
+    }
+}
+
+/// Identifies a disseminated batch by the SHA-256 digest of its
+/// transactions.
+///
+/// The digest covers exactly the per-transaction fields that
+/// [`Block`](crate::Block) ids cover (`id`, `client`, `payload` — not
+/// `submitted_at_ns`), so a batch fetched by digest reconstructs a
+/// byte-identical block id on every replica regardless of when each
+/// replica first saw the transactions.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct BatchId(Digest);
+
+impl BatchId {
+    /// Wraps a digest as a batch id.
+    pub fn from_digest(digest: Digest) -> Self {
+        BatchId(digest)
+    }
+
+    /// The underlying digest.
+    pub fn digest(&self) -> Digest {
+        self.0
+    }
+}
+
+impl fmt::Debug for BatchId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "batch:{}", self.0.short())
+    }
+}
+
+impl fmt::Display for BatchId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0.short())
     }
 }
 
@@ -146,6 +202,20 @@ impl Batch {
     /// Total wire bytes of all transactions plus the count prefix.
     pub fn wire_len(&self) -> usize {
         self.wire
+    }
+
+    /// Content digest for digest-addressed dissemination (see
+    /// [`BatchId`] for what it covers and why).
+    pub fn digest(&self) -> BatchId {
+        let mut h = Sha256::new();
+        h.update(b"marlin.batch.v1");
+        h.update(&(self.txs.len() as u64).to_le_bytes());
+        for tx in self.txs.iter() {
+            h.update(&tx.id.to_le_bytes());
+            h.update(&tx.client.to_le_bytes());
+            h.update(&tx.payload);
+        }
+        BatchId::from_digest(h.finalize())
     }
 }
 
@@ -249,6 +319,44 @@ mod tests {
             let recomputed = 4 + b.iter().map(Transaction::wire_len).sum::<usize>();
             assert_eq!(b.wire_len(), recomputed);
         }
+    }
+
+    #[test]
+    fn digest_excludes_submission_time_but_binds_content() {
+        let a = Batch::new(vec![
+            Transaction::new(1, 0, Bytes::from_static(b"x"), 100),
+            Transaction::new(2, 0, Bytes::from_static(b"y"), 200),
+        ]);
+        let b = Batch::new(vec![
+            Transaction::new(1, 0, Bytes::from_static(b"x"), 999),
+            Transaction::new(2, 0, Bytes::from_static(b"y"), 0),
+        ]);
+        assert_eq!(a.digest(), b.digest());
+        let different_payload = Batch::new(vec![
+            Transaction::new(1, 0, Bytes::from_static(b"z"), 100),
+            Transaction::new(2, 0, Bytes::from_static(b"y"), 200),
+        ]);
+        assert_ne!(a.digest(), different_payload.digest());
+        let different_order = Batch::new(vec![
+            Transaction::new(2, 0, Bytes::from_static(b"y"), 200),
+            Transaction::new(1, 0, Bytes::from_static(b"x"), 100),
+        ]);
+        assert_ne!(a.digest(), different_order.digest());
+        assert_ne!(a.digest(), Batch::empty().digest());
+    }
+
+    #[test]
+    fn fee_is_first_payload_byte() {
+        let t = Transaction::new(1, 0, Bytes::from_static(&[9, 1, 2]), 0);
+        assert_eq!(t.fee(), 9);
+        assert_eq!(Transaction::no_op(2, 0, 0).fee(), 0);
+    }
+
+    #[test]
+    fn id_packing_accessors() {
+        let t = Transaction::new((7u64 << 32) | 42, 7, Bytes::new(), 0);
+        assert_eq!(t.client_of_id(), 7);
+        assert_eq!(t.seq_of_id(), 42);
     }
 
     #[test]

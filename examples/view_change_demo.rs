@@ -72,13 +72,18 @@ fn trace(sim: &SimNet, from_ns: u64) {
                 format!("served catch-up from view {view} (newer: {newer})")
             }
             Note::CatchUpCompleted { view } => format!("caught up (view {view})"),
-            // Block-sync notes never fire here: this demo runs no
-            // lagging replica and sync is disabled by default.
+            // Block-sync and payload-plane notes never fire here: this
+            // demo runs no lagging replica, and sync, admission control,
+            // and dissemination are all disabled by default.
             Note::SyncStarted { .. }
             | Note::SyncSnapshotInstalled { .. }
             | Note::SyncRangeFetched { .. }
             | Note::SyncPeerDemoted { .. }
-            | Note::SyncCompleted { .. } => continue,
+            | Note::SyncCompleted { .. }
+            | Note::MempoolAdmission { .. }
+            | Note::PayloadPushed { .. }
+            | Note::PayloadQuorum { .. }
+            | Note::PayloadFetched { .. } => continue,
         };
         println!("  {:>8.1} ms  {}  {}", *at as f64 / 1e6, id, what);
     }

@@ -1,0 +1,109 @@
+//! Tier-1 regression for the throughput collapse past saturation
+//! (DESIGN.md §16): with bounded admission and digest dissemination the
+//! goodput at twice the saturating rate stays within 10% of the peak,
+//! while the legacy inline path collapses; and the leader's proposal
+//! egress per committed transaction is digest-sized, not payload-sized.
+
+use marlin_bft::core::ProtocolKind;
+use marlin_bft::node::{run_experiment, ExperimentConfig, Metrics};
+
+/// The paper-testbed experiment at tier-1 scale.
+fn config(rate_tps: u64, bounded: bool, duration_ns: u64, warmup_ns: u64) -> ExperimentConfig {
+    let mut cfg = ExperimentConfig::paper(ProtocolKind::Marlin, 1);
+    cfg.duration_ns = duration_ns;
+    cfg.warmup_ns = warmup_ns;
+    cfg.rate_tps = rate_tps;
+    if bounded {
+        cfg.mempool_capacity = cfg.batch_size;
+        cfg.dissemination = true;
+    }
+    cfg
+}
+
+/// The saturating offered rate on this testbed (the fig. 10 hockey-stick
+/// knee at n = 4 sits just above 48 ktx/s; the ladder top is 64k).
+const SATURATION_TPS: u64 = 64_000;
+
+#[test]
+fn bounded_mempool_holds_goodput_past_saturation() {
+    // The 10% plateau margin needs the full 3-second measured window:
+    // the (bounded) backlog resident at the warmup boundary displaces a
+    // fixed number of counted commits, so shorter windows overstate the
+    // relative dip.
+    let run =
+        |rate| -> Metrics { run_experiment(&config(rate, true, 3_000_000_000, 1_000_000_000)) };
+    let peak = run(SATURATION_TPS);
+    let overload = run(2 * SATURATION_TPS);
+    // Sanity: the system actually saturates near the expected plateau.
+    assert!(
+        peak.throughput_tps > 40_000.0,
+        "peak goodput unexpectedly low: {:.0} tx/s",
+        peak.throughput_tps
+    );
+    let retention = overload.throughput_tps / peak.throughput_tps;
+    assert!(
+        retention >= 0.90,
+        "goodput at 2x saturation fell {:.1}% below peak ({:.0} vs {:.0} tx/s): \
+         admission control failed to shed the overload",
+        (1.0 - retention) * 100.0,
+        overload.throughput_tps,
+        peak.throughput_tps
+    );
+    // Overload sheds at the door: unique committed transactions stay
+    // strictly below the offered volume, and none are double-counted.
+    let offered_in_window = 2 * SATURATION_TPS * 3;
+    assert!(overload.committed_txs < offered_in_window);
+    assert_eq!(
+        overload.duplicate_txs, 0,
+        "recommitted transactions leaked into the goodput count"
+    );
+}
+
+#[test]
+fn legacy_unbounded_mempool_collapses_past_saturation() {
+    // The bug this PR fixes, pinned so the contrast stays honest: the
+    // legacy path's unbounded queue accumulates a stale backlog that
+    // displaces fresh transactions, and goodput falls well below peak.
+    // The collapse is deep (~25%+), so a short window suffices.
+    let run =
+        |rate| -> Metrics { run_experiment(&config(rate, false, 2_000_000_000, 750_000_000)) };
+    let peak = run(48_000);
+    let overload = run(2 * SATURATION_TPS);
+    let retention = overload.throughput_tps / peak.throughput_tps;
+    assert!(
+        retention < 0.85,
+        "legacy path unexpectedly held goodput under overload \
+         ({:.0} vs peak {:.0} tx/s): the collapse this regression \
+         documents has disappeared — update DESIGN.md section 16",
+        overload.throughput_tps,
+        peak.throughput_tps
+    );
+}
+
+#[test]
+fn dissemination_makes_proposals_digest_sized() {
+    // Egress shape is rate-independent, so measure it under light load.
+    let run = |bounded| -> Metrics {
+        run_experiment(&config(24_000, bounded, 2_000_000_000, 750_000_000))
+    };
+    let legacy = run(false);
+    let bounded = run(true);
+    // Inline payloads: each committed transaction rides in a proposal
+    // broadcast, so proposal egress per transaction is at least the
+    // 150-byte payload (times n-1 receivers).
+    assert!(
+        legacy.proposal_bytes_per_tx() > 150.0,
+        "legacy proposal egress per tx unexpectedly small: {:.1} B",
+        legacy.proposal_bytes_per_tx()
+    );
+    // Digest proposals: a 32-byte batch digest amortized over the whole
+    // batch. Well under one byte per transaction in practice; 10 bytes
+    // leaves room for header growth without weakening the claim.
+    assert!(
+        bounded.proposal_bytes_per_tx() < 10.0,
+        "digest proposal egress per tx not digest-sized: {:.1} B",
+        bounded.proposal_bytes_per_tx()
+    );
+    // Both paths actually committed a comparable volume.
+    assert!(bounded.committed_txs > 20_000 && legacy.committed_txs > 20_000);
+}

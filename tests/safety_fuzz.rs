@@ -103,6 +103,9 @@ fn random_schedule(
         sync_snapshot_interval: 0,
         sync_lag_threshold: 64,
         batch_every_ns: 250_000_000,
+        batch_txs: 20,
+        payload_len: 0,
+        mempool_capacity: 0,
         quiet_ns: 3_000_000_000,
         horizon_ns: 6_000_000_000,
     };
