@@ -39,6 +39,20 @@ use marlin_types::{
 use std::cmp::Ordering;
 use std::collections::HashMap;
 
+/// A digest proposal parked while its batch is fetched.
+#[derive(Clone, Debug)]
+struct PendingDigest {
+    /// The proposing leader (and first fetch target).
+    from: ReplicaId,
+    /// View of the proposal; stale entries are purged on view entry.
+    view: View,
+    /// The proposal's justify, replayed once the batch resolves.
+    justify: Justify,
+    /// The fetch was already fanned out to all replicas after the
+    /// proposer answered `None` — don't broadcast again per response.
+    fanned_out: bool,
+}
+
 /// Per-view leader state for the view-change pre-prepare phase.
 #[derive(Clone, Debug, Default)]
 struct VcRound {
@@ -97,8 +111,9 @@ pub struct Marlin {
     /// (drives the catch-up round-trip telemetry).
     catch_up_outstanding: bool,
     /// Digest proposals whose batch is still being fetched, replayed
-    /// when the `PAYLOAD-RESPONSE` arrives. Bounded: one per digest.
-    pending_digests: HashMap<marlin_types::BatchId, (ReplicaId, View, Justify)>,
+    /// when the `PAYLOAD-RESPONSE` arrives. Bounded: one per digest,
+    /// and entries for views we have left are purged on view entry.
+    pending_digests: HashMap<marlin_types::BatchId, PendingDigest>,
     /// Write-ahead safety journal; `None` runs without durability.
     journal: Option<SafetyJournal>,
 }
@@ -265,6 +280,12 @@ impl Marlin {
         }
         let drained = self.base.enter_view(view, out);
         self.vc_rounds.retain(|v, _| *v >= view);
+        // Fetches for digests proposed in views we just left will never
+        // be replayed; their slots must not crowd out future fetches.
+        self.pending_digests.retain(|_, p| p.view >= view);
+        // View entry is also a retransmission opportunity for sealed
+        // batches whose availability quorum stalled in the old view.
+        self.base.payload_tick(out);
         for msg in drained {
             let sub = self.on_event(Event::Message(msg));
             out.merge(sub);
@@ -335,8 +356,14 @@ impl Marlin {
                     if self.base.payloads.has_work() {
                         // Sealed batches are still collecting acks;
                         // proposing their transactions inline now would
-                        // double-spend the batch. The quorum ack (or a
-                        // view change) re-triggers this proposal.
+                        // double-spend the batch. The quorum ack
+                        // re-triggers this proposal — and the heartbeat
+                        // keeps the payload tick (retransmit, expiry)
+                        // running so lost pushes cannot leave the
+                        // leader silent until the view times out.
+                        out.actions.push(Action::SetHeartbeat {
+                            delay_ns: self.base.cfg.base_timeout_ns / 4,
+                        });
                         return;
                     }
                 }
@@ -424,6 +451,21 @@ impl Marlin {
         true
     }
 
+    /// Keeps the heartbeat armed while this replica has sealed batches
+    /// in flight, so the payload plane's retransmit/expiry clock keeps
+    /// ticking. Leaders get heartbeats from the proposal path anyway;
+    /// this covers non-leaders, whose seals would otherwise never age
+    /// (and a lost push would wedge their dissemination window until
+    /// the next time they lead). No-op without dissemination:
+    /// `has_work` is only ever true once batches are sealed.
+    fn arm_payload_heartbeat(&mut self, out: &mut StepOutput) {
+        if self.base.payloads.has_work() {
+            out.actions.push(Action::SetHeartbeat {
+                delay_ns: self.base.cfg.base_timeout_ns / 4,
+            });
+        }
+    }
+
     /// Replica: resolves a digest proposal into the full block (the
     /// batch was pushed ahead of the proposal) and runs the normal
     /// Case N1 validation. A digest we cannot resolve is fetched from
@@ -441,7 +483,15 @@ impl Marlin {
         }
         let Some(batch) = self.base.payload_batch(&digest) else {
             if self.pending_digests.len() < 32 {
-                self.pending_digests.insert(digest, (from, view, justify));
+                self.pending_digests.insert(
+                    digest,
+                    PendingDigest {
+                        from,
+                        view,
+                        justify,
+                        fanned_out: false,
+                    },
+                );
                 self.base.request_payload(digest, from, out);
             }
             return;
@@ -494,9 +544,25 @@ impl Marlin {
                 return;
             }
             crate::payload::PayloadOutcome::Resolved(digest) => {
-                if let Some((from, view, justify)) = self.pending_digests.remove(&digest) {
-                    if view == self.base.cview {
-                        self.on_digest_proposal(from, view, digest, justify, out);
+                if let Some(p) = self.pending_digests.remove(&digest) {
+                    if p.view == self.base.cview {
+                        self.on_digest_proposal(p.from, p.view, digest, p.justify, out);
+                    }
+                }
+                return;
+            }
+            crate::payload::PayloadOutcome::Unavailable(digest) => {
+                // The fetch target no longer holds the batch (evicted,
+                // or crashed and restarted). The proposer is not the
+                // only replica that can serve it — every member of the
+                // availability quorum stored the push — so fan the
+                // fetch out to all replicas once instead of wedging
+                // this digest (and, at 32 wedged entries, the whole
+                // fallback path) until the view changes.
+                if let Some(p) = self.pending_digests.get_mut(&digest) {
+                    if p.view == self.base.cview && !p.fanned_out {
+                        p.fanned_out = true;
+                        self.base.broadcast_payload_request(digest, out);
                     }
                 }
                 return;
@@ -1434,11 +1500,15 @@ impl Protocol for Marlin {
                 if self.cfg().is_leader(self.base.cview) && self.in_flight.is_none() {
                     self.propose(&mut out);
                 }
+                self.arm_payload_heartbeat(&mut out);
             }
             Event::Heartbeat => {
                 // Drive the sync engine first: deadlines, re-dispatch,
                 // re-arm (no-op without an active run).
                 self.base.sync_tick(&mut out);
+                // Then the payload plane's retransmit/expiry clock, so
+                // stalled seals are re-pushed and eventually abandoned.
+                self.base.payload_tick(&mut out);
                 if self.cfg().is_leader(self.base.cview) && self.in_flight.is_none() {
                     if !self.base.work_pending() {
                         out.actions.push(Action::SetHeartbeat {
@@ -1447,6 +1517,7 @@ impl Protocol for Marlin {
                     }
                     self.propose(&mut out);
                 }
+                self.arm_payload_heartbeat(&mut out);
             }
             Event::Recovered => self.on_recovered(&mut out),
         }

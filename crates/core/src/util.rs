@@ -106,6 +106,13 @@ pub trait Protocol {
 /// lives in `marlin-storage`).
 const PRUNE_INTERVAL: u64 = 5_000;
 
+/// Payload ticks for which sealing is suspended after a seal expired
+/// without its availability quorum. While suspended, proposals carry
+/// their batches inline — the degraded-but-live path — instead of
+/// immediately re-sealing the requeued transactions into a push that
+/// is likely to be lost again.
+const PAYLOAD_BACKOFF_TICKS: u32 = 4;
+
 /// State common to every replica implementation.
 #[derive(Clone, Debug)]
 pub(crate) struct Base {
@@ -118,6 +125,9 @@ pub(crate) struct Base {
     /// Payload-dissemination bookkeeping; empty unless
     /// `cfg.dissemination` (see [`crate::payload`]).
     pub(crate) payloads: PayloadPlane,
+    /// Remaining payload ticks of the post-expiry sealing backoff
+    /// (see [`PAYLOAD_BACKOFF_TICKS`]).
+    payload_backoff: u32,
     /// Messages for views we have not entered yet.
     pending_msgs: BTreeMap<View, Vec<Message>>,
     /// Commit certificates whose chains have missing blocks.
@@ -154,6 +164,7 @@ impl Base {
             cview: View::GENESIS,
             mempool,
             payloads: PayloadPlane::default(),
+            payload_backoff: 0,
             pending_msgs: BTreeMap::new(),
             pending_commits: Vec::new(),
             fetching: HashMap::new(),
@@ -282,7 +293,7 @@ impl Base {
     /// pushes them to all replicas, up to the dissemination window.
     /// No-op unless `cfg.dissemination`.
     pub fn seal_payloads(&mut self, out: &mut StepOutput) {
-        if !self.cfg.dissemination {
+        if !self.cfg.dissemination || self.payload_backoff > 0 {
             return;
         }
         while !self.mempool.is_empty() && self.payloads.in_flight() < self.cfg.dissemination_window
@@ -309,6 +320,49 @@ impl Base {
         }
     }
 
+    /// Drives the payload plane's retransmit/expiry clock (no-op
+    /// without dissemination): sealed batches that missed their
+    /// availability quorum are pushed again — the push or its acks may
+    /// have been lost to more than `f` peers — and seals that stay
+    /// unacked past the expiry horizon are abandoned, their
+    /// transactions requeued at the front of the mempool so the next
+    /// seal (or inline proposal) carries them. Ticked from heartbeats
+    /// and view entries; without it a lost push would occupy one of
+    /// the `dissemination_window` slots forever and, once every slot
+    /// wedged, the replica could never seal — or, as leader, propose —
+    /// again.
+    pub fn payload_tick(&mut self, out: &mut StepOutput) {
+        if !self.cfg.dissemination {
+            return;
+        }
+        self.payload_backoff = self.payload_backoff.saturating_sub(1);
+        let tick = self.payloads.tick();
+        if !tick.expired.is_empty() {
+            self.payload_backoff = PAYLOAD_BACKOFF_TICKS;
+        }
+        for (digest, batch) in tick.repush {
+            out.actions.push(Action::Note(Note::PayloadPushed {
+                batch: digest,
+                txs: batch.len(),
+                bytes: batch.wire_len(),
+            }));
+            out.actions.push(Action::Broadcast {
+                message: Message::new(
+                    self.cfg.id,
+                    self.cview,
+                    MsgBody::PayloadPush { digest, batch },
+                ),
+            });
+        }
+        for (digest, batch) in tick.expired {
+            out.actions.push(Action::Note(Note::PayloadExpired {
+                batch: digest,
+                txs: batch.len(),
+            }));
+            self.mempool.requeue(batch.into_iter().collect());
+        }
+    }
+
     /// The batch behind a proposed digest, if resident.
     pub fn payload_batch(&self, digest: &BatchId) -> Option<Batch> {
         self.payloads.batch(digest).cloned()
@@ -323,6 +377,16 @@ impl Base {
     pub fn request_payload(&mut self, digest: BatchId, source: ReplicaId, out: &mut StepOutput) {
         out.actions.push(Action::Send {
             to: source,
+            message: Message::new(self.cfg.id, self.cview, MsgBody::PayloadRequest { digest }),
+        });
+    }
+
+    /// Fans a payload fetch out to every replica — the fallback when
+    /// the proposer could not serve it. Any member of the availability
+    /// quorum holds the batch, and `n − f ≥ f + 1` guarantees an
+    /// honest holder exists if the digest was genuinely quorum-acked.
+    pub fn broadcast_payload_request(&mut self, digest: BatchId, out: &mut StepOutput) {
+        out.actions.push(Action::Broadcast {
             message: Message::new(self.cfg.id, self.cview, MsgBody::PayloadRequest { digest }),
         });
     }

@@ -555,3 +555,163 @@ fn dissemination_fetch_fallback_recovers_missing_payload() {
         "p3 should have fetched the missing batch by digest"
     );
 }
+
+/// A leader whose payload pushes are all lost must not wedge: the seal
+/// never reaches its availability quorum, so after `EXPIRE_AFTER`
+/// heartbeat ticks the payload plane abandons it, hands the
+/// transactions back to the mempool, and the next proposal ships them
+/// inline — all before the view times out.
+#[test]
+fn lost_payload_pushes_do_not_wedge_the_leader() {
+    let mut cfg = Config::for_test(4, 1);
+    cfg.dissemination = true;
+    let mut cl = Cluster::new(ProtocolKind::Marlin, cfg, 23);
+
+    // Every push is lost; the leader's self-ack alone can never reach
+    // the n - f = 3 availability quorum.
+    cl.set_filter(Box::new(|_from, _to, msg: &Message| {
+        !matches!(&msg.body, MsgBody::PayloadPush { .. })
+    }));
+    cl.submit_to(P1, 40, 150);
+    cl.run_until_idle();
+    // Nothing can commit while the seal occupies its window slot.
+    assert_eq!(cl.total_committed_txs(P1), 0);
+    // Heartbeats age the seal to expiry, then the inline path takes over.
+    cl.run_until(1_000_000_000);
+    cl.run_until_idle();
+    cl.assert_consistent();
+    for replica in [P0, P1, P2, P3] {
+        assert_eq!(cl.total_committed_txs(replica), 40, "{replica}");
+    }
+    assert!(
+        cl.notes()
+            .iter()
+            .any(|(id, n)| *id == P1 && matches!(n, Note::PayloadExpired { .. })),
+        "the unacked seal should have been expired"
+    );
+}
+
+/// A transient push loss is healed by retransmission: the first
+/// fan-out is dropped, the heartbeat-driven re-push lands, the quorum
+/// forms, and the batch still commits by digest — no expiry, no
+/// inline fallback.
+#[test]
+fn transient_push_loss_is_healed_by_retransmission() {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    let mut cfg = Config::for_test(4, 1);
+    cfg.dissemination = true;
+    let mut cl = Cluster::new(ProtocolKind::Marlin, cfg, 24);
+
+    // Drop exactly the first push fan-out (one broadcast = 3 sends).
+    let dropped = Arc::new(AtomicUsize::new(0));
+    let d = Arc::clone(&dropped);
+    cl.set_filter(Box::new(move |_from, _to, msg: &Message| {
+        if matches!(&msg.body, MsgBody::PayloadPush { .. }) {
+            return d.fetch_add(1, Ordering::Relaxed) >= 3;
+        }
+        true
+    }));
+    cl.submit_to(P1, 40, 150);
+    cl.run_until_idle();
+    assert_eq!(cl.total_committed_txs(P1), 0, "first fan-out was lost");
+    cl.run_until(1_000_000_000);
+    cl.run_until_idle();
+    cl.assert_consistent();
+    for replica in [P0, P1, P2, P3] {
+        assert_eq!(cl.total_committed_txs(replica), 40, "{replica}");
+    }
+    assert!(
+        cl.notes()
+            .iter()
+            .any(|(_, n)| matches!(n, Note::PayloadQuorum { .. })),
+        "the re-push should have completed the availability quorum"
+    );
+    assert!(
+        !cl.notes()
+            .iter()
+            .any(|(_, n)| matches!(n, Note::PayloadExpired { .. })),
+        "a healed seal must not expire"
+    );
+}
+
+/// When the proposer answers a payload fetch with `batch: None` (it
+/// pruned or never had the batch), the requester fans the fetch out to
+/// every replica instead of leaving the digest proposal stuck; any
+/// peer holding the batch can then complete the resolution and the
+/// replica votes as normal.
+#[test]
+fn unresolvable_fetch_fans_out_and_recovers() {
+    use bytes::Bytes;
+    use marlin_core::marlin::Marlin;
+    use marlin_core::{Action, Event, Protocol};
+    use marlin_types::{Batch, BlockId, Justify, Transaction};
+
+    let mut cfg = Config::for_test(4, 1);
+    cfg.dissemination = true;
+    let mut p3 = Marlin::new(cfg.with_id(P3));
+    p3.step(Event::Start);
+
+    let batch = Batch::new(
+        (0..3)
+            .map(|i| Transaction::new(i, 0, Bytes::from(vec![0x5A; 8]), 0))
+            .collect(),
+    );
+    let digest = batch.digest();
+    let justify = Justify::One(Qc::genesis(BlockId::GENESIS));
+
+    // An unknown digest is fetched from the proposer first.
+    let proposal = Message::new(P1, View(1), MsgBody::DigestProposal { digest, justify });
+    let out = p3.step(Event::Message(proposal));
+    assert!(
+        out.actions.iter().any(|a| matches!(
+            a,
+            Action::Send { to, message } if *to == P1
+                && matches!(&message.body, MsgBody::PayloadRequest { .. })
+        )),
+        "expected a targeted fetch to the proposer: {:?}",
+        out.actions
+    );
+
+    // The proposer cannot serve it: the fetch fans out to everyone.
+    let miss = Message::new(
+        P1,
+        View(1),
+        MsgBody::PayloadResponse {
+            digest,
+            batch: None,
+        },
+    );
+    let out = p3.step(Event::Message(miss));
+    assert!(
+        out.actions.iter().any(|a| matches!(
+            a,
+            Action::Broadcast { message }
+                if matches!(&message.body, MsgBody::PayloadRequest { .. })
+        )),
+        "expected a broadcast fetch after the miss: {:?}",
+        out.actions
+    );
+
+    // Any peer with the batch completes the resolution; the buffered
+    // digest proposal replays and the replica votes prepare.
+    let hit = Message::new(
+        P2,
+        View(1),
+        MsgBody::PayloadResponse {
+            digest,
+            batch: Some(batch),
+        },
+    );
+    let out = p3.step(Event::Message(hit));
+    assert!(
+        out.actions.iter().any(|a| matches!(
+            a,
+            Action::Send { to, message } if *to == P1
+                && matches!(&message.body, MsgBody::Vote(v) if v.seed.phase == Phase::Prepare)
+        )),
+        "expected a prepare vote to the leader after resolution: {:?}",
+        out.actions
+    );
+}

@@ -19,7 +19,9 @@
 //!   (0 = unbounded, the legacy configuration). An arrival over
 //!   capacity gets [`Admission::Full`] — the "try again" backpressure
 //!   signal — and mutates nothing, so an overloaded replica sheds load
-//!   instead of queueing it.
+//!   instead of queueing it. Clients must retry in order: submitting
+//!   `seq + 1` before a `Full`-rejected `seq` was admitted abandons
+//!   `seq` for good (see [`Admission::Full`]).
 //! * **Fee lanes** — a transaction bidding at least
 //!   `priority_fee_threshold` (and the threshold is nonzero) joins the
 //!   priority lane; [`Mempool::take`] drains priority strictly before
@@ -42,6 +44,12 @@ pub enum Admission {
     /// Rejected: the pool is at capacity. Transient backpressure — the
     /// client may retry after commits drain the pool. Nothing about
     /// this transaction was recorded.
+    ///
+    /// The retry contract is *in-order*: a client must not submit
+    /// sequence `k + 1` until sequence `k` was admitted. Submitting
+    /// ahead advances the client's watermark past the rejected `k`,
+    /// turning every later retry of `k` into a permanent
+    /// [`Admission::Duplicate`] even though `k` was never admitted.
     Full,
 }
 
@@ -158,6 +166,26 @@ impl Mempool {
         Admission::Admitted
     }
 
+    /// Returns previously drained transactions to the *front* of their
+    /// lanes, bypassing admission: they were admitted once (their
+    /// watermarks are already recorded), so dedup or capacity checks
+    /// would wrongly reject them. Used when a sealed dissemination
+    /// batch expires without reaching its availability quorum — the
+    /// transactions fall back to the inline-proposal path rather than
+    /// being dropped. Ids already resident again are skipped.
+    pub fn requeue(&mut self, txs: Vec<Transaction>) {
+        for tx in txs.into_iter().rev() {
+            if !self.resident.insert(tx.id) {
+                continue;
+            }
+            if self.cfg.priority_fee_threshold > 0 && tx.fee() >= self.cfg.priority_fee_threshold {
+                self.priority.push_front(tx);
+            } else {
+                self.normal.push_front(tx);
+            }
+        }
+    }
+
     /// Drains up to `max` transactions: the priority lane first, then
     /// the normal lane, FIFO within each.
     pub fn take(&mut self, max: usize) -> Vec<Transaction> {
@@ -251,6 +279,25 @@ mod tests {
             ]
         );
         assert_eq!(mp.stats().priority_admitted, 2);
+    }
+
+    #[test]
+    fn requeue_restores_drained_transactions_ahead_of_resident() {
+        let mut mp = bounded(4, 10);
+        assert_eq!(mp.admit(tx(1, 1, 0)), Admission::Admitted);
+        assert_eq!(mp.admit(tx(1, 2, 200)), Admission::Admitted);
+        let drained = mp.take(2); // priority seq 2, then seq 1
+        assert_eq!(mp.admit(tx(1, 3, 0)), Admission::Admitted);
+        // Requeue bypasses the watermark (both seqs are below it) and
+        // restores lane order: the priority tx drains first again, and
+        // requeued normals come before the younger resident seq 3.
+        mp.requeue(drained);
+        let order: Vec<u32> = mp.take(10).iter().map(Transaction::seq_of_id).collect();
+        assert_eq!(order, vec![2, 1, 3]);
+        // A requeue of an id that is already resident is a no-op.
+        assert_eq!(mp.admit(tx(1, 4, 0)), Admission::Admitted);
+        mp.requeue(vec![tx(1, 4, 0)]);
+        assert_eq!(mp.len(), 1);
     }
 
     #[test]

@@ -221,6 +221,16 @@ pub enum Note {
         /// The fetched batch's digest.
         batch: BatchId,
     },
+    /// A sealed batch was abandoned after retransmissions without
+    /// reaching its availability quorum; its transactions were
+    /// requeued for the inline-proposal path. A nonzero rate means
+    /// pushes or acks are being lost to more than `f` peers.
+    PayloadExpired {
+        /// The abandoned batch's digest.
+        batch: BatchId,
+        /// Transactions returned to the mempool.
+        txs: usize,
+    },
 }
 
 /// Stable lower-case label for a phase.
@@ -627,6 +637,7 @@ impl<S: TelemetrySink> TelemetrySink for SharedSink<S> {
 /// | `PayloadPushed` | `consensus_payload_pushed_total` + `consensus_payload_push_bytes_total` |
 /// | `PayloadQuorum` | `consensus_payload_quorum_total` + `consensus_payload_quorum_ns` |
 /// | `PayloadFetched` | `consensus_payload_fetches_total` |
+/// | `PayloadExpired` | `consensus_payload_expired_total` + `consensus_payload_expired_txs_total` |
 /// | `message_sent` | `net_{messages,bytes,authenticators}_total{class}` |
 /// | `step_charged` | `consensus_cpu_ns_total{lane="crypto"\|"journal"\|"consensus"}` |
 /// | `crypto_cache` | `crypto_seed_memo_{hits,misses}_total` + `crypto_verified_qc_cache_entries` (gauge) |
@@ -833,6 +844,12 @@ impl TelemetrySink for RegistryRecorder {
             }
             Note::PayloadFetched { .. } => {
                 self.counter("consensus_payload_fetches_total", &[]).inc();
+            }
+            Note::PayloadExpired { batch, txs } => {
+                self.payload_pushed.remove(&(replica, *batch));
+                self.counter("consensus_payload_expired_total", &[]).inc();
+                self.counter("consensus_payload_expired_txs_total", &[])
+                    .add(*txs as u64);
             }
         }
     }
@@ -1083,6 +1100,10 @@ mod tests {
             Note::PayloadFetched {
                 batch: BatchId::default(),
             },
+            Note::PayloadExpired {
+                batch: BatchId::default(),
+                txs: 16,
+            },
         ];
         for note in &samples {
             match note {
@@ -1108,7 +1129,8 @@ mod tests {
                 | Note::MempoolAdmission { .. }
                 | Note::PayloadPushed { .. }
                 | Note::PayloadQuorum { .. }
-                | Note::PayloadFetched { .. } => {}
+                | Note::PayloadFetched { .. }
+                | Note::PayloadExpired { .. } => {}
             }
         }
         samples

@@ -206,6 +206,11 @@ impl Batch {
 
     /// Content digest for digest-addressed dissemination (see
     /// [`BatchId`] for what it covers and why).
+    ///
+    /// Each variable-length payload is hashed behind its own length
+    /// prefix: without it, the byte boundary between one transaction's
+    /// payload and the next transaction's fixed fields is ambiguous,
+    /// and two distinct batches could collide on the same digest.
     pub fn digest(&self) -> BatchId {
         let mut h = Sha256::new();
         h.update(b"marlin.batch.v1");
@@ -213,6 +218,7 @@ impl Batch {
         for tx in self.txs.iter() {
             h.update(&tx.id.to_le_bytes());
             h.update(&tx.client.to_le_bytes());
+            h.update(&(tx.payload.len() as u32).to_le_bytes());
             h.update(&tx.payload);
         }
         BatchId::from_digest(h.finalize())
@@ -343,6 +349,23 @@ mod tests {
         ]);
         assert_ne!(a.digest(), different_order.digest());
         assert_ne!(a.digest(), Batch::empty().digest());
+    }
+
+    #[test]
+    fn digest_is_unambiguous_across_payload_boundaries() {
+        // Two 2-tx batches whose concatenated (id | client | payload)
+        // streams are byte-identical: `a` puts 0xAA at the end of tx 1's
+        // payload, `b` shifts those bytes into tx 2's id/client/payload
+        // fields. Without per-payload length prefixes they collide.
+        let a = Batch::new(vec![
+            Transaction::new(1, 0, Bytes::from_static(&[0xAA]), 0),
+            Transaction::new(2, 0, Bytes::new(), 0),
+        ]);
+        let b = Batch::new(vec![
+            Transaction::new(1, 0, Bytes::new(), 0),
+            Transaction::new(0x02AA, 0, Bytes::from_static(&[0x00]), 0),
+        ]);
+        assert_ne!(a.digest(), b.digest());
     }
 
     #[test]

@@ -83,7 +83,8 @@ fn trace(sim: &SimNet, from_ns: u64) {
             | Note::MempoolAdmission { .. }
             | Note::PayloadPushed { .. }
             | Note::PayloadQuorum { .. }
-            | Note::PayloadFetched { .. } => continue,
+            | Note::PayloadFetched { .. }
+            | Note::PayloadExpired { .. } => continue,
         };
         println!("  {:>8.1} ms  {}  {}", *at as f64 / 1e6, id, what);
     }
